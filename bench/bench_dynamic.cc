@@ -1,0 +1,78 @@
+// Extension benchmark (the paper's §6 future-work item): dynamic POI
+// updates. Compares the cost of an incremental insert (one SSAD + O(n)
+// distances) against a full oracle rebuild, and shows query cost is
+// unchanged.
+
+#include "bench/bench_common.h"
+#include "oracle/dynamic_oracle.h"
+#include "terrain/poi_generator.h"
+
+namespace tso::bench {
+namespace {
+
+void Run() {
+  const uint64_t seed = 42;
+  PrintHeader("Extension — dynamic POI updates (paper §6 future work)",
+              "SIGMOD'17 §6", seed);
+
+  StatusOr<Dataset> ds = MakePaperDataset(PaperDataset::kSanFrancisco,
+                                          Scaled(2000), Scaled(200), seed);
+  TSO_CHECK(ds.ok());
+  MmpSolver solver(*ds->mesh);
+
+  DynamicOracleOptions options;
+  options.base = ParallelSeOptions(*ds->mesh, 0.1, seed);
+  options.compaction_ratio = 0.5;  // defer compaction during the measurement
+  WallTimer build_timer;
+  StatusOr<DynamicSeOracle> oracle =
+      DynamicSeOracle::Build(*ds->mesh, ds->pois, solver, options);
+  TSO_CHECK(oracle.ok());
+  const double base_build_s = build_timer.ElapsedSeconds();
+
+  Rng rng(seed + 3);
+  std::vector<SurfacePoint> extra =
+      GenerateUniformPois(*ds->mesh, *ds->locator, 20, rng);
+  WallTimer insert_timer;
+  for (const SurfacePoint& p : extra) TSO_CHECK(oracle->Insert(p).ok());
+  const double insert_ms = insert_timer.ElapsedMillis() / extra.size();
+
+  // Query latency with a populated delta buffer.
+  Rng qrng(seed + 4);
+  WallTimer query_timer;
+  int queries = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t s = static_cast<uint32_t>(qrng.Uniform(oracle->num_ids()));
+    const uint32_t t = static_cast<uint32_t>(qrng.Uniform(oracle->num_ids()));
+    if (s == t || !oracle->IsLive(s) || !oracle->IsLive(t)) continue;
+    (void)*oracle->Distance(s, t);
+    ++queries;
+  }
+  const double query_us = query_timer.ElapsedMicros() / queries;
+
+  WallTimer compact_timer;
+  TSO_CHECK_OK(oracle->Compact());
+  const double compact_s = compact_timer.ElapsedSeconds();
+
+  Table t("Dynamic oracle costs",
+          {"operation", "cost", "unit"});
+  t.AddRow("initial build (n=" + std::to_string(ds->n()) + ")", base_build_s,
+           "s");
+  t.AddRow("incremental insert (avg of 20)", insert_ms, "ms");
+  t.AddRow("query with delta buffer", query_us, "us");
+  t.AddRow("compaction (full rebuild)", compact_s, "s");
+  t.AddRow("rebuild-per-insert equivalent", base_build_s * 1000.0, "ms");
+  t.Print();
+  std::cout << "\nShape: an insert costs one SSAD (~" << insert_ms
+            << " ms) instead of a full rebuild (~" << base_build_s * 1000.0
+            << " ms) — the delta/compaction design amortizes updates, "
+               "answering the paper's open problem for moderate update "
+               "rates.\n";
+}
+
+}  // namespace
+}  // namespace tso::bench
+
+int main() {
+  tso::bench::Run();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 10: effect of N (number of terrain vertices) on BH, P2P queries.
+// The same continuous BH-like region is re-meshed at increasing resolution,
+// keeping the POI count fixed — mirroring the paper's simplification-based
+// sweep (same region, same POIs, different N).
+//
+// Expected shape: SE's build time grows with N (SSAD cost) but its SIZE
+// stays flat (n-driven), while K-Algo's query time grows with N.
+
+#include "baselines/kalgo.h"
+#include "bench/bench_common.h"
+#include "geodesic/mmp_solver.h"
+#include "oracle/se_oracle.h"
+#include "terrain/poi_generator.h"
+#include "terrain/terrain_synth.h"
+
+namespace tso::bench {
+namespace {
+
+void Run() {
+  const uint64_t seed = 42;
+  const double eps = 0.1;
+  PrintHeader("Figure 10 — Effect of N on BH (P2P), eps=0.1",
+              "SIGMOD'17 Figure 10 (a)-(c)", seed);
+
+  SynthSpec spec;  // BH-like region (Table 2)
+  spec.extent_x = 14000.0;
+  spec.extent_y = 10000.0;
+  spec.amplitude = 900.0;
+  spec.feature_size = 3000.0;
+  spec.ridged = true;
+  spec.seed = seed;
+
+  Table t("Fig 10 series",
+          {"N", "method", "build_s", "size_MB", "query_ms", "mean_err"});
+
+  for (uint32_t target_n : {Scaled(1500), Scaled(3000), Scaled(6000),
+                            Scaled(12000)}) {
+    StatusOr<TerrainMesh> mesh = SynthesizeMesh(spec, target_n);
+    TSO_CHECK(mesh.ok());
+    PointLocator locator(*mesh);
+    Rng prng(seed + 3);  // same seed => same POI x-y draws on every mesh
+    std::vector<SurfacePoint> pois =
+        GenerateUniformPois(*mesh, locator, Scaled(150), prng);
+    Rng qrng(seed + 4);
+    const auto pairs = MakeQueryPairs(pois.size(), 50, qrng);
+    const std::vector<double> truth = ExactDistances(*mesh, pois, pairs);
+
+    {
+      MmpSolver solver(*mesh);
+      SeOracleOptions options = ParallelSeOptions(*mesh, eps, seed);
+      SeBuildStats stats;
+      StatusOr<SeOracle> oracle =
+          SeOracle::Build(*mesh, pois, solver, options, &stats);
+      TSO_CHECK(oracle.ok());
+      const QueryMeasurement m = MeasureQueries(
+          pairs, truth,
+          [&](uint32_t s, uint32_t q) { return *oracle->Distance(s, q); });
+      t.AddRow(mesh->num_vertices(), "SE", stats.total_seconds,
+               MegaBytes(oracle->SizeBytes()), m.avg_query_ms,
+               m.mean_rel_error);
+    }
+    {
+      StatusOr<KAlgo> kalgo = KAlgo::Create(*mesh, eps);
+      TSO_CHECK(kalgo.ok());
+      const QueryMeasurement m = MeasureQueries(
+          pairs, truth, [&](uint32_t s, uint32_t q) {
+            return *kalgo->Distance(pois[s], pois[q]);
+          });
+      t.AddRow(mesh->num_vertices(), "K-Algo", kalgo->setup_seconds(),
+               MegaBytes(kalgo->SizeBytes()), m.avg_query_ms,
+               m.mean_rel_error);
+    }
+  }
+  t.Print();
+  std::cout << "\nNote: as in the paper, SP-Oracle is omitted from this sweep "
+               "(its G_eps index exceeds the budget at large N — memory in "
+               "the paper, suite time here).\n";
+}
+
+}  // namespace
+}  // namespace tso::bench
+
+int main() {
+  tso::bench::Run();
+  return 0;
+}

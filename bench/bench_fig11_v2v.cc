@@ -1,0 +1,80 @@
+// Figure 11: effect of n on SF for V2V (vertex-to-vertex) queries. POIs are
+// discarded and all mesh vertices become query points (n = N), sweeping the
+// sub-region size — mirroring the paper's higher-resolution SF crops.
+//
+// Expected shape: SE(build, size) grow with n; SE query time stays flat at
+// O(h) probes, 2-6 orders below SP-Oracle / K-Algo.
+
+#include "baselines/kalgo.h"
+#include "bench/bench_common.h"
+#include "geodesic/mmp_solver.h"
+#include "oracle/se_oracle.h"
+#include "terrain/poi_generator.h"
+#include "terrain/terrain_synth.h"
+
+namespace tso::bench {
+namespace {
+
+void Run() {
+  const uint64_t seed = 42;
+  const double eps = 0.25;
+  PrintHeader("Figure 11 — Effect of n on SF (V2V), n = N, eps=0.25",
+              "SIGMOD'17 Figure 11 (a)-(c)", seed);
+
+  SynthSpec spec;  // SF-like relief at high resolution (paper: 10m SF crops)
+  spec.amplitude = 280.0;
+  spec.feature_size = 900.0;
+  spec.ridged = false;
+  spec.seed = seed + 2;
+
+  Table t("Fig 11 series",
+          {"n(=N)", "method", "build_s", "size_MB", "query_ms", "mean_err"});
+
+  for (uint32_t n : {Scaled(400), Scaled(800), Scaled(1600)}) {
+    // Sub-region grows with n at fixed resolution, as in the paper.
+    const double side = 30.0 * std::sqrt(static_cast<double>(n));
+    spec.extent_x = side;
+    spec.extent_y = side;
+    StatusOr<TerrainMesh> mesh = SynthesizeMesh(spec, n);
+    TSO_CHECK(mesh.ok());
+    std::vector<SurfacePoint> pois = PoisFromAllVertices(*mesh);
+    Rng qrng(seed + n);
+    const auto pairs = MakeQueryPairs(pois.size(), 50, qrng);
+    const std::vector<double> truth = ExactDistances(*mesh, pois, pairs);
+
+    {
+      MmpSolver solver(*mesh);
+      SeOracleOptions options = ParallelSeOptions(*mesh, eps, seed);
+      SeBuildStats stats;
+      StatusOr<SeOracle> oracle =
+          SeOracle::Build(*mesh, pois, solver, options, &stats);
+      TSO_CHECK(oracle.ok());
+      const QueryMeasurement m = MeasureQueries(
+          pairs, truth,
+          [&](uint32_t s, uint32_t q) { return *oracle->Distance(s, q); });
+      t.AddRow(pois.size(), "SE", stats.total_seconds,
+               MegaBytes(oracle->SizeBytes()), m.avg_query_ms,
+               m.mean_rel_error);
+    }
+    {
+      StatusOr<KAlgo> kalgo = KAlgo::Create(*mesh, eps);
+      TSO_CHECK(kalgo.ok());
+      const QueryMeasurement m = MeasureQueries(
+          pairs, truth, [&](uint32_t s, uint32_t q) {
+            return *kalgo->Distance(pois[s], pois[q]);
+          });
+      t.AddRow(pois.size(), "K-Algo", kalgo->setup_seconds(),
+               MegaBytes(kalgo->SizeBytes()), m.avg_query_ms,
+               m.mean_rel_error);
+    }
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace tso::bench
+
+int main() {
+  tso::bench::Run();
+  return 0;
+}

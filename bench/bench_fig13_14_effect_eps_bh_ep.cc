@@ -1,0 +1,72 @@
+// Figures 13 & 14: effect of eps on the BearHead and EaglePeak datasets
+// (P2P queries). As in the paper, SP-Oracle is excluded on the full
+// datasets (its Steiner index blows the budget); SE vs K-Algo remain.
+
+#include "baselines/kalgo.h"
+#include "bench/bench_common.h"
+#include "geodesic/mmp_solver.h"
+#include "oracle/se_oracle.h"
+
+namespace tso::bench {
+namespace {
+
+void RunDataset(PaperDataset which, const char* figure) {
+  const uint64_t seed = 42;
+  StatusOr<Dataset> ds =
+      MakePaperDataset(which, Scaled(3000), Scaled(150), seed);
+  TSO_CHECK(ds.ok());
+  std::cout << "\n--- " << figure << " on " << ds->name << ": "
+            << ds->mesh->DebugString() << ", n=" << ds->n() << " ---\n";
+
+  Rng qrng(seed + 5);
+  const auto pairs = MakeQueryPairs(ds->n(), 60, qrng);
+  const std::vector<double> truth = ExactDistances(*ds->mesh, ds->pois,
+                                                   pairs);
+
+  Table t(std::string(figure) + " series (" + ds->name + ")",
+          {"eps", "method", "build_s", "size_MB", "query_ms", "mean_err",
+           "max_err"});
+  for (double eps : {0.05, 0.1, 0.15, 0.2, 0.25}) {
+    {
+      MmpSolver solver(*ds->mesh);
+      SeOracleOptions options = ParallelSeOptions(*ds->mesh, eps, seed);
+      SeBuildStats stats;
+      StatusOr<SeOracle> oracle =
+          SeOracle::Build(*ds->mesh, ds->pois, solver, options, &stats);
+      TSO_CHECK(oracle.ok());
+      const QueryMeasurement m = MeasureQueries(
+          pairs, truth,
+          [&](uint32_t s, uint32_t q) { return *oracle->Distance(s, q); });
+      t.AddRow(eps, "SE", stats.total_seconds,
+               MegaBytes(oracle->SizeBytes()), m.avg_query_ms,
+               m.mean_rel_error, m.max_rel_error);
+    }
+    {
+      StatusOr<KAlgo> kalgo = KAlgo::Create(*ds->mesh, eps);
+      TSO_CHECK(kalgo.ok());
+      const QueryMeasurement m = MeasureQueries(
+          pairs, truth, [&](uint32_t s, uint32_t q) {
+            return *kalgo->Distance(ds->pois[s], ds->pois[q]);
+          });
+      t.AddRow(eps, "K-Algo", kalgo->setup_seconds(),
+               MegaBytes(kalgo->SizeBytes()), m.avg_query_ms,
+               m.mean_rel_error, m.max_rel_error);
+    }
+  }
+  t.Print();
+}
+
+void Run() {
+  PrintHeader("Figures 13 & 14 — Effect of eps on BH and EP (P2P)",
+              "SIGMOD'17 Figures 13 and 14", 42);
+  RunDataset(PaperDataset::kBearHead, "Figure 13");
+  RunDataset(PaperDataset::kEaglePeak, "Figure 14");
+}
+
+}  // namespace
+}  // namespace tso::bench
+
+int main() {
+  tso::bench::Run();
+  return 0;
+}

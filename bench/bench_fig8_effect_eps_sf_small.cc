@@ -1,0 +1,117 @@
+// Figure 8: effect of ε on the smaller version of the SF dataset (P2P
+// distance queries). Panels (a) building time, (b) oracle size, (c) query
+// time, (d) error — for SE(Greedy), SE(Random), SE-Naive, SP-Oracle, K-Algo.
+//
+// Expected shape (paper §5.2.1): SE variants build 1-2+ orders faster than
+// SP-Oracle/SE-Naive, are 2-3 orders smaller than SP-Oracle, query orders of
+// magnitude faster than SP-Oracle and K-Algo, and all observed errors are
+// far below the ε bound.
+
+#include "baselines/kalgo.h"
+#include "baselines/sp_oracle.h"
+#include "bench/bench_common.h"
+#include "geodesic/mmp_solver.h"
+#include "oracle/se_oracle.h"
+
+namespace tso::bench {
+namespace {
+
+void Run() {
+  const uint64_t seed = 42;
+  PrintHeader("Figure 8 — Effect of eps on SF-small (P2P)",
+              "SIGMOD'17 Figure 8 (a)-(d)", seed);
+
+  // The paper's SF-small: 1k vertices, 60 POIs.
+  StatusOr<Dataset> ds = MakePaperDataset(PaperDataset::kSanFranciscoSmall,
+                                          Scaled(1000), 60, seed);
+  TSO_CHECK(ds.ok());
+  std::cout << ds->mesh->DebugString() << ", n=" << ds->n() << "\n";
+
+  Rng qrng(seed + 7);
+  const auto pairs = MakeQueryPairs(ds->n(), 100, qrng);
+  const std::vector<double> truth = ExactDistances(*ds->mesh, ds->pois,
+                                                   pairs);
+
+  Table t("Fig 8 series (one row per method x eps)",
+          {"eps", "method", "build_s", "size_MB", "query_ms", "mean_err",
+           "max_err"});
+
+  for (double eps : {0.05, 0.1, 0.15, 0.2, 0.25}) {
+    // --- SE(Random) and SE(Greedy), efficient construction ---
+    for (SelectionStrategy strategy :
+         {SelectionStrategy::kRandom, SelectionStrategy::kGreedy}) {
+      MmpSolver solver(*ds->mesh);
+      SeOracleOptions options = ParallelSeOptions(*ds->mesh, eps, seed);
+      options.selection = strategy;
+      SeBuildStats stats;
+      StatusOr<SeOracle> oracle =
+          SeOracle::Build(*ds->mesh, ds->pois, solver, options, &stats);
+      TSO_CHECK(oracle.ok());
+      const QueryMeasurement m = MeasureQueries(
+          pairs, truth,
+          [&](uint32_t s, uint32_t q) { return *oracle->Distance(s, q); });
+      t.AddRow(eps,
+               strategy == SelectionStrategy::kRandom ? "SE(Random)"
+                                                      : "SE(Greedy)",
+               stats.total_seconds, MegaBytes(oracle->SizeBytes()),
+               m.avg_query_ms, m.mean_rel_error, m.max_rel_error);
+    }
+
+    // --- SE-Naive: naive construction + O(h^2) naive query ---
+    {
+      MmpSolver solver(*ds->mesh);
+      SeOracleOptions options = ParallelSeOptions(*ds->mesh, eps, seed);
+      options.construction = ConstructionMethod::kNaive;
+      SeBuildStats stats;
+      StatusOr<SeOracle> oracle =
+          SeOracle::Build(*ds->mesh, ds->pois, solver, options, &stats);
+      TSO_CHECK(oracle.ok());
+      const QueryMeasurement m = MeasureQueries(
+          pairs, truth, [&](uint32_t s, uint32_t q) {
+            return *oracle->DistanceNaive(s, q);
+          });
+      t.AddRow(eps, "SE-Naive", stats.total_seconds,
+               MegaBytes(oracle->SizeBytes()), m.avg_query_ms,
+               m.mean_rel_error, m.max_rel_error);
+    }
+
+    // --- SP-Oracle ---
+    {
+      SpOracleOptions options;
+      options.epsilon = eps;
+      options.seed = seed;
+      SpBuildStats stats;
+      StatusOr<SpOracle> oracle = SpOracle::Build(*ds->mesh, options, &stats);
+      TSO_CHECK(oracle.ok());
+      const QueryMeasurement m = MeasureQueries(
+          pairs, truth, [&](uint32_t s, uint32_t q) {
+            return *oracle->Distance(ds->pois[s], ds->pois[q]);
+          });
+      t.AddRow(eps, "SP-Oracle", stats.total_seconds,
+               MegaBytes(oracle->SizeBytes()), m.avg_query_ms,
+               m.mean_rel_error, m.max_rel_error);
+    }
+
+    // --- K-Algo (on-the-fly; "build" = Steiner graph setup) ---
+    {
+      StatusOr<KAlgo> kalgo = KAlgo::Create(*ds->mesh, eps);
+      TSO_CHECK(kalgo.ok());
+      const QueryMeasurement m = MeasureQueries(
+          pairs, truth, [&](uint32_t s, uint32_t q) {
+            return *kalgo->Distance(ds->pois[s], ds->pois[q]);
+          });
+      t.AddRow(eps, "K-Algo", kalgo->setup_seconds(),
+               MegaBytes(kalgo->SizeBytes()), m.avg_query_ms,
+               m.mean_rel_error, m.max_rel_error);
+    }
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace tso::bench
+
+int main() {
+  tso::bench::Run();
+  return 0;
+}

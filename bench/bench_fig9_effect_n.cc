@@ -1,0 +1,78 @@
+// Figure 9: effect of n (number of POIs) on the SF dataset, P2P queries.
+// Extra POIs beyond the base set are drawn from a Normal distribution
+// fitted to the existing POIs — exactly the paper's §5.2.1 generator.
+//
+// Expected shape: SE's build time and size grow ~linearly with n while
+// SP-Oracle's stay N-dominated (large and flat); SE query time stays orders
+// of magnitude below K-Algo.
+
+#include "baselines/kalgo.h"
+#include "bench/bench_common.h"
+#include "geodesic/mmp_solver.h"
+#include "oracle/se_oracle.h"
+#include "terrain/poi_generator.h"
+
+namespace tso::bench {
+namespace {
+
+void Run() {
+  const uint64_t seed = 42;
+  const double eps = 0.1;
+  PrintHeader("Figure 9 — Effect of n on SF (P2P), eps=0.1",
+              "SIGMOD'17 Figure 9 (a)-(c)", seed);
+
+  StatusOr<Dataset> ds =
+      MakePaperDataset(PaperDataset::kSanFrancisco, Scaled(3000),
+                       Scaled(100), seed);
+  TSO_CHECK(ds.ok());
+  std::cout << ds->mesh->DebugString() << "\n";
+
+  Table t("Fig 9 series",
+          {"n", "method", "build_s", "size_MB", "query_ms", "mean_err"});
+
+  Rng rng(seed + 1);
+  for (uint32_t n : {Scaled(100), Scaled(200), Scaled(400), Scaled(800)}) {
+    std::vector<SurfacePoint> pois = ExtendPoisNormalFit(
+        *ds->mesh, *ds->locator, ds->pois, n, rng);
+    Rng qrng(seed + n);
+    const auto pairs = MakeQueryPairs(pois.size(), 60, qrng);
+    const std::vector<double> truth = ExactDistances(*ds->mesh, pois, pairs);
+
+    {
+      MmpSolver solver(*ds->mesh);
+      SeOracleOptions options = ParallelSeOptions(*ds->mesh, eps, seed);
+      SeBuildStats stats;
+      StatusOr<SeOracle> oracle =
+          SeOracle::Build(*ds->mesh, pois, solver, options, &stats);
+      TSO_CHECK(oracle.ok());
+      const QueryMeasurement m = MeasureQueries(
+          pairs, truth,
+          [&](uint32_t s, uint32_t q) { return *oracle->Distance(s, q); });
+      t.AddRow(n, "SE", stats.total_seconds, MegaBytes(oracle->SizeBytes()),
+               m.avg_query_ms, m.mean_rel_error);
+    }
+    {
+      StatusOr<KAlgo> kalgo = KAlgo::Create(*ds->mesh, eps);
+      TSO_CHECK(kalgo.ok());
+      const QueryMeasurement m = MeasureQueries(
+          pairs, truth, [&](uint32_t s, uint32_t q) {
+            return *kalgo->Distance(pois[s], pois[q]);
+          });
+      t.AddRow(n, "K-Algo", kalgo->setup_seconds(),
+               MegaBytes(kalgo->SizeBytes()), m.avg_query_ms,
+               m.mean_rel_error);
+    }
+  }
+  t.Print();
+  std::cout << "\nNote: SP-Oracle's row is n-independent by construction "
+               "(POI-free index over G_eps); see Figure 12's build/size "
+               "columns for its N-driven costs.\n";
+}
+
+}  // namespace
+}  // namespace tso::bench
+
+int main() {
+  tso::bench::Run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Table 1: comparison of methods with error bound ε. The asymptotic rows are
+// the paper's; below them we print the *measured* instance parameters the
+// bounds depend on (h, β, θ), confirming the paper's "β ∈ [1.3, 1.5] and
+// h < 30 in practice" claims on the stand-in datasets.
+
+#include "bench/bench_common.h"
+#include "geodesic/dijkstra_solver.h"
+#include "oracle/capacity_dimension.h"
+#include "oracle/se_oracle.h"
+
+namespace tso::bench {
+namespace {
+
+void Run() {
+  const uint64_t seed = 42;
+  PrintHeader("Table 1 — Comparison of Methods (complexity + measured params)",
+              "SIGMOD'17 Table 1", seed);
+
+  Table complexity(
+      "Asymptotic comparison (paper Table 1)",
+      {"Algo", "Oracle Building Time", "Oracle Size", "Query Time"});
+  complexity.AddRow("SP-Oracle [12]",
+                    "O(N/(sin θ ε^2) log^3(N/ε) log^2(1/ε))",
+                    "O(N/(sin θ ε^1.5) log^2(N/ε) log^2(1/ε))",
+                    "O(1/(sin θ ε) log(1/ε) + loglog(N+n))");
+  complexity.AddRow("SE(Naive)", "O(n h N log^2 N / ε^2β)", "O(n h / ε^2β)",
+                    "O(h^2)");
+  complexity.AddRow("K-Algo [19]", "—", "—",
+                    "O(l^3max N/(lmin ε sqrt(1-cos θ))^3 + ...)");
+  complexity.AddRow("SE", "O(N log^2 N/ε^2β + n h log n + n h/ε^2β)",
+                    "O(n h / ε^2β)", "O(h)");
+  complexity.Print();
+
+  Table measured("Measured instance parameters (β ∈ [1.3,1.5], h < 30 in "
+                 "the paper)",
+                 {"Dataset", "N", "n", "h", "beta(max)", "beta(mean)",
+                  "theta(min angle, deg)"});
+  for (PaperDataset which : {PaperDataset::kBearHead, PaperDataset::kEaglePeak,
+                             PaperDataset::kSanFrancisco}) {
+    StatusOr<Dataset> ds =
+        MakePaperDataset(which, Scaled(4000), Scaled(800), seed);
+    TSO_CHECK(ds.ok());
+    DijkstraSolver solver(*ds->mesh);
+    Rng rng(seed + 1);
+    const CapacityDimensionEstimate beta =
+        EstimateCapacityDimension(ds->pois, solver, 120, rng);
+    SeOracleOptions options;
+    options.epsilon = 0.25;
+    options.seed = seed;
+    SeBuildStats stats;
+    StatusOr<SeOracle> oracle =
+        SeOracle::Build(*ds->mesh, ds->pois, solver, options, &stats);
+    TSO_CHECK(oracle.ok());
+    measured.AddRow(ds->name, ds->N(), ds->n(), stats.height, beta.beta,
+                    beta.mean_dimension,
+                    ds->mesh->MinInnerAngle() * 180.0 / M_PI);
+  }
+  measured.Print();
+}
+
+}  // namespace
+}  // namespace tso::bench
+
+int main() {
+  tso::bench::Run();
+  return 0;
+}

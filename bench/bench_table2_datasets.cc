@@ -1,0 +1,45 @@
+// Table 2: dataset statistics. Prints the paper's numbers side by side with
+// the synthetic stand-ins actually used by this harness.
+
+#include "bench/bench_common.h"
+
+namespace tso::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 2 — Dataset Statistics", "SIGMOD'17 Table 2", 42);
+
+  Table paper("Paper datasets (as published)",
+              {"Dataset", "No. of Vertices", "Resolution", "Region Covered",
+               "No. of POIs"});
+  paper.AddRow("BH", "1.4M", "10 meters", "14km x 10km", "4k");
+  paper.AddRow("EP", "1.5M", "10 meters", "10.7km x 14km", "4k");
+  paper.AddRow("SF", "170k", "30 meters", "14km x 11.1km", "51k");
+  paper.Print();
+
+  Table ours("Synthetic stand-ins (this harness, suite scale)",
+             {"Dataset", "N", "Resolution(m)", "Region", "n", "MinAngle(deg)",
+              "Area(km^2)"});
+  for (PaperDataset which :
+       {PaperDataset::kBearHead, PaperDataset::kEaglePeak,
+        PaperDataset::kSanFrancisco, PaperDataset::kSanFranciscoSmall}) {
+    StatusOr<Dataset> ds = MakePaperDataset(which, Scaled(6000),
+                                            Scaled(300), 42);
+    TSO_CHECK(ds.ok());
+    std::ostringstream region;
+    region << ds->region_x / 1000.0 << "km x " << ds->region_y / 1000.0
+           << "km";
+    ours.AddRow(ds->name, ds->N(), ds->resolution, region.str(), ds->n(),
+                ds->mesh->MinInnerAngle() * 180.0 / M_PI,
+                ds->mesh->TotalArea() / 1e6);
+  }
+  ours.Print();
+}
+
+}  // namespace
+}  // namespace tso::bench
+
+int main() {
+  tso::bench::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// GIS scenario (paper §1.1, application 1): landmarks on a mountain terrain;
+// for a hiker at any landmark, find the nearest huts and everything within a
+// day's walking range — all through the oracle, no per-query SSAD.
+//
+//   ./examples/hiking_assistant
+
+#include <cstdio>
+
+#include "geodesic/mmp_solver.h"
+#include "oracle/se_oracle.h"
+#include "query/knn.h"
+#include "query/range_query.h"
+#include "terrain/dataset.h"
+
+int main() {
+  using namespace tso;
+
+  StatusOr<Dataset> ds = MakePaperDataset(PaperDataset::kEaglePeak, 4000,
+                                          80, 2026);
+  if (!ds.ok()) return 1;
+  std::printf("Eagle-Peak-like terrain: %s\n",
+              ds->mesh->DebugString().c_str());
+  std::printf("%zu landmarks (trailheads, huts, peaks)\n", ds->n());
+
+  MmpSolver solver(*ds->mesh);
+  SeOracleOptions options;
+  options.epsilon = 0.05;  // hikers care: 5% error on travel estimates
+  // Parallelize the build across cores (each worker gets its own solver).
+  const TerrainMesh& mesh = *ds->mesh;
+  options.parallel_solver_factory = [&mesh] {
+    return std::unique_ptr<GeodesicSolver>(new MmpSolver(mesh));
+  };
+  StatusOr<SeOracle> oracle =
+      SeOracle::Build(*ds->mesh, ds->pois, solver, options, nullptr);
+  if (!oracle.ok()) {
+    std::fprintf(stderr, "%s\n", oracle.status().ToString().c_str());
+    return 1;
+  }
+
+  const uint32_t here = 17;  // current landmark
+  std::printf("\nYou are at landmark %u (%.0f, %.0f, %.0f m elevation)\n",
+              here, ds->pois[here].pos.x, ds->pois[here].pos.y,
+              ds->pois[here].pos.z);
+
+  // Nearest 5 landmarks by walking distance (geodesic, not straight-line!).
+  StatusOr<std::vector<KnnResult>> nearest = KnnQuery(*oracle, here, 5);
+  if (!nearest.ok()) return 1;
+  std::printf("\nNearest landmarks by trail distance:\n");
+  const double kWalkSpeedMetersPerHour = 3500.0;
+  for (const KnnResult& r : *nearest) {
+    std::printf("  landmark %3u: %6.0f m  (~%.1f h walk)\n", r.poi,
+                r.distance, r.distance / kWalkSpeedMetersPerHour);
+  }
+
+  // Everything reachable in a 2-hour hike.
+  const double radius = 2.0 * kWalkSpeedMetersPerHour;
+  StatusOr<std::vector<uint32_t>> reachable =
+      RangeQuery(*oracle, here, radius);
+  if (!reachable.ok()) return 1;
+  std::printf("\n%zu landmarks within a 2-hour hike (%.0f m)\n",
+              reachable->size(), radius);
+
+  // Contrast with straight-line distance: geodesic detours are real.
+  const uint32_t target = (*nearest)[0].poi;
+  const double euclid = Distance(ds->pois[here].pos, ds->pois[target].pos);
+  const double geo = (*nearest)[0].distance;
+  std::printf("\nTo landmark %u: straight-line %.0f m vs trail %.0f m "
+              "(+%.0f%%)\n",
+              target, euclid, geo, (geo / euclid - 1.0) * 100.0);
+  return 0;
+}

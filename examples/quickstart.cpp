@@ -1,0 +1,75 @@
+// Quickstart: synthesize a terrain, place POIs, build the SE distance
+// oracle, and answer ε-approximate geodesic distance queries.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "base/timer.h"
+#include "geodesic/mmp_solver.h"
+#include "oracle/se_oracle.h"
+#include "terrain/dataset.h"
+
+int main() {
+  using namespace tso;
+
+  // 1. A terrain with POIs. MakePaperDataset gives a BearHead-like synthetic
+  //    mountain range; real DEMs can be loaded with ReadOff/ReadObj +
+  //    GenerateUniformPois instead.
+  StatusOr<Dataset> ds =
+      MakePaperDataset(PaperDataset::kBearHead, /*target_vertices=*/3000,
+                       /*num_pois=*/120, /*seed=*/7);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("terrain: %s, POIs: %zu\n", ds->mesh->DebugString().c_str(),
+              ds->n());
+
+  // 2. A geodesic engine. MmpSolver computes exact geodesics (the paper's
+  //    SSAD algorithm); swap in DijkstraSolver for speed on huge meshes.
+  MmpSolver solver(*ds->mesh);
+
+  // 3. Build the oracle. ε = 0.1 means every answer is within 10% of the
+  //    true geodesic distance.
+  SeOracleOptions options;
+  options.epsilon = 0.1;
+  WallTimer build_timer;
+  SeBuildStats stats;
+  StatusOr<SeOracle> oracle =
+      SeOracle::Build(*ds->mesh, ds->pois, solver, options, &stats);
+  if (!oracle.ok()) {
+    std::fprintf(stderr, "build: %s\n", oracle.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "oracle built in %.2fs: height=%d, %zu node pairs, %.2f MB\n",
+      build_timer.ElapsedSeconds(), oracle->height(),
+      oracle->pair_set().size(),
+      oracle->SizeBytes() / 1048576.0);
+
+  // 4. Query. Each probe is O(h) hash lookups — microseconds.
+  WallTimer query_timer;
+  int queries = 0;
+  for (uint32_t s = 0; s < 10; ++s) {
+    for (uint32_t t = s + 1; t < 10; ++t) {
+      const double d = oracle->Distance(s, t).value();
+      ++queries;
+      if (t == s + 1) {
+        std::printf("  d(poi %u, poi %u) ~= %.1f m\n", s, t, d);
+      }
+    }
+  }
+  std::printf("%d queries in %.1f us total\n", queries,
+              query_timer.ElapsedMicros());
+
+  // 5. Sanity: compare one answer against the exact solver.
+  const double approx = oracle->Distance(0, 5).value();
+  const double exact =
+      solver.PointToPoint(ds->pois[0], ds->pois[5]).value();
+  std::printf("exact d(0,5) = %.1f m, oracle = %.1f m, rel.err = %.4f "
+              "(bound %.2f)\n",
+              exact, approx, std::abs(approx - exact) / exact,
+              options.epsilon);
+  return 0;
+}

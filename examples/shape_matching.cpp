@@ -1,0 +1,118 @@
+// Computer-graphics scenario (paper §1.1, application 2): geodesic feature
+// vectors for 3D shape matching. Reference points are sampled on two
+// surfaces; the pairwise-geodesic-distance vector is invariant to rotation
+// and translation, so a rotated copy matches its original while a genuinely
+// different surface does not.
+//
+//   ./examples/shape_matching
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "geodesic/mmp_solver.h"
+#include "oracle/se_oracle.h"
+#include "terrain/dataset.h"
+#include "terrain/terrain_synth.h"
+
+namespace {
+
+using namespace tso;
+
+// Pairwise geodesic distances between the first k POIs, sorted — a simple
+// pose-invariant shape descriptor (3D shape contexts use the same core
+// signal).
+std::vector<double> FeatureVector(const TerrainMesh& mesh,
+                                  const std::vector<SurfacePoint>& pois,
+                                  size_t k) {
+  MmpSolver solver(mesh);
+  SeOracleOptions options;
+  options.epsilon = 0.05;
+  options.parallel_solver_factory = [&mesh] {
+    return std::unique_ptr<GeodesicSolver>(new MmpSolver(mesh));
+  };
+  std::vector<SurfacePoint> refs(pois.begin(), pois.begin() + k);
+  StatusOr<SeOracle> oracle =
+      SeOracle::Build(mesh, refs, solver, options, nullptr);
+  TSO_CHECK(oracle.ok());
+  std::vector<double> features;
+  for (uint32_t i = 0; i < k; ++i) {
+    for (uint32_t j = i + 1; j < k; ++j) {
+      features.push_back(oracle->Distance(i, j).value());
+    }
+  }
+  std::sort(features.begin(), features.end());
+  // Scale-normalize by the median.
+  const double median = features[features.size() / 2];
+  for (double& f : features) f /= median;
+  return features;
+}
+
+double FeatureDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(sum / a.size());
+}
+
+// Rigidly rotate a mesh about the z axis (geodesics are invariant).
+TerrainMesh Rotated(const TerrainMesh& mesh, double angle) {
+  std::vector<Vec3> vertices = mesh.vertices();
+  const double c = std::cos(angle), s = std::sin(angle);
+  for (Vec3& v : vertices) {
+    v = Vec3{c * v.x - s * v.y, s * v.x + c * v.y, v.z};
+  }
+  StatusOr<TerrainMesh> out =
+      TerrainMesh::FromSoup(std::move(vertices), mesh.faces());
+  TSO_CHECK(out.ok());
+  return std::move(*out);
+}
+
+std::vector<SurfacePoint> RotatedPois(const std::vector<SurfacePoint>& pois,
+                                      double angle) {
+  std::vector<SurfacePoint> out = pois;
+  const double c = std::cos(angle), s = std::sin(angle);
+  for (SurfacePoint& p : out) {
+    p.pos = Vec3{c * p.pos.x - s * p.pos.y, s * p.pos.x + c * p.pos.y,
+                 p.pos.z};
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kRefs = 16;
+
+  StatusOr<Dataset> object_a =
+      MakePaperDataset(PaperDataset::kBearHead, 1500, 40, 31);
+  StatusOr<Dataset> object_b =
+      MakePaperDataset(PaperDataset::kSanFrancisco, 1500, 40, 77);
+  if (!object_a.ok() || !object_b.ok()) return 1;
+
+  std::printf("object A: %s\n", object_a->mesh->DebugString().c_str());
+  std::printf("object B: %s\n", object_b->mesh->DebugString().c_str());
+
+  const std::vector<double> fa =
+      FeatureVector(*object_a->mesh, object_a->pois, kRefs);
+  const std::vector<double> fb =
+      FeatureVector(*object_b->mesh, object_b->pois, kRefs);
+
+  // A rotated rigid copy of A.
+  TerrainMesh a_rotated = Rotated(*object_a->mesh, 1.2345);
+  std::vector<SurfacePoint> pois_rotated =
+      RotatedPois(object_a->pois, 1.2345);
+  const std::vector<double> fa_rot = FeatureVector(a_rotated, pois_rotated,
+                                                   kRefs);
+
+  const double self = FeatureDistance(fa, fa_rot);
+  const double cross = FeatureDistance(fa, fb);
+  std::printf("\nfeature-vector distance A vs rotated(A): %.6f\n", self);
+  std::printf("feature-vector distance A vs B:          %.6f\n", cross);
+  std::printf("\n%s\n", self * 10.0 < cross
+                            ? "MATCH: rotation-invariant descriptor "
+                              "identifies the rigid copy."
+                            : "UNEXPECTED: descriptor failed to separate.");
+  return self * 10.0 < cross ? 0 : 1;
+}

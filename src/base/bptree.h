@@ -1,0 +1,451 @@
+#ifndef TSO_BASE_BPTREE_H_
+#define TSO_BASE_BPTREE_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace tso {
+
+/// In-memory B+-tree.
+///
+/// The paper's greedy point-selection strategy (§3.2, Implementation
+/// Detail 1) indexes "all point IDs in each cell ... in a B+-tree"; this is
+/// that structure. Supports Insert / Erase / Find / ordered iteration via the
+/// leaf chain. Keys are unique; Insert of an existing key overwrites the
+/// value and returns false.
+template <typename Key, typename Value, int kFanout = 32>
+class BPlusTree {
+  static_assert(kFanout >= 4, "fanout too small");
+  // Node stores values in a union overlay with child pointers; both types
+  // must be trivially copyable and destructible (plain-old-data payloads,
+  // as is idiomatic for slotted index nodes).
+  static_assert(std::is_trivially_copyable_v<Key> &&
+                std::is_trivially_destructible_v<Key>);
+  static_assert(std::is_trivially_copyable_v<Value> &&
+                std::is_trivially_destructible_v<Value>);
+
+ public:
+  BPlusTree() = default;
+  ~BPlusTree() { Clear(); }
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&& other) noexcept
+      : root_(other.root_), size_(other.size_) {
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  BPlusTree& operator=(BPlusTree&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      root_ = other.root_;
+      size_ = other.size_;
+      other.root_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  /// Inserts (key, value). Returns true if the key was new.
+  bool Insert(const Key& key, const Value& value) {
+    if (root_ == nullptr) root_ = new Node(/*leaf=*/true);
+    SplitResult split;
+    bool inserted = InsertRec(root_, key, value, &split);
+    if (split.right != nullptr) {
+      Node* new_root = new Node(/*leaf=*/false);
+      new_root->count = 1;
+      new_root->keys[0] = split.key;
+      new_root->children[0] = root_;
+      new_root->children[1] = split.right;
+      root_ = new_root;
+    }
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  /// Removes key. Returns true if it was present.
+  bool Erase(const Key& key) {
+    if (root_ == nullptr) return false;
+    bool erased = EraseRec(root_, key);
+    if (erased) --size_;
+    if (!root_->leaf && root_->count == 0) {
+      Node* old = root_;
+      root_ = root_->children[0];
+      delete old;
+    } else if (root_->leaf && root_->count == 0) {
+      delete root_;
+      root_ = nullptr;
+    }
+    return erased;
+  }
+
+  /// Returns a pointer to the value for key, or nullptr.
+  const Value* Find(const Key& key) const {
+    const Node* node = root_;
+    if (node == nullptr) return nullptr;
+    while (!node->leaf) {
+      node = node->children[UpperBound(node, key)];
+    }
+    const int i = LowerBound(node, key);
+    if (i < node->count && !(key < node->keys[i]) && !(node->keys[i] < key)) {
+      return &node->values[i];
+    }
+    return nullptr;
+  }
+  Value* Find(const Key& key) {
+    return const_cast<Value*>(
+        static_cast<const BPlusTree*>(this)->Find(key));
+  }
+
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Smallest key; requires non-empty tree.
+  const Key& MinKey() const {
+    TSO_CHECK(root_ != nullptr);
+    const Node* node = root_;
+    while (!node->leaf) node = node->children[0];
+    return node->keys[0];
+  }
+
+  /// Visits all (key, value) pairs in ascending key order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const Node* leaf = LeftmostLeaf();
+    while (leaf != nullptr) {
+      for (int i = 0; i < leaf->count; ++i) fn(leaf->keys[i], leaf->values[i]);
+      leaf = leaf->next;
+    }
+  }
+
+  /// Visits pairs with key in [lo, hi].
+  template <typename Fn>
+  void ForEachInRange(const Key& lo, const Key& hi, Fn&& fn) const {
+    const Node* node = root_;
+    if (node == nullptr) return;
+    while (!node->leaf) node = node->children[UpperBound(node, lo)];
+    // node is the leaf that would contain lo.
+    while (node != nullptr) {
+      for (int i = 0; i < node->count; ++i) {
+        if (node->keys[i] < lo) continue;
+        if (hi < node->keys[i]) return;
+        fn(node->keys[i], node->values[i]);
+      }
+      node = node->next;
+    }
+  }
+
+  void Clear() {
+    if (root_ != nullptr) {
+      FreeRec(root_);
+      root_ = nullptr;
+    }
+    size_ = 0;
+  }
+
+  /// Approximate heap footprint in bytes (for size accounting).
+  size_t SizeBytes() const {
+    size_t nodes = 0;
+    if (root_ != nullptr) CountRec(root_, &nodes);
+    return sizeof(*this) + nodes * sizeof(Node);
+  }
+
+  /// Validates structural invariants (ordering, fill factors, leaf chain).
+  /// Intended for tests; O(size).
+  bool CheckInvariants() const {
+    if (root_ == nullptr) return size_ == 0;
+    size_t counted = 0;
+    int depth = -1;
+    bool ok = CheckRec(root_, /*is_root=*/true, 0, &depth, &counted, nullptr,
+                       nullptr);
+    return ok && counted == size_;
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    int count = 0;  // number of keys
+    Key keys[kFanout];
+    union {
+      Node* children[kFanout + 1];  // internal: count+1 children
+      Value values[kFanout];        // leaf: count values
+    };
+    Node* next = nullptr;  // leaf chain
+  };
+
+  struct SplitResult {
+    Key key{};
+    Node* right = nullptr;
+  };
+
+  static constexpr int kMinKeys = kFanout / 2;
+
+  // Index of first key >= key.
+  static int LowerBound(const Node* node, const Key& key) {
+    int lo = 0, hi = node->count;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (node->keys[mid] < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Index of first key > key (== child index to descend into).
+  static int UpperBound(const Node* node, const Key& key) {
+    int lo = 0, hi = node->count;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (key < node->keys[mid]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  const Node* LeftmostLeaf() const {
+    const Node* node = root_;
+    if (node == nullptr) return nullptr;
+    while (!node->leaf) node = node->children[0];
+    return node;
+  }
+
+  bool InsertRec(Node* node, const Key& key, const Value& value,
+                 SplitResult* split) {
+    if (node->leaf) {
+      const int i = LowerBound(node, key);
+      if (i < node->count && !(key < node->keys[i]) &&
+          !(node->keys[i] < key)) {
+        node->values[i] = value;  // overwrite
+        return false;
+      }
+      for (int j = node->count; j > i; --j) {
+        node->keys[j] = node->keys[j - 1];
+        node->values[j] = node->values[j - 1];
+      }
+      node->keys[i] = key;
+      node->values[i] = value;
+      ++node->count;
+      if (node->count == kFanout) SplitLeaf(node, split);
+      return true;
+    }
+    const int child_idx = UpperBound(node, key);
+    SplitResult child_split;
+    const bool inserted =
+        InsertRec(node->children[child_idx], key, value, &child_split);
+    if (child_split.right != nullptr) {
+      for (int j = node->count; j > child_idx; --j) {
+        node->keys[j] = node->keys[j - 1];
+        node->children[j + 1] = node->children[j];
+      }
+      node->keys[child_idx] = child_split.key;
+      node->children[child_idx + 1] = child_split.right;
+      ++node->count;
+      if (node->count == kFanout) SplitInternal(node, split);
+    }
+    return inserted;
+  }
+
+  void SplitLeaf(Node* node, SplitResult* split) {
+    Node* right = new Node(/*leaf=*/true);
+    const int mid = node->count / 2;
+    right->count = node->count - mid;
+    for (int i = 0; i < right->count; ++i) {
+      right->keys[i] = node->keys[mid + i];
+      right->values[i] = node->values[mid + i];
+    }
+    node->count = mid;
+    right->next = node->next;
+    node->next = right;
+    split->key = right->keys[0];
+    split->right = right;
+  }
+
+  void SplitInternal(Node* node, SplitResult* split) {
+    Node* right = new Node(/*leaf=*/false);
+    const int mid = node->count / 2;  // key at mid moves up
+    right->count = node->count - mid - 1;
+    for (int i = 0; i < right->count; ++i) {
+      right->keys[i] = node->keys[mid + 1 + i];
+    }
+    for (int i = 0; i <= right->count; ++i) {
+      right->children[i] = node->children[mid + 1 + i];
+    }
+    split->key = node->keys[mid];
+    split->right = right;
+    node->count = mid;
+  }
+
+  bool EraseRec(Node* node, const Key& key) {
+    if (node->leaf) {
+      const int i = LowerBound(node, key);
+      if (i >= node->count || key < node->keys[i] || node->keys[i] < key) {
+        return false;
+      }
+      for (int j = i; j + 1 < node->count; ++j) {
+        node->keys[j] = node->keys[j + 1];
+        node->values[j] = node->values[j + 1];
+      }
+      --node->count;
+      return true;
+    }
+    const int child_idx = UpperBound(node, key);
+    Node* child = node->children[child_idx];
+    const bool erased = EraseRec(child, key);
+    if (child->count < kMinKeys) FixUnderflow(node, child_idx);
+    return erased;
+  }
+
+  void FixUnderflow(Node* parent, int idx) {
+    Node* child = parent->children[idx];
+    Node* left = idx > 0 ? parent->children[idx - 1] : nullptr;
+    Node* right = idx < parent->count ? parent->children[idx + 1] : nullptr;
+
+    if (left != nullptr && left->count > kMinKeys) {
+      BorrowFromLeft(parent, idx, left, child);
+    } else if (right != nullptr && right->count > kMinKeys) {
+      BorrowFromRight(parent, idx, child, right);
+    } else if (left != nullptr) {
+      MergeChildren(parent, idx - 1);
+    } else if (right != nullptr) {
+      MergeChildren(parent, idx);
+    }
+  }
+
+  void BorrowFromLeft(Node* parent, int idx, Node* left, Node* child) {
+    if (child->leaf) {
+      for (int j = child->count; j > 0; --j) {
+        child->keys[j] = child->keys[j - 1];
+        child->values[j] = child->values[j - 1];
+      }
+      child->keys[0] = left->keys[left->count - 1];
+      child->values[0] = left->values[left->count - 1];
+      ++child->count;
+      --left->count;
+      parent->keys[idx - 1] = child->keys[0];
+    } else {
+      for (int j = child->count; j > 0; --j) child->keys[j] = child->keys[j - 1];
+      for (int j = child->count + 1; j > 0; --j) {
+        child->children[j] = child->children[j - 1];
+      }
+      child->keys[0] = parent->keys[idx - 1];
+      child->children[0] = left->children[left->count];
+      parent->keys[idx - 1] = left->keys[left->count - 1];
+      ++child->count;
+      --left->count;
+    }
+  }
+
+  void BorrowFromRight(Node* parent, int idx, Node* child, Node* right) {
+    if (child->leaf) {
+      child->keys[child->count] = right->keys[0];
+      child->values[child->count] = right->values[0];
+      ++child->count;
+      for (int j = 0; j + 1 < right->count; ++j) {
+        right->keys[j] = right->keys[j + 1];
+        right->values[j] = right->values[j + 1];
+      }
+      --right->count;
+      parent->keys[idx] = right->keys[0];
+    } else {
+      child->keys[child->count] = parent->keys[idx];
+      child->children[child->count + 1] = right->children[0];
+      ++child->count;
+      parent->keys[idx] = right->keys[0];
+      for (int j = 0; j + 1 < right->count; ++j) right->keys[j] = right->keys[j + 1];
+      for (int j = 0; j < right->count; ++j) {
+        right->children[j] = right->children[j + 1];
+      }
+      --right->count;
+    }
+  }
+
+  /// Merges children[i+1] into children[i]; removes separator key i.
+  void MergeChildren(Node* parent, int i) {
+    Node* left = parent->children[i];
+    Node* right = parent->children[i + 1];
+    if (left->leaf) {
+      for (int j = 0; j < right->count; ++j) {
+        left->keys[left->count + j] = right->keys[j];
+        left->values[left->count + j] = right->values[j];
+      }
+      left->count += right->count;
+      left->next = right->next;
+    } else {
+      left->keys[left->count] = parent->keys[i];
+      for (int j = 0; j < right->count; ++j) {
+        left->keys[left->count + 1 + j] = right->keys[j];
+      }
+      for (int j = 0; j <= right->count; ++j) {
+        left->children[left->count + 1 + j] = right->children[j];
+      }
+      left->count += right->count + 1;
+    }
+    delete right;
+    for (int j = i; j + 1 < parent->count; ++j) {
+      parent->keys[j] = parent->keys[j + 1];
+      parent->children[j + 1] = parent->children[j + 2];
+    }
+    --parent->count;
+  }
+
+  void FreeRec(Node* node) {
+    if (!node->leaf) {
+      for (int i = 0; i <= node->count; ++i) FreeRec(node->children[i]);
+    }
+    delete node;
+  }
+
+  void CountRec(const Node* node, size_t* nodes) const {
+    ++*nodes;
+    if (!node->leaf) {
+      for (int i = 0; i <= node->count; ++i) CountRec(node->children[i], nodes);
+    }
+  }
+
+  bool CheckRec(const Node* node, bool is_root, int depth, int* leaf_depth,
+                size_t* counted, const Key* lo, const Key* hi) const {
+    const int min_keys = is_root ? (node->leaf ? 0 : 1) : kMinKeys;
+    if (node->count < min_keys || node->count >= kFanout) return false;
+    for (int i = 0; i + 1 < node->count; ++i) {
+      if (!(node->keys[i] < node->keys[i + 1])) return false;
+    }
+    if (node->count > 0) {
+      if (lo != nullptr && node->keys[0] < *lo) return false;
+      if (hi != nullptr && !(node->keys[node->count - 1] < *hi)) return false;
+    }
+    if (node->leaf) {
+      if (*leaf_depth < 0) *leaf_depth = depth;
+      if (*leaf_depth != depth) return false;
+      *counted += node->count;
+      return true;
+    }
+    for (int i = 0; i <= node->count; ++i) {
+      const Key* child_lo = i == 0 ? lo : &node->keys[i - 1];
+      const Key* child_hi = i == node->count ? hi : &node->keys[i];
+      if (!CheckRec(node->children[i], false, depth + 1, leaf_depth, counted,
+                    child_lo, child_hi)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace tso
+
+#endif  // TSO_BASE_BPTREE_H_

@@ -1,0 +1,101 @@
+#ifndef TSO_BASE_LOGGING_H_
+#define TSO_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+#include "base/status.h"
+
+namespace tso {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+[[noreturn]] void CheckFail(const char* file, int line, const char* condition,
+                            const std::string& extra);
+
+/// Stream sink that collects a message and emits it on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tso
+
+#define TSO_LOG(level)                                                   \
+  ::tso::internal::LogStream(::tso::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts with a message when `condition` is false. Enabled in all builds:
+/// these guard data-structure invariants whose violation would otherwise
+/// silently corrupt query answers.
+#define TSO_CHECK(condition)                                              \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::tso::internal::CheckFail(__FILE__, __LINE__, #condition, "");     \
+    }                                                                     \
+  } while (false)
+
+#define TSO_CHECK_OP(op, a, b)                                            \
+  do {                                                                    \
+    auto _tso_a = (a);                                                    \
+    auto _tso_b = (b);                                                    \
+    if (!(_tso_a op _tso_b)) {                                            \
+      std::ostringstream _tso_os;                                         \
+      _tso_os << "(" << #a << " " << #op << " " << #b << ") with lhs="    \
+              << _tso_a << " rhs=" << _tso_b;                             \
+      ::tso::internal::CheckFail(__FILE__, __LINE__, _tso_os.str().c_str(), \
+                                 "");                                     \
+    }                                                                     \
+  } while (false)
+
+#define TSO_CHECK_EQ(a, b) TSO_CHECK_OP(==, a, b)
+#define TSO_CHECK_NE(a, b) TSO_CHECK_OP(!=, a, b)
+#define TSO_CHECK_LT(a, b) TSO_CHECK_OP(<, a, b)
+#define TSO_CHECK_LE(a, b) TSO_CHECK_OP(<=, a, b)
+#define TSO_CHECK_GT(a, b) TSO_CHECK_OP(>, a, b)
+#define TSO_CHECK_GE(a, b) TSO_CHECK_OP(>=, a, b)
+
+#define TSO_CHECK_OK(expr)                                                \
+  do {                                                                    \
+    ::tso::Status _tso_st = (expr);                                       \
+    if (!_tso_st.ok()) {                                                  \
+      ::tso::internal::CheckFail(__FILE__, __LINE__, #expr,               \
+                                 _tso_st.ToString());                     \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define TSO_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#else
+#define TSO_DCHECK(condition) TSO_CHECK(condition)
+#endif
+
+#endif  // TSO_BASE_LOGGING_H_

@@ -1,0 +1,78 @@
+#ifndef TSO_BASE_PERFECT_HASH_H_
+#define TSO_BASE_PERFECT_HASH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+
+namespace tso {
+
+/// Static perfect hash table from uint64 keys to uint64 values, built with
+/// the FKS two-level scheme the paper cites ([7], CLRS §11.5): a first-level
+/// universal hash splits the keys into n buckets; each bucket of size b gets
+/// a collision-free second-level table of size b². Expected construction is
+/// linear; lookups are two hash evaluations — the O(1) node-pair probe that
+/// §3.3 and §3.4 rely on.
+///
+/// Keys must be distinct. Lookups of absent keys return NotFound (keys are
+/// stored for verification).
+class PerfectHash {
+ public:
+  PerfectHash() = default;
+
+  /// Builds the table. `seed` makes construction deterministic.
+  static StatusOr<PerfectHash> Build(
+      const std::vector<std::pair<uint64_t, uint64_t>>& entries,
+      uint64_t seed = 0x5eed);
+
+  /// Returns true and sets *value if key is present.
+  bool Lookup(uint64_t key, uint64_t* value) const;
+  bool Contains(uint64_t key) const {
+    uint64_t unused;
+    return Lookup(key, &unused);
+  }
+
+  size_t size() const { return num_keys_; }
+  /// Memory footprint of the index structures in bytes.
+  size_t SizeBytes() const;
+
+  // Raw table access, exposed for serialization (oracle/oracle_serde.cc).
+  struct Raw {
+    uint64_t mul1;
+    uint32_t num_buckets;
+    uint64_t num_keys;
+    std::vector<uint64_t> bucket_mul;
+    std::vector<uint32_t> bucket_offset;  // size num_buckets + 1
+    std::vector<uint64_t> slot_key;
+    std::vector<uint64_t> slot_value;
+    std::vector<uint8_t> slot_used;
+  };
+  const Raw& raw() const { return raw_; }
+  static PerfectHash FromRaw(Raw raw);
+
+ private:
+  static uint64_t Mix(uint64_t key, uint64_t mul) {
+    // Multiply-xorshift universal-ish hash (xxhash-style avalanche).
+    uint64_t h = key * mul;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+  }
+
+  Raw raw_;
+  uint64_t num_keys_ = 0;
+};
+
+/// Packs an ordered pair of 32-bit ids into the uint64 key space used for
+/// node-pair hashing. The pair is ordered: Key(a, b) != Key(b, a).
+inline uint64_t PairKey(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace tso
+
+#endif  // TSO_BASE_PERFECT_HASH_H_

@@ -1,0 +1,124 @@
+#ifndef TSO_BASE_RNG_H_
+#define TSO_BASE_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace tso {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via SplitMix64).
+///
+/// All randomness in the library flows through this type so that every tree
+/// build, dataset, and benchmark is reproducible from a printed seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+    has_cached_normal_ = false;
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    TSO_DCHECK(n > 0);
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(NextU64()) * n;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < n) {
+      uint64_t threshold = (0ULL - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(NextU64()) * n;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Normal deviate via Box–Muller (cached pair).
+  double Normal(double mean, double stddev) {
+    if (has_cached_normal_) {
+      has_cached_normal_ = false;
+      return mean + stddev * cached_normal_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = UniformDouble();
+    } while (u1 <= 1e-300);
+    const double u2 = UniformDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return mean + stddev * r * std::cos(theta);
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k) {
+    TSO_CHECK_LE(k, n);
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    // Partial Fisher–Yates: only the first k positions are needed.
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + static_cast<size_t>(Uniform(n - i));
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace tso
+
+#endif  // TSO_BASE_RNG_H_

@@ -1,0 +1,47 @@
+#include "base/serde.h"
+
+namespace tso {
+
+Status BinaryReader::GetFixed(void* out, size_t n) {
+  if (size_ - pos_ < n) return Status::OutOfRange("truncated input");
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status BinaryReader::GetU8(uint8_t* out) { return GetFixed(out, sizeof(*out)); }
+Status BinaryReader::GetU32(uint32_t* out) {
+  return GetFixed(out, sizeof(*out));
+}
+Status BinaryReader::GetU64(uint64_t* out) {
+  return GetFixed(out, sizeof(*out));
+}
+Status BinaryReader::GetI64(int64_t* out) { return GetFixed(out, sizeof(*out)); }
+Status BinaryReader::GetDouble(double* out) {
+  return GetFixed(out, sizeof(*out));
+}
+
+Status BinaryReader::GetVarint64(uint64_t* out) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    uint8_t byte = 0;
+    TSO_RETURN_IF_ERROR(GetU8(&byte));
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = result;
+      return Status::Ok();
+    }
+  }
+  return Status::OutOfRange("varint too long");
+}
+
+Status BinaryReader::GetString(std::string* out) {
+  uint64_t n = 0;
+  TSO_RETURN_IF_ERROR(GetVarint64(&n));
+  if (n > size_ - pos_) return Status::OutOfRange("truncated string");
+  out->assign(data_ + pos_, n);
+  pos_ += n;
+  return Status::Ok();
+}
+
+}  // namespace tso

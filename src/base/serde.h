@@ -1,0 +1,106 @@
+#ifndef TSO_BASE_SERDE_H_
+#define TSO_BASE_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace tso {
+
+/// Append-only binary encoder for oracle serialization.
+///
+/// Format: little-endian fixed-width integers and IEEE doubles, plus LEB128
+/// varints for counts. The matching decoder is BinaryReader.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutDouble(double v) { PutFixed(&v, sizeof(v)); }
+
+  void PutVarint64(uint64_t v) {
+    while (v >= 0x80) {
+      PutU8(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    PutU8(static_cast<uint8_t>(v));
+  }
+
+  void PutString(const std::string& s) {
+    PutVarint64(s.size());
+    buffer_.append(s);
+  }
+
+  template <typename T>
+  void PutPodVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PutVarint64(v.size());
+    if (!v.empty()) {
+      const char* raw = reinterpret_cast<const char*>(v.data());
+      buffer_.append(raw, raw + v.size() * sizeof(T));
+    }
+  }
+
+  const std::string& data() const { return buffer_; }
+  std::string&& Release() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  void PutFixed(const void* p, size_t n) {
+    buffer_.append(reinterpret_cast<const char*>(p), n);
+  }
+
+  std::string buffer_;
+};
+
+/// Bounds-checked decoder matching BinaryWriter. All getters return an error
+/// (and leave the output untouched) on truncated input.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& data)
+      : data_(data.data()), size_(data.size()) {}
+  BinaryReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetI64(int64_t* out);
+  Status GetDouble(double* out);
+  Status GetVarint64(uint64_t* out);
+  Status GetString(std::string* out);
+
+  template <typename T>
+  Status GetPodVector(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    TSO_RETURN_IF_ERROR(GetVarint64(&n));
+    if (n > (size_ - pos_) / sizeof(T)) {
+      return Status::OutOfRange("truncated POD vector");
+    }
+    out->resize(n);
+    if (n > 0) {
+      std::memcpy(out->data(), data_ + pos_, n * sizeof(T));
+      pos_ += n * sizeof(T);
+    }
+    return Status::Ok();
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status GetFixed(void* out, size_t n);
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tso
+
+#endif  // TSO_BASE_SERDE_H_

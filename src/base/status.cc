@@ -1,0 +1,49 @@
+#include "base/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tso {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+namespace internal {
+
+void DieStatusOrValue(const Status& status) {
+  std::fprintf(stderr, "FATAL: StatusOr::value() on error status: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace tso

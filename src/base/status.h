@@ -1,0 +1,145 @@
+#ifndef TSO_BASE_STATUS_H_
+#define TSO_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tso {
+
+/// Canonical error codes, modeled after the usual database-engine set.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kIoError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation.
+///
+/// The library does not use exceptions (per the style guide); every fallible
+/// public API returns a Status or a StatusOr<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+///
+/// Accessing value() on an error StatusOr aborts the process; callers must
+/// check ok() first (or use TSO_ASSIGN_OR_RETURN in library code).
+template <typename T>
+class StatusOr {
+ public:
+  /// Intentionally implicit so functions can `return value;` / `return status;`.
+  StatusOr(const T& value) : value_(value) {}
+  StatusOr(T&& value) : value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    // An OK status without a value is a programming error; normalize it so
+    // that ok() implies has-value.
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieStatusOrValue(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!value_.has_value()) internal::DieStatusOrValue(status_);
+}
+
+}  // namespace tso
+
+/// Propagates a non-OK status from an expression returning Status.
+#define TSO_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::tso::Status _tso_status = (expr);             \
+    if (!_tso_status.ok()) return _tso_status;      \
+  } while (false)
+
+#endif  // TSO_BASE_STATUS_H_

@@ -1,0 +1,26 @@
+#include "baselines/full_materialization.h"
+
+#include "base/logging.h"
+
+namespace tso {
+
+StatusOr<FullMaterialization> FullMaterialization::Build(
+    const std::vector<SurfacePoint>& pois, GeodesicSolver& solver) {
+  FullMaterialization out;
+  out.n_ = pois.size();
+  if (out.n_ < 2) return out;
+  out.dist_.assign(out.n_ * (out.n_ - 1) / 2, 0.0);
+  for (uint32_t a = 0; a + 1 < out.n_; ++a) {
+    // One SSAD covers all larger-indexed targets.
+    std::vector<SurfacePoint> rest(pois.begin() + a + 1, pois.end());
+    SsadOptions opts;
+    opts.cover_targets = &rest;
+    TSO_RETURN_IF_ERROR(solver.Run(pois[a], opts));
+    for (uint32_t b = a + 1; b < out.n_; ++b) {
+      out.dist_[out.Index(a, b)] = solver.PointDistance(pois[b]);
+    }
+  }
+  return out;
+}
+
+}  // namespace tso

@@ -1,0 +1,44 @@
+#ifndef TSO_BASELINES_FULL_MATERIALIZATION_H_
+#define TSO_BASELINES_FULL_MATERIALIZATION_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "geodesic/solver.h"
+
+namespace tso {
+
+/// The O(n²) full materialization the paper rules out in §2 ("not feasible"
+/// at scale): every pairwise POI distance, computed exactly and stored in a
+/// dense triangle. Used as ground truth in tests and as the small-n
+/// reference point in benchmarks.
+class FullMaterialization {
+ public:
+  static StatusOr<FullMaterialization> Build(
+      const std::vector<SurfacePoint>& pois, GeodesicSolver& solver);
+
+  double Distance(uint32_t s, uint32_t t) const {
+    if (s == t) return 0.0;
+    const uint32_t a = std::min(s, t);
+    const uint32_t b = std::max(s, t);
+    return dist_[Index(a, b)];
+  }
+
+  size_t num_pois() const { return n_; }
+  size_t SizeBytes() const {
+    return sizeof(*this) + dist_.size() * sizeof(double);
+  }
+
+ private:
+  size_t Index(uint32_t a, uint32_t b) const {
+    // Upper-triangle (a < b) packed index.
+    return static_cast<size_t>(a) * (2 * n_ - a - 1) / 2 + (b - a - 1);
+  }
+
+  size_t n_ = 0;
+  std::vector<double> dist_;
+};
+
+}  // namespace tso
+
+#endif  // TSO_BASELINES_FULL_MATERIALIZATION_H_

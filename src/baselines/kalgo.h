@@ -1,0 +1,38 @@
+#ifndef TSO_BASELINES_KALGO_H_
+#define TSO_BASELINES_KALGO_H_
+
+#include <memory>
+
+#include "geodesic/steiner_graph.h"
+#include "geodesic/steiner_solver.h"
+
+namespace tso {
+
+/// K-Algo [19] (§4.2.2): the best-known *on-the-fly* approximate geodesic
+/// algorithm. It introduces Steiner points on the terrain (error parameter
+/// ε ≈ 1/(K-1)) and answers each query by running Dijkstra over G_ε from s
+/// until t is settled — no oracle is built, so every query pays the full
+/// graph-search cost. The Steiner graph itself is constructed once (a setup
+/// cost the paper does not charge to query time; we report it separately).
+class KAlgo {
+ public:
+  static StatusOr<KAlgo> Create(const TerrainMesh& mesh, double epsilon);
+
+  /// ε-approximate geodesic distance, computed on-the-fly.
+  StatusOr<double> Distance(const SurfacePoint& s, const SurfacePoint& t);
+
+  double setup_seconds() const { return setup_seconds_; }
+  size_t graph_nodes() const { return graph_->num_nodes(); }
+  size_t SizeBytes() const { return graph_->SizeBytes(); }
+
+ private:
+  KAlgo() = default;
+
+  std::unique_ptr<SteinerGraph> graph_;
+  std::unique_ptr<SteinerSolver> solver_;
+  double setup_seconds_ = 0.0;
+};
+
+}  // namespace tso
+
+#endif  // TSO_BASELINES_KALGO_H_

@@ -1,0 +1,141 @@
+#include "geodesic/dijkstra_solver.h"
+
+#include <queue>
+
+#include "base/logging.h"
+
+namespace tso {
+namespace {
+
+struct QEntry {
+  double key;
+  uint32_t vertex;
+  bool operator>(const QEntry& o) const { return key > o.key; }
+};
+
+}  // namespace
+
+DijkstraSolver::DijkstraSolver(const TerrainMesh& mesh)
+    : mesh_(mesh),
+      dist_(mesh.num_vertices(), kInfDist),
+      epoch_mark_(mesh.num_vertices(), 0),
+      settled_(mesh.num_vertices(), 0) {}
+
+double DijkstraSolver::VertexDistance(uint32_t v) const {
+  return epoch_mark_[v] == epoch_ ? dist_[v] : kInfDist;
+}
+
+double DijkstraSolver::Estimate(const SurfacePoint& p) const {
+  if (p.is_vertex()) return VertexDistance(p.vertex);
+  if (p.face == kInvalidId) return kInfDist;
+  // Same-face shortcut: straight segment inside the face.
+  double best = kInfDist;
+  if (!source_.is_vertex() && source_.face == p.face) {
+    best = Distance(source_.pos, p.pos);
+  }
+  if (source_.is_vertex()) {
+    const auto& tri = mesh_.face(p.face);
+    for (int i = 0; i < 3; ++i) {
+      if (tri[i] == source_.vertex) {
+        best = std::min(best, Distance(source_.pos, p.pos));
+      }
+    }
+  }
+  for (uint32_t v : mesh_.face(p.face)) {
+    const double dv = VertexDistance(v);
+    if (dv < kInfDist) {
+      best = std::min(best, dv + Distance(mesh_.vertex(v), p.pos));
+    }
+  }
+  return best;
+}
+
+double DijkstraSolver::PointDistance(const SurfacePoint& p) const {
+  return Estimate(p);
+}
+
+Status DijkstraSolver::Run(const SurfacePoint& source,
+                           const SsadOptions& opts) {
+  ++epoch_;
+  source_ = source;
+  frontier_ = 0.0;
+
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> queue;
+  auto relax = [&](uint32_t v, double d) {
+    if (epoch_mark_[v] != epoch_) {
+      epoch_mark_[v] = epoch_;
+      dist_[v] = kInfDist;
+      settled_[v] = 0;
+    }
+    if (d < dist_[v]) {
+      dist_[v] = d;
+      queue.push({d, v});
+    }
+  };
+
+  if (source.is_vertex()) {
+    relax(source.vertex, 0.0);
+  } else {
+    if (source.face == kInvalidId || source.face >= mesh_.num_faces()) {
+      return Status::InvalidArgument("source has no valid face");
+    }
+    for (uint32_t v : mesh_.face(source.face)) {
+      relax(v, Distance(source.pos, mesh_.vertex(v)));
+    }
+  }
+
+  // Settlement tracking for cover/stop targets: a non-vertex target is final
+  // once all three vertices of its face are settled (or frontier exceeds its
+  // current estimate).
+  auto target_settled = [&](const SurfacePoint& t) {
+    const double est = Estimate(t);
+    return est < kInfDist && est <= frontier_;
+  };
+
+  size_t cover_needed =
+      opts.cover_targets != nullptr ? opts.cover_targets->size() : 0;
+  std::vector<uint8_t> covered(cover_needed, 0);
+  uint32_t pops_since_scan = 0;
+
+  while (!queue.empty()) {
+    const QEntry top = queue.top();
+    queue.pop();
+    if (epoch_mark_[top.vertex] != epoch_ || settled_[top.vertex] ||
+        top.key > dist_[top.vertex]) {
+      continue;
+    }
+    settled_[top.vertex] = 1;
+    frontier_ = std::max(frontier_, top.key);
+
+    if (top.key > opts.radius_bound) break;
+
+    for (uint32_t e : mesh_.vertex_edges(top.vertex)) {
+      const TerrainMesh::Edge& ed = mesh_.edge(e);
+      const uint32_t other = ed.v0 == top.vertex ? ed.v1 : ed.v0;
+      relax(other, top.key + ed.length);
+    }
+
+    if (opts.stop_target != nullptr && target_settled(*opts.stop_target)) {
+      break;
+    }
+    if (cover_needed > 0 && (++pops_since_scan >= 64 || queue.empty())) {
+      // Periodic re-check: scan uncovered targets.
+      pops_since_scan = 0;
+      size_t remaining = 0;
+      for (size_t i = 0; i < covered.size(); ++i) {
+        if (!covered[i]) {
+          if (target_settled((*opts.cover_targets)[i])) {
+            covered[i] = 1;
+          } else {
+            ++remaining;
+          }
+        }
+      }
+      if (remaining == 0) break;
+    }
+  }
+  if (queue.empty()) frontier_ = kInfDist;  // exhausted the whole mesh
+  return Status::Ok();
+}
+
+}  // namespace tso

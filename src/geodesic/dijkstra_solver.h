@@ -1,0 +1,41 @@
+#ifndef TSO_GEODESIC_DIJKSTRA_SOLVER_H_
+#define TSO_GEODESIC_DIJKSTRA_SOLVER_H_
+
+#include <vector>
+
+#include "geodesic/solver.h"
+
+namespace tso {
+
+/// Dijkstra over the mesh edge graph.
+///
+/// The resulting metric is the shortest-path metric of the 1-skeleton with
+/// source/target points attached to their faces' vertices by straight
+/// segments. It upper-bounds the exact geodesic metric (paths are restricted
+/// to edges) and is the cheap solver used for tests, the capacity-dimension
+/// estimator, and "fast mode" on large meshes.
+class DijkstraSolver : public GeodesicSolver {
+ public:
+  explicit DijkstraSolver(const TerrainMesh& mesh);
+
+  Status Run(const SurfacePoint& source, const SsadOptions& opts) override;
+  double VertexDistance(uint32_t v) const override;
+  double PointDistance(const SurfacePoint& p) const override;
+  double frontier() const override { return frontier_; }
+  const char* name() const override { return "dijkstra"; }
+
+ private:
+  double Estimate(const SurfacePoint& p) const;
+
+  const TerrainMesh& mesh_;
+  std::vector<double> dist_;
+  std::vector<uint32_t> epoch_mark_;
+  std::vector<uint8_t> settled_;
+  uint32_t epoch_ = 0;
+  double frontier_ = 0.0;
+  SurfacePoint source_;
+};
+
+}  // namespace tso
+
+#endif  // TSO_GEODESIC_DIJKSTRA_SOLVER_H_

@@ -1,0 +1,70 @@
+#ifndef TSO_GEODESIC_SOLVER_H_
+#define TSO_GEODESIC_SOLVER_H_
+
+#include <limits>
+#include <vector>
+
+#include "base/status.h"
+#include "mesh/terrain_mesh.h"
+
+namespace tso {
+
+inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
+
+/// Stopping criteria for a single-source all-destination (SSAD) run — the
+/// paper's two SSAD variants (§3.2 Implementation Detail 2) plus the
+/// point-to-point early exit used when computing individual distances.
+///
+/// Semantics after Run(source, opts) returns:
+///  * every surface point p with d(source, p) <= frontier() has its exact
+///    (per-solver-metric) distance available via PointDistance(p);
+///  * `radius_bound`: the run stops once frontier() > radius_bound;
+///  * `cover_targets`: the run stops once every target's distance is final
+///    (paper §3.2 Step 1(c)) — combine with radius_bound to stop at
+///    whichever comes first (paper §3.2 Step 2(b)(ii));
+///  * `stop_target`: the run stops once this point's distance is final.
+struct SsadOptions {
+  double radius_bound = kInfDist;
+  const std::vector<SurfacePoint>* cover_targets = nullptr;
+  const SurfacePoint* stop_target = nullptr;
+};
+
+/// Interface for single-source geodesic computations on a TerrainMesh.
+///
+/// A solver defines a metric d(·,·) on surface points. For MmpSolver this is
+/// the exact geodesic metric; DijkstraSolver and SteinerSolver define graph
+/// metrics that upper-bound it. The SE oracle's ε-approximation guarantee
+/// holds with respect to whichever metric the injected solver computes.
+class GeodesicSolver {
+ public:
+  virtual ~GeodesicSolver() = default;
+
+  /// Runs SSAD from `source`. Resets any previous run's state.
+  virtual Status Run(const SurfacePoint& source, const SsadOptions& opts) = 0;
+
+  /// Distance from the current source to mesh vertex v (kInfDist if the
+  /// search never reached it).
+  virtual double VertexDistance(uint32_t v) const = 0;
+
+  /// Distance from the current source to an arbitrary surface point. Exact
+  /// (w.r.t. the solver metric) for points within frontier(); an upper bound
+  /// or kInfDist otherwise.
+  virtual double PointDistance(const SurfacePoint& p) const = 0;
+
+  /// Largest settled distance of the last run.
+  virtual double frontier() const = 0;
+
+  virtual const char* name() const = 0;
+
+  /// Convenience point-to-point distance with early termination.
+  StatusOr<double> PointToPoint(const SurfacePoint& s, const SurfacePoint& t) {
+    SsadOptions opts;
+    opts.stop_target = &t;
+    TSO_RETURN_IF_ERROR(Run(s, opts));
+    return PointDistance(t);
+  }
+};
+
+}  // namespace tso
+
+#endif  // TSO_GEODESIC_SOLVER_H_

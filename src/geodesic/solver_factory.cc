@@ -1,0 +1,70 @@
+#include "geodesic/solver_factory.h"
+
+#include <utility>
+
+#include "geodesic/dijkstra_solver.h"
+#include "geodesic/mmp_solver.h"
+#include "geodesic/steiner_graph.h"
+#include "geodesic/steiner_solver.h"
+
+namespace tso {
+namespace {
+
+/// SteinerSolver bundled with the graph it runs on.
+class OwningSteinerSolver : public GeodesicSolver {
+ public:
+  explicit OwningSteinerSolver(SteinerGraph graph)
+      : graph_(std::make_unique<SteinerGraph>(std::move(graph))),
+        impl_(std::make_unique<SteinerSolver>(*graph_)) {}
+
+  Status Run(const SurfacePoint& source, const SsadOptions& opts) override {
+    return impl_->Run(source, opts);
+  }
+  double VertexDistance(uint32_t v) const override {
+    return impl_->VertexDistance(v);
+  }
+  double PointDistance(const SurfacePoint& p) const override {
+    return impl_->PointDistance(p);
+  }
+  double frontier() const override { return impl_->frontier(); }
+  const char* name() const override { return "steiner-dijkstra"; }
+
+ private:
+  std::unique_ptr<SteinerGraph> graph_;
+  std::unique_ptr<SteinerSolver> impl_;
+};
+
+}  // namespace
+
+const char* SolverKindName(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kMmpExact:
+      return "mmp-exact";
+    case SolverKind::kDijkstra:
+      return "dijkstra";
+    case SolverKind::kSteiner:
+      return "steiner-dijkstra";
+  }
+  return "?";
+}
+
+StatusOr<std::unique_ptr<GeodesicSolver>> MakeSolver(
+    SolverKind kind, const TerrainMesh& mesh,
+    const SolverFactoryOptions& options) {
+  switch (kind) {
+    case SolverKind::kMmpExact:
+      return std::unique_ptr<GeodesicSolver>(new MmpSolver(mesh));
+    case SolverKind::kDijkstra:
+      return std::unique_ptr<GeodesicSolver>(new DijkstraSolver(mesh));
+    case SolverKind::kSteiner: {
+      StatusOr<SteinerGraph> graph =
+          SteinerGraph::Build(mesh, options.steiner_points_per_edge);
+      if (!graph.ok()) return graph.status();
+      return std::unique_ptr<GeodesicSolver>(
+          new OwningSteinerSolver(std::move(*graph)));
+    }
+  }
+  return Status::InvalidArgument("unknown solver kind");
+}
+
+}  // namespace tso

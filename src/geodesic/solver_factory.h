@@ -1,0 +1,32 @@
+#ifndef TSO_GEODESIC_SOLVER_FACTORY_H_
+#define TSO_GEODESIC_SOLVER_FACTORY_H_
+
+#include <memory>
+
+#include "geodesic/solver.h"
+
+namespace tso {
+
+/// The geodesic engines available to the oracle layer.
+enum class SolverKind {
+  kMmpExact,  // exact geodesics (default, matches the paper's SSAD)
+  kDijkstra,  // mesh 1-skeleton shortest paths (fast, coarse upper bound)
+  kSteiner,   // Steiner-graph shortest paths (tunable approximation)
+};
+
+const char* SolverKindName(SolverKind kind);
+
+struct SolverFactoryOptions {
+  /// Steiner density for SolverKind::kSteiner.
+  uint32_t steiner_points_per_edge = 3;
+};
+
+/// Creates a solver bound to `mesh` (which must outlive the solver). The
+/// kSteiner solver owns its Steiner graph internally.
+StatusOr<std::unique_ptr<GeodesicSolver>> MakeSolver(
+    SolverKind kind, const TerrainMesh& mesh,
+    const SolverFactoryOptions& options = {});
+
+}  // namespace tso
+
+#endif  // TSO_GEODESIC_SOLVER_FACTORY_H_

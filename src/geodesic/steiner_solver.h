@@ -1,0 +1,46 @@
+#ifndef TSO_GEODESIC_STEINER_SOLVER_H_
+#define TSO_GEODESIC_STEINER_SOLVER_H_
+
+#include <vector>
+
+#include "geodesic/solver.h"
+#include "geodesic/steiner_graph.h"
+
+namespace tso {
+
+/// Dijkstra over a Steiner graph G_ε, with arbitrary surface points attached
+/// to the boundary nodes of their containing face. This is the distance
+/// engine of K-Algo [19] and of the SP-Oracle / A2A substrate, and doubles as
+/// a tunable-accuracy approximate geodesic solver.
+class SteinerSolver : public GeodesicSolver {
+ public:
+  /// The solver keeps a reference to `graph`; it must outlive the solver.
+  explicit SteinerSolver(const SteinerGraph& graph);
+
+  Status Run(const SurfacePoint& source, const SsadOptions& opts) override;
+  double VertexDistance(uint32_t v) const override;
+  double PointDistance(const SurfacePoint& p) const override;
+  double frontier() const override { return frontier_; }
+  const char* name() const override { return "steiner-dijkstra"; }
+
+  /// Distance to a graph node (used by SP-Oracle construction).
+  double NodeDistance(uint32_t node) const;
+
+  const SteinerGraph& graph() const { return graph_; }
+
+ private:
+  double Estimate(const SurfacePoint& p) const;
+
+  const SteinerGraph& graph_;
+  std::vector<double> dist_;
+  std::vector<uint32_t> epoch_mark_;
+  std::vector<uint8_t> settled_;
+  uint32_t epoch_ = 0;
+  double frontier_ = 0.0;
+  SurfacePoint source_;
+  mutable std::vector<uint32_t> scratch_nodes_;
+};
+
+}  // namespace tso
+
+#endif  // TSO_GEODESIC_STEINER_SOLVER_H_

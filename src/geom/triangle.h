@@ -1,0 +1,65 @@
+#ifndef TSO_GEOM_TRIANGLE_H_
+#define TSO_GEOM_TRIANGLE_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/vec2.h"
+#include "geom/vec3.h"
+
+namespace tso {
+
+/// Area of triangle (a, b, c) in 3D.
+inline double TriangleArea(const Vec3& a, const Vec3& b, const Vec3& c) {
+  return 0.5 * (b - a).Cross(c - a).Norm();
+}
+
+/// Interior angle at vertex `a` of triangle (a, b, c), in radians.
+inline double AngleAt(const Vec3& a, const Vec3& b, const Vec3& c) {
+  const Vec3 u = (b - a).Normalized();
+  const Vec3 v = (c - a).Normalized();
+  const double d = std::clamp(u.Dot(v), -1.0, 1.0);
+  return std::acos(d);
+}
+
+/// Minimum interior angle of the triangle, in radians (θ in the paper's
+/// complexity bounds).
+inline double MinAngle(const Vec3& a, const Vec3& b, const Vec3& c) {
+  return std::min({AngleAt(a, b, c), AngleAt(b, c, a), AngleAt(c, a, b)});
+}
+
+/// True if the triangle is degenerate (near-zero area relative to its
+/// longest edge).
+inline bool IsDegenerate(const Vec3& a, const Vec3& b, const Vec3& c,
+                         double rel_eps = 1e-12) {
+  const double longest =
+      std::max({(b - a).NormSq(), (c - b).NormSq(), (a - c).NormSq()});
+  return TriangleArea(a, b, c) <= rel_eps * longest;
+}
+
+/// Barycentric coordinates of 2D point p in triangle (a, b, c).
+/// Returns false if the triangle is degenerate.
+inline bool Barycentric2D(const Vec2& a, const Vec2& b, const Vec2& c,
+                          const Vec2& p, double* wa, double* wb, double* wc) {
+  const double denom = (b - a).Cross(c - a);
+  if (denom == 0.0) return false;
+  const double wb_num = (p - a).Cross(c - a);
+  const double wc_num = (b - a).Cross(p - a);
+  *wb = wb_num / denom;
+  *wc = wc_num / denom;
+  *wa = 1.0 - *wb - *wc;
+  return true;
+}
+
+/// True if 2D point p lies inside (or within eps of the boundary of)
+/// triangle (a, b, c).
+inline bool PointInTriangle2D(const Vec2& a, const Vec2& b, const Vec2& c,
+                              const Vec2& p, double eps = 1e-12) {
+  double wa, wb, wc;
+  if (!Barycentric2D(a, b, c, p, &wa, &wb, &wc)) return false;
+  return wa >= -eps && wb >= -eps && wc >= -eps;
+}
+
+}  // namespace tso
+
+#endif  // TSO_GEOM_TRIANGLE_H_

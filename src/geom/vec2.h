@@ -1,0 +1,42 @@
+#ifndef TSO_GEOM_VEC2_H_
+#define TSO_GEOM_VEC2_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace tso {
+
+/// 2D point/vector used by the planar-unfolding machinery.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double xx, double yy) : x(xx), y(yy) {}
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  Vec2 operator/(double s) const { return {x / s, y / s}; }
+  Vec2 operator-() const { return {-x, -y}; }
+
+  double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3D cross product (signed parallelogram area).
+  double Cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double NormSq() const { return Dot(*this); }
+  double Norm() const { return std::sqrt(NormSq()); }
+
+  bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+};
+
+inline Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+inline double Distance(const Vec2& a, const Vec2& b) { return (a - b).Norm(); }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+
+}  // namespace tso
+
+#endif  // TSO_GEOM_VEC2_H_

@@ -1,0 +1,68 @@
+#ifndef TSO_GEOM_VEC3_H_
+#define TSO_GEOM_VEC3_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace tso {
+
+/// 3D point/vector with double coordinates.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double xx, double yy, double zz) : x(xx), y(yy), z(zz) {}
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+
+  double Dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double NormSq() const { return Dot(*this); }
+  double Norm() const { return std::sqrt(NormSq()); }
+
+  /// Unit vector; returns zero vector for (near-)zero input.
+  Vec3 Normalized() const {
+    const double n = Norm();
+    return n > 0.0 ? *this / n : Vec3{};
+  }
+
+  bool operator==(const Vec3& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+};
+
+inline Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline double Distance(const Vec3& a, const Vec3& b) { return (a - b).Norm(); }
+inline double DistanceSq(const Vec3& a, const Vec3& b) {
+  return (a - b).NormSq();
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+}  // namespace tso
+
+#endif  // TSO_GEOM_VEC3_H_

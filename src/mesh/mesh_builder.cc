@@ -1,0 +1,59 @@
+#include "mesh/mesh_builder.h"
+
+#include "base/logging.h"
+
+namespace tso {
+
+StatusOr<TerrainMesh> TriangulateDem(const GridDem& dem) {
+  if (dem.width < 2 || dem.height < 2) {
+    return Status::InvalidArgument("DEM must be at least 2x2");
+  }
+  if (dem.z.size() != static_cast<size_t>(dem.width) * dem.height) {
+    return Status::InvalidArgument("DEM height array size mismatch");
+  }
+  std::vector<Vec3> vertices;
+  vertices.reserve(static_cast<size_t>(dem.width) * dem.height);
+  for (uint32_t iy = 0; iy < dem.height; ++iy) {
+    for (uint32_t ix = 0; ix < dem.width; ++ix) {
+      vertices.push_back({dem.origin_x + ix * dem.cell,
+                          dem.origin_y + iy * dem.cell, dem.at(ix, iy)});
+    }
+  }
+  std::vector<std::array<uint32_t, 3>> faces;
+  faces.reserve(2ull * (dem.width - 1) * (dem.height - 1));
+  auto vid = [&](uint32_t ix, uint32_t iy) { return iy * dem.width + ix; };
+  for (uint32_t iy = 0; iy + 1 < dem.height; ++iy) {
+    for (uint32_t ix = 0; ix + 1 < dem.width; ++ix) {
+      const uint32_t a = vid(ix, iy);
+      const uint32_t b = vid(ix + 1, iy);
+      const uint32_t c = vid(ix + 1, iy + 1);
+      const uint32_t d = vid(ix, iy + 1);
+      if ((ix + iy) % 2 == 0) {
+        faces.push_back({a, b, c});
+        faces.push_back({a, c, d});
+      } else {
+        faces.push_back({a, b, d});
+        faces.push_back({b, c, d});
+      }
+    }
+  }
+  return TerrainMesh::FromSoup(std::move(vertices), std::move(faces));
+}
+
+StatusOr<TerrainMesh> MeshFromFunction(
+    uint32_t width, uint32_t height, double cell,
+    const std::function<double(double, double)>& height_fn) {
+  GridDem dem;
+  dem.width = width;
+  dem.height = height;
+  dem.cell = cell;
+  dem.z.resize(static_cast<size_t>(width) * height);
+  for (uint32_t iy = 0; iy < height; ++iy) {
+    for (uint32_t ix = 0; ix < width; ++ix) {
+      dem.z[iy * width + ix] = height_fn(ix * cell, iy * cell);
+    }
+  }
+  return TriangulateDem(dem);
+}
+
+}  // namespace tso

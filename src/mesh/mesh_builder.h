@@ -1,0 +1,35 @@
+#ifndef TSO_MESH_MESH_BUILDER_H_
+#define TSO_MESH_MESH_BUILDER_H_
+
+#include <functional>
+#include <vector>
+
+#include "mesh/terrain_mesh.h"
+
+namespace tso {
+
+/// A raster digital elevation model: heights on a regular grid, the raw form
+/// in which terrain datasets (e.g. the paper's BH/EP/SF DEMs) ship.
+struct GridDem {
+  uint32_t width = 0;    // number of samples in x
+  uint32_t height = 0;   // number of samples in y
+  double cell = 1.0;     // grid resolution in metres ("10 meters" in Table 2)
+  double origin_x = 0.0;
+  double origin_y = 0.0;
+  std::vector<double> z;  // row-major, size width*height
+
+  double at(uint32_t ix, uint32_t iy) const { return z[iy * width + ix]; }
+};
+
+/// Triangulates a grid DEM into a TIN, two triangles per cell with
+/// alternating diagonals (reduces directional bias in geodesic distances).
+StatusOr<TerrainMesh> TriangulateDem(const GridDem& dem);
+
+/// Samples `height_fn(x, y)` over a width x height grid and triangulates.
+StatusOr<TerrainMesh> MeshFromFunction(
+    uint32_t width, uint32_t height, double cell,
+    const std::function<double(double, double)>& height_fn);
+
+}  // namespace tso
+
+#endif  // TSO_MESH_MESH_BUILDER_H_

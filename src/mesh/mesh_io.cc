@@ -1,0 +1,100 @@
+#include "mesh/mesh_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tso {
+
+Status WriteOff(const TerrainMesh& mesh, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "OFF\n"
+      << mesh.num_vertices() << " " << mesh.num_faces() << " 0\n";
+  out.precision(17);
+  for (const Vec3& v : mesh.vertices()) {
+    out << v.x << " " << v.y << " " << v.z << "\n";
+  }
+  for (const auto& f : mesh.faces()) {
+    out << "3 " << f[0] << " " << f[1] << " " << f[2] << "\n";
+  }
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::Ok();
+}
+
+StatusOr<TerrainMesh> ReadOff(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string header;
+  in >> header;
+  if (header != "OFF") return Status::InvalidArgument("missing OFF header");
+  size_t nv = 0, nf = 0, ne = 0;
+  in >> nv >> nf >> ne;
+  if (!in) return Status::InvalidArgument("bad OFF counts");
+  std::vector<Vec3> vertices(nv);
+  for (size_t i = 0; i < nv; ++i) {
+    in >> vertices[i].x >> vertices[i].y >> vertices[i].z;
+  }
+  std::vector<std::array<uint32_t, 3>> faces(nf);
+  for (size_t i = 0; i < nf; ++i) {
+    int arity = 0;
+    in >> arity;
+    if (arity != 3) return Status::InvalidArgument("OFF face is not a triangle");
+    in >> faces[i][0] >> faces[i][1] >> faces[i][2];
+  }
+  if (!in) return Status::InvalidArgument("truncated OFF file");
+  return TerrainMesh::FromSoup(std::move(vertices), std::move(faces));
+}
+
+Status WriteObj(const TerrainMesh& mesh, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.precision(17);
+  for (const Vec3& v : mesh.vertices()) {
+    out << "v " << v.x << " " << v.y << " " << v.z << "\n";
+  }
+  for (const auto& f : mesh.faces()) {
+    out << "f " << f[0] + 1 << " " << f[1] + 1 << " " << f[2] + 1 << "\n";
+  }
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::Ok();
+}
+
+StatusOr<TerrainMesh> ReadObj(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<Vec3> vertices;
+  std::vector<std::array<uint32_t, 3>> faces;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "v") {
+      Vec3 p;
+      ls >> p.x >> p.y >> p.z;
+      if (!ls) return Status::InvalidArgument("bad OBJ vertex line");
+      vertices.push_back(p);
+    } else if (tag == "f") {
+      std::array<uint32_t, 3> f{};
+      for (int i = 0; i < 3; ++i) {
+        std::string token;
+        if (!(ls >> token)) {
+          return Status::InvalidArgument("OBJ face is not a triangle");
+        }
+        // Accept "i", "i/..", "i//.." forms.
+        const size_t slash = token.find('/');
+        const long idx = std::stol(token.substr(0, slash));
+        if (idx <= 0) return Status::InvalidArgument("bad OBJ face index");
+        f[i] = static_cast<uint32_t>(idx - 1);
+      }
+      std::string extra;
+      if (ls >> extra) return Status::InvalidArgument("OBJ face has >3 verts");
+      faces.push_back(f);
+    }
+  }
+  return TerrainMesh::FromSoup(std::move(vertices), std::move(faces));
+}
+
+}  // namespace tso

@@ -1,0 +1,24 @@
+#ifndef TSO_MESH_MESH_IO_H_
+#define TSO_MESH_MESH_IO_H_
+
+#include <string>
+
+#include "mesh/terrain_mesh.h"
+
+namespace tso {
+
+/// Writes the mesh in OFF format.
+Status WriteOff(const TerrainMesh& mesh, const std::string& path);
+
+/// Reads a mesh in OFF format (triangles only).
+StatusOr<TerrainMesh> ReadOff(const std::string& path);
+
+/// Writes the mesh in Wavefront OBJ format (v / f records).
+Status WriteObj(const TerrainMesh& mesh, const std::string& path);
+
+/// Reads a Wavefront OBJ mesh (v / f records; faces must be triangles).
+StatusOr<TerrainMesh> ReadObj(const std::string& path);
+
+}  // namespace tso
+
+#endif  // TSO_MESH_MESH_IO_H_

@@ -1,0 +1,103 @@
+#include "mesh/point_locator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/triangle.h"
+
+namespace tso {
+
+PointLocator::PointLocator(const TerrainMesh& mesh) : mesh_(mesh) {
+  const Aabb& bb = mesh.bounding_box();
+  min_x_ = bb.min.x;
+  min_y_ = bb.min.y;
+  const double extent_x = std::max(bb.max.x - bb.min.x, 1e-9);
+  const double extent_y = std::max(bb.max.y - bb.min.y, 1e-9);
+  // Aim for ~2 faces per cell.
+  const double target_cells =
+      std::max<double>(1.0, static_cast<double>(mesh.num_faces()) / 2.0);
+  const double aspect = extent_x / extent_y;
+  ny_ = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::sqrt(target_cells / aspect)));
+  nx_ = std::max<uint32_t>(1,
+                           static_cast<uint32_t>(target_cells / ny_));
+  cell_ = std::max(extent_x / nx_, extent_y / ny_);
+  nx_ = static_cast<uint32_t>(extent_x / cell_) + 1;
+  ny_ = static_cast<uint32_t>(extent_y / cell_) + 1;
+
+  const size_t num_cells = static_cast<size_t>(nx_) * ny_;
+  std::vector<uint32_t> counts(num_cells + 1, 0);
+  auto for_cells = [&](uint32_t f, auto&& fn) {
+    const auto& tri = mesh_.face(f);
+    double lo_x = 1e300, lo_y = 1e300, hi_x = -1e300, hi_y = -1e300;
+    for (int i = 0; i < 3; ++i) {
+      const Vec3& p = mesh_.vertex(tri[i]);
+      lo_x = std::min(lo_x, p.x);
+      hi_x = std::max(hi_x, p.x);
+      lo_y = std::min(lo_y, p.y);
+      hi_y = std::max(hi_y, p.y);
+    }
+    uint32_t cx0, cy0, cx1, cy1;
+    CellOf(lo_x, lo_y, &cx0, &cy0);
+    CellOf(hi_x, hi_y, &cx1, &cy1);
+    for (uint32_t cy = cy0; cy <= cy1; ++cy) {
+      for (uint32_t cx = cx0; cx <= cx1; ++cx) {
+        fn(static_cast<size_t>(cy) * nx_ + cx);
+      }
+    }
+  };
+  for (uint32_t f = 0; f < mesh.num_faces(); ++f) {
+    for_cells(f, [&](size_t c) { ++counts[c + 1]; });
+  }
+  for (size_t c = 0; c < num_cells; ++c) counts[c + 1] += counts[c];
+  cell_offset_ = counts;
+  cell_faces_.assign(cell_offset_.back(), 0);
+  std::vector<uint32_t> cursor(cell_offset_.begin(), cell_offset_.end() - 1);
+  for (uint32_t f = 0; f < mesh.num_faces(); ++f) {
+    for_cells(f, [&](size_t c) { cell_faces_[cursor[c]++] = f; });
+  }
+}
+
+bool PointLocator::CellOf(double x, double y, uint32_t* cx,
+                          uint32_t* cy) const {
+  const double fx = (x - min_x_) / cell_;
+  const double fy = (y - min_y_) / cell_;
+  const int64_t ix = static_cast<int64_t>(std::floor(fx));
+  const int64_t iy = static_cast<int64_t>(std::floor(fy));
+  *cx = static_cast<uint32_t>(std::clamp<int64_t>(ix, 0, nx_ - 1));
+  *cy = static_cast<uint32_t>(std::clamp<int64_t>(iy, 0, ny_ - 1));
+  return ix >= 0 && ix < nx_ && iy >= 0 && iy < ny_;
+}
+
+StatusOr<SurfacePoint> PointLocator::Locate(double x, double y) const {
+  uint32_t cx, cy;
+  if (!CellOf(x, y, &cx, &cy)) {
+    return Status::NotFound("point outside terrain x-y extent");
+  }
+  const size_t c = static_cast<size_t>(cy) * nx_ + cx;
+  const Vec2 q{x, y};
+  for (uint32_t i = cell_offset_[c]; i < cell_offset_[c + 1]; ++i) {
+    const uint32_t f = cell_faces_[i];
+    const auto& tri = mesh_.face(f);
+    const Vec3& a = mesh_.vertex(tri[0]);
+    const Vec3& b = mesh_.vertex(tri[1]);
+    const Vec3& d = mesh_.vertex(tri[2]);
+    double wa, wb, wc;
+    if (!Barycentric2D({a.x, a.y}, {b.x, b.y}, {d.x, d.y}, q, &wa, &wb, &wc)) {
+      continue;
+    }
+    const double eps = 1e-9;
+    if (wa >= -eps && wb >= -eps && wc >= -eps) {
+      const double z = wa * a.z + wb * b.z + wc * d.z;
+      return SurfacePoint::OnFace(f, Vec3{x, y, z});
+    }
+  }
+  return Status::NotFound("no face contains the query point");
+}
+
+size_t PointLocator::SizeBytes() const {
+  return sizeof(*this) + cell_offset_.size() * sizeof(uint32_t) +
+         cell_faces_.size() * sizeof(uint32_t);
+}
+
+}  // namespace tso

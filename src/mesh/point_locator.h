@@ -1,0 +1,41 @@
+#ifndef TSO_MESH_POINT_LOCATOR_H_
+#define TSO_MESH_POINT_LOCATOR_H_
+
+#include <vector>
+
+#include "mesh/terrain_mesh.h"
+
+namespace tso {
+
+/// Locates the face whose x-y projection contains a query point and lifts
+/// the point onto the surface. Terrains are height fields, so the projection
+/// is (near-)injective; this is the primitive behind the paper's A2A query
+/// generation ("computed the point on the terrain surface whose projection on
+/// the x-y plane is (x, y)", §5.1).
+///
+/// Implementation: a uniform grid over the x-y bounding box, each cell
+/// listing the faces whose projected bounding box intersects it.
+class PointLocator {
+ public:
+  explicit PointLocator(const TerrainMesh& mesh);
+
+  /// Returns the surface point above (x, y), or NotFound if (x, y) is
+  /// outside every projected face.
+  StatusOr<SurfacePoint> Locate(double x, double y) const;
+
+  size_t SizeBytes() const;
+
+ private:
+  bool CellOf(double x, double y, uint32_t* cx, uint32_t* cy) const;
+
+  const TerrainMesh& mesh_;
+  double min_x_, min_y_, cell_;
+  uint32_t nx_, ny_;
+  // CSR cell -> face ids.
+  std::vector<uint32_t> cell_offset_;
+  std::vector<uint32_t> cell_faces_;
+};
+
+}  // namespace tso
+
+#endif  // TSO_MESH_POINT_LOCATOR_H_

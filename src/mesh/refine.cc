@@ -1,0 +1,32 @@
+#include "mesh/refine.h"
+
+namespace tso {
+
+StatusOr<TerrainMesh> RefineCentroid(const TerrainMesh& mesh) {
+  std::vector<Vec3> vertices = mesh.vertices();
+  std::vector<std::array<uint32_t, 3>> faces;
+  faces.reserve(mesh.num_faces() * 3);
+  for (uint32_t f = 0; f < mesh.num_faces(); ++f) {
+    const auto& tri = mesh.face(f);
+    const uint32_t c = static_cast<uint32_t>(vertices.size());
+    vertices.push_back(mesh.FaceCentroid(f));
+    faces.push_back({tri[0], tri[1], c});
+    faces.push_back({tri[1], tri[2], c});
+    faces.push_back({tri[2], tri[0], c});
+  }
+  return TerrainMesh::FromSoup(std::move(vertices), std::move(faces));
+}
+
+StatusOr<TerrainMesh> RefineCentroidRounds(const TerrainMesh& mesh,
+                                           int rounds) {
+  if (rounds <= 0) {
+    return TerrainMesh::FromSoup(mesh.vertices(), mesh.faces());
+  }
+  StatusOr<TerrainMesh> out = RefineCentroid(mesh);
+  for (int i = 1; i < rounds && out.ok(); ++i) {
+    out = RefineCentroid(*out);
+  }
+  return out;
+}
+
+}  // namespace tso

@@ -1,0 +1,20 @@
+#ifndef TSO_MESH_REFINE_H_
+#define TSO_MESH_REFINE_H_
+
+#include "mesh/terrain_mesh.h"
+
+namespace tso {
+
+/// Splits every face into three at its centroid — the paper's "enlarged BH"
+/// construction (§5.2.1, effect of N): "on each face of BH, we added a new
+/// vertex on its geometric center and add a new edge between the new vertex
+/// and each of the three vertices on the face."
+StatusOr<TerrainMesh> RefineCentroid(const TerrainMesh& mesh);
+
+/// Applies RefineCentroid `rounds` times.
+StatusOr<TerrainMesh> RefineCentroidRounds(const TerrainMesh& mesh,
+                                           int rounds);
+
+}  // namespace tso
+
+#endif  // TSO_MESH_REFINE_H_

@@ -1,0 +1,101 @@
+#include "oracle/a2a_oracle.h"
+
+#include "base/logging.h"
+#include "base/timer.h"
+
+namespace tso {
+
+StatusOr<A2AOracle> A2AOracle::Build(const TerrainMesh& mesh,
+                                     const A2AOracleOptions& options,
+                                     A2ABuildStats* stats) {
+  WallTimer timer;
+  A2AOracle oracle;
+  oracle.mesh_ = &mesh;
+
+  const uint32_t density =
+      options.steiner_points_per_edge != 0
+          ? options.steiner_points_per_edge
+          : SteinerGraph::PointsPerEdgeForEpsilon(options.epsilon);
+  StatusOr<SteinerGraph> graph = SteinerGraph::Build(mesh, density);
+  if (!graph.ok()) return graph.status();
+  oracle.graph_ = std::make_unique<SteinerGraph>(std::move(*graph));
+
+  // Steiner nodes become the "POIs" of the inner SE oracle; distances are
+  // measured in the G_ε metric (SteinerSolver), exactly as Appendix C
+  // composes the two approximations.
+  std::vector<SurfacePoint> points;
+  points.reserve(oracle.graph_->num_nodes());
+  const size_t num_vertices = mesh.num_vertices();
+  for (uint32_t node = 0; node < oracle.graph_->num_nodes(); ++node) {
+    if (node < num_vertices) {
+      points.push_back(SurfacePoint::AtVertex(mesh, node));
+    } else {
+      // A Steiner point sits on a mesh edge; register it on one adjacent
+      // face (the graph metric does not care which).
+      SurfacePoint p;
+      p.pos = oracle.graph_->node_pos(node);
+      p.face = kInvalidId;
+      // Locate its mesh edge by scanning: node layout is contiguous per
+      // edge, so recover the edge index arithmetically.
+      const uint32_t per_edge = oracle.graph_->points_per_edge();
+      const uint32_t e = (node - num_vertices) / per_edge;
+      p.face = mesh.edge(e).f0;
+      points.push_back(p);
+    }
+  }
+
+  SteinerSolver solver(*oracle.graph_);
+  SeOracleOptions inner_options;
+  inner_options.epsilon = options.epsilon;
+  inner_options.selection = options.selection;
+  inner_options.construction = options.construction;
+  inner_options.seed = options.seed;
+  const SteinerGraph* graph_ptr = oracle.graph_.get();
+  inner_options.parallel_solver_factory = [graph_ptr]() {
+    return std::unique_ptr<GeodesicSolver>(new SteinerSolver(*graph_ptr));
+  };
+  SeBuildStats inner_stats;
+  StatusOr<SeOracle> inner =
+      SeOracle::Build(mesh, std::move(points), solver, inner_options,
+                      &inner_stats);
+  if (!inner.ok()) return inner.status();
+  oracle.inner_ = std::make_unique<SeOracle>(std::move(*inner));
+
+  if (stats != nullptr) {
+    stats->steiner_nodes = oracle.graph_->num_nodes();
+    stats->inner = inner_stats;
+    stats->total_seconds = timer.ElapsedSeconds();
+  }
+  return oracle;
+}
+
+StatusOr<double> A2AOracle::Distance(const SurfacePoint& s,
+                                     const SurfacePoint& t) const {
+  uint32_t sface = s.face;
+  uint32_t tface = t.face;
+  if (s.is_vertex()) sface = mesh_->vertex_faces(s.vertex)[0];
+  if (t.is_vertex()) tface = mesh_->vertex_faces(t.vertex)[0];
+  if (sface == kInvalidId || tface == kInvalidId) {
+    return Status::InvalidArgument("query points must lie on the surface");
+  }
+  // Same-face shortcut: the in-face straight segment is the geodesic.
+  if (sface == tface) return ::tso::Distance(s.pos, t.pos);
+
+  graph_->FaceNodes(sface, &xs_);
+  graph_->FaceNodes(tface, &xt_);
+  double best = kInfDist;
+  for (uint32_t p : xs_) {
+    const double ds = ::tso::Distance(s.pos, graph_->node_pos(p));
+    if (ds >= best) continue;
+    for (uint32_t q : xt_) {
+      const double dt = ::tso::Distance(graph_->node_pos(q), t.pos);
+      if (ds + dt >= best) continue;
+      StatusOr<double> mid = inner_->Distance(p, q);
+      if (!mid.ok()) return mid.status();
+      best = std::min(best, ds + *mid + dt);
+    }
+  }
+  return best;
+}
+
+}  // namespace tso

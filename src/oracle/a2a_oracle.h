@@ -1,0 +1,62 @@
+#ifndef TSO_ORACLE_A2A_ORACLE_H_
+#define TSO_ORACLE_A2A_ORACLE_H_
+
+#include <memory>
+
+#include "geodesic/steiner_graph.h"
+#include "geodesic/steiner_solver.h"
+#include "oracle/se_oracle.h"
+
+namespace tso {
+
+struct A2AOracleOptions {
+  double epsilon = 0.1;
+  SelectionStrategy selection = SelectionStrategy::kRandom;
+  ConstructionMethod construction = ConstructionMethod::kEfficient;
+  uint64_t seed = 42;
+  /// Steiner points per mesh edge; 0 = derive from epsilon.
+  uint32_t steiner_points_per_edge = 0;
+};
+
+struct A2ABuildStats {
+  double total_seconds = 0.0;
+  size_t steiner_nodes = 0;
+  SeBuildStats inner;
+};
+
+/// Arbitrary-point-to-arbitrary-point oracle (Appendix C), also the oracle
+/// for the n > N regime (Appendix D): SE built over the Steiner points of
+/// G_ε instead of the POIs, making it POI-independent. A query attaches s
+/// and t to the boundary nodes of their faces (the sets N(s), N(t)) and
+/// minimizes |s p| + d̃(p, q) + |q t| over p ∈ N(s), q ∈ N(t), each d̃ being
+/// an O(h) probe into the inner SE oracle.
+class A2AOracle {
+ public:
+  static StatusOr<A2AOracle> Build(const TerrainMesh& mesh,
+                                   const A2AOracleOptions& options,
+                                   A2ABuildStats* stats = nullptr);
+
+  /// ε-approximate geodesic distance between two arbitrary surface points.
+  StatusOr<double> Distance(const SurfacePoint& s, const SurfacePoint& t) const;
+
+  size_t SizeBytes() const {
+    // Oracle proper = inner SE structures; the Steiner graph itself is
+    // query-time scaffolding (attachment sets) and counted too, matching
+    // how the paper charges SP-Oracle for its Steiner machinery.
+    return inner_->SizeBytes() + graph_->SizeBytes();
+  }
+  const SeOracle& inner() const { return *inner_; }
+  const SteinerGraph& graph() const { return *graph_; }
+
+ private:
+  A2AOracle() = default;
+
+  const TerrainMesh* mesh_ = nullptr;
+  std::unique_ptr<SteinerGraph> graph_;
+  std::unique_ptr<SeOracle> inner_;
+  mutable std::vector<uint32_t> xs_, xt_;
+};
+
+}  // namespace tso
+
+#endif  // TSO_ORACLE_A2A_ORACLE_H_

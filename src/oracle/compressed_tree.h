@@ -1,0 +1,67 @@
+#ifndef TSO_ORACLE_COMPRESSED_TREE_H_
+#define TSO_ORACLE_COMPRESSED_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "oracle/partition_tree.h"
+
+namespace tso {
+
+/// The compressed partition tree (§3.2): single-child chains of the
+/// partition tree are spliced out (the chain's bottom node survives and is
+/// re-attached to the chain's top parent), and leaf radii are set to 0.
+/// The result has O(n) nodes (Lemma 9) and is the first component of SE.
+class CompressedTree {
+ public:
+  struct Node {
+    uint32_t center;   // POI index
+    double radius;     // 0 for leaves
+    int32_t layer;     // layer number in the *original* partition tree
+    uint32_t parent;   // kInvalidId for the root
+    uint32_t first_child = kInvalidId;  // child list head (sibling-linked)
+    uint32_t next_sibling = kInvalidId;
+    uint32_t num_children = 0;
+  };
+
+  static CompressedTree FromPartitionTree(const PartitionTree& tree);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(uint32_t id) const { return nodes_[id]; }
+  uint32_t root() const { return root_; }
+  int height() const { return height_; }  // h of the original tree
+  uint32_t leaf_of_poi(uint32_t poi) const { return leaf_of_poi_[poi]; }
+  size_t num_pois() const { return leaf_of_poi_.size(); }
+
+  /// Fills `out` (resized to height()+1) with the node of each layer on the
+  /// path from `leaf` to the root; layers with no node on the path get
+  /// kInvalidId. This is the A_s / A_t array of §3.4.
+  void AncestorArray(uint32_t leaf, std::vector<uint32_t>* out) const;
+
+  /// Invariant check: no non-root single-child nodes, leaf radii zero,
+  /// layers strictly increase downward, O(n) node count. For tests.
+  Status CheckInvariants() const;
+
+  size_t SizeBytes() const {
+    return sizeof(*this) + nodes_.size() * sizeof(Node) +
+           leaf_of_poi_.size() * sizeof(uint32_t);
+  }
+
+  // Mutable access for deserialization (oracle_serde).
+  std::vector<Node>& mutable_nodes() { return nodes_; }
+  std::vector<uint32_t>& mutable_leaf_of_poi() { return leaf_of_poi_; }
+  void set_root(uint32_t r) { root_ = r; }
+  void set_height(int h) { height_ = h; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> leaf_of_poi_;
+  uint32_t root_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace tso
+
+#endif  // TSO_ORACLE_COMPRESSED_TREE_H_

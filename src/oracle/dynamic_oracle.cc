@@ -1,0 +1,150 @@
+#include "oracle/dynamic_oracle.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace tso {
+
+StatusOr<DynamicSeOracle> DynamicSeOracle::Build(
+    const TerrainMesh& mesh, std::vector<SurfacePoint> pois,
+    GeodesicSolver& solver, const DynamicOracleOptions& options) {
+  DynamicSeOracle oracle;
+  oracle.mesh_ = &mesh;
+  oracle.solver_ = &solver;
+  oracle.options_ = options;
+  oracle.points_ = std::move(pois);
+  oracle.alive_.assign(oracle.points_.size(), 1);
+  oracle.delta_slot_.assign(oracle.points_.size(), -1);
+  oracle.base_index_.resize(oracle.points_.size());
+  for (uint32_t i = 0; i < oracle.points_.size(); ++i) {
+    oracle.base_index_[i] = i;
+  }
+  oracle.live_count_ = oracle.points_.size();
+  StatusOr<SeOracle> base =
+      SeOracle::Build(mesh, oracle.points_, solver, options.base);
+  if (!base.ok()) return base.status();
+  oracle.base_ = std::make_unique<SeOracle>(std::move(*base));
+  oracle.stats_.live_pois = oracle.live_count_;
+  return oracle;
+}
+
+double DynamicSeOracle::DeltaDistance(uint32_t delta_id,
+                                      uint32_t other) const {
+  const int32_t row = delta_slot_[delta_id];
+  TSO_DCHECK(row >= 0);
+  const std::vector<double>& dist = delta_dist_[row];
+  if (other < dist.size()) return dist[other];
+  // `other` was inserted after `delta_id`, so its row covers delta_id.
+  const int32_t other_row = delta_slot_[other];
+  TSO_CHECK(other_row >= 0);
+  TSO_CHECK_LT(delta_id, delta_dist_[other_row].size());
+  return delta_dist_[other_row][delta_id];
+}
+
+StatusOr<double> DynamicSeOracle::Distance(uint32_t s, uint32_t t) const {
+  if (!IsLive(s) || !IsLive(t)) {
+    return Status::InvalidArgument("POI id is not live");
+  }
+  if (s == t) return 0.0;
+  const bool s_delta = delta_slot_[s] >= 0;
+  const bool t_delta = delta_slot_[t] >= 0;
+  if (!s_delta && !t_delta) {
+    return base_->Distance(base_index_[s], base_index_[t]);
+  }
+  // Any delta endpoint has exact materialized distances.
+  return s_delta ? DeltaDistance(s, t) : DeltaDistance(t, s);
+}
+
+StatusOr<uint32_t> DynamicSeOracle::Insert(const SurfacePoint& poi) {
+  // Exact distances from the new POI to every live POI via one SSAD.
+  std::vector<SurfacePoint> targets;
+  std::vector<uint32_t> target_ids;
+  targets.reserve(live_count_);
+  for (uint32_t id = 0; id < points_.size(); ++id) {
+    if (alive_[id]) {
+      targets.push_back(points_[id]);
+      target_ids.push_back(id);
+    }
+  }
+  SsadOptions opts;
+  opts.cover_targets = &targets;
+  TSO_RETURN_IF_ERROR(solver_->Run(poi, opts));
+
+  std::vector<double> row(points_.size(), kInfDist);
+  for (size_t k = 0; k < targets.size(); ++k) {
+    row[target_ids[k]] = solver_->PointDistance(targets[k]);
+  }
+
+  const uint32_t id = static_cast<uint32_t>(points_.size());
+  points_.push_back(poi);
+  alive_.push_back(1);
+  base_index_.push_back(kInvalidId);
+  delta_slot_.push_back(static_cast<int32_t>(delta_dist_.size()));
+  delta_dist_.push_back(std::move(row));
+  delta_ids_.push_back(id);
+  ++live_count_;
+  ++stats_.inserts;
+  stats_.delta_size = delta_ids_.size();
+  stats_.live_pois = live_count_;
+  TSO_RETURN_IF_ERROR(MaybeCompact());
+  return id;
+}
+
+Status DynamicSeOracle::Remove(uint32_t id) {
+  if (!IsLive(id)) return Status::InvalidArgument("POI id is not live");
+  alive_[id] = 0;
+  --live_count_;
+  ++stats_.deletes;
+  stats_.live_pois = live_count_;
+  return Status::Ok();
+}
+
+Status DynamicSeOracle::MaybeCompact() {
+  const size_t threshold = std::min<size_t>(
+      options_.max_delta,
+      std::max<size_t>(4, static_cast<size_t>(options_.compaction_ratio *
+                                              static_cast<double>(
+                                                  live_count_))));
+  if (delta_ids_.size() <= threshold) return Status::Ok();
+  return Compact();
+}
+
+Status DynamicSeOracle::Compact() {
+  std::vector<SurfacePoint> live_points;
+  std::vector<uint32_t> live_ids;
+  live_points.reserve(live_count_);
+  for (uint32_t id = 0; id < points_.size(); ++id) {
+    if (alive_[id]) {
+      live_points.push_back(points_[id]);
+      live_ids.push_back(id);
+    }
+  }
+  if (live_points.empty()) {
+    return Status::FailedPrecondition("cannot compact an empty oracle");
+  }
+  StatusOr<SeOracle> rebuilt =
+      SeOracle::Build(*mesh_, live_points, *solver_, options_.base);
+  if (!rebuilt.ok()) return rebuilt.status();
+  base_ = std::make_unique<SeOracle>(std::move(*rebuilt));
+  std::fill(base_index_.begin(), base_index_.end(), kInvalidId);
+  for (uint32_t k = 0; k < live_ids.size(); ++k) {
+    base_index_[live_ids[k]] = k;
+  }
+  std::fill(delta_slot_.begin(), delta_slot_.end(), -1);
+  delta_dist_.clear();
+  delta_ids_.clear();
+  ++stats_.compactions;
+  stats_.delta_size = 0;
+  return Status::Ok();
+}
+
+size_t DynamicSeOracle::SizeBytes() const {
+  size_t bytes = base_->SizeBytes() + points_.size() * sizeof(SurfacePoint) +
+                 alive_.size() + base_index_.size() * sizeof(uint32_t) +
+                 delta_slot_.size() * sizeof(int32_t);
+  for (const auto& row : delta_dist_) bytes += row.size() * sizeof(double);
+  return bytes;
+}
+
+}  // namespace tso

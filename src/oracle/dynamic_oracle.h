@@ -1,0 +1,100 @@
+#ifndef TSO_ORACLE_DYNAMIC_ORACLE_H_
+#define TSO_ORACLE_DYNAMIC_ORACLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "oracle/se_oracle.h"
+
+namespace tso {
+
+struct DynamicOracleOptions {
+  SeOracleOptions base;  // options used for (re)builds of the base oracle
+  /// Rebuild the base oracle once the delta buffer exceeds this fraction of
+  /// the base POI count (LSM-style compaction).
+  double compaction_ratio = 0.25;
+  /// Hard cap on buffered inserts before a forced rebuild.
+  size_t max_delta = 1024;
+};
+
+struct DynamicOracleStats {
+  size_t inserts = 0;
+  size_t deletes = 0;
+  size_t compactions = 0;
+  size_t delta_size = 0;
+  size_t live_pois = 0;
+};
+
+/// The paper's future-work item (§6): an SE oracle that supports POI
+/// insertion and deletion.
+///
+/// Design (delta + base, LSM-flavored): the bulk of the POIs live in an
+/// immutable base SeOracle. Deletions are tombstones. Each insertion runs
+/// one SSAD from the new POI and materializes its exact distances to every
+/// live POI (an O(n) vector — the same cost as one partition-tree node
+/// build), so queries touching a delta POI are *exact* lookups while
+/// base-to-base queries remain ε-approximate O(h) probes. When the delta
+/// buffer outgrows `compaction_ratio`, the base oracle is rebuilt over the
+/// live set, amortizing the rebuild the way LSM compaction does.
+///
+/// Stable ids: POIs are addressed by the id returned from Insert()
+/// (base POIs keep their original indices); ids are never reused.
+class DynamicSeOracle {
+ public:
+  /// Builds the initial base oracle over `pois`.
+  static StatusOr<DynamicSeOracle> Build(const TerrainMesh& mesh,
+                                         std::vector<SurfacePoint> pois,
+                                         GeodesicSolver& solver,
+                                         const DynamicOracleOptions& options);
+
+  /// Adds a POI; returns its stable id. Cost: one SSAD + O(live) doubles,
+  /// possibly a compaction.
+  StatusOr<uint32_t> Insert(const SurfacePoint& poi);
+
+  /// Tombstones a POI. Queries against it fail afterwards.
+  Status Remove(uint32_t id);
+
+  /// ε-approximate distance between live POIs (exact if either endpoint is
+  /// a buffered insert).
+  StatusOr<double> Distance(uint32_t s, uint32_t t) const;
+
+  bool IsLive(uint32_t id) const {
+    return id < alive_.size() && alive_[id];
+  }
+  size_t num_live() const { return live_count_; }
+  size_t num_ids() const { return alive_.size(); }
+  const SurfacePoint& poi(uint32_t id) const { return points_[id]; }
+  const DynamicOracleStats& stats() const { return stats_; }
+  size_t SizeBytes() const;
+
+  /// Forces a compaction (rebuild of the base over the live set).
+  Status Compact();
+
+ private:
+  DynamicSeOracle() = default;
+
+  Status MaybeCompact();
+  /// Exact distance from delta POI `id` to any live id (both orders).
+  double DeltaDistance(uint32_t delta_id, uint32_t other) const;
+
+  const TerrainMesh* mesh_ = nullptr;
+  GeodesicSolver* solver_ = nullptr;
+  DynamicOracleOptions options_;
+
+  std::unique_ptr<SeOracle> base_;
+  std::vector<uint32_t> base_index_;   // stable id -> base POI index
+  std::vector<uint32_t> base_of_id_;   // stable id -> index into base_index_?
+  std::vector<SurfacePoint> points_;   // by stable id
+  std::vector<uint8_t> alive_;         // by stable id
+  std::vector<int32_t> delta_slot_;    // stable id -> row in delta_dist_
+  // Row d of delta_dist_: distances from delta POI d to every stable id
+  // existing at insertion time (kInfDist where unknown/later).
+  std::vector<std::vector<double>> delta_dist_;
+  std::vector<uint32_t> delta_ids_;    // row -> stable id
+  size_t live_count_ = 0;
+  DynamicOracleStats stats_;
+};
+
+}  // namespace tso
+
+#endif  // TSO_ORACLE_DYNAMIC_ORACLE_H_

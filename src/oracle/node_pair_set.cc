@@ -1,0 +1,78 @@
+#include "oracle/node_pair_set.h"
+
+#include <utility>
+
+#include "base/logging.h"
+
+namespace tso {
+
+StatusOr<NodePairSet> NodePairSet::Generate(
+    const CompressedTree& tree, double epsilon,
+    const std::function<double(uint32_t, uint32_t)>& center_dist,
+    NodePairSetStats* stats) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  const double separation = 2.0 / epsilon + 2.0;
+
+  NodePairSet set;
+  std::vector<std::pair<uint32_t, uint32_t>> stack;
+  stack.emplace_back(tree.root(), tree.root());
+  size_t considered = 0;
+  size_t dist_evals = 0;
+
+  while (!stack.empty()) {
+    const auto [a, b] = stack.back();
+    stack.pop_back();
+    ++considered;
+    const CompressedTree::Node& na = tree.node(a);
+    const CompressedTree::Node& nb = tree.node(b);
+    const double dist = center_dist(na.center, nb.center);
+    ++dist_evals;
+    // Radii of the *enlarged* disks (2x node radius; Distance property).
+    const double enlarged = 2.0 * std::max(na.radius, nb.radius);
+    if (dist >= separation * enlarged) {
+      set.pairs_.push_back({a, b, dist});
+      continue;
+    }
+    // Split the larger-radius node (ties: smaller node id, §3.3).
+    bool split_a;
+    if (na.radius != nb.radius) {
+      split_a = na.radius > nb.radius;
+    } else {
+      split_a = a <= b;
+    }
+    // A leaf (radius 0) can never be the split side of a non-separated pair
+    // unless both are leaves with distance < separation*0 = 0, i.e. a == b
+    // co-located; radius ties at 0 mean dist == 0 which is well-separated.
+    const uint32_t to_split = split_a ? a : b;
+    TSO_CHECK_GT(tree.node(to_split).num_children, 0u);
+    for (uint32_t c = tree.node(to_split).first_child; c != kInvalidId;
+         c = tree.node(c).next_sibling) {
+      if (split_a) {
+        stack.emplace_back(c, b);
+      } else {
+        stack.emplace_back(a, c);
+      }
+    }
+  }
+
+  // Index pairs with the FKS perfect hash.
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  entries.reserve(set.pairs_.size());
+  for (size_t i = 0; i < set.pairs_.size(); ++i) {
+    entries.emplace_back(PairKey(set.pairs_[i].a, set.pairs_[i].b), i);
+  }
+  StatusOr<PerfectHash> hash = PerfectHash::Build(entries);
+  if (!hash.ok()) return hash.status();
+  set.hash_ = std::move(*hash);
+
+  if (stats != nullptr) {
+    stats->pairs_considered = considered;
+    stats->pairs_final = set.pairs_.size();
+    stats->distance_evals = dist_evals;
+  }
+  return set;
+}
+
+}  // namespace tso

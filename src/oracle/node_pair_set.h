@@ -1,0 +1,74 @@
+#ifndef TSO_ORACLE_NODE_PAIR_SET_H_
+#define TSO_ORACLE_NODE_PAIR_SET_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/perfect_hash.h"
+#include "oracle/compressed_tree.h"
+
+namespace tso {
+
+/// One entry of SE's second component: an ordered well-separated node pair
+/// with the geodesic distance between its centers.
+struct NodePair {
+  uint32_t a;
+  uint32_t b;
+  double distance;
+};
+
+struct NodePairSetStats {
+  size_t pairs_considered = 0;
+  size_t pairs_final = 0;
+  size_t distance_evals = 0;
+};
+
+/// SE's node pair set (§3.3): starting from (root, root), non-well-separated
+/// pairs are split at the larger-radius node until every pair satisfies
+/// d(c_O, c_O') >= (2/ε + 2) · max(2 r_O, 2 r_O'). The result has the unique
+/// node pair match property (Theorem 1) and O(n h / ε^{2β}) pairs
+/// (Theorem 2); pairs are indexed by an FKS perfect hash for O(1) probes.
+class NodePairSet {
+ public:
+  /// `center_dist(ca, cb)` must return the geodesic distance between POIs
+  /// ca and cb (the efficient construction supplies the enhanced-edge
+  /// lookup; the naive one runs SSAD per call).
+  static StatusOr<NodePairSet> Generate(
+      const CompressedTree& tree, double epsilon,
+      const std::function<double(uint32_t, uint32_t)>& center_dist,
+      NodePairSetStats* stats = nullptr);
+
+  /// O(1) probe: true and *distance set iff (a, b) is in the set.
+  bool Lookup(uint32_t a, uint32_t b, double* distance) const {
+    uint64_t idx;
+    if (!hash_.Lookup(PairKey(a, b), &idx)) return false;
+    *distance = pairs_[idx].distance;
+    return true;
+  }
+
+  size_t size() const { return pairs_.size(); }
+  const std::vector<NodePair>& pairs() const { return pairs_; }
+
+  size_t SizeBytes() const {
+    return sizeof(*this) + pairs_.size() * sizeof(NodePair) +
+           hash_.SizeBytes();
+  }
+
+  // For serialization.
+  const PerfectHash& hash() const { return hash_; }
+  static NodePairSet FromParts(std::vector<NodePair> pairs, PerfectHash hash) {
+    NodePairSet s;
+    s.pairs_ = std::move(pairs);
+    s.hash_ = std::move(hash);
+    return s;
+  }
+
+ private:
+  std::vector<NodePair> pairs_;
+  PerfectHash hash_;
+};
+
+}  // namespace tso
+
+#endif  // TSO_ORACLE_NODE_PAIR_SET_H_

@@ -1,0 +1,222 @@
+#include "oracle/oracle_serde.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/serde.h"
+
+namespace tso {
+namespace {
+
+constexpr uint32_t kMagic = 0x53454f52;  // "SEOR"
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+std::string SerializeSeOracle(const SeOracle& oracle) {
+  BinaryWriter w;
+  w.PutU32(kMagic);
+  w.PutU32(kVersion);
+  w.PutDouble(oracle.epsilon());
+
+  // POIs.
+  const auto& pois = oracle.pois();
+  w.PutVarint64(pois.size());
+  for (const SurfacePoint& p : pois) {
+    w.PutU32(p.face);
+    w.PutU32(p.vertex);
+    w.PutDouble(p.pos.x);
+    w.PutDouble(p.pos.y);
+    w.PutDouble(p.pos.z);
+  }
+
+  // Compressed tree.
+  const CompressedTree& tree = oracle.tree();
+  w.PutU32(tree.root());
+  w.PutU32(static_cast<uint32_t>(tree.height()));
+  w.PutVarint64(tree.num_nodes());
+  for (const auto& node : tree.nodes()) {
+    w.PutU32(node.center);
+    w.PutDouble(node.radius);
+    w.PutU32(static_cast<uint32_t>(node.layer));
+    w.PutU32(node.parent);
+    w.PutU32(node.first_child);
+    w.PutU32(node.next_sibling);
+    w.PutU32(node.num_children);
+  }
+  w.PutVarint64(pois.size());
+  for (uint32_t p = 0; p < pois.size(); ++p) {
+    w.PutU32(tree.leaf_of_poi(p));
+  }
+
+  // Node pairs.
+  const NodePairSet& pairs = oracle.pair_set();
+  w.PutVarint64(pairs.size());
+  for (const NodePair& pair : pairs.pairs()) {
+    w.PutU32(pair.a);
+    w.PutU32(pair.b);
+    w.PutDouble(pair.distance);
+  }
+
+  // Perfect hash raw tables.
+  const PerfectHash::Raw& raw = pairs.hash().raw();
+  w.PutU64(raw.mul1);
+  w.PutU32(raw.num_buckets);
+  w.PutU64(raw.num_keys);
+  w.PutPodVector(raw.bucket_mul);
+  w.PutPodVector(raw.bucket_offset);
+  w.PutPodVector(raw.slot_key);
+  w.PutPodVector(raw.slot_value);
+  w.PutPodVector(raw.slot_used);
+  return w.Release();
+}
+
+StatusOr<SeOracle> DeserializeSeOracle(const std::string& blob) {
+  BinaryReader r(blob);
+  uint32_t magic = 0, version = 0;
+  TSO_RETURN_IF_ERROR(r.GetU32(&magic));
+  if (magic != kMagic) return Status::InvalidArgument("bad magic");
+  TSO_RETURN_IF_ERROR(r.GetU32(&version));
+  if (version != kVersion) return Status::InvalidArgument("bad version");
+  double epsilon = 0.0;
+  TSO_RETURN_IF_ERROR(r.GetDouble(&epsilon));
+
+  uint64_t n = 0;
+  TSO_RETURN_IF_ERROR(r.GetVarint64(&n));
+  std::vector<SurfacePoint> pois(n);
+  for (auto& p : pois) {
+    TSO_RETURN_IF_ERROR(r.GetU32(&p.face));
+    TSO_RETURN_IF_ERROR(r.GetU32(&p.vertex));
+    TSO_RETURN_IF_ERROR(r.GetDouble(&p.pos.x));
+    TSO_RETURN_IF_ERROR(r.GetDouble(&p.pos.y));
+    TSO_RETURN_IF_ERROR(r.GetDouble(&p.pos.z));
+  }
+
+  CompressedTree tree;
+  uint32_t root = 0, height = 0;
+  TSO_RETURN_IF_ERROR(r.GetU32(&root));
+  TSO_RETURN_IF_ERROR(r.GetU32(&height));
+  uint64_t num_nodes = 0;
+  TSO_RETURN_IF_ERROR(r.GetVarint64(&num_nodes));
+  if (num_nodes > 2 * n + 1) return Status::InvalidArgument("node count");
+  if (root >= num_nodes || height > 64) {
+    return Status::InvalidArgument("tree root/height out of range");
+  }
+  tree.mutable_nodes().resize(num_nodes);
+  for (auto& node : tree.mutable_nodes()) {
+    uint32_t layer = 0;
+    TSO_RETURN_IF_ERROR(r.GetU32(&node.center));
+    TSO_RETURN_IF_ERROR(r.GetDouble(&node.radius));
+    TSO_RETURN_IF_ERROR(r.GetU32(&layer));
+    node.layer = static_cast<int32_t>(layer);
+    TSO_RETURN_IF_ERROR(r.GetU32(&node.parent));
+    TSO_RETURN_IF_ERROR(r.GetU32(&node.first_child));
+    TSO_RETURN_IF_ERROR(r.GetU32(&node.next_sibling));
+    TSO_RETURN_IF_ERROR(r.GetU32(&node.num_children));
+    // Structural validation: every link in range, layers within [0, height].
+    if (node.center >= n || layer > height) {
+      return Status::InvalidArgument("tree node fields out of range");
+    }
+    for (uint32_t link : {node.parent, node.first_child, node.next_sibling}) {
+      if (link != kInvalidId && link >= num_nodes) {
+        return Status::InvalidArgument("tree link out of range");
+      }
+    }
+  }
+  // Acyclicity: parents must live on strictly higher layers, so any parent
+  // walk terminates within height+1 steps.
+  for (const auto& node : tree.mutable_nodes()) {
+    if (node.parent != kInvalidId &&
+        tree.mutable_nodes()[node.parent].layer >= node.layer) {
+      return Status::InvalidArgument("tree parent layer not decreasing");
+    }
+  }
+  tree.set_root(root);
+  tree.set_height(static_cast<int>(height));
+  uint64_t n_leaf = 0;
+  TSO_RETURN_IF_ERROR(r.GetVarint64(&n_leaf));
+  if (n_leaf != n) return Status::InvalidArgument("leaf map size");
+  tree.mutable_leaf_of_poi().resize(n_leaf);
+  for (auto& leaf : tree.mutable_leaf_of_poi()) {
+    TSO_RETURN_IF_ERROR(r.GetU32(&leaf));
+    if (leaf >= num_nodes) return Status::InvalidArgument("leaf id range");
+  }
+
+  uint64_t num_pairs = 0;
+  TSO_RETURN_IF_ERROR(r.GetVarint64(&num_pairs));
+  std::vector<NodePair> pairs(num_pairs);
+  for (auto& pair : pairs) {
+    TSO_RETURN_IF_ERROR(r.GetU32(&pair.a));
+    TSO_RETURN_IF_ERROR(r.GetU32(&pair.b));
+    TSO_RETURN_IF_ERROR(r.GetDouble(&pair.distance));
+    if (pair.a >= num_nodes || pair.b >= num_nodes) {
+      return Status::InvalidArgument("pair node id range");
+    }
+  }
+
+  PerfectHash::Raw raw;
+  TSO_RETURN_IF_ERROR(r.GetU64(&raw.mul1));
+  TSO_RETURN_IF_ERROR(r.GetU32(&raw.num_buckets));
+  TSO_RETURN_IF_ERROR(r.GetU64(&raw.num_keys));
+  TSO_RETURN_IF_ERROR(r.GetPodVector(&raw.bucket_mul));
+  TSO_RETURN_IF_ERROR(r.GetPodVector(&raw.bucket_offset));
+  TSO_RETURN_IF_ERROR(r.GetPodVector(&raw.slot_key));
+  TSO_RETURN_IF_ERROR(r.GetPodVector(&raw.slot_value));
+  TSO_RETURN_IF_ERROR(r.GetPodVector(&raw.slot_used));
+  // Full structural validation of the two-level tables: Lookup indexes
+  // bucket_offset[b] + Mix(...) % width into the slot arrays, so offsets
+  // must be monotone and bounded by consistent slot-array sizes.
+  if (raw.num_keys > 0) {
+    if (raw.num_buckets == 0 ||
+        raw.bucket_offset.size() != static_cast<size_t>(raw.num_buckets) + 1 ||
+        raw.bucket_mul.size() != raw.num_buckets) {
+      return Status::InvalidArgument("perfect hash tables inconsistent");
+    }
+    if (raw.bucket_offset.front() != 0) {
+      return Status::InvalidArgument("perfect hash offset base");
+    }
+    for (size_t b = 0; b + 1 < raw.bucket_offset.size(); ++b) {
+      if (raw.bucket_offset[b] > raw.bucket_offset[b + 1]) {
+        return Status::InvalidArgument("perfect hash offsets not monotone");
+      }
+    }
+    const size_t total_slots = raw.bucket_offset.back();
+    if (raw.slot_key.size() != total_slots ||
+        raw.slot_value.size() != total_slots ||
+        raw.slot_used.size() != total_slots) {
+      return Status::InvalidArgument("perfect hash slot arrays inconsistent");
+    }
+  }
+  // Lookup results index into pairs; validate stored values.
+  for (size_t i = 0; i < raw.slot_used.size(); ++i) {
+    if (raw.slot_used[i] && raw.slot_value[i] >= num_pairs) {
+      return Status::InvalidArgument("perfect hash value range");
+    }
+  }
+
+  if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes");
+
+  NodePairSet pair_set = NodePairSet::FromParts(
+      std::move(pairs), PerfectHash::FromRaw(std::move(raw)));
+  return SeOracle::FromParts(epsilon, std::move(pois), std::move(tree),
+                             std::move(pair_set));
+}
+
+Status SaveSeOracle(const SeOracle& oracle, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  const std::string blob = SerializeSeOracle(oracle);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<SeOracle> LoadSeOracle(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return DeserializeSeOracle(ss.str());
+}
+
+}  // namespace tso

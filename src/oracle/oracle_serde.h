@@ -1,0 +1,25 @@
+#ifndef TSO_ORACLE_ORACLE_SERDE_H_
+#define TSO_ORACLE_ORACLE_SERDE_H_
+
+#include <string>
+
+#include "oracle/se_oracle.h"
+
+namespace tso {
+
+/// Serializes an SE oracle to a compact binary blob. The blob contains
+/// everything needed to answer queries (compressed tree, node pair set,
+/// perfect hash, POI coordinates) — no mesh or solver required on load.
+std::string SerializeSeOracle(const SeOracle& oracle);
+
+/// Reconstructs an oracle from SerializeSeOracle output. Fails cleanly on
+/// truncated or corrupt input.
+StatusOr<SeOracle> DeserializeSeOracle(const std::string& blob);
+
+/// Convenience file round-trip.
+Status SaveSeOracle(const SeOracle& oracle, const std::string& path);
+StatusOr<SeOracle> LoadSeOracle(const std::string& path);
+
+}  // namespace tso
+
+#endif  // TSO_ORACLE_ORACLE_SERDE_H_

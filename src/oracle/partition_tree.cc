@@ -1,0 +1,363 @@
+#include "oracle/partition_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+
+#include "base/bptree.h"
+#include "base/logging.h"
+#include "base/timer.h"
+
+namespace tso {
+namespace {
+
+/// Uniform x-y grid over a point set; returns candidate ids whose cells
+/// intersect a query disk (caller verifies real distances).
+class XyGrid {
+ public:
+  XyGrid(const std::vector<SurfacePoint>& points, double cell)
+      : cell_(std::max(cell, 1e-9)) {
+    for (uint32_t i = 0; i < points.size(); ++i) {
+      cells_[Key(points[i].pos.x, points[i].pos.y)].push_back(i);
+    }
+    points_ = &points;
+  }
+
+  void Query(double x, double y, double radius,
+             std::vector<uint32_t>* out) const {
+    out->clear();
+    const int64_t cx0 = Coord(x - radius);
+    const int64_t cx1 = Coord(x + radius);
+    const int64_t cy0 = Coord(y - radius);
+    const int64_t cy1 = Coord(y + radius);
+    for (int64_t cy = cy0; cy <= cy1; ++cy) {
+      for (int64_t cx = cx0; cx <= cx1; ++cx) {
+        auto it = cells_.find(Pack(cx, cy));
+        if (it == cells_.end()) continue;
+        for (uint32_t id : it->second) out->push_back(id);
+      }
+    }
+  }
+
+ private:
+  int64_t Coord(double v) const {
+    return static_cast<int64_t>(std::floor(v / cell_));
+  }
+  static uint64_t Pack(int64_t cx, int64_t cy) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+           static_cast<uint32_t>(cy);
+  }
+  uint64_t Key(double x, double y) const { return Pack(Coord(x), Coord(y)); }
+
+  double cell_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> cells_;
+  const std::vector<SurfacePoint>* points_ = nullptr;
+};
+
+/// The greedy selection structure of Implementation Detail 1: uncovered POIs
+/// bucketed into cells of width O(r_i), each cell's ids indexed in a
+/// B+-tree, and a lazy max-heap over cell occupancy.
+class GreedyPicker {
+ public:
+  GreedyPicker(const std::vector<SurfacePoint>& pois,
+               const std::vector<uint8_t>& covered, double cell_width)
+      : pois_(pois), cell_(std::max(cell_width, 1e-9)) {
+    for (uint32_t i = 0; i < pois.size(); ++i) {
+      if (covered[i]) continue;
+      const uint64_t key = CellKey(i);
+      cells_[key].Insert(i, 1);
+    }
+    for (auto& [key, tree] : cells_) {
+      heap_.push({tree.size(), key});
+    }
+  }
+
+  /// Removes a covered POI from its cell.
+  void Remove(uint32_t poi) {
+    const uint64_t key = CellKey(poi);
+    auto it = cells_.find(key);
+    if (it == cells_.end()) return;
+    if (it->second.Erase(poi)) {
+      heap_.push({it->second.size(), key});
+    }
+  }
+
+  /// Picks a random POI from the densest non-empty cell (kInvalidId if all
+  /// cells are empty).
+  uint32_t Pick(Rng& rng) {
+    while (!heap_.empty()) {
+      const auto [count, key] = heap_.top();
+      auto it = cells_.find(key);
+      if (it == cells_.end() || it->second.size() != count || count == 0) {
+        heap_.pop();  // stale entry
+        continue;
+      }
+      const size_t target = rng.Uniform(count);
+      size_t seen = 0;
+      uint32_t picked = kInvalidId;
+      it->second.ForEach([&](uint32_t id, uint8_t) {
+        if (seen++ == target) picked = id;
+      });
+      return picked;
+    }
+    return kInvalidId;
+  }
+
+ private:
+  uint64_t CellKey(uint32_t poi) const {
+    const Vec3& p = pois_[poi].pos;
+    const int64_t cx = static_cast<int64_t>(std::floor(p.x / cell_));
+    const int64_t cy = static_cast<int64_t>(std::floor(p.y / cell_));
+    return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+           static_cast<uint32_t>(cy);
+  }
+
+  const std::vector<SurfacePoint>& pois_;
+  double cell_;
+  std::unordered_map<uint64_t, BPlusTree<uint32_t, uint8_t>> cells_;
+  std::priority_queue<std::pair<size_t, uint64_t>> heap_;
+};
+
+}  // namespace
+
+const char* SelectionStrategyName(SelectionStrategy s) {
+  switch (s) {
+    case SelectionStrategy::kRandom:
+      return "random";
+    case SelectionStrategy::kGreedy:
+      return "greedy";
+  }
+  return "?";
+}
+
+StatusOr<PartitionTree> PartitionTree::Build(
+    const TerrainMesh& mesh, const std::vector<SurfacePoint>& pois,
+    GeodesicSolver& solver, SelectionStrategy strategy, Rng& rng,
+    PartitionTreeStats* stats) {
+  (void)mesh;
+  const size_t n = pois.size();
+  if (n == 0) return Status::InvalidArgument("no POIs");
+  WallTimer timer;
+  size_t ssad_runs = 0;
+
+  PartitionTree tree;
+  tree.leaf_of_poi_.assign(n, kInvalidId);
+
+  // --- Step 1: root node ---
+  const uint32_t root_center = static_cast<uint32_t>(rng.Uniform(n));
+  double r0 = 0.0;
+  if (n > 1) {
+    SsadOptions opts;
+    opts.cover_targets = &pois;
+    TSO_RETURN_IF_ERROR(solver.Run(pois[root_center], opts));
+    ++ssad_runs;
+    for (size_t i = 0; i < n; ++i) {
+      r0 = std::max(r0, solver.PointDistance(pois[i]));
+    }
+    if (!(r0 > 0.0) || !std::isfinite(r0)) {
+      return Status::InvalidArgument(
+          "POIs appear to contain duplicates or be unreachable");
+    }
+  }
+  tree.r0_ = r0;
+  tree.nodes_.push_back(
+      {root_center, r0, 0, kInvalidId, {}});
+  tree.layer_nodes_.push_back({0});
+
+  if (n == 1) {
+    tree.height_ = 0;
+    tree.leaf_of_poi_[root_center] = 0;
+    if (stats != nullptr) {
+      stats->height = 0;
+      stats->num_nodes = 1;
+      stats->ssad_runs = ssad_runs;
+      stats->build_seconds = timer.ElapsedSeconds();
+    }
+    return tree;
+  }
+
+  // Static grid over all POIs for coverage queries. Geodesic distance
+  // dominates x-y Euclidean distance, so the grid filter is conservative.
+  const Aabb& bb = mesh.bounding_box();
+  const double extent =
+      std::max(bb.max.x - bb.min.x, std::max(bb.max.y - bb.min.y, 1e-9));
+  XyGrid poi_grid(pois, extent / std::sqrt(static_cast<double>(n)) + 1e-9);
+
+  // --- Step 2: non-root layers ---
+  int layer = 0;
+  std::vector<uint32_t> candidates;
+  while (tree.layer_nodes_[layer].size() < n) {
+    const int i = layer + 1;
+    if (i > 60) {
+      return Status::Internal("partition tree exceeded 60 layers");
+    }
+    const double ri = r0 / static_cast<double>(1ull << i);
+    std::vector<uint8_t> covered(n, 0);
+    size_t uncovered = n;
+
+    // Previous layer's centers, for PC-priority picks and parent search.
+    std::vector<SurfacePoint> prev_center_points;
+    std::vector<uint32_t> prev_nodes = tree.layer_nodes_[layer];
+    rng.Shuffle(prev_nodes);
+    prev_center_points.reserve(prev_nodes.size());
+    for (uint32_t id : prev_nodes) {
+      prev_center_points.push_back(pois[tree.nodes_[id].center]);
+    }
+    XyGrid prev_grid(prev_center_points,
+                     std::max(2.0 * ri / 4.0, extent / 1024.0));
+
+    size_t pc_cursor = 0;  // next previous-layer center to try
+
+    std::unique_ptr<GreedyPicker> greedy;
+    std::vector<uint32_t> random_order;
+    size_t random_cursor = 0;
+    if (strategy == SelectionStrategy::kGreedy) {
+      greedy = std::make_unique<GreedyPicker>(pois, covered, ri);
+    } else {
+      random_order.resize(n);
+      for (uint32_t k = 0; k < n; ++k) random_order[k] = k;
+      rng.Shuffle(random_order);
+    }
+
+    std::vector<uint32_t> this_layer;
+    while (uncovered > 0) {
+      // Step (i): point selection — previous-layer centers first.
+      uint32_t p = kInvalidId;
+      while (pc_cursor < prev_nodes.size()) {
+        const uint32_t c = tree.nodes_[prev_nodes[pc_cursor]].center;
+        if (!covered[c]) {
+          p = c;
+          break;
+        }
+        ++pc_cursor;
+      }
+      if (p == kInvalidId) {
+        if (strategy == SelectionStrategy::kGreedy) {
+          p = greedy->Pick(rng);
+        } else {
+          while (random_cursor < random_order.size() &&
+                 covered[random_order[random_cursor]]) {
+            ++random_cursor;
+          }
+          if (random_cursor < random_order.size()) {
+            p = random_order[random_cursor];
+          }
+        }
+      }
+      TSO_CHECK(p != kInvalidId);
+
+      // Step (ii): SSAD out to 2·r_i — r_i for covering, 2·r_i to reach the
+      // parent (Covering property of layer i-1 guarantees one within
+      // 2·r_i = r_{i-1}).
+      SsadOptions opts;
+      opts.radius_bound = 2.0 * ri * (1.0 + 1e-9);
+      TSO_RETURN_IF_ERROR(solver.Run(pois[p], opts));
+      ++ssad_runs;
+
+      poi_grid.Query(pois[p].pos.x, pois[p].pos.y, ri, &candidates);
+      for (uint32_t cand : candidates) {
+        if (covered[cand]) continue;
+        if (solver.PointDistance(pois[cand]) <= ri) {
+          covered[cand] = 1;
+          --uncovered;
+          if (greedy != nullptr) greedy->Remove(cand);
+        }
+      }
+      TSO_CHECK(covered[p]);  // a node always covers its own center
+
+      // Step (iii): node creation + parent hookup.
+      prev_grid.Query(pois[p].pos.x, pois[p].pos.y, 2.0 * ri * (1.0 + 1e-9),
+                      &candidates);
+      double best_dist = kInfDist;
+      uint32_t best_parent = kInvalidId;
+      for (uint32_t k : candidates) {
+        const double d = solver.PointDistance(prev_center_points[k]);
+        if (d < best_dist) {
+          best_dist = d;
+          best_parent = prev_nodes[k];
+        }
+      }
+      if (best_parent == kInvalidId) {
+        return Status::Internal(
+            "no parent found within 2*r_i (covering property violated)");
+      }
+      const uint32_t node_id = static_cast<uint32_t>(tree.nodes_.size());
+      tree.nodes_.push_back({p, ri, i, best_parent, {}});
+      tree.nodes_[best_parent].children.push_back(node_id);
+      this_layer.push_back(node_id);
+    }
+    tree.layer_nodes_.push_back(std::move(this_layer));
+    layer = i;
+  }
+
+  tree.height_ = layer;
+  for (uint32_t id : tree.layer_nodes_[layer]) {
+    tree.leaf_of_poi_[tree.nodes_[id].center] = id;
+  }
+  for (size_t p = 0; p < n; ++p) {
+    TSO_CHECK(tree.leaf_of_poi_[p] != kInvalidId);
+  }
+
+  if (stats != nullptr) {
+    stats->height = tree.height_;
+    stats->num_nodes = tree.nodes_.size();
+    stats->ssad_runs = ssad_runs;
+    stats->build_seconds = timer.ElapsedSeconds();
+  }
+  return tree;
+}
+
+Status PartitionTree::CheckProperties(const std::vector<SurfacePoint>& pois,
+                                      GeodesicSolver& solver) const {
+  const int h = height_;
+  for (int i = 0; i <= h; ++i) {
+    const double ri = LayerRadius(i);
+    const auto& layer = layer_nodes_[i];
+    // Separation: pairwise center distance >= r_i.
+    for (size_t a = 0; a < layer.size(); ++a) {
+      SsadOptions opts;
+      TSO_RETURN_IF_ERROR(solver.Run(pois[nodes_[layer[a]].center], opts));
+      for (size_t b = 0; b < layer.size(); ++b) {
+        if (a == b) continue;
+        const double d = solver.PointDistance(pois[nodes_[layer[b]].center]);
+        if (d < ri * (1.0 - 1e-6)) {
+          return Status::Internal("separation property violated");
+        }
+      }
+      // Covering handled below with the same SSAD runs (a covers subset).
+    }
+    // Covering: every POI within r_i of some layer-i center.
+    for (size_t p = 0; p < pois.size(); ++p) {
+      bool covered = false;
+      for (uint32_t id : layer) {
+        SsadOptions opts;
+        TSO_RETURN_IF_ERROR(solver.Run(pois[nodes_[id].center], opts));
+        if (solver.PointDistance(pois[p]) <= ri * (1.0 + 1e-6)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) return Status::Internal("covering property violated");
+    }
+  }
+  // Distance property: descendants within 2*r of every ancestor.
+  for (uint32_t id = 0; id < nodes_.size(); ++id) {
+    SsadOptions opts;
+    TSO_RETURN_IF_ERROR(solver.Run(pois[nodes_[id].center], opts));
+    std::vector<uint32_t> stack = nodes_[id].children;
+    while (!stack.empty()) {
+      const uint32_t d = stack.back();
+      stack.pop_back();
+      const double dist = solver.PointDistance(pois[nodes_[d].center]);
+      if (dist > 2.0 * nodes_[id].radius * (1.0 + 1e-6)) {
+        return Status::Internal("distance property violated");
+      }
+      for (uint32_t c : nodes_[d].children) stack.push_back(c);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tso

@@ -1,0 +1,83 @@
+#ifndef TSO_ORACLE_PARTITION_TREE_H_
+#define TSO_ORACLE_PARTITION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "geodesic/solver.h"
+#include "mesh/terrain_mesh.h"
+
+namespace tso {
+
+/// Point-selection strategies of §3.2 Implementation Detail 1.
+enum class SelectionStrategy {
+  kRandom,  // SE(Random): uniform pick from the uncovered set
+  kGreedy,  // SE(Greedy): pick from the densest grid cell (B+-tree indexed)
+};
+
+const char* SelectionStrategyName(SelectionStrategy s);
+
+struct PartitionTreeStats {
+  int height = 0;
+  size_t num_nodes = 0;
+  size_t ssad_runs = 0;
+  double build_seconds = 0.0;
+};
+
+/// The hierarchical disk cover of §3.2: Layer i consists of nodes with radius
+/// r_0/2^i whose disks cover all POIs, with centers pairwise at least
+/// r_0/2^i apart (Separation + Covering properties); every node's center lies
+/// within 2·r_parent of its parent's center (Distance property).
+class PartitionTree {
+ public:
+  struct Node {
+    uint32_t center;   // POI index
+    double radius;
+    int32_t layer;
+    uint32_t parent;   // kInvalidId for the root
+    std::vector<uint32_t> children;
+  };
+
+  /// Builds the tree over `pois` using `solver` as the geodesic engine
+  /// (§3.2's construction algorithm). POIs must be distinct.
+  static StatusOr<PartitionTree> Build(const TerrainMesh& mesh,
+                                       const std::vector<SurfacePoint>& pois,
+                                       GeodesicSolver& solver,
+                                       SelectionStrategy strategy, Rng& rng,
+                                       PartitionTreeStats* stats = nullptr);
+
+  int height() const { return height_; }        // h
+  double root_radius() const { return r0_; }    // r_0
+  double LayerRadius(int layer) const {
+    return r0_ / static_cast<double>(1u << layer);
+  }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(uint32_t id) const { return nodes_[id]; }
+  uint32_t root() const { return 0; }
+  const std::vector<uint32_t>& layer_nodes(int layer) const {
+    return layer_nodes_[layer];
+  }
+  /// The Layer-h leaf whose center is POI p.
+  uint32_t leaf_of_poi(uint32_t poi) const { return leaf_of_poi_[poi]; }
+  size_t num_pois() const { return leaf_of_poi_.size(); }
+
+  /// Verifies the Separation / Covering / Distance properties (Lemma 1)
+  /// using `solver` for distances. O(n² · h) — tests only.
+  Status CheckProperties(const std::vector<SurfacePoint>& pois,
+                         GeodesicSolver& solver) const;
+
+ private:
+  PartitionTree() = default;
+
+  std::vector<Node> nodes_;
+  std::vector<std::vector<uint32_t>> layer_nodes_;
+  std::vector<uint32_t> leaf_of_poi_;
+  double r0_ = 0.0;
+  int height_ = 0;
+};
+
+}  // namespace tso
+
+#endif  // TSO_ORACLE_PARTITION_TREE_H_

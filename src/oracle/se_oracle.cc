@@ -1,0 +1,342 @@
+#include "oracle/se_oracle.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+
+#include "base/logging.h"
+#include "base/timer.h"
+
+namespace tso {
+namespace {
+
+/// Build-time enhanced-edge index (§3.5 Steps 2–3): for each pair of
+/// same-layer partition-tree nodes with d(c_O, c_O') <= l·r_O (l = 8/ε+10),
+/// the exact center distance. Keyed by ordered original-tree node ids.
+struct EnhancedEdges {
+  PerfectHash hash;
+  size_t count = 0;
+
+  bool Lookup(uint32_t a, uint32_t b, double* dist) const {
+    uint64_t bits;
+    if (!hash.Lookup(PairKey(a, b), &bits)) return false;
+    static_assert(sizeof(double) == sizeof(uint64_t));
+    std::memcpy(dist, &bits, sizeof(double));
+    return true;
+  }
+};
+
+StatusOr<EnhancedEdges> BuildEnhancedEdges(
+    const PartitionTree& tree, const std::vector<SurfacePoint>& pois,
+    GeodesicSolver& solver, const SeOracleOptions& options,
+    size_t* ssad_runs) {
+  const double l = 8.0 / options.epsilon + 10.0;
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  const uint32_t num_threads =
+      options.parallel_solver_factory == nullptr
+          ? 1
+          : (options.num_threads != 0
+                 ? options.num_threads
+                 : std::max(1u, std::thread::hardware_concurrency()));
+
+  for (int layer = 0; layer <= tree.height(); ++layer) {
+    const std::vector<uint32_t>& nodes = tree.layer_nodes(layer);
+    if (nodes.size() < 2) continue;  // no same-layer pairs possible
+    // All POIs lie within r_0 of the root center, so center distances never
+    // exceed 2·r_0; capping the expansion there loses no enhanced edge.
+    const double reach = std::min(l * tree.LayerRadius(layer),
+                                  2.0 * tree.root_radius() * (1.0 + 1e-9));
+    // x-y prefilter over this layer's centers (geodesic >= planar distance).
+    struct Center {
+      double x, y;
+      uint32_t node;
+    };
+    std::vector<Center> centers;
+    centers.reserve(nodes.size());
+    for (uint32_t id : nodes) {
+      const Vec3& p = pois[tree.node(id).center].pos;
+      centers.push_back({p.x, p.y, id});
+    }
+    const double cell = std::max(reach, 1e-9);
+    std::unordered_map<uint64_t, std::vector<uint32_t>> grid;
+    auto cell_key = [&](double x, double y) {
+      const int64_t cx = static_cast<int64_t>(std::floor(x / cell));
+      const int64_t cy = static_cast<int64_t>(std::floor(y / cell));
+      return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+             static_cast<uint32_t>(cy);
+    };
+    for (uint32_t i = 0; i < centers.size(); ++i) {
+      grid[cell_key(centers[i].x, centers[i].y)].push_back(i);
+    }
+
+    // One SSAD per node; independent across nodes, so shard over workers.
+    auto process_node = [&](GeodesicSolver& s, uint32_t i,
+                            std::vector<std::pair<uint64_t, uint64_t>>& out)
+        -> Status {
+      const uint32_t node_a = centers[i].node;
+      const uint32_t ca = tree.node(node_a).center;
+      SsadOptions opts;
+      opts.radius_bound = reach * (1.0 + 1e-9);
+      TSO_RETURN_IF_ERROR(s.Run(pois[ca], opts));
+      const int64_t cx = static_cast<int64_t>(std::floor(centers[i].x / cell));
+      const int64_t cy = static_cast<int64_t>(std::floor(centers[i].y / cell));
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        for (int64_t dx = -1; dx <= 1; ++dx) {
+          const uint64_t key =
+              (static_cast<uint64_t>(static_cast<uint32_t>(cx + dx)) << 32) |
+              static_cast<uint32_t>(cy + dy);
+          auto it = grid.find(key);
+          if (it == grid.end()) continue;
+          for (uint32_t j : it->second) {
+            if (j == i) continue;
+            const uint32_t node_b = centers[j].node;
+            const uint32_t cb = tree.node(node_b).center;
+            const double d = s.PointDistance(pois[cb]);
+            if (d <= reach) {
+              uint64_t bits;
+              std::memcpy(&bits, &d, sizeof(double));
+              out.emplace_back(PairKey(node_a, node_b), bits);
+            }
+          }
+        }
+      }
+      return Status::Ok();
+    };
+
+    if (num_threads <= 1 || centers.size() < 2 * num_threads) {
+      for (uint32_t i = 0; i < centers.size(); ++i) {
+        TSO_RETURN_IF_ERROR(process_node(solver, i, entries));
+        ++*ssad_runs;
+      }
+    } else {
+      std::atomic<uint32_t> next{0};
+      std::vector<std::vector<std::pair<uint64_t, uint64_t>>> shards(
+          num_threads);
+      std::vector<Status> shard_status(num_threads);
+      std::vector<std::thread> workers;
+      workers.reserve(num_threads);
+      for (uint32_t t = 0; t < num_threads; ++t) {
+        workers.emplace_back([&, t]() {
+          std::unique_ptr<GeodesicSolver> local =
+              options.parallel_solver_factory();
+          while (true) {
+            const uint32_t i = next.fetch_add(1);
+            if (i >= centers.size()) break;
+            Status st = process_node(*local, i, shards[t]);
+            if (!st.ok()) {
+              shard_status[t] = st;
+              break;
+            }
+          }
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      for (const Status& st : shard_status) TSO_RETURN_IF_ERROR(st);
+      for (auto& shard : shards) {
+        entries.insert(entries.end(), shard.begin(), shard.end());
+      }
+      *ssad_runs += centers.size();
+    }
+  }
+
+  EnhancedEdges edges;
+  edges.count = entries.size();
+  StatusOr<PerfectHash> hash = PerfectHash::Build(entries);
+  if (!hash.ok()) return hash.status();
+  edges.hash = std::move(*hash);
+  return edges;
+}
+
+}  // namespace
+
+const char* ConstructionMethodName(ConstructionMethod m) {
+  switch (m) {
+    case ConstructionMethod::kEfficient:
+      return "efficient";
+    case ConstructionMethod::kNaive:
+      return "naive";
+  }
+  return "?";
+}
+
+StatusOr<SeOracle> SeOracle::Build(const TerrainMesh& mesh,
+                                   std::vector<SurfacePoint> pois,
+                                   GeodesicSolver& solver,
+                                   const SeOracleOptions& options,
+                                   SeBuildStats* stats) {
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (pois.empty()) return Status::InvalidArgument("no POIs");
+  WallTimer total_timer;
+  SeBuildStats local_stats;
+  SeBuildStats& st = stats != nullptr ? *stats : local_stats;
+  st = SeBuildStats{};
+
+  Rng rng(options.seed);
+
+  // --- Step 1: partition tree + compressed tree ---
+  WallTimer phase_timer;
+  PartitionTreeStats tree_stats;
+  StatusOr<PartitionTree> tree = PartitionTree::Build(
+      mesh, pois, solver, options.selection, rng, &tree_stats);
+  if (!tree.ok()) return tree.status();
+  st.tree_seconds = phase_timer.ElapsedSeconds();
+  st.ssad_runs += tree_stats.ssad_runs;
+  st.height = tree->height();
+
+  SeOracle oracle;
+  oracle.epsilon_ = options.epsilon;
+  oracle.tree_ = CompressedTree::FromPartitionTree(*tree);
+
+  // --- Steps 2+3 (efficient only): enhanced edges + perfect hash ---
+  phase_timer.Reset();
+  EnhancedEdges enhanced;
+  if (options.construction == ConstructionMethod::kEfficient &&
+      pois.size() > 1) {
+    StatusOr<EnhancedEdges> built =
+        BuildEnhancedEdges(*tree, pois, solver, options, &st.ssad_runs);
+    if (!built.ok()) return built.status();
+    enhanced = std::move(*built);
+    st.enhanced_edges = enhanced.count;
+  }
+  st.enhanced_seconds = phase_timer.ElapsedSeconds();
+
+  // --- Step 4: node pair set ---
+  phase_timer.Reset();
+  // Memoized naive distance (used by SE-Naive for every pair, and by the
+  // efficient method only as a guarded fallback).
+  std::unordered_map<uint64_t, double> memo;
+  auto naive_dist = [&](uint32_t ca, uint32_t cb) -> double {
+    if (ca == cb) return 0.0;
+    const uint64_t key = PairKey(std::min(ca, cb), std::max(ca, cb));
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+    StatusOr<double> d = solver.PointToPoint(pois[ca], pois[cb]);
+    ++st.ssad_runs;
+    TSO_CHECK(d.ok());
+    memo.emplace(key, *d);
+    return *d;
+  };
+
+  std::function<double(uint32_t, uint32_t)> center_dist;
+  const PartitionTree& orig_tree = *tree;
+  if (options.construction == ConstructionMethod::kNaive) {
+    center_dist = naive_dist;
+  } else {
+    center_dist = [&](uint32_t ca, uint32_t cb) -> double {
+      if (ca == cb) return 0.0;
+      // Walk the original-tree leaf->root paths in lockstep (one node per
+      // layer) and probe the enhanced-edge hash; Lemma 4 guarantees a hit
+      // whose endpoints carry exactly these centers.
+      uint32_t u = orig_tree.leaf_of_poi(ca);
+      uint32_t v = orig_tree.leaf_of_poi(cb);
+      while (u != kInvalidId && v != kInvalidId) {
+        double d;
+        if (enhanced.Lookup(u, v, &d) && orig_tree.node(u).center == ca &&
+            orig_tree.node(v).center == cb) {
+          return d;
+        }
+        u = orig_tree.node(u).parent;
+        v = orig_tree.node(v).parent;
+      }
+      ++st.distance_fallbacks;
+      return naive_dist(ca, cb);
+    };
+  }
+
+  NodePairSetStats pair_stats;
+  StatusOr<NodePairSet> pairs = NodePairSet::Generate(
+      oracle.tree_, options.epsilon, center_dist, &pair_stats);
+  if (!pairs.ok()) return pairs.status();
+  oracle.pairs_ = std::move(*pairs);
+  st.pair_gen_seconds = phase_timer.ElapsedSeconds();
+  st.node_pairs = pair_stats.pairs_final;
+  st.pairs_considered = pair_stats.pairs_considered;
+
+  oracle.pois_ = std::move(pois);
+  st.total_seconds = total_timer.ElapsedSeconds();
+  return oracle;
+}
+
+Status SeOracle::CheckQueryIds(uint32_t s, uint32_t t) const {
+  if (s >= pois_.size() || t >= pois_.size()) {
+    return Status::InvalidArgument("POI index out of range");
+  }
+  return Status::Ok();
+}
+
+StatusOr<double> SeOracle::Distance(uint32_t s, uint32_t t) const {
+  TSO_RETURN_IF_ERROR(CheckQueryIds(s, t));
+  if (s == t) return 0.0;
+  const int h = tree_.height();
+  tree_.AncestorArray(tree_.leaf_of_poi(s), &as_);
+  tree_.AncestorArray(tree_.leaf_of_poi(t), &at_);
+
+  double d;
+  // Pass 1: same-layer pairs.
+  for (int i = 0; i <= h; ++i) {
+    if (as_[i] != kInvalidId && at_[i] != kInvalidId &&
+        pairs_.Lookup(as_[i], at_[i], &d)) {
+      return d;
+    }
+  }
+  // Pass 2: first-higher-layer pairs <O, O'> with Layer(O) < Layer(O'),
+  // O in A_s, O' in A_t. By Observation 1 the candidate layers k for O are
+  // [Layer(parent(O')), Layer(O')).
+  for (int i = 1; i <= h; ++i) {
+    const uint32_t ot = at_[i];
+    if (ot == kInvalidId) continue;
+    const uint32_t parent = tree_.node(ot).parent;
+    if (parent == kInvalidId) continue;
+    const int j = tree_.node(parent).layer;
+    for (int k = j; k < i; ++k) {
+      if (as_[k] != kInvalidId && pairs_.Lookup(as_[k], ot, &d)) return d;
+    }
+  }
+  // Pass 3: first-lower-layer pairs (symmetric).
+  for (int i = 1; i <= h; ++i) {
+    const uint32_t os = as_[i];
+    if (os == kInvalidId) continue;
+    const uint32_t parent = tree_.node(os).parent;
+    if (parent == kInvalidId) continue;
+    const int j = tree_.node(parent).layer;
+    for (int k = j; k < i; ++k) {
+      if (at_[k] != kInvalidId && pairs_.Lookup(os, at_[k], &d)) return d;
+    }
+  }
+  return Status::Internal(
+      "unique node pair match property violated: no pair found");
+}
+
+StatusOr<double> SeOracle::DistanceNaive(uint32_t s, uint32_t t) const {
+  TSO_RETURN_IF_ERROR(CheckQueryIds(s, t));
+  if (s == t) return 0.0;
+  const int h = tree_.height();
+  tree_.AncestorArray(tree_.leaf_of_poi(s), &as_);
+  tree_.AncestorArray(tree_.leaf_of_poi(t), &at_);
+  double d;
+  for (int i = 0; i <= h; ++i) {
+    if (as_[i] == kInvalidId) continue;
+    for (int j = 0; j <= h; ++j) {
+      if (at_[j] != kInvalidId && pairs_.Lookup(as_[i], at_[j], &d)) return d;
+    }
+  }
+  return Status::Internal(
+      "unique node pair match property violated: no pair found");
+}
+
+SeOracle SeOracle::FromParts(double epsilon, std::vector<SurfacePoint> pois,
+                             CompressedTree tree, NodePairSet pairs) {
+  SeOracle oracle;
+  oracle.epsilon_ = epsilon;
+  oracle.pois_ = std::move(pois);
+  oracle.tree_ = std::move(tree);
+  oracle.pairs_ = std::move(pairs);
+  return oracle;
+}
+
+}  // namespace tso

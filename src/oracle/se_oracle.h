@@ -1,0 +1,116 @@
+#ifndef TSO_ORACLE_SE_ORACLE_H_
+#define TSO_ORACLE_SE_ORACLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "geodesic/solver.h"
+#include "oracle/compressed_tree.h"
+#include "oracle/node_pair_set.h"
+#include "oracle/partition_tree.h"
+
+namespace tso {
+
+/// How node-pair distances are computed during construction (§3.5).
+enum class ConstructionMethod {
+  kEfficient,  // enhanced-edge precomputation: one SSAD per tree node
+  kNaive,      // one SSAD per node pair considered (SE-Naive baseline)
+};
+
+const char* ConstructionMethodName(ConstructionMethod m);
+
+/// Produces an independent solver instance (one per worker thread).
+using SolverFactory = std::function<std::unique_ptr<GeodesicSolver>()>;
+
+struct SeOracleOptions {
+  double epsilon = 0.1;  // ε, the error parameter
+  SelectionStrategy selection = SelectionStrategy::kRandom;
+  ConstructionMethod construction = ConstructionMethod::kEfficient;
+  uint64_t seed = 42;
+  /// Optional: enables multi-threaded enhanced-edge construction (the
+  /// dominant build phase; its per-node SSAD runs are independent). When
+  /// unset, construction is single-threaded on the injected solver.
+  SolverFactory parallel_solver_factory;
+  /// Worker threads for the parallel phase; 0 = hardware concurrency.
+  uint32_t num_threads = 0;
+};
+
+struct SeBuildStats {
+  double total_seconds = 0.0;
+  double tree_seconds = 0.0;
+  double enhanced_seconds = 0.0;   // Step 2 (+3): enhanced edges + hashing
+  double pair_gen_seconds = 0.0;   // Step 4
+  size_t ssad_runs = 0;
+  size_t enhanced_edges = 0;
+  size_t node_pairs = 0;
+  size_t pairs_considered = 0;
+  size_t distance_fallbacks = 0;   // enhanced-edge misses (expected 0)
+  int height = 0;
+};
+
+/// The Space-Efficient distance oracle (SE) — the paper's contribution.
+///
+/// Components: a compressed partition tree over the POIs and a
+/// well-separated node pair set with precomputed center distances, indexed
+/// by a perfect hash. Answers POI-to-POI ε-approximate geodesic distance
+/// queries in O(h) probes (h = tree height, < 30 in practice).
+///
+/// Usage:
+///   MmpSolver solver(mesh);
+///   auto oracle = SeOracle::Build(mesh, pois, solver, {.epsilon = 0.1});
+///   double d = oracle->Distance(3, 17).value();
+class SeOracle {
+ public:
+  /// Builds SE over `pois` using `solver` as the geodesic engine (one of
+  /// the SSAD algorithms). The guarantee: for any POIs s, t,
+  /// |Distance(s,t) - d(s,t)| <= ε·d(s,t) with d the solver's metric.
+  static StatusOr<SeOracle> Build(const TerrainMesh& mesh,
+                                  std::vector<SurfacePoint> pois,
+                                  GeodesicSolver& solver,
+                                  const SeOracleOptions& options,
+                                  SeBuildStats* stats = nullptr);
+
+  /// ε-approximate distance between POIs s and t — the efficient O(h)
+  /// query of §3.4 (same-layer scan + first-higher + first-lower passes).
+  StatusOr<double> Distance(uint32_t s, uint32_t t) const;
+
+  /// The O(h²) naive query of §3.4 (scans A_s × A_t). Same answers; used as
+  /// the SE-Naive baseline and in ablation benchmarks.
+  StatusOr<double> DistanceNaive(uint32_t s, uint32_t t) const;
+
+  double epsilon() const { return epsilon_; }
+  size_t num_pois() const { return pois_.size(); }
+  int height() const { return tree_.height(); }
+  const std::vector<SurfacePoint>& pois() const { return pois_; }
+  const CompressedTree& tree() const { return tree_; }
+  const NodePairSet& pair_set() const { return pairs_; }
+
+  /// Total memory footprint of the oracle (the paper's "oracle size").
+  size_t SizeBytes() const {
+    return tree_.SizeBytes() + pairs_.SizeBytes() +
+           pois_.size() * sizeof(SurfacePoint);
+  }
+
+  // For serialization (oracle_serde.cc).
+  static SeOracle FromParts(double epsilon, std::vector<SurfacePoint> pois,
+                            CompressedTree tree, NodePairSet pairs);
+
+ private:
+  SeOracle() = default;
+
+  Status CheckQueryIds(uint32_t s, uint32_t t) const;
+
+  double epsilon_ = 0.0;
+  std::vector<SurfacePoint> pois_;
+  CompressedTree tree_;
+  NodePairSet pairs_;
+  // Scratch for queries (avoids per-query allocation).
+  mutable std::vector<uint32_t> as_, at_;
+};
+
+}  // namespace tso
+
+#endif  // TSO_ORACLE_SE_ORACLE_H_

@@ -1,0 +1,104 @@
+#include "query/knn.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace tso {
+
+StatusOr<std::vector<KnnResult>> KnnQuery(const SeOracle& oracle,
+                                          uint32_t query, size_t k) {
+  if (query >= oracle.num_pois()) {
+    return Status::InvalidArgument("query POI out of range");
+  }
+  std::vector<KnnResult> all;
+  all.reserve(oracle.num_pois() - 1);
+  for (uint32_t p = 0; p < oracle.num_pois(); ++p) {
+    if (p == query) continue;
+    StatusOr<double> d = oracle.Distance(query, p);
+    if (!d.ok()) return d.status();
+    all.push_back({p, *d});
+  }
+  const size_t keep = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + keep, all.end(),
+                    [](const KnnResult& a, const KnnResult& b) {
+                      return a.distance != b.distance ? a.distance < b.distance
+                                                      : a.poi < b.poi;
+                    });
+  all.resize(keep);
+  return all;
+}
+
+StatusOr<std::vector<KnnResult>> KnnQueryPruned(const SeOracle& oracle,
+                                                uint32_t query, size_t k) {
+  if (query >= oracle.num_pois()) {
+    return Status::InvalidArgument("query POI out of range");
+  }
+  const CompressedTree& tree = oracle.tree();
+  const double eps = oracle.epsilon();
+
+  struct Entry {
+    double lower_bound;
+    uint32_t node;
+    bool operator>(const Entry& o) const {
+      return lower_bound > o.lower_bound;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> frontier;
+
+  // Lower bound on the *oracle* distance to any POI under `node`:
+  // d(q,p) >= d(q,c) - 2r  and  d~ in [(1-eps)d, (1+eps)d].
+  auto node_bound = [&](uint32_t node) -> StatusOr<double> {
+    const CompressedTree::Node& nd = tree.node(node);
+    StatusOr<double> center_d = oracle.Distance(query, nd.center);
+    if (!center_d.ok()) return center_d.status();
+    const double lb =
+        (1.0 - eps) * (*center_d / (1.0 + eps) - 2.0 * nd.radius);
+    return std::max(0.0, lb);
+  };
+
+  StatusOr<double> root_bound = node_bound(tree.root());
+  if (!root_bound.ok()) return root_bound.status();
+  frontier.push({*root_bound, tree.root()});
+
+  // Max-heap of the best k candidates found so far.
+  auto worse = [](const KnnResult& a, const KnnResult& b) {
+    return a.distance != b.distance ? a.distance < b.distance
+                                    : a.poi < b.poi;
+  };
+  std::vector<KnnResult> best;  // kept heapified by `worse`
+
+  while (!frontier.empty()) {
+    const Entry top = frontier.top();
+    frontier.pop();
+    if (best.size() == k && top.lower_bound > best.front().distance) {
+      break;  // nothing below can beat the current k-th candidate
+    }
+    const CompressedTree::Node& nd = tree.node(top.node);
+    if (nd.num_children == 0) {
+      if (nd.center == query) continue;
+      StatusOr<double> d = oracle.Distance(query, nd.center);
+      if (!d.ok()) return d.status();
+      const KnnResult candidate{nd.center, *d};
+      if (best.size() < k) {
+        best.push_back(candidate);
+        std::push_heap(best.begin(), best.end(), worse);
+      } else if (worse(candidate, best.front())) {
+        std::pop_heap(best.begin(), best.end(), worse);
+        best.back() = candidate;
+        std::push_heap(best.begin(), best.end(), worse);
+      }
+      continue;
+    }
+    for (uint32_t c = nd.first_child; c != kInvalidId;
+         c = tree.node(c).next_sibling) {
+      StatusOr<double> lb = node_bound(c);
+      if (!lb.ok()) return lb.status();
+      if (best.size() == k && *lb > best.front().distance) continue;
+      frontier.push({*lb, c});
+    }
+  }
+  std::sort(best.begin(), best.end(), worse);
+  return best;
+}
+
+}  // namespace tso

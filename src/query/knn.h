@@ -1,0 +1,34 @@
+#ifndef TSO_QUERY_KNN_H_
+#define TSO_QUERY_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "oracle/se_oracle.h"
+
+namespace tso {
+
+struct KnnResult {
+  uint32_t poi;
+  double distance;
+};
+
+/// k nearest POIs to POI `query` under the oracle's ε-approximate geodesic
+/// metric — the proximity-query workload the paper motivates (§1.1, §1.2):
+/// each candidate costs one O(h) oracle probe instead of an SSAD run.
+/// Results are sorted by distance (ties by id); `query` itself is excluded.
+StatusOr<std::vector<KnnResult>> KnnQuery(const SeOracle& oracle,
+                                          uint32_t query, size_t k);
+
+/// Same results as KnnQuery, but pruned with a best-first search over the
+/// compressed partition tree: a node at distance d with enlarged radius 2r
+/// lower-bounds all of its POIs by d - 2r·(1+ε-ish slack), so whole subtrees
+/// farther than the current k-th candidate are skipped. On clustered POI
+/// sets this probes far fewer than n candidates (see query_test for the
+/// equivalence property).
+StatusOr<std::vector<KnnResult>> KnnQueryPruned(const SeOracle& oracle,
+                                                uint32_t query, size_t k);
+
+}  // namespace tso
+
+#endif  // TSO_QUERY_KNN_H_

@@ -1,0 +1,27 @@
+#include "query/range_query.h"
+
+#include <algorithm>
+
+namespace tso {
+
+StatusOr<std::vector<uint32_t>> RangeQuery(const SeOracle& oracle,
+                                           uint32_t query, double radius) {
+  if (query >= oracle.num_pois()) {
+    return Status::InvalidArgument("query POI out of range");
+  }
+  if (radius < 0.0) return Status::InvalidArgument("radius must be >= 0");
+  std::vector<std::pair<double, uint32_t>> hits;
+  for (uint32_t p = 0; p < oracle.num_pois(); ++p) {
+    if (p == query) continue;
+    StatusOr<double> d = oracle.Distance(query, p);
+    if (!d.ok()) return d.status();
+    if (*d <= radius) hits.emplace_back(*d, p);
+  }
+  std::sort(hits.begin(), hits.end());
+  std::vector<uint32_t> out;
+  out.reserve(hits.size());
+  for (const auto& [d, p] : hits) out.push_back(p);
+  return out;
+}
+
+}  // namespace tso

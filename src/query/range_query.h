@@ -1,0 +1,19 @@
+#ifndef TSO_QUERY_RANGE_QUERY_H_
+#define TSO_QUERY_RANGE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "oracle/se_oracle.h"
+
+namespace tso {
+
+/// All POIs whose ε-approximate geodesic distance from POI `query` is at
+/// most `radius` (geodesic range query, §1.2). Sorted by distance.
+/// `query` itself is excluded.
+StatusOr<std::vector<uint32_t>> RangeQuery(const SeOracle& oracle,
+                                           uint32_t query, double radius);
+
+}  // namespace tso
+
+#endif  // TSO_QUERY_RANGE_QUERY_H_

@@ -1,0 +1,111 @@
+#include "terrain/dataset.h"
+
+#include <cmath>
+
+#include "base/rng.h"
+#include "terrain/poi_generator.h"
+#include "terrain/terrain_synth.h"
+
+namespace tso {
+
+const char* PaperDatasetName(PaperDataset d) {
+  switch (d) {
+    case PaperDataset::kBearHead:
+      return "BH";
+    case PaperDataset::kEaglePeak:
+      return "EP";
+    case PaperDataset::kSanFrancisco:
+      return "SF";
+    case PaperDataset::kSanFranciscoSmall:
+      return "SF-small";
+  }
+  return "?";
+}
+
+StatusOr<Dataset> MakePaperDataset(PaperDataset which,
+                                   uint32_t target_vertices, size_t num_pois,
+                                   uint64_t seed) {
+  SynthSpec spec;
+  spec.seed = seed;
+  switch (which) {
+    case PaperDataset::kBearHead:
+      // Table 2: 14 km x 10 km, 10 m resolution, 1.4M vertices, 4k POIs.
+      spec.extent_x = 14000.0;
+      spec.extent_y = 10000.0;
+      spec.amplitude = 900.0;
+      spec.feature_size = 3000.0;
+      spec.ridged = true;
+      if (target_vertices == 0) target_vertices = 10000;
+      if (num_pois == 0) num_pois = 400;
+      break;
+    case PaperDataset::kEaglePeak:
+      // Table 2: 10.7 km x 14 km, 10 m resolution, 1.5M vertices, 4k POIs.
+      spec.extent_x = 10700.0;
+      spec.extent_y = 14000.0;
+      spec.amplitude = 1100.0;
+      spec.feature_size = 2600.0;
+      spec.ridged = true;
+      spec.seed = seed + 1;
+      if (target_vertices == 0) target_vertices = 10000;
+      if (num_pois == 0) num_pois = 400;
+      break;
+    case PaperDataset::kSanFrancisco:
+      // Table 2: 14 km x 11.1 km, 30 m resolution, 170k vertices, 51k POIs.
+      spec.extent_x = 14000.0;
+      spec.extent_y = 11100.0;
+      spec.amplitude = 280.0;
+      spec.feature_size = 3500.0;
+      spec.ridged = false;
+      spec.seed = seed + 2;
+      if (target_vertices == 0) target_vertices = 12000;
+      if (num_pois == 0) num_pois = 1000;
+      break;
+    case PaperDataset::kSanFranciscoSmall:
+      // §5.1: "a smaller version of SF ... 1k vertices and 60 POIs".
+      spec.extent_x = 2000.0;
+      spec.extent_y = 1600.0;
+      spec.amplitude = 120.0;
+      spec.feature_size = 700.0;
+      spec.ridged = false;
+      spec.seed = seed + 3;
+      if (target_vertices == 0) target_vertices = 1000;
+      if (num_pois == 0) num_pois = 60;
+      break;
+  }
+
+  StatusOr<TerrainMesh> mesh = SynthesizeMesh(spec, target_vertices);
+  TSO_RETURN_IF_ERROR(mesh.status().ok() ? Status::Ok() : mesh.status());
+
+  Dataset ds;
+  ds.name = PaperDatasetName(which);
+  ds.mesh = std::make_unique<TerrainMesh>(std::move(*mesh));
+  ds.locator = std::make_unique<PointLocator>(*ds.mesh);
+  ds.region_x = spec.extent_x;
+  ds.region_y = spec.extent_y;
+  const Aabb& bb = ds.mesh->bounding_box();
+  ds.resolution = (bb.max.x - bb.min.x) /
+                  std::sqrt(static_cast<double>(ds.mesh->num_vertices()));
+  ds.seed = seed;
+  Rng poi_rng(seed * 7919 + static_cast<uint64_t>(which));
+  ds.pois = GenerateUniformPois(*ds.mesh, *ds.locator, num_pois, poi_rng);
+  return ds;
+}
+
+StatusOr<Dataset> MakeDataset(std::string name, TerrainMesh mesh,
+                              size_t num_pois, uint64_t seed) {
+  Dataset ds;
+  ds.name = std::move(name);
+  ds.mesh = std::make_unique<TerrainMesh>(std::move(mesh));
+  ds.locator = std::make_unique<PointLocator>(*ds.mesh);
+  const Aabb& bb = ds.mesh->bounding_box();
+  ds.region_x = bb.max.x - bb.min.x;
+  ds.region_y = bb.max.y - bb.min.y;
+  ds.resolution = ds.region_x /
+                  std::sqrt(static_cast<double>(ds.mesh->num_vertices()));
+  ds.seed = seed;
+  Rng poi_rng(seed * 7919 + 17);
+  ds.pois = GenerateUniformPois(*ds.mesh, *ds.locator, num_pois, poi_rng);
+  return ds;
+}
+
+}  // namespace tso

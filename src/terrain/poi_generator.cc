@@ -1,0 +1,131 @@
+#include "terrain/poi_generator.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "base/logging.h"
+
+namespace tso {
+namespace {
+
+// Quantized-position key used to merge co-located POIs.
+uint64_t PositionKey(const Vec3& p) {
+  const auto q = [](double v) {
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(std::llround(v * 1024.0)));
+  };
+  uint64_t h = q(p.x) * 0x9e3779b97f4a7c15ULL;
+  h ^= q(p.y) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= q(p.z) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+SurfacePoint NudgeInsideFace(const TerrainMesh& mesh, const SurfacePoint& p,
+                             double fraction) {
+  if (p.is_vertex()) return p;
+  const Vec3 c = mesh.FaceCentroid(p.face);
+  SurfacePoint out = p;
+  out.pos = p.pos + (c - p.pos) * fraction;
+  return out;
+}
+
+std::vector<SurfacePoint> GenerateUniformPois(const TerrainMesh& mesh,
+                                              const PointLocator& locator,
+                                              size_t n, Rng& rng) {
+  const Aabb& bb = mesh.bounding_box();
+  std::vector<SurfacePoint> pois;
+  pois.reserve(n);
+  std::unordered_set<uint64_t> seen;
+  int failures = 0;
+  while (pois.size() < n && failures < 1000000) {
+    const double x = rng.UniformDouble(bb.min.x, bb.max.x);
+    const double y = rng.UniformDouble(bb.min.y, bb.max.y);
+    StatusOr<SurfacePoint> p = locator.Locate(x, y);
+    if (!p.ok()) {
+      ++failures;
+      continue;
+    }
+    SurfacePoint sp = NudgeInsideFace(mesh, *p, 1e-4);
+    if (!seen.insert(PositionKey(sp.pos)).second) {
+      ++failures;
+      continue;
+    }
+    pois.push_back(sp);
+  }
+  TSO_CHECK_EQ(pois.size(), n);
+  return pois;
+}
+
+std::vector<SurfacePoint> ExtendPoisNormalFit(
+    const TerrainMesh& mesh, const PointLocator& locator,
+    const std::vector<SurfacePoint>& base, size_t total_n, Rng& rng) {
+  TSO_CHECK(!base.empty());
+  std::vector<SurfacePoint> pois = base;
+  if (pois.size() >= total_n) {
+    pois.resize(total_n);
+    return pois;
+  }
+  // Fit a per-axis Normal to the existing POIs (§5.2.1).
+  double mx = 0.0, my = 0.0;
+  for (const auto& p : base) {
+    mx += p.pos.x;
+    my += p.pos.y;
+  }
+  mx /= base.size();
+  my /= base.size();
+  double vx = 0.0, vy = 0.0;
+  for (const auto& p : base) {
+    vx += (p.pos.x - mx) * (p.pos.x - mx);
+    vy += (p.pos.y - my) * (p.pos.y - my);
+  }
+  vx /= base.size();
+  vy /= base.size();
+  const double sx = std::sqrt(std::max(vx, 1e-12));
+  const double sy = std::sqrt(std::max(vy, 1e-12));
+
+  std::unordered_set<uint64_t> seen;
+  for (const auto& p : pois) seen.insert(PositionKey(p.pos));
+  int failures = 0;
+  while (pois.size() < total_n && failures < 10000000) {
+    const double x = rng.Normal(mx, sx);
+    const double y = rng.Normal(my, sy);
+    StatusOr<SurfacePoint> p = locator.Locate(x, y);
+    if (!p.ok()) {
+      ++failures;  // outside the terrain range: discard and re-draw (§5.2.1)
+      continue;
+    }
+    SurfacePoint sp = NudgeInsideFace(mesh, *p, 1e-4);
+    if (!seen.insert(PositionKey(sp.pos)).second) {
+      ++failures;
+      continue;
+    }
+    pois.push_back(sp);
+  }
+  TSO_CHECK_EQ(pois.size(), total_n);
+  return pois;
+}
+
+std::vector<SurfacePoint> PoisFromAllVertices(const TerrainMesh& mesh) {
+  std::vector<SurfacePoint> pois;
+  pois.reserve(mesh.num_vertices());
+  for (uint32_t v = 0; v < mesh.num_vertices(); ++v) {
+    pois.push_back(SurfacePoint::AtVertex(mesh, v));
+  }
+  return pois;
+}
+
+std::vector<SurfacePoint> PoisFromRandomVertices(const TerrainMesh& mesh,
+                                                 size_t n, Rng& rng) {
+  TSO_CHECK_LE(n, mesh.num_vertices());
+  std::vector<size_t> idx = rng.SampleWithoutReplacement(mesh.num_vertices(), n);
+  std::vector<SurfacePoint> pois;
+  pois.reserve(n);
+  for (size_t v : idx) {
+    pois.push_back(SurfacePoint::AtVertex(mesh, static_cast<uint32_t>(v)));
+  }
+  return pois;
+}
+
+}  // namespace tso

@@ -1,0 +1,43 @@
+#ifndef TSO_TERRAIN_POI_GENERATOR_H_
+#define TSO_TERRAIN_POI_GENERATOR_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "mesh/point_locator.h"
+#include "mesh/terrain_mesh.h"
+
+namespace tso {
+
+/// Samples `n` points-of-interest uniformly over the terrain's x-y extent and
+/// lifts them to the surface (the stand-in for the paper's OpenStreetMap POI
+/// extraction; §5.1). Points too close to a face boundary are nudged toward
+/// the face centroid so that every POI is strictly interior to a face, and
+/// duplicates are merged ("we can merge any two co-located POIs", §2).
+std::vector<SurfacePoint> GenerateUniformPois(const TerrainMesh& mesh,
+                                              const PointLocator& locator,
+                                              size_t n, Rng& rng);
+
+/// Extends `base` to `total_n` POIs using the paper's effect-of-n generator
+/// (§5.2.1): new x-y positions are drawn from a Normal distribution fitted to
+/// the existing POIs (mean/variance per axis); out-of-range draws are
+/// rejected and redrawn.
+std::vector<SurfacePoint> ExtendPoisNormalFit(
+    const TerrainMesh& mesh, const PointLocator& locator,
+    const std::vector<SurfacePoint>& base, size_t total_n, Rng& rng);
+
+/// All mesh vertices as POIs (the V2V setting, §5.2.2).
+std::vector<SurfacePoint> PoisFromAllVertices(const TerrainMesh& mesh);
+
+/// A random subset of `n` mesh vertices as POIs.
+std::vector<SurfacePoint> PoisFromRandomVertices(const TerrainMesh& mesh,
+                                                 size_t n, Rng& rng);
+
+/// Moves a face-interior point slightly toward the face centroid so that the
+/// geodesic algorithms never see a source exactly on an edge.
+SurfacePoint NudgeInsideFace(const TerrainMesh& mesh, const SurfacePoint& p,
+                             double fraction = 1e-7);
+
+}  // namespace tso
+
+#endif  // TSO_TERRAIN_POI_GENERATOR_H_

@@ -1,0 +1,123 @@
+#include "terrain/terrain_synth.h"
+
+#include <cmath>
+
+namespace tso {
+namespace {
+
+// Integer lattice hash -> [0, 1). SplitMix64-style avalanche keyed by seed.
+double LatticeValue(uint64_t seed, int64_t ix, int64_t iy) {
+  uint64_t h = seed;
+  h ^= static_cast<uint64_t>(ix) * 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h ^= static_cast<uint64_t>(iy) * 0xc2b2ae3d27d4eb4fULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double SmoothStep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+// Bilinear value noise in [0, 1).
+double ValueNoise(uint64_t seed, double x, double y) {
+  const double fx = std::floor(x);
+  const double fy = std::floor(y);
+  const int64_t ix = static_cast<int64_t>(fx);
+  const int64_t iy = static_cast<int64_t>(fy);
+  const double tx = SmoothStep(x - fx);
+  const double ty = SmoothStep(y - fy);
+  const double v00 = LatticeValue(seed, ix, iy);
+  const double v10 = LatticeValue(seed, ix + 1, iy);
+  const double v01 = LatticeValue(seed, ix, iy + 1);
+  const double v11 = LatticeValue(seed, ix + 1, iy + 1);
+  const double a = v00 + (v10 - v00) * tx;
+  const double b = v01 + (v11 - v01) * tx;
+  return a + (b - a) * ty;
+}
+
+}  // namespace
+
+double SampleHeight(const SynthSpec& spec, double x, double y) {
+  double freq = 1.0 / spec.feature_size;
+  double amp = 1.0;
+  double total = 0.0;
+  double norm = 0.0;
+  for (int o = 0; o < spec.octaves; ++o) {
+    const uint64_t octave_seed = spec.seed * 1000003ULL + o;
+    double n = ValueNoise(octave_seed, x * freq, y * freq);
+    if (spec.ridged) {
+      // Ridged multifractal: sharp crests, the signature of mountain DEMs.
+      n = 1.0 - std::abs(2.0 * n - 1.0);
+      n = n * n;
+    }
+    total += n * amp;
+    norm += amp;
+    amp *= spec.gain;
+    freq *= spec.lacunarity;
+  }
+  return spec.amplitude * (total / norm);
+}
+
+GridDem SynthesizeDem(const SynthSpec& spec, uint32_t width, uint32_t height) {
+  GridDem dem;
+  dem.width = width;
+  dem.height = height;
+  dem.cell = spec.extent_x / (width - 1);
+  dem.z.resize(static_cast<size_t>(width) * height);
+  const double cell_y = spec.extent_y / (height - 1);
+  for (uint32_t iy = 0; iy < height; ++iy) {
+    for (uint32_t ix = 0; ix < width; ++ix) {
+      dem.z[static_cast<size_t>(iy) * width + ix] =
+          SampleHeight(spec, ix * dem.cell, iy * cell_y);
+    }
+  }
+  return dem;
+}
+
+StatusOr<TerrainMesh> SynthesizeMesh(const SynthSpec& spec,
+                                     uint32_t target_vertices) {
+  if (target_vertices < 4) {
+    return Status::InvalidArgument("need at least 4 vertices");
+  }
+  const double aspect = spec.extent_x / spec.extent_y;
+  const double h = std::sqrt(static_cast<double>(target_vertices) / aspect);
+  const uint32_t height = std::max<uint32_t>(2, static_cast<uint32_t>(h));
+  const uint32_t width = std::max<uint32_t>(
+      2, static_cast<uint32_t>(static_cast<double>(target_vertices) / height));
+  // Note: the triangulated grid is anisotropic in x/y cell size only if the
+  // extents demand it; TriangulateDem alternates diagonals to reduce bias.
+  GridDem dem = SynthesizeDem(spec, width, height);
+  // Rescale y to cover extent_y exactly: TriangulateDem uses a square cell,
+  // so bake the y positions directly instead.
+  std::vector<Vec3> vertices;
+  vertices.reserve(static_cast<size_t>(width) * height);
+  const double cell_x = spec.extent_x / (width - 1);
+  const double cell_y = spec.extent_y / (height - 1);
+  for (uint32_t iy = 0; iy < height; ++iy) {
+    for (uint32_t ix = 0; ix < width; ++ix) {
+      vertices.push_back(
+          {ix * cell_x, iy * cell_y, dem.z[static_cast<size_t>(iy) * width + ix]});
+    }
+  }
+  std::vector<std::array<uint32_t, 3>> faces;
+  faces.reserve(2ull * (width - 1) * (height - 1));
+  auto vid = [&](uint32_t ix, uint32_t iy) { return iy * width + ix; };
+  for (uint32_t iy = 0; iy + 1 < height; ++iy) {
+    for (uint32_t ix = 0; ix + 1 < width; ++ix) {
+      const uint32_t a = vid(ix, iy);
+      const uint32_t b = vid(ix + 1, iy);
+      const uint32_t c = vid(ix + 1, iy + 1);
+      const uint32_t d = vid(ix, iy + 1);
+      if ((ix + iy) % 2 == 0) {
+        faces.push_back({a, b, c});
+        faces.push_back({a, c, d});
+      } else {
+        faces.push_back({a, b, d});
+        faces.push_back({b, c, d});
+      }
+    }
+  }
+  return TerrainMesh::FromSoup(std::move(vertices), std::move(faces));
+}
+
+}  // namespace tso

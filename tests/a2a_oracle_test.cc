@@ -1,0 +1,130 @@
+#include "oracle/a2a_oracle.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geodesic/mmp_solver.h"
+#include "terrain/dataset.h"
+#include "terrain/poi_generator.h"
+
+namespace tso {
+namespace {
+
+struct A2AFixture {
+  StatusOr<Dataset> ds;
+  std::unique_ptr<MmpSolver> exact;
+
+  explicit A2AFixture(uint64_t seed = 3, uint32_t vertices = 300)
+      : ds(MakePaperDataset(PaperDataset::kSanFranciscoSmall, vertices, 10,
+                            seed)) {
+    TSO_CHECK(ds.ok());
+    exact = std::make_unique<MmpSolver>(*ds->mesh);
+  }
+};
+
+// The A2A oracle composes two approximations (Steiner graph + WSPD), so the
+// observable error is bounded by roughly (1+eps_steiner)(1+eps_wspd)-1; we
+// check against a generous combined budget and, importantly, that answers
+// are valid upper bounds of the exact geodesic distance.
+TEST(A2AOracle, ErrorBudgetOnArbitraryPoints) {
+  A2AFixture fx(5);
+  A2AOracleOptions options;
+  options.epsilon = 0.1;
+  options.steiner_points_per_edge = 3;
+  A2ABuildStats stats;
+  StatusOr<A2AOracle> oracle = A2AOracle::Build(*fx.ds->mesh, options, &stats);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  EXPECT_GT(stats.steiner_nodes, fx.ds->mesh->num_vertices());
+
+  Rng rng(11);
+  std::vector<SurfacePoint> probes =
+      GenerateUniformPois(*fx.ds->mesh, *fx.ds->locator, 8, rng);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    for (size_t j = i + 1; j < probes.size(); ++j) {
+      StatusOr<double> approx = oracle->Distance(probes[i], probes[j]);
+      ASSERT_TRUE(approx.ok());
+      const double truth =
+          fx.exact->PointToPoint(probes[i], probes[j]).value();
+      // Upper bound (all paths are realizable) ...
+      EXPECT_GE(*approx, truth * (1.0 - options.epsilon) - 1e-9);
+      // ... within the combined budget: Steiner density 3 contributes a few
+      // percent; WSPD contributes eps.
+      EXPECT_LE(*approx, truth * (1.0 + options.epsilon + 0.15) + 1e-9)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(A2AOracle, VertexQueriesWork) {
+  A2AFixture fx(7);
+  A2AOracleOptions options;
+  options.epsilon = 0.2;
+  options.steiner_points_per_edge = 2;
+  StatusOr<A2AOracle> oracle = A2AOracle::Build(*fx.ds->mesh, options, nullptr);
+  ASSERT_TRUE(oracle.ok());
+  const SurfacePoint s = SurfacePoint::AtVertex(*fx.ds->mesh, 5);
+  const SurfacePoint t = SurfacePoint::AtVertex(
+      *fx.ds->mesh, static_cast<uint32_t>(fx.ds->mesh->num_vertices() - 3));
+  StatusOr<double> d = oracle->Distance(s, t);
+  ASSERT_TRUE(d.ok());
+  const double truth = fx.exact->PointToPoint(s, t).value();
+  EXPECT_GE(*d, truth * 0.9 - 1e-9);
+  EXPECT_LE(*d, truth * 1.4 + 1e-9);
+}
+
+TEST(A2AOracle, SameFaceShortcut) {
+  A2AFixture fx(9);
+  A2AOracleOptions options;
+  options.epsilon = 0.25;
+  options.steiner_points_per_edge = 1;
+  StatusOr<A2AOracle> oracle = A2AOracle::Build(*fx.ds->mesh, options, nullptr);
+  ASSERT_TRUE(oracle.ok());
+  // Two points on the same face: the answer is the exact segment length.
+  const uint32_t f = 7;
+  const Vec3 c = fx.ds->mesh->FaceCentroid(f);
+  const auto& tri = fx.ds->mesh->face(f);
+  const Vec3 a = fx.ds->mesh->vertex(tri[0]);
+  SurfacePoint p = SurfacePoint::OnFace(f, c);
+  SurfacePoint q = SurfacePoint::OnFace(f, (c + a) / 2.0 + (c - a) * 0.01);
+  StatusOr<double> d = oracle->Distance(p, q);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, Distance(p.pos, q.pos), 1e-12);
+}
+
+TEST(A2AOracle, ServesP2PWhenNGreaterThanN) {
+  // Appendix D: with n > N the POI-based oracle is replaced by this
+  // POI-independent one; P2P queries route through Distance().
+  A2AFixture fx(13, 200);
+  A2AOracleOptions options;
+  options.epsilon = 0.2;
+  options.steiner_points_per_edge = 2;
+  StatusOr<A2AOracle> oracle = A2AOracle::Build(*fx.ds->mesh, options, nullptr);
+  ASSERT_TRUE(oracle.ok());
+  Rng rng(17);
+  // More POIs than vertices.
+  std::vector<SurfacePoint> pois = GenerateUniformPois(
+      *fx.ds->mesh, *fx.ds->locator, fx.ds->mesh->num_vertices() + 50, rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    const size_t i = rng.Uniform(pois.size());
+    const size_t j = rng.Uniform(pois.size());
+    if (i == j) continue;
+    StatusOr<double> d = oracle->Distance(pois[i], pois[j]);
+    ASSERT_TRUE(d.ok());
+    const double truth = fx.exact->PointToPoint(pois[i], pois[j]).value();
+    EXPECT_LE(std::abs(*d - truth), truth * 0.35 + 1e-9);
+  }
+}
+
+TEST(A2AOracle, InvalidQueryPointRejected) {
+  A2AFixture fx(15);
+  A2AOracleOptions options;
+  options.steiner_points_per_edge = 1;
+  StatusOr<A2AOracle> oracle = A2AOracle::Build(*fx.ds->mesh, options, nullptr);
+  ASSERT_TRUE(oracle.ok());
+  SurfacePoint bogus;
+  EXPECT_FALSE(oracle->Distance(bogus, fx.ds->pois[0]).ok());
+}
+
+}  // namespace
+}  // namespace tso

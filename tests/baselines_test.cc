@@ -1,0 +1,119 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/full_materialization.h"
+#include "baselines/kalgo.h"
+#include "baselines/sp_oracle.h"
+#include "geodesic/mmp_solver.h"
+#include "terrain/dataset.h"
+
+namespace tso {
+namespace {
+
+TEST(FullMaterialization, MatchesSolver) {
+  StatusOr<Dataset> ds =
+      MakePaperDataset(PaperDataset::kSanFranciscoSmall, 300, 12, 3);
+  ASSERT_TRUE(ds.ok());
+  MmpSolver solver(*ds->mesh);
+  StatusOr<FullMaterialization> fm =
+      FullMaterialization::Build(ds->pois, solver);
+  ASSERT_TRUE(fm.ok());
+  for (uint32_t s = 0; s < ds->pois.size(); ++s) {
+    for (uint32_t t = 0; t < ds->pois.size(); ++t) {
+      const double want =
+          s == t ? 0.0
+                 : solver.PointToPoint(ds->pois[s], ds->pois[t]).value();
+      EXPECT_NEAR(fm->Distance(s, t), want, 1e-6 * (1.0 + want));
+      EXPECT_EQ(fm->Distance(s, t), fm->Distance(t, s));
+    }
+  }
+  EXPECT_EQ(fm->num_pois(), 12u);
+  EXPECT_GT(fm->SizeBytes(), 12u * 11u / 2u * sizeof(double));
+}
+
+TEST(KAlgo, WithinEpsilonOfExact) {
+  StatusOr<Dataset> ds =
+      MakePaperDataset(PaperDataset::kSanFranciscoSmall, 300, 8, 5);
+  ASSERT_TRUE(ds.ok());
+  MmpSolver exact(*ds->mesh);
+  const double eps = 0.1;
+  StatusOr<KAlgo> kalgo = KAlgo::Create(*ds->mesh, eps);
+  ASSERT_TRUE(kalgo.ok());
+  EXPECT_GT(kalgo->graph_nodes(), ds->mesh->num_vertices());
+  for (size_t i = 0; i < ds->pois.size(); ++i) {
+    for (size_t j = i + 1; j < ds->pois.size(); ++j) {
+      StatusOr<double> approx = kalgo->Distance(ds->pois[i], ds->pois[j]);
+      ASSERT_TRUE(approx.ok());
+      const double truth =
+          exact.PointToPoint(ds->pois[i], ds->pois[j]).value();
+      EXPECT_GE(*approx, truth * (1.0 - 1e-9));  // graph paths upper-bound
+      EXPECT_LE(*approx, truth * (1.0 + eps) + 1e-9)
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(KAlgo, TighterEpsilonTighterAnswers) {
+  StatusOr<Dataset> ds =
+      MakePaperDataset(PaperDataset::kSanFranciscoSmall, 300, 6, 7);
+  ASSERT_TRUE(ds.ok());
+  StatusOr<KAlgo> loose = KAlgo::Create(*ds->mesh, 0.5);
+  StatusOr<KAlgo> tight = KAlgo::Create(*ds->mesh, 0.05);
+  ASSERT_TRUE(loose.ok() && tight.ok());
+  for (size_t i = 0; i + 1 < ds->pois.size(); ++i) {
+    const double dl = loose->Distance(ds->pois[i], ds->pois[i + 1]).value();
+    const double dt = tight->Distance(ds->pois[i], ds->pois[i + 1]).value();
+    EXPECT_LE(dt, dl * (1.0 + 1e-9));
+  }
+}
+
+TEST(KAlgo, InvalidEpsilonRejected) {
+  StatusOr<Dataset> ds =
+      MakePaperDataset(PaperDataset::kSanFranciscoSmall, 200, 5, 9);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(KAlgo::Create(*ds->mesh, 0.0).ok());
+  EXPECT_FALSE(KAlgo::Create(*ds->mesh, -0.5).ok());
+}
+
+TEST(SpOracle, AnswersWithinCombinedBudget) {
+  StatusOr<Dataset> ds =
+      MakePaperDataset(PaperDataset::kSanFranciscoSmall, 250, 8, 11);
+  ASSERT_TRUE(ds.ok());
+  MmpSolver exact(*ds->mesh);
+  SpOracleOptions options;
+  options.epsilon = 0.15;
+  options.steiner_points_per_edge = 2;
+  SpBuildStats stats;
+  StatusOr<SpOracle> oracle = SpOracle::Build(*ds->mesh, options, &stats);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  EXPECT_GT(stats.steiner_nodes, ds->mesh->num_vertices());
+  for (size_t i = 0; i < ds->pois.size(); ++i) {
+    for (size_t j = i + 1; j < ds->pois.size(); ++j) {
+      StatusOr<double> d = oracle->Distance(ds->pois[i], ds->pois[j]);
+      ASSERT_TRUE(d.ok());
+      const double truth =
+          exact.PointToPoint(ds->pois[i], ds->pois[j]).value();
+      EXPECT_GE(*d, truth * (1.0 - options.epsilon) - 1e-9);
+      EXPECT_LE(*d, truth * (1.0 + options.epsilon + 0.2) + 1e-9);
+    }
+  }
+}
+
+TEST(SpOracle, SizeIndependentOfPois) {
+  // The defining weakness vs SE: SP-Oracle's size is driven by N (Steiner
+  // machinery), not by the number of POIs.
+  StatusOr<Dataset> ds =
+      MakePaperDataset(PaperDataset::kSanFranciscoSmall, 250, 5, 13);
+  ASSERT_TRUE(ds.ok());
+  SpOracleOptions options;
+  options.epsilon = 0.25;
+  options.steiner_points_per_edge = 1;
+  StatusOr<SpOracle> oracle = SpOracle::Build(*ds->mesh, options, nullptr);
+  ASSERT_TRUE(oracle.ok());
+  // Many more index entries than the 5 POIs could ever need.
+  EXPECT_GT(oracle->SizeBytes(), 5u * 5u * sizeof(double) * 10);
+}
+
+}  // namespace
+}  // namespace tso

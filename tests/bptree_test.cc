@@ -1,0 +1,140 @@
+#include "base/bptree.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+
+namespace tso {
+namespace {
+
+TEST(BPlusTree, EmptyTree) {
+  BPlusTree<int, int> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Find(1), nullptr);
+  EXPECT_FALSE(tree.Erase(1));
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTree, InsertFindErase) {
+  BPlusTree<int, double> tree;
+  EXPECT_TRUE(tree.Insert(5, 5.5));
+  EXPECT_TRUE(tree.Insert(3, 3.3));
+  EXPECT_TRUE(tree.Insert(8, 8.8));
+  EXPECT_EQ(tree.size(), 3u);
+  ASSERT_NE(tree.Find(5), nullptr);
+  EXPECT_DOUBLE_EQ(*tree.Find(5), 5.5);
+  EXPECT_EQ(tree.Find(4), nullptr);
+  EXPECT_TRUE(tree.Erase(5));
+  EXPECT_EQ(tree.Find(5), nullptr);
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_FALSE(tree.Erase(5));
+}
+
+TEST(BPlusTree, InsertDuplicateOverwrites) {
+  BPlusTree<int, int> tree;
+  EXPECT_TRUE(tree.Insert(1, 10));
+  EXPECT_FALSE(tree.Insert(1, 20));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(*tree.Find(1), 20);
+}
+
+TEST(BPlusTree, OrderedIteration) {
+  BPlusTree<int, int> tree;
+  for (int k : {9, 1, 7, 3, 5, 2, 8, 4, 6, 0}) tree.Insert(k, k * k);
+  std::vector<int> keys;
+  tree.ForEach([&](int k, int v) {
+    keys.push_back(k);
+    EXPECT_EQ(v, k * k);
+  });
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(keys[i], i);
+}
+
+TEST(BPlusTree, RangeIteration) {
+  BPlusTree<int, int> tree;
+  for (int k = 0; k < 100; ++k) tree.Insert(k, k);
+  std::vector<int> keys;
+  tree.ForEachInRange(25, 33, [&](int k, int) { keys.push_back(k); });
+  ASSERT_EQ(keys.size(), 9u);
+  EXPECT_EQ(keys.front(), 25);
+  EXPECT_EQ(keys.back(), 33);
+}
+
+TEST(BPlusTree, MinKey) {
+  BPlusTree<int, int> tree;
+  for (int k : {42, 17, 99, 3, 55}) tree.Insert(k, 0);
+  EXPECT_EQ(tree.MinKey(), 3);
+  tree.Erase(3);
+  EXPECT_EQ(tree.MinKey(), 17);
+}
+
+TEST(BPlusTree, LargeSequentialInsertErase) {
+  BPlusTree<int, int> tree;
+  const int kN = 5000;
+  for (int k = 0; k < kN; ++k) EXPECT_TRUE(tree.Insert(k, k));
+  EXPECT_EQ(tree.size(), static_cast<size_t>(kN));
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int k = 0; k < kN; k += 2) EXPECT_TRUE(tree.Erase(k));
+  EXPECT_EQ(tree.size(), static_cast<size_t>(kN / 2));
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int k = 0; k < kN; ++k) {
+    EXPECT_EQ(tree.Find(k) != nullptr, k % 2 == 1) << k;
+  }
+}
+
+TEST(BPlusTree, FuzzAgainstStdMap) {
+  BPlusTree<uint32_t, uint32_t> tree;
+  std::map<uint32_t, uint32_t> ref;
+  Rng rng(77);
+  for (int op = 0; op < 20000; ++op) {
+    const uint32_t key = static_cast<uint32_t>(rng.Uniform(500));
+    const uint32_t action = static_cast<uint32_t>(rng.Uniform(3));
+    if (action == 0) {
+      const uint32_t val = static_cast<uint32_t>(rng.NextU64());
+      const bool inserted = tree.Insert(key, val);
+      EXPECT_EQ(inserted, ref.find(key) == ref.end());
+      ref[key] = val;
+    } else if (action == 1) {
+      EXPECT_EQ(tree.Erase(key), ref.erase(key) > 0);
+    } else {
+      const uint32_t* found = tree.Find(key);
+      auto it = ref.find(key);
+      if (it == ref.end()) {
+        EXPECT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+    EXPECT_EQ(tree.size(), ref.size());
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  // Final content identical.
+  std::vector<std::pair<uint32_t, uint32_t>> got;
+  tree.ForEach([&](uint32_t k, uint32_t v) { got.emplace_back(k, v); });
+  std::vector<std::pair<uint32_t, uint32_t>> want(ref.begin(), ref.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(BPlusTree, MoveSemantics) {
+  BPlusTree<int, int> a;
+  for (int k = 0; k < 100; ++k) a.Insert(k, k);
+  BPlusTree<int, int> b = std::move(a);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(b.CheckInvariants());
+  a = std::move(b);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_NE(a.Find(50), nullptr);
+}
+
+TEST(BPlusTree, SizeBytesGrows) {
+  BPlusTree<int, int> tree;
+  const size_t empty = tree.SizeBytes();
+  for (int k = 0; k < 1000; ++k) tree.Insert(k, k);
+  EXPECT_GT(tree.SizeBytes(), empty);
+}
+
+}  // namespace
+}  // namespace tso

@@ -1,0 +1,127 @@
+#include "oracle/compressed_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "geodesic/mmp_solver.h"
+#include "terrain/dataset.h"
+
+namespace tso {
+namespace {
+
+struct Fixture {
+  StatusOr<Dataset> ds;
+  std::unique_ptr<MmpSolver> solver;
+  StatusOr<PartitionTree> tree{Status::Internal("unset")};
+
+  explicit Fixture(size_t n_pois, uint64_t seed) :
+      ds(MakePaperDataset(PaperDataset::kSanFranciscoSmall, 400, n_pois,
+                          seed)) {
+    TSO_CHECK(ds.ok());
+    solver = std::make_unique<MmpSolver>(*ds->mesh);
+    Rng rng(seed * 3 + 1);
+    tree = PartitionTree::Build(*ds->mesh, ds->pois, *solver,
+                                SelectionStrategy::kRandom, rng, nullptr);
+    TSO_CHECK(tree.ok());
+  }
+};
+
+TEST(CompressedTree, InvariantsHold) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Fixture fx(16, seed);
+    CompressedTree ct = CompressedTree::FromPartitionTree(*fx.tree);
+    EXPECT_TRUE(ct.CheckInvariants().ok()) << "seed " << seed;
+    EXPECT_EQ(ct.height(), fx.tree->height());
+    EXPECT_LE(ct.num_nodes(), 2 * fx.ds->pois.size() - 1);  // Lemma 9
+    EXPECT_LE(ct.num_nodes(), fx.tree->num_nodes());
+  }
+}
+
+TEST(CompressedTree, LeafPerPoi) {
+  Fixture fx(20, 7);
+  CompressedTree ct = CompressedTree::FromPartitionTree(*fx.tree);
+  std::vector<bool> used(ct.num_nodes(), false);
+  for (uint32_t p = 0; p < fx.ds->pois.size(); ++p) {
+    const uint32_t leaf = ct.leaf_of_poi(p);
+    ASSERT_LT(leaf, ct.num_nodes());
+    EXPECT_EQ(ct.node(leaf).center, p);
+    EXPECT_EQ(ct.node(leaf).num_children, 0u);
+    EXPECT_EQ(ct.node(leaf).radius, 0.0);
+    EXPECT_FALSE(used[leaf]);
+    used[leaf] = true;
+  }
+}
+
+TEST(CompressedTree, CentersPreservedOnPath) {
+  // The surviving node of a collapsed chain keeps the chain's center
+  // (all nodes of a single-child chain share the same center by Step 2(b)(i)
+  // of the construction: a previous-layer center is selected first).
+  Fixture fx(15, 11);
+  CompressedTree ct = CompressedTree::FromPartitionTree(*fx.tree);
+  // Walk each leaf to the root; layers must strictly decrease.
+  for (uint32_t p = 0; p < fx.ds->pois.size(); ++p) {
+    uint32_t cur = ct.leaf_of_poi(p);
+    int last_layer = ct.node(cur).layer;
+    while (ct.node(cur).parent != kInvalidId) {
+      cur = ct.node(cur).parent;
+      EXPECT_LT(ct.node(cur).layer, last_layer);
+      last_layer = ct.node(cur).layer;
+    }
+    EXPECT_EQ(cur, ct.root());
+  }
+}
+
+TEST(CompressedTree, AncestorArray) {
+  Fixture fx(18, 13);
+  CompressedTree ct = CompressedTree::FromPartitionTree(*fx.tree);
+  std::vector<uint32_t> arr;
+  for (uint32_t p = 0; p < fx.ds->pois.size(); ++p) {
+    const uint32_t leaf = ct.leaf_of_poi(p);
+    ct.AncestorArray(leaf, &arr);
+    ASSERT_EQ(arr.size(), static_cast<size_t>(ct.height()) + 1);
+    EXPECT_EQ(arr[0], ct.root());
+    EXPECT_EQ(arr[ct.height()], leaf);
+    // Every non-empty entry sits at its own layer, and entries are exactly
+    // the path nodes.
+    int path_nodes = 0;
+    for (int i = 0; i <= ct.height(); ++i) {
+      if (arr[i] == kInvalidId) continue;
+      EXPECT_EQ(ct.node(arr[i]).layer, i);
+      ++path_nodes;
+    }
+    int walk_nodes = 0;
+    for (uint32_t cur = leaf; cur != kInvalidId; cur = ct.node(cur).parent) {
+      ++walk_nodes;
+    }
+    EXPECT_EQ(path_nodes, walk_nodes);
+  }
+}
+
+TEST(CompressedTree, ChildLinksConsistent) {
+  Fixture fx(22, 17);
+  CompressedTree ct = CompressedTree::FromPartitionTree(*fx.tree);
+  size_t edges = 0;
+  for (uint32_t id = 0; id < ct.num_nodes(); ++id) {
+    uint32_t count = 0;
+    for (uint32_t c = ct.node(id).first_child; c != kInvalidId;
+         c = ct.node(c).next_sibling) {
+      EXPECT_EQ(ct.node(c).parent, id);
+      ++count;
+    }
+    EXPECT_EQ(count, ct.node(id).num_children);
+    edges += count;
+  }
+  EXPECT_EQ(edges, ct.num_nodes() - 1);  // a tree
+}
+
+TEST(CompressedTree, SingleNodeTree) {
+  Fixture fx(1, 23);
+  CompressedTree ct = CompressedTree::FromPartitionTree(*fx.tree);
+  EXPECT_EQ(ct.num_nodes(), 1u);
+  EXPECT_TRUE(ct.CheckInvariants().ok());
+  std::vector<uint32_t> arr;
+  ct.AncestorArray(ct.leaf_of_poi(0), &arr);
+  EXPECT_EQ(arr[0], ct.root());
+}
+
+}  // namespace
+}  // namespace tso

@@ -1,0 +1,167 @@
+#include "oracle/dynamic_oracle.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geodesic/mmp_solver.h"
+#include "terrain/dataset.h"
+#include "terrain/poi_generator.h"
+
+namespace tso {
+namespace {
+
+struct DynFixture {
+  StatusOr<Dataset> ds;
+  std::unique_ptr<MmpSolver> solver;
+
+  explicit DynFixture(uint64_t seed = 5)
+      : ds(MakePaperDataset(PaperDataset::kSanFranciscoSmall, 400, 15,
+                            seed)) {
+    TSO_CHECK(ds.ok());
+    solver = std::make_unique<MmpSolver>(*ds->mesh);
+  }
+
+  DynamicSeOracle BuildDyn(double eps = 0.1, double ratio = 0.25) {
+    DynamicOracleOptions options;
+    options.base.epsilon = eps;
+    options.compaction_ratio = ratio;
+    StatusOr<DynamicSeOracle> oracle =
+        DynamicSeOracle::Build(*ds->mesh, ds->pois, *solver, options);
+    TSO_CHECK(oracle.ok());
+    return std::move(*oracle);
+  }
+};
+
+TEST(DynamicOracle, BaseQueriesWithinEpsilon) {
+  DynFixture fx;
+  DynamicSeOracle oracle = fx.BuildDyn(0.1);
+  for (uint32_t s = 0; s < fx.ds->n(); ++s) {
+    for (uint32_t t = s + 1; t < fx.ds->n(); ++t) {
+      const double truth =
+          fx.solver->PointToPoint(fx.ds->pois[s], fx.ds->pois[t]).value();
+      EXPECT_LE(std::abs(*oracle.Distance(s, t) - truth), 0.1 * truth + 1e-9);
+    }
+  }
+}
+
+TEST(DynamicOracle, InsertedPoiQueriesAreExact) {
+  DynFixture fx(7);
+  DynamicSeOracle oracle = fx.BuildDyn(0.1, /*ratio=*/10.0);  // no compaction
+  Rng rng(3);
+  std::vector<SurfacePoint> extra =
+      GenerateUniformPois(*fx.ds->mesh, *fx.ds->locator, 5, rng);
+  std::vector<uint32_t> ids;
+  for (const SurfacePoint& p : extra) {
+    StatusOr<uint32_t> id = oracle.Insert(p);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  EXPECT_EQ(oracle.stats().compactions, 0u);
+  // Delta-to-base: exact.
+  for (uint32_t id : ids) {
+    for (uint32_t b = 0; b < fx.ds->n(); ++b) {
+      const double truth =
+          fx.solver->PointToPoint(oracle.poi(id), fx.ds->pois[b]).value();
+      EXPECT_NEAR(*oracle.Distance(id, b), truth, 1e-6 * (1.0 + truth));
+      EXPECT_NEAR(*oracle.Distance(b, id), truth, 1e-6 * (1.0 + truth));
+    }
+  }
+  // Delta-to-delta (younger row covers older id): exact.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      const double truth =
+          fx.solver->PointToPoint(oracle.poi(ids[i]), oracle.poi(ids[j]))
+              .value();
+      EXPECT_NEAR(*oracle.Distance(ids[i], ids[j]), truth,
+                  1e-6 * (1.0 + truth));
+    }
+  }
+}
+
+TEST(DynamicOracle, RemoveTombstones) {
+  DynFixture fx(9);
+  DynamicSeOracle oracle = fx.BuildDyn();
+  ASSERT_TRUE(oracle.Remove(3).ok());
+  EXPECT_FALSE(oracle.IsLive(3));
+  EXPECT_EQ(oracle.num_live(), fx.ds->n() - 1);
+  EXPECT_FALSE(oracle.Distance(3, 1).ok());
+  EXPECT_FALSE(oracle.Distance(1, 3).ok());
+  EXPECT_FALSE(oracle.Remove(3).ok());  // double-remove rejected
+  // Other pairs unaffected.
+  EXPECT_TRUE(oracle.Distance(1, 2).ok());
+}
+
+TEST(DynamicOracle, CompactionPreservesAnswers) {
+  DynFixture fx(11);
+  DynamicSeOracle oracle = fx.BuildDyn(0.1, /*ratio=*/10.0);
+  Rng rng(5);
+  std::vector<SurfacePoint> extra =
+      GenerateUniformPois(*fx.ds->mesh, *fx.ds->locator, 6, rng);
+  std::vector<uint32_t> ids;
+  for (const SurfacePoint& p : extra) ids.push_back(*oracle.Insert(p));
+  ASSERT_TRUE(oracle.Remove(0).ok());
+  ASSERT_TRUE(oracle.Remove(ids[1]).ok());
+
+  // Snapshot all live pairwise answers, then force a compaction.
+  std::vector<uint32_t> live;
+  for (uint32_t id = 0; id < oracle.num_ids(); ++id) {
+    if (oracle.IsLive(id)) live.push_back(id);
+  }
+  ASSERT_TRUE(oracle.Compact().ok());
+  EXPECT_EQ(oracle.stats().compactions, 1u);
+  EXPECT_EQ(oracle.stats().delta_size, 0u);
+  for (uint32_t s : live) {
+    for (uint32_t t : live) {
+      if (s == t) continue;
+      const double truth =
+          fx.solver->PointToPoint(oracle.poi(s), oracle.poi(t)).value();
+      StatusOr<double> d = oracle.Distance(s, t);
+      ASSERT_TRUE(d.ok()) << s << "," << t;
+      EXPECT_LE(std::abs(*d - truth), 0.1 * truth + 1e-9) << s << "," << t;
+    }
+  }
+  // Tombstoned ids stay dead across compaction.
+  EXPECT_FALSE(oracle.Distance(0, live[0]).ok());
+}
+
+TEST(DynamicOracle, AutomaticCompactionTriggers) {
+  DynFixture fx(13);
+  DynamicSeOracle oracle = fx.BuildDyn(0.15, /*ratio=*/0.25);
+  Rng rng(7);
+  std::vector<SurfacePoint> extra =
+      GenerateUniformPois(*fx.ds->mesh, *fx.ds->locator, 10, rng);
+  for (const SurfacePoint& p : extra) ASSERT_TRUE(oracle.Insert(p).ok());
+  EXPECT_GE(oracle.stats().compactions, 1u);
+  // All 25 live POIs answer within epsilon after the rebuild(s).
+  Rng qrng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint32_t s = static_cast<uint32_t>(qrng.Uniform(oracle.num_ids()));
+    const uint32_t t = static_cast<uint32_t>(qrng.Uniform(oracle.num_ids()));
+    if (s == t || !oracle.IsLive(s) || !oracle.IsLive(t)) continue;
+    const double truth =
+        fx.solver->PointToPoint(oracle.poi(s), oracle.poi(t)).value();
+    EXPECT_LE(std::abs(*oracle.Distance(s, t) - truth), 0.15 * truth + 1e-9);
+  }
+}
+
+TEST(DynamicOracle, InvalidIdsRejected) {
+  DynFixture fx(15);
+  DynamicSeOracle oracle = fx.BuildDyn();
+  EXPECT_FALSE(oracle.Distance(0, 999).ok());
+  EXPECT_FALSE(oracle.Remove(999).ok());
+}
+
+TEST(DynamicOracle, SizeAccountsForDelta) {
+  DynFixture fx(17);
+  DynamicSeOracle oracle = fx.BuildDyn(0.1, /*ratio=*/10.0);
+  const size_t before = oracle.SizeBytes();
+  Rng rng(11);
+  std::vector<SurfacePoint> extra =
+      GenerateUniformPois(*fx.ds->mesh, *fx.ds->locator, 3, rng);
+  for (const SurfacePoint& p : extra) ASSERT_TRUE(oracle.Insert(p).ok());
+  EXPECT_GT(oracle.SizeBytes(), before);
+}
+
+}  // namespace
+}  // namespace tso

@@ -1,0 +1,150 @@
+// Cross-module integration tests: full pipeline over every paper-dataset
+// stand-in, capacity dimension ranges, and end-to-end workload checks.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geodesic/dijkstra_solver.h"
+#include "geodesic/mmp_solver.h"
+#include "oracle/capacity_dimension.h"
+#include "oracle/se_oracle.h"
+#include "query/knn.h"
+#include "terrain/dataset.h"
+#include "terrain/poi_generator.h"
+
+namespace tso {
+namespace {
+
+TEST(Integration, AllPaperDatasetsBuildAndAnswer) {
+  for (PaperDataset which :
+       {PaperDataset::kBearHead, PaperDataset::kEaglePeak,
+        PaperDataset::kSanFrancisco, PaperDataset::kSanFranciscoSmall}) {
+    StatusOr<Dataset> ds = MakePaperDataset(which, 800, 30, 5);
+    ASSERT_TRUE(ds.ok()) << PaperDatasetName(which);
+    MmpSolver solver(*ds->mesh);
+    SeOracleOptions options;
+    options.epsilon = 0.25;
+    SeBuildStats stats;
+    StatusOr<SeOracle> oracle =
+        SeOracle::Build(*ds->mesh, ds->pois, solver, options, &stats);
+    ASSERT_TRUE(oracle.ok())
+        << PaperDatasetName(which) << ": " << oracle.status().ToString();
+    EXPECT_LT(stats.height, 30) << "paper: h < 30 in practice";
+    EXPECT_EQ(stats.distance_fallbacks, 0u);
+
+    Rng rng(9);
+    for (int i = 0; i < 20; ++i) {
+      const uint32_t s = static_cast<uint32_t>(rng.Uniform(ds->n()));
+      const uint32_t t = static_cast<uint32_t>(rng.Uniform(ds->n()));
+      if (s == t) continue;
+      const double truth =
+          solver.PointToPoint(ds->pois[s], ds->pois[t]).value();
+      const double approx = oracle->Distance(s, t).value();
+      EXPECT_LE(std::abs(approx - truth), options.epsilon * truth + 1e-9)
+          << PaperDatasetName(which);
+    }
+  }
+}
+
+TEST(Integration, CapacityDimensionInPaperRange) {
+  // Appendix A: β is a little above 1.3 on terrain data, measured between
+  // 1.3 and 1.5 on the paper's datasets. Our synthetic stand-ins should be
+  // in a comparable band (sampling noise allowed).
+  StatusOr<Dataset> ds =
+      MakePaperDataset(PaperDataset::kBearHead, 2000, 300, 7);
+  ASSERT_TRUE(ds.ok());
+  DijkstraSolver solver(*ds->mesh);  // coarse metric is fine for packing
+  Rng rng(13);
+  CapacityDimensionEstimate est =
+      EstimateCapacityDimension(ds->pois, solver, 40, rng);
+  EXPECT_GT(est.samples, 0u);
+  EXPECT_GT(est.beta, 0.5);
+  EXPECT_LT(est.beta, 2.2);
+  EXPECT_LE(est.mean_dimension, est.beta);
+}
+
+TEST(Integration, OracleSizeIndependentOfTerrainSize) {
+  // SE's defining property (§1.3): the oracle size is driven by n (POIs),
+  // not by N (terrain vertices) — unlike SP-Oracle, whose Steiner machinery
+  // scales with N. Same POI count on a 4x finer mesh of the same region
+  // must yield a comparable oracle size.
+  StatusOr<Dataset> coarse =
+      MakePaperDataset(PaperDataset::kSanFranciscoSmall, 400, 30, 3);
+  StatusOr<Dataset> fine =
+      MakePaperDataset(PaperDataset::kSanFranciscoSmall, 1600, 30, 3);
+  ASSERT_TRUE(coarse.ok() && fine.ok());
+  ASSERT_GT(fine->N(), 3 * coarse->N());
+  MmpSolver solver_a(*coarse->mesh);
+  MmpSolver solver_b(*fine->mesh);
+  SeOracleOptions options;
+  options.epsilon = 0.2;
+  StatusOr<SeOracle> a =
+      SeOracle::Build(*coarse->mesh, coarse->pois, solver_a, options,
+                      nullptr);
+  StatusOr<SeOracle> b =
+      SeOracle::Build(*fine->mesh, fine->pois, solver_b, options, nullptr);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // POI layouts differ slightly between the meshes, so allow generous slack;
+  // the point is that size does NOT track the 4x growth in N.
+  const double ratio = static_cast<double>(b->SizeBytes()) /
+                       static_cast<double>(a->SizeBytes());
+  EXPECT_LT(ratio, 2.5);
+  EXPECT_GT(ratio, 0.4);
+}
+
+TEST(Integration, HikersWorkflow) {
+  // The GIS scenario of §1.1: landmarks, one kNN per landmark.
+  StatusOr<Dataset> ds =
+      MakePaperDataset(PaperDataset::kEaglePeak, 700, 25, 21);
+  ASSERT_TRUE(ds.ok());
+  MmpSolver solver(*ds->mesh);
+  SeOracleOptions options;
+  options.epsilon = 0.1;
+  StatusOr<SeOracle> oracle =
+      SeOracle::Build(*ds->mesh, ds->pois, solver, options, nullptr);
+  ASSERT_TRUE(oracle.ok());
+  for (uint32_t q = 0; q < 5; ++q) {
+    StatusOr<std::vector<KnnResult>> knn = KnnQuery(*oracle, q, 3);
+    ASSERT_TRUE(knn.ok());
+    ASSERT_EQ(knn->size(), 3u);
+    // kNN under the ε metric must be near-optimal under the exact metric.
+    const double exact_to_first =
+        solver.PointToPoint(ds->pois[q], ds->pois[(*knn)[0].poi]).value();
+    for (uint32_t p = 0; p < ds->n(); ++p) {
+      if (p == q) continue;
+      const double d = solver.PointToPoint(ds->pois[q], ds->pois[p]).value();
+      EXPECT_GE(d, exact_to_first / (1.0 + options.epsilon) /
+                       (1.0 + options.epsilon) - 1e-9);
+    }
+  }
+}
+
+TEST(Integration, VertexAndFacePoisMixed) {
+  StatusOr<Dataset> ds =
+      MakePaperDataset(PaperDataset::kSanFranciscoSmall, 500, 10, 23);
+  ASSERT_TRUE(ds.ok());
+  std::vector<SurfacePoint> pois = ds->pois;
+  Rng rng(5);
+  for (uint32_t i = 0; i < 10; ++i) {
+    pois.push_back(SurfacePoint::AtVertex(
+        *ds->mesh, static_cast<uint32_t>(rng.Uniform(ds->mesh->num_vertices()))));
+  }
+  MmpSolver solver(*ds->mesh);
+  SeOracleOptions options;
+  options.epsilon = 0.15;
+  StatusOr<SeOracle> oracle =
+      SeOracle::Build(*ds->mesh, pois, solver, options, nullptr);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  for (int trial = 0; trial < 15; ++trial) {
+    const uint32_t s = static_cast<uint32_t>(rng.Uniform(pois.size()));
+    const uint32_t t = static_cast<uint32_t>(rng.Uniform(pois.size()));
+    if (s == t) continue;
+    const double truth = solver.PointToPoint(pois[s], pois[t]).value();
+    EXPECT_LE(std::abs(*oracle->Distance(s, t) - truth),
+              options.epsilon * truth + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tso

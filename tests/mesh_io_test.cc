@@ -1,0 +1,98 @@
+#include "mesh/mesh_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "base/logging.h"
+#include "mesh/mesh_builder.h"
+
+namespace tso {
+namespace {
+
+class MeshIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+
+  TerrainMesh MakeMesh() {
+    StatusOr<TerrainMesh> mesh = MeshFromFunction(
+        4, 4, 1.5, [](double x, double y) { return 0.1 * x * y; });
+    TSO_CHECK(mesh.ok());
+    return std::move(*mesh);
+  }
+};
+
+TEST_F(MeshIoTest, OffRoundTrip) {
+  TerrainMesh mesh = MakeMesh();
+  const std::string path = TempPath("mesh.off");
+  ASSERT_TRUE(WriteOff(mesh, path).ok());
+  StatusOr<TerrainMesh> back = ReadOff(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_vertices(), mesh.num_vertices());
+  ASSERT_EQ(back->num_faces(), mesh.num_faces());
+  for (uint32_t v = 0; v < mesh.num_vertices(); ++v) {
+    EXPECT_EQ(back->vertex(v), mesh.vertex(v));
+  }
+  for (uint32_t f = 0; f < mesh.num_faces(); ++f) {
+    EXPECT_EQ(back->face(f), mesh.face(f));
+  }
+}
+
+TEST_F(MeshIoTest, ObjRoundTrip) {
+  TerrainMesh mesh = MakeMesh();
+  const std::string path = TempPath("mesh.obj");
+  ASSERT_TRUE(WriteObj(mesh, path).ok());
+  StatusOr<TerrainMesh> back = ReadObj(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_vertices(), mesh.num_vertices());
+  ASSERT_EQ(back->num_faces(), mesh.num_faces());
+  for (uint32_t v = 0; v < mesh.num_vertices(); ++v) {
+    EXPECT_EQ(back->vertex(v), mesh.vertex(v));
+  }
+}
+
+TEST_F(MeshIoTest, MissingFileErrors) {
+  EXPECT_EQ(ReadOff("/nonexistent/foo.off").status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(ReadObj("/nonexistent/foo.obj").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(MeshIoTest, BadOffHeader) {
+  const std::string path = TempPath("bad.off");
+  std::ofstream(path) << "NOTOFF\n1 1 0\n";
+  EXPECT_FALSE(ReadOff(path).ok());
+}
+
+TEST_F(MeshIoTest, TruncatedOff) {
+  const std::string path = TempPath("trunc.off");
+  std::ofstream(path) << "OFF\n4 2 0\n0 0 0\n1 0 0\n";
+  EXPECT_FALSE(ReadOff(path).ok());
+}
+
+TEST_F(MeshIoTest, NonTriangleOffFace) {
+  const std::string path = TempPath("quad.off");
+  std::ofstream(path) << "OFF\n4 1 0\n0 0 0\n1 0 0\n1 1 0\n0 1 0\n4 0 1 2 3\n";
+  EXPECT_FALSE(ReadOff(path).ok());
+}
+
+TEST_F(MeshIoTest, ObjWithSlashesAndComments) {
+  const std::string path = TempPath("slash.obj");
+  std::ofstream(path) << "# comment\nv 0 0 0\nv 1 0 0\nv 0 1 0\n"
+                      << "f 1/1 2/2 3/3\n";
+  StatusOr<TerrainMesh> mesh = ReadObj(path);
+  ASSERT_TRUE(mesh.ok()) << mesh.status().ToString();
+  EXPECT_EQ(mesh->num_faces(), 1u);
+}
+
+TEST_F(MeshIoTest, ObjNonTriangleRejected) {
+  const std::string path = TempPath("quad.obj");
+  std::ofstream(path) << "v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\nf 1 2 3 4\n";
+  EXPECT_FALSE(ReadObj(path).ok());
+}
+
+}  // namespace
+}  // namespace tso

@@ -1,0 +1,185 @@
+#include "mesh/terrain_mesh.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mesh/mesh_builder.h"
+#include "mesh/refine.h"
+
+namespace tso {
+namespace {
+
+StatusOr<TerrainMesh> TwoTriangleSquare() {
+  return TerrainMesh::FromSoup({{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0}},
+                               {{0, 1, 2}, {0, 2, 3}});
+}
+
+TEST(TerrainMesh, CountsAndAccessors) {
+  StatusOr<TerrainMesh> mesh = TwoTriangleSquare();
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_EQ(mesh->num_vertices(), 4u);
+  EXPECT_EQ(mesh->num_faces(), 2u);
+  EXPECT_EQ(mesh->num_edges(), 5u);
+  EXPECT_TRUE(mesh->Validate().ok());
+}
+
+TEST(TerrainMesh, RejectsEmpty) {
+  EXPECT_FALSE(TerrainMesh::FromSoup({}, {}).ok());
+  EXPECT_FALSE(TerrainMesh::FromSoup({{0, 0, 0}}, {}).ok());
+}
+
+TEST(TerrainMesh, RejectsBadIndices) {
+  EXPECT_FALSE(
+      TerrainMesh::FromSoup({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}}, {{0, 1, 5}})
+          .ok());
+}
+
+TEST(TerrainMesh, RejectsRepeatedVertexInFace) {
+  EXPECT_FALSE(
+      TerrainMesh::FromSoup({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}}, {{0, 1, 1}})
+          .ok());
+}
+
+TEST(TerrainMesh, RejectsDegenerateFace) {
+  EXPECT_FALSE(TerrainMesh::FromSoup(
+                   {{0, 0, 0}, {1, 0, 0}, {2, 0, 0}}, {{0, 1, 2}})
+                   .ok());
+}
+
+TEST(TerrainMesh, RejectsNonManifoldEdge) {
+  // Three faces sharing edge (0,1).
+  EXPECT_FALSE(TerrainMesh::FromSoup({{0, 0, 0},
+                                      {1, 0, 0},
+                                      {0, 1, 0},
+                                      {0, -1, 0},
+                                      {0, 0, 1}},
+                                     {{0, 1, 2}, {0, 1, 3}, {0, 1, 4}})
+                   .ok());
+}
+
+TEST(TerrainMesh, RejectsIsolatedVertex) {
+  EXPECT_FALSE(TerrainMesh::FromSoup(
+                   {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {9, 9, 9}}, {{0, 1, 2}})
+                   .ok());
+}
+
+TEST(TerrainMesh, EdgeAdjacency) {
+  StatusOr<TerrainMesh> mesh = TwoTriangleSquare();
+  ASSERT_TRUE(mesh.ok());
+  const uint32_t diag = mesh->edge_between(0, 2);
+  ASSERT_NE(diag, kInvalidId);
+  const TerrainMesh::Edge& e = mesh->edge(diag);
+  EXPECT_NE(e.f0, kInvalidId);
+  EXPECT_NE(e.f1, kInvalidId);
+  EXPECT_NE(e.f0, e.f1);
+  EXPECT_EQ(mesh->other_face(diag, e.f0), e.f1);
+  EXPECT_EQ(mesh->other_face(diag, e.f1), e.f0);
+  // Boundary edge has one face.
+  const uint32_t boundary = mesh->edge_between(0, 1);
+  ASSERT_NE(boundary, kInvalidId);
+  EXPECT_EQ(mesh->edge(boundary).f1, kInvalidId);
+  EXPECT_EQ(mesh->edge_between(1, 3), kInvalidId);  // not an edge
+}
+
+TEST(TerrainMesh, OppositeVertex) {
+  StatusOr<TerrainMesh> mesh = TwoTriangleSquare();
+  ASSERT_TRUE(mesh.ok());
+  const uint32_t diag = mesh->edge_between(0, 2);
+  const TerrainMesh::Edge& e = mesh->edge(diag);
+  const uint32_t a = mesh->opposite_vertex(e.f0, diag);
+  const uint32_t b = mesh->opposite_vertex(e.f1, diag);
+  EXPECT_TRUE((a == 1 && b == 3) || (a == 3 && b == 1));
+}
+
+TEST(TerrainMesh, VertexStars) {
+  StatusOr<TerrainMesh> mesh = TwoTriangleSquare();
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_EQ(mesh->vertex_edges(0).size(), 3u);  // 0-1, 0-2, 0-3
+  EXPECT_EQ(mesh->vertex_faces(0).size(), 2u);
+  EXPECT_EQ(mesh->vertex_faces(1).size(), 1u);
+}
+
+TEST(TerrainMesh, GeometryDerived) {
+  StatusOr<TerrainMesh> mesh = TwoTriangleSquare();
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_NEAR(mesh->TotalArea(), 1.0, 1e-12);
+  EXPECT_NEAR(mesh->FaceArea(0), 0.5, 1e-12);
+  EXPECT_NEAR(mesh->MinInnerAngle(), M_PI / 4.0, 1e-12);
+  EXPECT_NEAR(mesh->MinEdgeLength(), 1.0, 1e-12);
+  EXPECT_NEAR(mesh->MaxEdgeLength(), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(mesh->VertexAngleSum(0), M_PI / 2.0, 1e-12);
+  EXPECT_TRUE(mesh->IsBoundaryVertex(0));
+}
+
+TEST(TerrainMesh, BoundingBox) {
+  StatusOr<TerrainMesh> mesh = TwoTriangleSquare();
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_EQ(mesh->bounding_box().min, Vec3(0, 0, 0));
+  EXPECT_EQ(mesh->bounding_box().max, Vec3(1, 1, 0));
+}
+
+TEST(GridBuilder, TriangulatesDem) {
+  GridDem dem;
+  dem.width = 4;
+  dem.height = 3;
+  dem.cell = 2.0;
+  dem.z = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  StatusOr<TerrainMesh> mesh = TriangulateDem(dem);
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_EQ(mesh->num_vertices(), 12u);
+  EXPECT_EQ(mesh->num_faces(), 2u * 3 * 2);
+  EXPECT_TRUE(mesh->Validate().ok());
+  // Euler check for a disk-topology mesh: V - E + F = 1.
+  EXPECT_EQ(static_cast<int>(mesh->num_vertices()) -
+                static_cast<int>(mesh->num_edges()) +
+                static_cast<int>(mesh->num_faces()),
+            1);
+}
+
+TEST(GridBuilder, RejectsTinyOrInconsistent) {
+  GridDem dem;
+  dem.width = 1;
+  dem.height = 3;
+  dem.z = {0, 0, 0};
+  EXPECT_FALSE(TriangulateDem(dem).ok());
+  dem.width = 2;
+  dem.height = 2;
+  dem.z = {0, 0, 0};  // wrong size
+  EXPECT_FALSE(TriangulateDem(dem).ok());
+}
+
+TEST(GridBuilder, FromFunction) {
+  StatusOr<TerrainMesh> mesh = MeshFromFunction(
+      5, 5, 1.0, [](double x, double y) { return x + y; });
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_EQ(mesh->num_vertices(), 25u);
+  // Vertex 0 at origin, height 0; last vertex at (4,4), height 8.
+  EXPECT_DOUBLE_EQ(mesh->vertex(0).z, 0.0);
+  EXPECT_DOUBLE_EQ(mesh->vertex(24).z, 8.0);
+}
+
+TEST(Refine, CentroidSplitTriplesFaces) {
+  StatusOr<TerrainMesh> mesh = TwoTriangleSquare();
+  ASSERT_TRUE(mesh.ok());
+  StatusOr<TerrainMesh> refined = RefineCentroid(*mesh);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(refined->num_faces(), 6u);
+  EXPECT_EQ(refined->num_vertices(), 6u);
+  EXPECT_NEAR(refined->TotalArea(), mesh->TotalArea(), 1e-12);
+  EXPECT_TRUE(refined->Validate().ok());
+}
+
+TEST(Refine, Rounds) {
+  StatusOr<TerrainMesh> mesh = TwoTriangleSquare();
+  ASSERT_TRUE(mesh.ok());
+  StatusOr<TerrainMesh> r2 = RefineCentroidRounds(*mesh, 2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->num_faces(), 18u);
+  StatusOr<TerrainMesh> r0 = RefineCentroidRounds(*mesh, 0);
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ(r0->num_faces(), 2u);
+}
+
+}  // namespace
+}  // namespace tso

@@ -1,0 +1,167 @@
+// Property-style tests for the exact MMP solver, parameterized over terrain
+// seeds and relief amplitudes.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "geodesic/mmp_solver.h"
+#include "geodesic/steiner_graph.h"
+#include "geodesic/steiner_solver.h"
+#include "mesh/refine.h"
+#include "terrain/terrain_synth.h"
+
+namespace tso {
+namespace {
+
+TerrainMesh Synth(uint64_t seed, double amplitude, uint32_t n = 300) {
+  SynthSpec spec;
+  spec.extent_x = 900.0;
+  spec.extent_y = 700.0;
+  spec.amplitude = amplitude;
+  spec.feature_size = 250.0;
+  spec.seed = seed;
+  StatusOr<TerrainMesh> mesh = SynthesizeMesh(spec, n);
+  TSO_CHECK(mesh.ok());
+  return std::move(*mesh);
+}
+
+class MmpTerrainSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+// Centroid refinement leaves the surface geometrically identical (the new
+// vertex lies in the face plane), so exact geodesic distances must be
+// invariant — a very sharp correctness probe for window propagation across
+// different triangulations of the same surface.
+TEST_P(MmpTerrainSweep, RefinementInvariance) {
+  const auto [seed, amplitude] = GetParam();
+  TerrainMesh mesh = Synth(seed, amplitude);
+  StatusOr<TerrainMesh> refined = RefineCentroid(mesh);
+  ASSERT_TRUE(refined.ok());
+  MmpSolver coarse(mesh);
+  MmpSolver fine(*refined);
+  Rng rng(seed * 31 + 7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const uint32_t a = static_cast<uint32_t>(rng.Uniform(mesh.num_vertices()));
+    const uint32_t b = static_cast<uint32_t>(rng.Uniform(mesh.num_vertices()));
+    if (a == b) continue;
+    // Original vertices keep their ids in RefineCentroid's output.
+    const double d0 = coarse
+                          .PointToPoint(SurfacePoint::AtVertex(mesh, a),
+                                        SurfacePoint::AtVertex(mesh, b))
+                          .value();
+    const double d1 = fine
+                          .PointToPoint(SurfacePoint::AtVertex(*refined, a),
+                                        SurfacePoint::AtVertex(*refined, b))
+                          .value();
+    EXPECT_NEAR(d0, d1, 1e-6 * (1.0 + d0))
+        << "seed=" << seed << " amp=" << amplitude << " pair " << a << ","
+        << b;
+  }
+}
+
+TEST_P(MmpTerrainSweep, BoundedByDenseSteinerGraph) {
+  const auto [seed, amplitude] = GetParam();
+  TerrainMesh mesh = Synth(seed, amplitude);
+  MmpSolver mmp(mesh);
+  StatusOr<SteinerGraph> graph = SteinerGraph::Build(mesh, 8);
+  ASSERT_TRUE(graph.ok());
+  SteinerSolver steiner(*graph);
+  Rng rng(seed * 17 + 3);
+  for (int trial = 0; trial < 4; ++trial) {
+    const uint32_t a = static_cast<uint32_t>(rng.Uniform(mesh.num_vertices()));
+    const uint32_t b = static_cast<uint32_t>(rng.Uniform(mesh.num_vertices()));
+    if (a == b) continue;
+    const SurfacePoint s = SurfacePoint::AtVertex(mesh, a);
+    const SurfacePoint t = SurfacePoint::AtVertex(mesh, b);
+    const double exact = mmp.PointToPoint(s, t).value();
+    const double graph_d = steiner.PointToPoint(s, t).value();
+    EXPECT_LE(exact, graph_d * (1.0 + 1e-9));
+    EXPECT_LE(graph_d, exact * 1.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndReliefs, MmpTerrainSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(0.0, 150.0, 450.0)));
+
+TEST(MmpFlatAmplitude, ZeroReliefIsEuclidean) {
+  TerrainMesh mesh = Synth(9, 0.0);
+  MmpSolver solver(mesh);
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const uint32_t a = static_cast<uint32_t>(rng.Uniform(mesh.num_vertices()));
+    const uint32_t b = static_cast<uint32_t>(rng.Uniform(mesh.num_vertices()));
+    const double d = solver
+                         .PointToPoint(SurfacePoint::AtVertex(mesh, a),
+                                       SurfacePoint::AtVertex(mesh, b))
+                         .value();
+    EXPECT_NEAR(d, Distance(mesh.vertex(a), mesh.vertex(b)),
+                1e-7 * (1.0 + d));
+  }
+}
+
+// Failure injection: the window budget must abort the run with a clean
+// error, not crash or hang.
+TEST(MmpFailureInjection, WindowBudgetExceeded) {
+  TerrainMesh mesh = Synth(11, 300.0, 400);
+  MmpSolver solver(mesh);
+  solver.set_max_windows(16);
+  const Status status = solver.Run(SurfacePoint::AtVertex(mesh, 0), {});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(MmpFailureInjection, RecoversAfterFailedRun) {
+  TerrainMesh mesh = Synth(12, 300.0, 400);
+  MmpSolver solver(mesh);
+  solver.set_max_windows(16);
+  (void)solver.Run(SurfacePoint::AtVertex(mesh, 0), {});
+  solver.set_max_windows(50'000'000);
+  ASSERT_TRUE(solver.Run(SurfacePoint::AtVertex(mesh, 0), {}).ok());
+  EXPECT_EQ(solver.VertexDistance(0), 0.0);
+  EXPECT_TRUE(std::isfinite(
+      solver.VertexDistance(static_cast<uint32_t>(mesh.num_vertices() - 1))));
+}
+
+TEST(MmpState, UnrunSolverReportsInfinity) {
+  TerrainMesh mesh = Synth(13, 100.0, 200);
+  MmpSolver solver(mesh);
+  EXPECT_EQ(solver.VertexDistance(3), kInfDist);
+  EXPECT_EQ(solver.PointDistance(SurfacePoint::AtVertex(mesh, 5)), kInfDist);
+}
+
+TEST(MmpState, RunStatsPopulated) {
+  TerrainMesh mesh = Synth(14, 200.0, 300);
+  MmpSolver solver(mesh);
+  ASSERT_TRUE(solver.Run(SurfacePoint::AtVertex(mesh, 0), {}).ok());
+  EXPECT_GT(solver.stats().windows_created, 0u);
+  EXPECT_GT(solver.stats().windows_propagated, 0u);
+  EXPECT_GT(solver.stats().vertices_processed, 0u);
+  EXPECT_LE(solver.stats().vertices_processed, mesh.num_vertices());
+}
+
+// Consecutive runs from different sources must not leak state.
+TEST(MmpState, RunsAreIndependent) {
+  TerrainMesh mesh = Synth(15, 250.0, 300);
+  MmpSolver fresh_a(mesh);
+  MmpSolver fresh_b(mesh);
+  MmpSolver reused(mesh);
+  const SurfacePoint s0 = SurfacePoint::AtVertex(mesh, 0);
+  const SurfacePoint s1 = SurfacePoint::AtVertex(
+      mesh, static_cast<uint32_t>(mesh.num_vertices() / 2));
+  ASSERT_TRUE(fresh_a.Run(s0, {}).ok());
+  ASSERT_TRUE(fresh_b.Run(s1, {}).ok());
+  ASSERT_TRUE(reused.Run(s0, {}).ok());
+  ASSERT_TRUE(reused.Run(s1, {}).ok());  // second run on the same instance
+  for (uint32_t v = 0; v < mesh.num_vertices(); v += 7) {
+    EXPECT_NEAR(reused.VertexDistance(v), fresh_b.VertexDistance(v),
+                1e-9 * (1.0 + fresh_b.VertexDistance(v)));
+  }
+}
+
+}  // namespace
+}  // namespace tso

@@ -1,0 +1,76 @@
+#include "mesh/point_locator.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "mesh/mesh_builder.h"
+#include "terrain/terrain_synth.h"
+
+namespace tso {
+namespace {
+
+TEST(PointLocator, LocatesInteriorPoints) {
+  StatusOr<TerrainMesh> mesh = MeshFromFunction(
+      8, 8, 1.0, [](double x, double y) { return 0.2 * x + 0.1 * y; });
+  ASSERT_TRUE(mesh.ok());
+  PointLocator locator(*mesh);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.UniformDouble(0.0, 7.0);
+    const double y = rng.UniformDouble(0.0, 7.0);
+    StatusOr<SurfacePoint> p = locator.Locate(x, y);
+    ASSERT_TRUE(p.ok()) << "(" << x << "," << y << ")";
+    EXPECT_NEAR(p->pos.x, x, 1e-12);
+    EXPECT_NEAR(p->pos.y, y, 1e-12);
+    // Height field z = 0.2x + 0.1y is linear, so interpolation is exact.
+    EXPECT_NEAR(p->pos.z, 0.2 * x + 0.1 * y, 1e-9);
+    ASSERT_LT(p->face, mesh->num_faces());
+  }
+}
+
+TEST(PointLocator, OutsideReturnsNotFound) {
+  StatusOr<TerrainMesh> mesh =
+      MeshFromFunction(4, 4, 1.0, [](double, double) { return 0.0; });
+  ASSERT_TRUE(mesh.ok());
+  PointLocator locator(*mesh);
+  EXPECT_EQ(locator.Locate(-5.0, 1.0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(locator.Locate(1.0, 99.0).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PointLocator, CornersAndEdges) {
+  StatusOr<TerrainMesh> mesh =
+      MeshFromFunction(4, 4, 1.0, [](double, double) { return 1.0; });
+  ASSERT_TRUE(mesh.ok());
+  PointLocator locator(*mesh);
+  EXPECT_TRUE(locator.Locate(0.0, 0.0).ok());
+  EXPECT_TRUE(locator.Locate(3.0, 3.0).ok());
+  EXPECT_TRUE(locator.Locate(1.0, 1.0).ok());  // grid vertex
+  EXPECT_TRUE(locator.Locate(0.5, 0.0).ok());  // boundary edge
+}
+
+TEST(PointLocator, ConsistentWithSyntheticTerrain) {
+  SynthSpec spec;
+  spec.extent_x = 500;
+  spec.extent_y = 400;
+  spec.seed = 77;
+  StatusOr<TerrainMesh> mesh = SynthesizeMesh(spec, 500);
+  ASSERT_TRUE(mesh.ok());
+  PointLocator locator(*mesh);
+  Rng rng(9);
+  int found = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.UniformDouble(0, 500);
+    const double y = rng.UniformDouble(0, 400);
+    StatusOr<SurfacePoint> p = locator.Locate(x, y);
+    if (p.ok()) {
+      ++found;
+      const Aabb& bb = mesh->bounding_box();
+      EXPECT_GE(p->pos.z, bb.min.z - 1e-9);
+      EXPECT_LE(p->pos.z, bb.max.z + 1e-9);
+    }
+  }
+  EXPECT_GT(found, 190);  // nearly all interior points located
+}
+
+}  // namespace
+}  // namespace tso

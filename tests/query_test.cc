@@ -1,0 +1,133 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "geodesic/mmp_solver.h"
+#include "oracle/se_oracle.h"
+#include "query/knn.h"
+#include "query/range_query.h"
+#include "terrain/dataset.h"
+
+namespace tso {
+namespace {
+
+struct QueryFixture {
+  StatusOr<Dataset> ds;
+  std::unique_ptr<MmpSolver> solver;
+  std::unique_ptr<SeOracle> oracle;
+
+  QueryFixture()
+      : ds(MakePaperDataset(PaperDataset::kSanFranciscoSmall, 400, 25, 19)) {
+    TSO_CHECK(ds.ok());
+    solver = std::make_unique<MmpSolver>(*ds->mesh);
+    SeOracleOptions options;
+    options.epsilon = 0.1;
+    StatusOr<SeOracle> built =
+        SeOracle::Build(*ds->mesh, ds->pois, *solver, options, nullptr);
+    TSO_CHECK(built.ok());
+    oracle = std::make_unique<SeOracle>(std::move(*built));
+  }
+};
+
+TEST(Knn, MatchesBruteForceOverOracleMetric) {
+  QueryFixture fx;
+  const uint32_t q = 3;
+  StatusOr<std::vector<KnnResult>> knn = KnnQuery(*fx.oracle, q, 5);
+  ASSERT_TRUE(knn.ok());
+  ASSERT_EQ(knn->size(), 5u);
+  // Brute force over the same oracle distances.
+  std::vector<KnnResult> brute;
+  for (uint32_t p = 0; p < fx.oracle->num_pois(); ++p) {
+    if (p == q) continue;
+    brute.push_back({p, *fx.oracle->Distance(q, p)});
+  }
+  std::sort(brute.begin(), brute.end(), [](const auto& a, const auto& b) {
+    return a.distance != b.distance ? a.distance < b.distance
+                                    : a.poi < b.poi;
+  });
+  for (size_t i = 0; i < knn->size(); ++i) {
+    EXPECT_EQ((*knn)[i].poi, brute[i].poi);
+    EXPECT_EQ((*knn)[i].distance, brute[i].distance);
+  }
+  // Sorted ascending.
+  for (size_t i = 1; i < knn->size(); ++i) {
+    EXPECT_GE((*knn)[i].distance, (*knn)[i - 1].distance);
+  }
+}
+
+TEST(Knn, PrunedMatchesLinearScan) {
+  QueryFixture fx;
+  for (uint32_t q : {0u, 5u, 11u, 20u}) {
+    for (size_t k : {1ul, 3ul, 8ul}) {
+      StatusOr<std::vector<KnnResult>> linear = KnnQuery(*fx.oracle, q, k);
+      StatusOr<std::vector<KnnResult>> pruned =
+          KnnQueryPruned(*fx.oracle, q, k);
+      ASSERT_TRUE(linear.ok() && pruned.ok());
+      ASSERT_EQ(pruned->size(), linear->size());
+      for (size_t i = 0; i < linear->size(); ++i) {
+        EXPECT_EQ((*pruned)[i].poi, (*linear)[i].poi) << "q=" << q << " k=" << k;
+        EXPECT_EQ((*pruned)[i].distance, (*linear)[i].distance);
+      }
+    }
+  }
+}
+
+TEST(Knn, PrunedHandlesKLargerThanN) {
+  QueryFixture fx;
+  StatusOr<std::vector<KnnResult>> pruned = KnnQueryPruned(*fx.oracle, 0, 999);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->size(), fx.oracle->num_pois() - 1);
+}
+
+TEST(Knn, PrunedInvalidQueryRejected) {
+  QueryFixture fx;
+  EXPECT_FALSE(KnnQueryPruned(*fx.oracle, 999, 3).ok());
+}
+
+TEST(Knn, KLargerThanNReturnsAll) {
+  QueryFixture fx;
+  StatusOr<std::vector<KnnResult>> knn = KnnQuery(*fx.oracle, 0, 999);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_EQ(knn->size(), fx.oracle->num_pois() - 1);
+}
+
+TEST(Knn, InvalidQueryRejected) {
+  QueryFixture fx;
+  EXPECT_FALSE(KnnQuery(*fx.oracle, 999, 3).ok());
+}
+
+TEST(Range, MatchesPredicate) {
+  QueryFixture fx;
+  const uint32_t q = 7;
+  const double radius = 500.0;
+  StatusOr<std::vector<uint32_t>> hits = RangeQuery(*fx.oracle, q, radius);
+  ASSERT_TRUE(hits.ok());
+  std::set<uint32_t> hit_set(hits->begin(), hits->end());
+  for (uint32_t p = 0; p < fx.oracle->num_pois(); ++p) {
+    if (p == q) continue;
+    const bool inside = *fx.oracle->Distance(q, p) <= radius;
+    EXPECT_EQ(hit_set.count(p) > 0, inside) << p;
+  }
+}
+
+TEST(Range, ZeroRadiusEmpty) {
+  QueryFixture fx;
+  StatusOr<std::vector<uint32_t>> hits = RangeQuery(*fx.oracle, 0, 0.0);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST(Range, NegativeRadiusRejected) {
+  QueryFixture fx;
+  EXPECT_FALSE(RangeQuery(*fx.oracle, 0, -1.0).ok());
+}
+
+TEST(Range, HugeRadiusReturnsAll) {
+  QueryFixture fx;
+  StatusOr<std::vector<uint32_t>> hits = RangeQuery(*fx.oracle, 0, 1e12);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), fx.oracle->num_pois() - 1);
+}
+
+}  // namespace
+}  // namespace tso

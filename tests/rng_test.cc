@@ -1,0 +1,115 @@
+#include "base/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tso {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+    if (va != c.NextU64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(9);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.NextU64());
+  a.Reseed(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.NextU64(), first[i]);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformDoubleBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.UniformDouble(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  const int n = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(6);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(7);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(Rng, SampleAll) {
+  Rng rng(8);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace tso

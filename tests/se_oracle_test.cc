@@ -1,0 +1,315 @@
+#include "oracle/se_oracle.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/full_materialization.h"
+#include "geodesic/dijkstra_solver.h"
+#include "geodesic/mmp_solver.h"
+#include "oracle/oracle_serde.h"
+#include "terrain/dataset.h"
+#include "terrain/poi_generator.h"
+
+namespace tso {
+namespace {
+
+struct OracleFixture {
+  StatusOr<Dataset> ds;
+  std::unique_ptr<MmpSolver> solver;
+  std::unique_ptr<FullMaterialization> exact;
+
+  OracleFixture(size_t n_pois, uint64_t seed, uint32_t vertices = 400)
+      : ds(MakePaperDataset(PaperDataset::kSanFranciscoSmall, vertices,
+                            n_pois, seed)) {
+    TSO_CHECK(ds.ok());
+    solver = std::make_unique<MmpSolver>(*ds->mesh);
+    StatusOr<FullMaterialization> fm =
+        FullMaterialization::Build(ds->pois, *solver);
+    TSO_CHECK(fm.ok());
+    exact = std::make_unique<FullMaterialization>(std::move(*fm));
+  }
+
+  SeOracle BuildOracle(const SeOracleOptions& options,
+                       SeBuildStats* stats = nullptr) {
+    StatusOr<SeOracle> oracle =
+        SeOracle::Build(*ds->mesh, ds->pois, *solver, options, stats);
+    TSO_CHECK(oracle.ok());
+    return std::move(*oracle);
+  }
+};
+
+// The central property-style sweep: the ε guarantee must hold for EVERY
+// pair, over ε values, seeds, and both selection strategies.
+class SeEpsilonSweep
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(SeEpsilonSweep, AllPairsWithinEpsilon) {
+  const double eps = std::get<0>(GetParam());
+  const int seed = std::get<1>(GetParam());
+  OracleFixture fx(18, seed);
+  SeOracleOptions options;
+  options.epsilon = eps;
+  options.seed = seed * 7 + 1;
+  SeBuildStats stats;
+  SeOracle oracle = fx.BuildOracle(options, &stats);
+  EXPECT_EQ(stats.distance_fallbacks, 0u)
+      << "enhanced-edge lookups must never miss (Lemma 4)";
+  const size_t n = fx.ds->pois.size();
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = 0; t < n; ++t) {
+      StatusOr<double> approx = oracle.Distance(s, t);
+      ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+      const double truth = fx.exact->Distance(s, t);
+      EXPECT_LE(std::abs(*approx - truth), eps * truth + 1e-9)
+          << "eps=" << eps << " seed=" << seed << " pair " << s << "," << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsAndSeeds, SeEpsilonSweep,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.25),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(SeOracle, GreedySelectionAlsoWithinEpsilon) {
+  OracleFixture fx(16, 21);
+  SeOracleOptions options;
+  options.epsilon = 0.1;
+  options.selection = SelectionStrategy::kGreedy;
+  SeOracle oracle = fx.BuildOracle(options);
+  const size_t n = fx.ds->pois.size();
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = s + 1; t < n; ++t) {
+      const double truth = fx.exact->Distance(s, t);
+      EXPECT_LE(std::abs(*oracle.Distance(s, t) - truth),
+                options.epsilon * truth + 1e-9);
+    }
+  }
+}
+
+TEST(SeOracle, NaiveAndEfficientQueryAgree) {
+  OracleFixture fx(20, 23);
+  SeOracleOptions options;
+  options.epsilon = 0.1;
+  SeOracle oracle = fx.BuildOracle(options);
+  const size_t n = fx.ds->pois.size();
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = 0; t < n; ++t) {
+      StatusOr<double> fast = oracle.Distance(s, t);
+      StatusOr<double> naive = oracle.DistanceNaive(s, t);
+      ASSERT_TRUE(fast.ok() && naive.ok());
+      EXPECT_EQ(*fast, *naive) << s << "," << t;
+    }
+  }
+}
+
+TEST(SeOracle, NaiveAndEfficientConstructionAgree) {
+  // Same seed => same tree; the enhanced-edge distances must equal the
+  // per-pair SSAD distances, so the resulting oracles answer identically.
+  OracleFixture fx(14, 29);
+  SeOracleOptions eff;
+  eff.epsilon = 0.15;
+  eff.seed = 5;
+  SeOracleOptions naive = eff;
+  naive.construction = ConstructionMethod::kNaive;
+  SeOracle a = fx.BuildOracle(eff);
+  SeOracle b = fx.BuildOracle(naive);
+  const size_t n = fx.ds->pois.size();
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = 0; t < n; ++t) {
+      EXPECT_NEAR(*a.Distance(s, t), *b.Distance(s, t),
+                  1e-6 * (1.0 + *a.Distance(s, t)))
+          << s << "," << t;
+    }
+  }
+}
+
+TEST(SeOracle, SymmetricAnswers) {
+  OracleFixture fx(15, 31);
+  SeOracleOptions options;
+  options.epsilon = 0.1;
+  SeOracle oracle = fx.BuildOracle(options);
+  // The pair containing (s,t) differs from the one containing (t,s), but
+  // both must be ε-approximations; check consistency within 2ε.
+  const size_t n = fx.ds->pois.size();
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = s + 1; t < n; ++t) {
+      const double st = *oracle.Distance(s, t);
+      const double ts = *oracle.Distance(t, s);
+      const double truth = fx.exact->Distance(s, t);
+      EXPECT_LE(std::abs(st - ts), 2.0 * options.epsilon * truth + 1e-9);
+    }
+  }
+}
+
+TEST(SeOracle, SelfDistanceZero) {
+  OracleFixture fx(10, 37);
+  SeOracleOptions options;
+  SeOracle oracle = fx.BuildOracle(options);
+  for (uint32_t p = 0; p < fx.ds->pois.size(); ++p) {
+    EXPECT_EQ(*oracle.Distance(p, p), 0.0);
+  }
+}
+
+TEST(SeOracle, OutOfRangeRejected) {
+  OracleFixture fx(8, 41);
+  SeOracleOptions options;
+  SeOracle oracle = fx.BuildOracle(options);
+  EXPECT_FALSE(oracle.Distance(0, 99).ok());
+  EXPECT_FALSE(oracle.Distance(99, 0).ok());
+  EXPECT_FALSE(oracle.DistanceNaive(99, 0).ok());
+}
+
+TEST(SeOracle, InvalidOptionsRejected) {
+  OracleFixture fx(8, 43);
+  SeOracleOptions options;
+  options.epsilon = 0.0;
+  EXPECT_FALSE(
+      SeOracle::Build(*fx.ds->mesh, fx.ds->pois, *fx.solver, options, nullptr)
+          .ok());
+  std::vector<SurfacePoint> empty;
+  options.epsilon = 0.1;
+  EXPECT_FALSE(
+      SeOracle::Build(*fx.ds->mesh, empty, *fx.solver, options, nullptr).ok());
+}
+
+TEST(SeOracle, WorksWithDijkstraMetric) {
+  // The ε guarantee is relative to the injected solver's metric.
+  OracleFixture fx(15, 47);
+  DijkstraSolver dijkstra(*fx.ds->mesh);
+  SeOracleOptions options;
+  options.epsilon = 0.1;
+  StatusOr<SeOracle> oracle =
+      SeOracle::Build(*fx.ds->mesh, fx.ds->pois, dijkstra, options, nullptr);
+  ASSERT_TRUE(oracle.ok());
+  const size_t n = fx.ds->pois.size();
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = s + 1; t < n; ++t) {
+      const double truth =
+          dijkstra.PointToPoint(fx.ds->pois[s], fx.ds->pois[t]).value();
+      EXPECT_LE(std::abs(*oracle->Distance(s, t) - truth),
+                options.epsilon * truth + 1e-9);
+    }
+  }
+}
+
+TEST(SeOracle, V2VMode) {
+  // All POIs are vertices (the paper's V2V query setting).
+  OracleFixture fx(5, 53);
+  Rng rng(4);
+  std::vector<SurfacePoint> pois =
+      PoisFromRandomVertices(*fx.ds->mesh, 24, rng);
+  SeOracleOptions options;
+  options.epsilon = 0.1;
+  StatusOr<SeOracle> oracle =
+      SeOracle::Build(*fx.ds->mesh, pois, *fx.solver, options, nullptr);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  for (uint32_t s = 0; s < pois.size(); ++s) {
+    for (uint32_t t = s + 1; t < pois.size(); ++t) {
+      const double truth = fx.solver->PointToPoint(pois[s], pois[t]).value();
+      EXPECT_LE(std::abs(*oracle->Distance(s, t) - truth),
+                options.epsilon * truth + 1e-9);
+    }
+  }
+}
+
+TEST(SeOracle, StatsPopulated) {
+  OracleFixture fx(15, 59);
+  SeOracleOptions options;
+  options.epsilon = 0.1;
+  SeBuildStats stats;
+  SeOracle oracle = fx.BuildOracle(options, &stats);
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_GT(stats.ssad_runs, 0u);
+  EXPECT_GT(stats.enhanced_edges, 0u);
+  EXPECT_GT(stats.node_pairs, 0u);
+  EXPECT_GE(stats.pairs_considered, stats.node_pairs);
+  EXPECT_EQ(stats.height, oracle.height());
+  EXPECT_GT(oracle.SizeBytes(), 0u);
+}
+
+TEST(SeOracle, SizeScalesWithEpsilon) {
+  OracleFixture fx(20, 61);
+  SeOracleOptions coarse;
+  coarse.epsilon = 0.5;
+  SeOracleOptions fine;
+  fine.epsilon = 0.05;
+  SeOracle a = fx.BuildOracle(coarse);
+  SeOracle b = fx.BuildOracle(fine);
+  EXPECT_LE(a.pair_set().size(), b.pair_set().size());
+}
+
+TEST(SeOracle, ParallelBuildMatchesSequential) {
+  OracleFixture fx(20, 83);
+  SeOracleOptions sequential;
+  sequential.epsilon = 0.1;
+  sequential.seed = 9;
+  SeOracleOptions parallel = sequential;
+  const TerrainMesh& mesh = *fx.ds->mesh;
+  parallel.parallel_solver_factory = [&mesh]() {
+    return std::unique_ptr<GeodesicSolver>(new MmpSolver(mesh));
+  };
+  parallel.num_threads = 4;
+  SeBuildStats seq_stats, par_stats;
+  SeOracle a = fx.BuildOracle(sequential, &seq_stats);
+  SeOracle b = fx.BuildOracle(parallel, &par_stats);
+  EXPECT_EQ(par_stats.distance_fallbacks, 0u);
+  EXPECT_EQ(seq_stats.node_pairs, par_stats.node_pairs);
+  const size_t n = fx.ds->pois.size();
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = 0; t < n; ++t) {
+      EXPECT_EQ(*a.Distance(s, t), *b.Distance(s, t)) << s << "," << t;
+    }
+  }
+}
+
+TEST(SeOracleSerde, RoundTripAnswersIdentical) {
+  OracleFixture fx(16, 67);
+  SeOracleOptions options;
+  options.epsilon = 0.1;
+  SeOracle oracle = fx.BuildOracle(options);
+  const std::string blob = SerializeSeOracle(oracle);
+  StatusOr<SeOracle> back = DeserializeSeOracle(blob);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_pois(), oracle.num_pois());
+  EXPECT_EQ(back->epsilon(), oracle.epsilon());
+  EXPECT_EQ(back->height(), oracle.height());
+  const size_t n = oracle.num_pois();
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = 0; t < n; ++t) {
+      EXPECT_EQ(*back->Distance(s, t), *oracle.Distance(s, t));
+    }
+  }
+}
+
+TEST(SeOracleSerde, FileRoundTrip) {
+  OracleFixture fx(10, 71);
+  SeOracleOptions options;
+  SeOracle oracle = fx.BuildOracle(options);
+  const std::string path = testing::TempDir() + "/oracle.bin";
+  ASSERT_TRUE(SaveSeOracle(oracle, path).ok());
+  StatusOr<SeOracle> back = LoadSeOracle(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back->Distance(1, 2), *oracle.Distance(1, 2));
+}
+
+TEST(SeOracleSerde, CorruptInputRejected) {
+  OracleFixture fx(8, 73);
+  SeOracleOptions options;
+  SeOracle oracle = fx.BuildOracle(options);
+  std::string blob = SerializeSeOracle(oracle);
+  // Bad magic.
+  std::string bad = blob;
+  bad[0] = 'X';
+  EXPECT_FALSE(DeserializeSeOracle(bad).ok());
+  // Truncations at many offsets must fail, never crash.
+  for (size_t cut : {0ul, 1ul, 8ul, blob.size() / 2, blob.size() - 1}) {
+    EXPECT_FALSE(DeserializeSeOracle(blob.substr(0, cut)).ok()) << cut;
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(DeserializeSeOracle(blob + "zz").ok());
+}
+
+}  // namespace
+}  // namespace tso

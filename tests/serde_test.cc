@@ -1,0 +1,132 @@
+#include "base/serde.h"
+
+#include <gtest/gtest.h>
+
+namespace tso {
+namespace {
+
+TEST(Serde, FixedWidthRoundTrip) {
+  BinaryWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI64(-42);
+  w.PutDouble(3.14159);
+
+  BinaryReader r(w.data());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double d;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetI64(&i64).ok());
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serde, VarintRoundTrip) {
+  BinaryWriter w;
+  const uint64_t values[] = {0,    1,        127,        128,
+                             300,  16383,    16384,      1ull << 32,
+                             ~0ull};
+  for (uint64_t v : values) w.PutVarint64(v);
+  BinaryReader r(w.data());
+  for (uint64_t v : values) {
+    uint64_t got;
+    ASSERT_TRUE(r.GetVarint64(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serde, StringRoundTrip) {
+  BinaryWriter w;
+  w.PutString("");
+  w.PutString("hello world");
+  w.PutString(std::string(1000, 'x'));
+  BinaryReader r(w.data());
+  std::string a, b, c;
+  ASSERT_TRUE(r.GetString(&a).ok());
+  ASSERT_TRUE(r.GetString(&b).ok());
+  ASSERT_TRUE(r.GetString(&c).ok());
+  EXPECT_EQ(a, "");
+  EXPECT_EQ(b, "hello world");
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+TEST(Serde, PodVectorRoundTrip) {
+  BinaryWriter w;
+  std::vector<uint32_t> ints = {1, 2, 3, 0xffffffff};
+  std::vector<double> doubles = {1.5, -2.5};
+  std::vector<uint8_t> empty;
+  w.PutPodVector(ints);
+  w.PutPodVector(doubles);
+  w.PutPodVector(empty);
+  BinaryReader r(w.data());
+  std::vector<uint32_t> got_ints;
+  std::vector<double> got_doubles;
+  std::vector<uint8_t> got_empty;
+  ASSERT_TRUE(r.GetPodVector(&got_ints).ok());
+  ASSERT_TRUE(r.GetPodVector(&got_doubles).ok());
+  ASSERT_TRUE(r.GetPodVector(&got_empty).ok());
+  EXPECT_EQ(got_ints, ints);
+  EXPECT_EQ(got_doubles, doubles);
+  EXPECT_TRUE(got_empty.empty());
+}
+
+TEST(Serde, TruncatedInputsFailCleanly) {
+  BinaryWriter w;
+  w.PutU64(7);
+  const std::string data = w.data();
+  for (size_t cut = 0; cut < data.size(); ++cut) {
+    BinaryReader r(data.substr(0, cut));
+    uint64_t v;
+    EXPECT_FALSE(r.GetU64(&v).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(Serde, TruncatedStringFails) {
+  BinaryWriter w;
+  w.PutString("abcdef");
+  BinaryReader r(w.data().substr(0, 3));
+  std::string s;
+  EXPECT_FALSE(r.GetString(&s).ok());
+}
+
+TEST(Serde, TruncatedPodVectorFails) {
+  BinaryWriter w;
+  std::vector<uint64_t> v = {1, 2, 3, 4};
+  w.PutPodVector(v);
+  BinaryReader r(w.data().substr(0, 9));
+  std::vector<uint64_t> got;
+  EXPECT_FALSE(r.GetPodVector(&got).ok());
+}
+
+TEST(Serde, OversizedVarintFails) {
+  std::string bad(11, static_cast<char>(0x80));
+  BinaryReader r(bad);
+  uint64_t v;
+  EXPECT_FALSE(r.GetVarint64(&v).ok());
+}
+
+TEST(Serde, RemainingTracksPosition) {
+  BinaryWriter w;
+  w.PutU32(1);
+  w.PutU32(2);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  uint32_t v;
+  ASSERT_TRUE(r.GetU32(&v).ok());
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace tso

@@ -1,0 +1,47 @@
+// End-to-end smoke test: synthesize a terrain, build the SE oracle with the
+// exact solver, and check the ε guarantee on a handful of pairs.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "geodesic/mmp_solver.h"
+#include "oracle/se_oracle.h"
+#include "terrain/dataset.h"
+
+namespace tso {
+namespace {
+
+TEST(Smoke, BuildAndQuery) {
+  StatusOr<Dataset> ds =
+      MakePaperDataset(PaperDataset::kSanFranciscoSmall, 400, 25, 7);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+
+  MmpSolver solver(*ds->mesh);
+  SeOracleOptions options;
+  options.epsilon = 0.25;
+  options.seed = 1;
+  SeBuildStats stats;
+  StatusOr<SeOracle> oracle =
+      SeOracle::Build(*ds->mesh, ds->pois, solver, options, &stats);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  EXPECT_GT(stats.node_pairs, 0u);
+
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const uint32_t s = static_cast<uint32_t>(rng.Uniform(ds->pois.size()));
+    const uint32_t t = static_cast<uint32_t>(rng.Uniform(ds->pois.size()));
+    StatusOr<double> approx = oracle->Distance(s, t);
+    ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+    StatusOr<double> exact = solver.PointToPoint(ds->pois[s], ds->pois[t]);
+    ASSERT_TRUE(exact.ok());
+    if (s == t) {
+      EXPECT_EQ(*approx, 0.0);
+    } else {
+      EXPECT_LE(std::abs(*approx - *exact), options.epsilon * *exact + 1e-9)
+          << "pair " << s << "," << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tso

@@ -1,0 +1,134 @@
+#include "geodesic/steiner_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "base/logging.h"
+#include "mesh/mesh_builder.h"
+
+namespace tso {
+namespace {
+
+TerrainMesh SmallMesh() {
+  StatusOr<TerrainMesh> mesh =
+      MeshFromFunction(4, 4, 1.0, [](double x, double y) { return x * y * 0.1; });
+  TSO_CHECK(mesh.ok());
+  return std::move(*mesh);
+}
+
+TEST(SteinerGraph, NodeCount) {
+  TerrainMesh mesh = SmallMesh();
+  for (uint32_t m : {0u, 1u, 3u, 5u}) {
+    StatusOr<SteinerGraph> g = SteinerGraph::Build(mesh, m);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g->num_nodes(), mesh.num_vertices() + m * mesh.num_edges());
+    EXPECT_EQ(g->points_per_edge(), m);
+  }
+}
+
+TEST(SteinerGraph, VertexNodesAreIdentity) {
+  TerrainMesh mesh = SmallMesh();
+  StatusOr<SteinerGraph> g = SteinerGraph::Build(mesh, 2);
+  ASSERT_TRUE(g.ok());
+  for (uint32_t v = 0; v < mesh.num_vertices(); ++v) {
+    EXPECT_EQ(g->VertexNode(v), v);
+    EXPECT_TRUE(g->IsVertexNode(v));
+    EXPECT_EQ(g->node_pos(v), mesh.vertex(v));
+  }
+  EXPECT_FALSE(g->IsVertexNode(static_cast<uint32_t>(mesh.num_vertices())));
+}
+
+TEST(SteinerGraph, SteinerPointsOnEdges) {
+  TerrainMesh mesh = SmallMesh();
+  const uint32_t m = 3;
+  StatusOr<SteinerGraph> g = SteinerGraph::Build(mesh, m);
+  ASSERT_TRUE(g.ok());
+  // Every Steiner node lies on its mesh edge segment.
+  for (uint32_t e = 0; e < mesh.num_edges(); ++e) {
+    const TerrainMesh::Edge& ed = mesh.edge(e);
+    const Vec3& a = mesh.vertex(ed.v0);
+    const Vec3& b = mesh.vertex(ed.v1);
+    for (uint32_t k = 0; k < m; ++k) {
+      const uint32_t node =
+          static_cast<uint32_t>(mesh.num_vertices() + e * m + k);
+      const Vec3& p = g->node_pos(node);
+      // Collinearity + inside the segment.
+      const double t = (p - a).Dot(b - a) / (b - a).NormSq();
+      EXPECT_GT(t, 0.0);
+      EXPECT_LT(t, 1.0);
+      EXPECT_NEAR(Distance(a + (b - a) * t, p), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(SteinerGraph, FaceNodesComplete) {
+  TerrainMesh mesh = SmallMesh();
+  const uint32_t m = 2;
+  StatusOr<SteinerGraph> g = SteinerGraph::Build(mesh, m);
+  ASSERT_TRUE(g.ok());
+  std::vector<uint32_t> nodes;
+  for (uint32_t f = 0; f < mesh.num_faces(); ++f) {
+    g->FaceNodes(f, &nodes);
+    EXPECT_EQ(nodes.size(), 3u + 3u * m);
+    // The three face vertices come first.
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(nodes[i], mesh.face(f)[i]);
+  }
+}
+
+TEST(SteinerGraph, AdjacencySymmetric) {
+  TerrainMesh mesh = SmallMesh();
+  StatusOr<SteinerGraph> g = SteinerGraph::Build(mesh, 2);
+  ASSERT_TRUE(g.ok());
+  for (uint32_t u = 0; u < g->num_nodes(); ++u) {
+    for (const auto& e : g->Neighbors(u)) {
+      bool back = false;
+      for (const auto& r : g->Neighbors(e.to)) {
+        if (r.to == u && r.weight == e.weight) back = true;
+      }
+      EXPECT_TRUE(back) << u << "->" << e.to;
+      EXPECT_GT(e.weight, 0.0);
+      EXPECT_NEAR(e.weight, Distance(g->node_pos(u), g->node_pos(e.to)),
+                  1e-9);
+    }
+  }
+}
+
+TEST(SteinerGraph, Connected) {
+  TerrainMesh mesh = SmallMesh();
+  StatusOr<SteinerGraph> g = SteinerGraph::Build(mesh, 1);
+  ASSERT_TRUE(g.ok());
+  std::vector<bool> seen(g->num_nodes(), false);
+  std::vector<uint32_t> stack = {0};
+  seen[0] = true;
+  size_t count = 0;
+  while (!stack.empty()) {
+    const uint32_t u = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const auto& e : g->Neighbors(u)) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  EXPECT_EQ(count, g->num_nodes());
+}
+
+TEST(SteinerGraph, DensityFromEpsilonMonotone) {
+  EXPECT_GE(SteinerGraph::PointsPerEdgeForEpsilon(0.05),
+            SteinerGraph::PointsPerEdgeForEpsilon(0.25));
+  EXPECT_GE(SteinerGraph::PointsPerEdgeForEpsilon(0.01), 1u);
+  EXPECT_LE(SteinerGraph::PointsPerEdgeForEpsilon(0.001), 10u);  // capped
+}
+
+TEST(SteinerGraph, SizeBytesGrowsWithDensity) {
+  TerrainMesh mesh = SmallMesh();
+  StatusOr<SteinerGraph> g1 = SteinerGraph::Build(mesh, 1);
+  StatusOr<SteinerGraph> g4 = SteinerGraph::Build(mesh, 4);
+  ASSERT_TRUE(g1.ok() && g4.ok());
+  EXPECT_GT(g4->SizeBytes(), g1->SizeBytes());
+  EXPECT_GT(g4->num_graph_edges(), g1->num_graph_edges());
+}
+
+}  // namespace
+}  // namespace tso

@@ -1,0 +1,156 @@
+#include "terrain/terrain_synth.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "terrain/dataset.h"
+#include "terrain/poi_generator.h"
+
+namespace tso {
+namespace {
+
+TEST(TerrainSynth, DeterministicBySeed) {
+  SynthSpec spec;
+  spec.seed = 5;
+  EXPECT_EQ(SampleHeight(spec, 100.0, 200.0), SampleHeight(spec, 100.0, 200.0));
+  SynthSpec other = spec;
+  other.seed = 6;
+  EXPECT_NE(SampleHeight(spec, 100.0, 200.0),
+            SampleHeight(other, 100.0, 200.0));
+}
+
+TEST(TerrainSynth, HeightsWithinAmplitude) {
+  SynthSpec spec;
+  spec.amplitude = 300.0;
+  for (int i = 0; i < 500; ++i) {
+    const double h = SampleHeight(spec, i * 13.7, i * 7.3);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 300.0);
+  }
+}
+
+TEST(TerrainSynth, MeshTargetsVertexCount) {
+  SynthSpec spec;
+  StatusOr<TerrainMesh> mesh = SynthesizeMesh(spec, 2000);
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_GT(mesh->num_vertices(), 1200u);
+  EXPECT_LT(mesh->num_vertices(), 2800u);
+  EXPECT_TRUE(mesh->Validate().ok());
+  // Covers the requested extent.
+  const Aabb& bb = mesh->bounding_box();
+  EXPECT_NEAR(bb.max.x - bb.min.x, spec.extent_x, spec.extent_x * 0.01);
+  EXPECT_NEAR(bb.max.y - bb.min.y, spec.extent_y, spec.extent_y * 0.01);
+}
+
+TEST(TerrainSynth, RidgedDiffersFromSmooth) {
+  SynthSpec ridged;
+  ridged.ridged = true;
+  SynthSpec smooth = ridged;
+  smooth.ridged = false;
+  EXPECT_NE(SampleHeight(ridged, 123.0, 456.0),
+            SampleHeight(smooth, 123.0, 456.0));
+}
+
+TEST(PoiGenerator, UniformCountAndUniqueness) {
+  StatusOr<Dataset> ds = MakePaperDataset(PaperDataset::kSanFranciscoSmall,
+                                          500, 40, 11);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->pois.size(), 40u);
+  std::set<std::tuple<double, double, double>> seen;
+  for (const auto& p : ds->pois) {
+    seen.insert({p.pos.x, p.pos.y, p.pos.z});
+    ASSERT_LT(p.face, ds->mesh->num_faces());
+  }
+  EXPECT_EQ(seen.size(), 40u);  // no duplicates
+}
+
+TEST(PoiGenerator, DeterministicBySeed) {
+  StatusOr<Dataset> a =
+      MakePaperDataset(PaperDataset::kSanFranciscoSmall, 400, 20, 3);
+  StatusOr<Dataset> b =
+      MakePaperDataset(PaperDataset::kSanFranciscoSmall, 400, 20, 3);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->pois.size(); ++i) {
+    EXPECT_EQ(a->pois[i].pos, b->pois[i].pos);
+  }
+}
+
+TEST(PoiGenerator, NormalFitExtension) {
+  StatusOr<Dataset> ds =
+      MakePaperDataset(PaperDataset::kSanFranciscoSmall, 600, 30, 5);
+  ASSERT_TRUE(ds.ok());
+  Rng rng(8);
+  std::vector<SurfacePoint> extended = ExtendPoisNormalFit(
+      *ds->mesh, *ds->locator, ds->pois, 90, rng);
+  EXPECT_EQ(extended.size(), 90u);
+  // The base POIs are preserved as a prefix.
+  for (size_t i = 0; i < ds->pois.size(); ++i) {
+    EXPECT_EQ(extended[i].pos, ds->pois[i].pos);
+  }
+  // New points are inside the terrain extent.
+  const Aabb& bb = ds->mesh->bounding_box();
+  for (const auto& p : extended) {
+    EXPECT_GE(p.pos.x, bb.min.x - 1e-6);
+    EXPECT_LE(p.pos.x, bb.max.x + 1e-6);
+  }
+}
+
+TEST(PoiGenerator, VertexModes) {
+  StatusOr<Dataset> ds =
+      MakePaperDataset(PaperDataset::kSanFranciscoSmall, 300, 10, 5);
+  ASSERT_TRUE(ds.ok());
+  std::vector<SurfacePoint> all = PoisFromAllVertices(*ds->mesh);
+  EXPECT_EQ(all.size(), ds->mesh->num_vertices());
+  EXPECT_TRUE(all[0].is_vertex());
+
+  Rng rng(2);
+  std::vector<SurfacePoint> sub = PoisFromRandomVertices(*ds->mesh, 25, rng);
+  EXPECT_EQ(sub.size(), 25u);
+  std::set<uint32_t> ids;
+  for (const auto& p : sub) ids.insert(p.vertex);
+  EXPECT_EQ(ids.size(), 25u);
+}
+
+TEST(Dataset, PaperPresetsMatchTable2Regions) {
+  struct Case {
+    PaperDataset which;
+    double rx, ry;
+  };
+  // Table 2 regions (km).
+  const Case cases[] = {{PaperDataset::kBearHead, 14000, 10000},
+                        {PaperDataset::kEaglePeak, 10700, 14000},
+                        {PaperDataset::kSanFrancisco, 14000, 11100}};
+  for (const Case& c : cases) {
+    StatusOr<Dataset> ds = MakePaperDataset(c.which, 2000, 50, 1);
+    ASSERT_TRUE(ds.ok());
+    EXPECT_EQ(ds->region_x, c.rx);
+    EXPECT_EQ(ds->region_y, c.ry);
+    EXPECT_GT(ds->N(), 1000u);
+    EXPECT_EQ(ds->n(), 50u);
+  }
+}
+
+TEST(Dataset, NamesStable) {
+  EXPECT_STREQ(PaperDatasetName(PaperDataset::kBearHead), "BH");
+  EXPECT_STREQ(PaperDatasetName(PaperDataset::kEaglePeak), "EP");
+  EXPECT_STREQ(PaperDatasetName(PaperDataset::kSanFrancisco), "SF");
+  EXPECT_STREQ(PaperDatasetName(PaperDataset::kSanFranciscoSmall),
+               "SF-small");
+}
+
+TEST(Dataset, FromArbitraryMesh) {
+  SynthSpec spec;
+  spec.extent_x = 300;
+  spec.extent_y = 300;
+  spec.seed = 12;
+  StatusOr<TerrainMesh> mesh = SynthesizeMesh(spec, 400);
+  ASSERT_TRUE(mesh.ok());
+  StatusOr<Dataset> ds = MakeDataset("custom", std::move(*mesh), 15, 9);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->name, "custom");
+  EXPECT_EQ(ds->n(), 15u);
+}
+
+}  // namespace
+}  // namespace tso
