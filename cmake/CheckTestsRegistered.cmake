@@ -1,0 +1,20 @@
+cmake_minimum_required(VERSION 3.20)
+# Test-time guard: every tests/*.cc file must be registered as a CTest test.
+# Inputs: TESTS_DIR (source tests/ directory) and REGISTERED_LIST (newline-
+# separated list of registered test names written at configure time).
+file(GLOB _sources RELATIVE ${TESTS_DIR} ${TESTS_DIR}/*.cc)
+file(STRINGS ${REGISTERED_LIST} _registered)
+set(_missing "")
+foreach(_src IN LISTS _sources)
+  string(REGEX REPLACE "\\.cc$" "" _name ${_src})
+  if(NOT _name IN_LIST _registered)
+    list(APPEND _missing ${_src})
+  endif()
+endforeach()
+if(_missing)
+  message(FATAL_ERROR
+    "tests/*.cc files not registered in tests/CMakeLists.txt: ${_missing}. "
+    "Add them to TSO_ALL_TESTS (and re-run cmake) so they run under CTest.")
+endif()
+list(LENGTH _sources _count)
+message(STATUS "All ${_count} tests/*.cc files are registered with CTest.")

@@ -1,0 +1,18 @@
+# Build-time guard that every public header is self-contained: for each
+# src/**/*.h we generate a one-line TU that includes just that header and
+# compile them all into an object library. A header that silently relies on
+# its includer's context breaks this target, not some downstream user.
+function(tso_add_header_check)
+  file(GLOB_RECURSE _headers RELATIVE ${CMAKE_SOURCE_DIR}/src
+       CONFIGURE_DEPENDS ${CMAKE_SOURCE_DIR}/src/*.h)
+  set(_stubs "")
+  foreach(_hdr IN LISTS _headers)
+    string(REPLACE "/" "_" _stub_name ${_hdr})
+    string(REPLACE ".h" ".cc" _stub_name ${_stub_name})
+    set(_stub ${CMAKE_BINARY_DIR}/header_check/${_stub_name})
+    file(CONFIGURE OUTPUT ${_stub} CONTENT "#include \"${_hdr}\"\n" @ONLY)
+    list(APPEND _stubs ${_stub})
+  endforeach()
+  add_library(tso_header_check OBJECT EXCLUDE_FROM_ALL ${_stubs})
+  target_link_libraries(tso_header_check PRIVATE tso_options)
+endfunction()

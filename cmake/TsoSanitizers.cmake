@@ -1,0 +1,19 @@
+# Enables the sanitizers named in TSO_SANITIZE (a semicolon-separated list,
+# e.g. -DTSO_SANITIZE=address;undefined). Called from the root CMakeLists
+# before any target is declared, it uses directory-scoped compile/link options
+# so that every target in the tree — including FetchContent'd GoogleTest — is
+# instrumented consistently (mixing instrumented and uninstrumented TUs in
+# one binary can yield spurious container-overflow reports and blind spots).
+function(tso_enable_sanitizers)
+  if(NOT TSO_SANITIZE)
+    return()
+  endif()
+  set(_flags "")
+  foreach(_san IN LISTS TSO_SANITIZE)
+    list(APPEND _flags "-fsanitize=${_san}")
+  endforeach()
+  list(APPEND _flags -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  add_compile_options(${_flags})
+  add_link_options(${_flags})
+  message(STATUS "TSO: sanitizers enabled globally: ${TSO_SANITIZE}")
+endfunction()

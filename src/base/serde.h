@@ -64,6 +64,9 @@ class BinaryReader {
  public:
   explicit BinaryReader(const std::string& data)
       : data_(data.data()), size_(data.size()) {}
+  // The reader aliases the input buffer; a temporary would dangle as soon as
+  // the full-expression ends.
+  explicit BinaryReader(std::string&&) = delete;
   BinaryReader(const char* data, size_t size) : data_(data), size_(size) {}
 
   Status GetU8(uint8_t* out);

@@ -87,7 +87,8 @@ TEST(Serde, TruncatedInputsFailCleanly) {
   w.PutU64(7);
   const std::string data = w.data();
   for (size_t cut = 0; cut < data.size(); ++cut) {
-    BinaryReader r(data.substr(0, cut));
+    const std::string truncated = data.substr(0, cut);
+    BinaryReader r(truncated);
     uint64_t v;
     EXPECT_FALSE(r.GetU64(&v).ok()) << "cut=" << cut;
   }
@@ -96,7 +97,8 @@ TEST(Serde, TruncatedInputsFailCleanly) {
 TEST(Serde, TruncatedStringFails) {
   BinaryWriter w;
   w.PutString("abcdef");
-  BinaryReader r(w.data().substr(0, 3));
+  const std::string truncated = w.data().substr(0, 3);
+  BinaryReader r(truncated);
   std::string s;
   EXPECT_FALSE(r.GetString(&s).ok());
 }
@@ -105,7 +107,8 @@ TEST(Serde, TruncatedPodVectorFails) {
   BinaryWriter w;
   std::vector<uint64_t> v = {1, 2, 3, 4};
   w.PutPodVector(v);
-  BinaryReader r(w.data().substr(0, 9));
+  const std::string truncated = w.data().substr(0, 9);
+  BinaryReader r(truncated);
   std::vector<uint64_t> got;
   EXPECT_FALSE(r.GetPodVector(&got).ok());
 }

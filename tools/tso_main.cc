@@ -1,0 +1,387 @@
+// Unified command-line driver for the terrain-surface distance oracle.
+//
+//   tso build-oracle  — synthesize/load a terrain, build the SE oracle, save it
+//   tso query         — load a saved oracle and answer POI-to-POI queries
+//   tso bench         — end-to-end build + query micro-benchmark
+//
+// This is the stable entry point for running the system outside the gtest
+// harness; the paper-figure benches under bench/ remain the source of truth
+// for reproducing figures.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/timer.h"
+#include "base/version.h"
+#include "geodesic/solver_factory.h"
+#include "mesh/mesh_io.h"
+#include "oracle/oracle_serde.h"
+#include "oracle/se_oracle.h"
+#include "terrain/dataset.h"
+
+namespace tso {
+namespace {
+
+struct Args {
+  std::string dataset = "sf-small";
+  std::string mesh_path;
+  std::string oracle_path;
+  std::string out_path = "oracle.bin";
+  std::string solver = "mmp";
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  double epsilon = 0.25;
+  uint64_t seed = 42;
+  uint32_t vertices = 0;  // 0 = dataset default
+  size_t pois = 0;        // 0 = dataset default
+  uint32_t threads = 0;   // 0 = hardware concurrency
+  size_t random_queries = 0;
+  size_t bench_queries = 1000;
+  bool check = false;
+};
+
+void Usage() {
+  std::fprintf(stderr, R"(usage: tso <command> [options]
+
+commands:
+  build-oracle   build the SE oracle and save it to disk
+  query          answer distance queries against a saved oracle
+  bench          build + query micro-benchmark (one line per phase)
+
+build-oracle options:
+  --dataset bh|ep|sf|sf-small   paper dataset stand-in (default sf-small)
+  --mesh PATH                   build from an .off/.obj mesh instead
+  --vertices N                  target vertex count (0 = dataset default)
+  --pois N                      number of POIs (0 = dataset default)
+  --epsilon E                   error parameter (default 0.25)
+  --solver mmp|dijkstra|steiner geodesic engine (default mmp)
+  --threads T                   build threads (0 = hardware concurrency)
+  --seed S                      RNG seed (default 42)
+  --out PATH                    output file (default oracle.bin)
+
+query options:
+  --oracle PATH                 saved oracle file (required)
+  --pair S,T                    POI id pair; repeatable
+  --random N                    additionally run N random pairs
+  --seed S                      seed for --random
+
+bench options: same generation options as build-oracle, plus
+  --queries N                   number of timed queries (default 1000)
+  --check                       verify answers against the exact solver
+)");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tso: missing value for %s\n", flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (flag == "--dataset") {
+      if (!(v = next())) return false;
+      args->dataset = v;
+    } else if (flag == "--mesh") {
+      if (!(v = next())) return false;
+      args->mesh_path = v;
+    } else if (flag == "--oracle") {
+      if (!(v = next())) return false;
+      args->oracle_path = v;
+    } else if (flag == "--out") {
+      if (!(v = next())) return false;
+      args->out_path = v;
+    } else if (flag == "--solver") {
+      if (!(v = next())) return false;
+      args->solver = v;
+    } else if (flag == "--epsilon") {
+      if (!(v = next())) return false;
+      args->epsilon = std::atof(v);
+    } else if (flag == "--seed") {
+      if (!(v = next())) return false;
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--vertices") {
+      if (!(v = next())) return false;
+      args->vertices = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (flag == "--pois") {
+      if (!(v = next())) return false;
+      args->pois = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--threads") {
+      if (!(v = next())) return false;
+      args->threads = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (flag == "--random") {
+      if (!(v = next())) return false;
+      args->random_queries = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--queries") {
+      if (!(v = next())) return false;
+      args->bench_queries = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--check") {
+      args->check = true;
+    } else if (flag == "--pair") {
+      if (!(v = next())) return false;
+      uint32_t s = 0, t = 0;
+      if (std::sscanf(v, "%u,%u", &s, &t) != 2) {
+        std::fprintf(stderr, "tso: bad --pair '%s' (expected S,T)\n", v);
+        return false;
+      }
+      args->pairs.emplace_back(s, t);
+    } else if (flag == "--help" || flag == "-h") {
+      Usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "tso: unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<PaperDataset> ParseDataset(const std::string& name) {
+  if (name == "bh") return PaperDataset::kBearHead;
+  if (name == "ep") return PaperDataset::kEaglePeak;
+  if (name == "sf") return PaperDataset::kSanFrancisco;
+  if (name == "sf-small") return PaperDataset::kSanFranciscoSmall;
+  return Status::InvalidArgument("unknown dataset: " + name +
+                              " (expected bh|ep|sf|sf-small)");
+}
+
+StatusOr<SolverKind> ParseSolverKind(const std::string& name) {
+  if (name == "mmp") return SolverKind::kMmpExact;
+  if (name == "dijkstra") return SolverKind::kDijkstra;
+  if (name == "steiner") return SolverKind::kSteiner;
+  return Status::InvalidArgument("unknown solver: " + name +
+                              " (expected mmp|dijkstra|steiner)");
+}
+
+StatusOr<Dataset> LoadOrSynthesize(const Args& args) {
+  if (!args.mesh_path.empty()) {
+    const bool obj = args.mesh_path.size() > 4 &&
+                     args.mesh_path.rfind(".obj") == args.mesh_path.size() - 4;
+    StatusOr<TerrainMesh> mesh =
+        obj ? ReadObj(args.mesh_path) : ReadOff(args.mesh_path);
+    if (!mesh.ok()) return mesh.status();
+    const size_t pois = args.pois == 0 ? 50 : args.pois;
+    return MakeDataset(args.mesh_path, *std::move(mesh), pois, args.seed);
+  }
+  StatusOr<PaperDataset> which = ParseDataset(args.dataset);
+  if (!which.ok()) return which.status();
+  return MakePaperDataset(*which, args.vertices, args.pois, args.seed);
+}
+
+StatusOr<SeOracle> BuildOracle(const Args& args, const Dataset& ds,
+                               SeBuildStats* stats) {
+  StatusOr<SolverKind> kind = ParseSolverKind(args.solver);
+  if (!kind.ok()) return kind.status();
+  StatusOr<std::unique_ptr<GeodesicSolver>> solver =
+      MakeSolver(*kind, *ds.mesh);
+  if (!solver.ok()) return solver.status();
+
+  SeOracleOptions options;
+  options.epsilon = args.epsilon;
+  options.seed = args.seed;
+  options.num_threads = args.threads;
+  const TerrainMesh* mesh = ds.mesh.get();
+  const SolverKind solver_kind = *kind;
+  options.parallel_solver_factory = [mesh, solver_kind]() {
+    StatusOr<std::unique_ptr<GeodesicSolver>> s = MakeSolver(solver_kind, *mesh);
+    return s.ok() ? std::move(*s) : nullptr;
+  };
+  return SeOracle::Build(*ds.mesh, ds.pois, **solver, options, stats);
+}
+
+int CmdBuildOracle(const Args& args) {
+  StatusOr<Dataset> ds = LoadOrSynthesize(args);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "tso: dataset: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset %s: N=%zu vertices, n=%zu POIs\n", ds->name.c_str(),
+              ds->N(), ds->n());
+
+  SeBuildStats stats;
+  StatusOr<SeOracle> oracle = BuildOracle(args, *ds, &stats);
+  if (!oracle.ok()) {
+    std::fprintf(stderr, "tso: build: %s\n",
+                 oracle.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "built SE oracle: eps=%.3g height=%d node_pairs=%zu ssad_runs=%zu "
+      "size=%.1f KiB in %.2fs\n",
+      oracle->epsilon(), stats.height, stats.node_pairs, stats.ssad_runs,
+      oracle->SizeBytes() / 1024.0, stats.total_seconds);
+
+  Status saved = SaveSeOracle(*oracle, args.out_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "tso: save: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved to %s\n", args.out_path.c_str());
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  if (args.oracle_path.empty()) {
+    std::fprintf(stderr, "tso: query requires --oracle PATH\n");
+    return 1;
+  }
+  StatusOr<SeOracle> oracle = LoadSeOracle(args.oracle_path);
+  if (!oracle.ok()) {
+    std::fprintf(stderr, "tso: load: %s\n", oracle.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded oracle: n=%zu POIs eps=%.3g height=%d\n",
+              oracle->num_pois(), oracle->epsilon(), oracle->height());
+
+  std::vector<std::pair<uint32_t, uint32_t>> pairs = args.pairs;
+  if (args.random_queries > 0) {
+    Rng rng(args.seed);
+    for (size_t i = 0; i < args.random_queries; ++i) {
+      pairs.emplace_back(
+          static_cast<uint32_t>(rng.Uniform(oracle->num_pois())),
+          static_cast<uint32_t>(rng.Uniform(oracle->num_pois())));
+    }
+  }
+  if (pairs.empty()) {
+    std::fprintf(stderr, "tso: nothing to do (use --pair S,T or --random N)\n");
+    return 1;
+  }
+  for (const auto& [s, t] : pairs) {
+    StatusOr<double> d = oracle->Distance(s, t);
+    if (!d.ok()) {
+      std::fprintf(stderr, "tso: query %u,%u: %s\n", s, t,
+                   d.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("d(%u, %u) = %.6f\n", s, t, *d);
+  }
+  return 0;
+}
+
+int CmdBench(const Args& args) {
+  if (args.bench_queries == 0) {
+    std::fprintf(stderr, "tso: --queries must be > 0\n");
+    return 2;
+  }
+  StatusOr<Dataset> ds = LoadOrSynthesize(args);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "tso: dataset: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("bench dataset=%s N=%zu n=%zu eps=%.3g solver=%s\n",
+              ds->name.c_str(), ds->N(), ds->n(), args.epsilon,
+              args.solver.c_str());
+
+  SeBuildStats stats;
+  StatusOr<SeOracle> oracle = BuildOracle(args, *ds, &stats);
+  if (!oracle.ok()) {
+    std::fprintf(stderr, "tso: build: %s\n",
+                 oracle.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("build: %.3fs (tree %.3fs, enhanced %.3fs, pairs %.3fs), "
+              "%zu ssad runs, %zu node pairs, %.1f KiB\n",
+              stats.total_seconds, stats.tree_seconds, stats.enhanced_seconds,
+              stats.pair_gen_seconds, stats.ssad_runs, stats.node_pairs,
+              oracle->SizeBytes() / 1024.0);
+
+  Rng rng(args.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  pairs.reserve(args.bench_queries);
+  for (size_t i = 0; i < args.bench_queries; ++i) {
+    pairs.emplace_back(static_cast<uint32_t>(rng.Uniform(oracle->num_pois())),
+                       static_cast<uint32_t>(rng.Uniform(oracle->num_pois())));
+  }
+
+  WallTimer timer;
+  double checksum = 0.0;
+  for (const auto& [s, t] : pairs) {
+    StatusOr<double> d = oracle->Distance(s, t);
+    if (!d.ok()) {
+      std::fprintf(stderr, "tso: query %u,%u: %s\n", s, t,
+                   d.status().ToString().c_str());
+      return 1;
+    }
+    checksum += *d;
+  }
+  const double secs = timer.ElapsedSeconds();
+  std::printf("query: %zu queries in %.3fs (%.2f us/query, checksum %.3f)\n",
+              pairs.size(), secs, secs / pairs.size() * 1e6, checksum);
+
+  if (args.check) {
+    StatusOr<std::unique_ptr<GeodesicSolver>> exact =
+        MakeSolver(SolverKind::kMmpExact, *ds->mesh);
+    if (!exact.ok()) {
+      std::fprintf(stderr, "tso: check solver: %s\n",
+                   exact.status().ToString().c_str());
+      return 1;
+    }
+    const size_t n_check = pairs.size() < 32 ? pairs.size() : 32;
+    double max_rel = 0.0;
+    size_t n_compared = 0;
+    for (size_t i = 0; i < n_check; ++i) {
+      const auto& [s, t] = pairs[i];
+      if (s == t) continue;
+      StatusOr<double> approx = oracle->Distance(s, t);
+      StatusOr<double> truth =
+          (*exact)->PointToPoint(ds->pois[s], ds->pois[t]);
+      if (!approx.ok() || !truth.ok() || *truth <= 0) continue;
+      ++n_compared;
+      const double rel = std::abs(*approx - *truth) / *truth;
+      if (rel > max_rel) max_rel = rel;
+    }
+    if (n_compared == 0) {
+      std::fprintf(stderr,
+                   "tso: check FAILED: no comparable pairs (exact solver "
+                   "errored on all %zu sampled pairs?)\n",
+                   n_check);
+      return 1;
+    }
+    std::printf("check: max relative error over %zu pairs = %.4f (eps=%.3g)\n",
+                n_compared, max_rel, oracle->epsilon());
+    if (max_rel > oracle->epsilon() + 1e-9) {
+      std::fprintf(stderr, "tso: check FAILED: error exceeds epsilon\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  if (cmd == "build-oracle") return CmdBuildOracle(args);
+  if (cmd == "query") return CmdQuery(args);
+  if (cmd == "bench") return CmdBench(args);
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    Usage();
+    return 0;
+  }
+  if (cmd == "version" || cmd == "--version") {
+    std::printf("tso %s\n", kVersionString);
+    return 0;
+  }
+  std::fprintf(stderr, "tso: unknown command '%s'\n", cmd.c_str());
+  Usage();
+  return 2;
+}
+
+}  // namespace
+}  // namespace tso
+
+int main(int argc, char** argv) { return tso::Main(argc, argv); }
