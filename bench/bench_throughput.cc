@@ -1,0 +1,110 @@
+// Concurrent query throughput: QPS of the batch query engine over a shared
+// immutable SE oracle as the worker count grows (1, 2, 4, 8, hw). Not a
+// paper figure — this is the system-side benchmark backing the batch layer
+// (query/batch.h): the oracle's O(h) probes are embarrassingly parallel, so
+// QPS should scale near-linearly until memory bandwidth saturates.
+//
+// Besides the usual table, every measurement is emitted as one
+// machine-readable line:
+//   BENCH {"bench":"throughput","workload":...,"threads":...,"qps":...}
+
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "query/batch.h"
+
+namespace tso::bench {
+namespace {
+
+void EmitJson(const char* workload, uint32_t threads, size_t queries,
+              double seconds, double qps, double speedup) {
+  std::printf(
+      "BENCH {\"bench\":\"throughput\",\"workload\":\"%s\",\"threads\":%u,"
+      "\"queries\":%zu,\"seconds\":%.6f,\"qps\":%.1f,\"speedup\":%.3f}\n",
+      workload, threads, queries, seconds, qps, speedup);
+}
+
+std::vector<uint32_t> ThreadCounts() {
+  std::vector<uint32_t> counts = {1, 2, 4, 8};
+  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  if (hw > counts.back()) counts.push_back(hw);
+  return counts;
+}
+
+void Run() {
+  const uint64_t seed = 42;
+  PrintHeader("Query throughput — concurrent batch engine",
+              "system bench (query/batch.h), not a paper figure", seed);
+
+  // More POIs than the figure benches: the kNN workload shards its candidate
+  // scan over POIs, and the engine only spawns a worker per 64 candidates.
+  StatusOr<Dataset> ds = MakePaperDataset(PaperDataset::kSanFranciscoSmall,
+                                          Scaled(1000), Scaled(400), seed);
+  TSO_CHECK(ds.ok());
+  std::cout << ds->mesh->DebugString() << ", n=" << ds->n() << "\n";
+
+  MmpSolver solver(*ds->mesh);
+  SeOracleOptions options = ParallelSeOptions(*ds->mesh, 0.1, seed);
+  SeBuildStats stats;
+  StatusOr<SeOracle> oracle =
+      SeOracle::Build(*ds->mesh, ds->pois, solver, options, &stats);
+  TSO_CHECK(oracle.ok());
+  std::printf("oracle: h=%d, %zu node pairs, built in %.2fs\n", stats.height,
+              stats.node_pairs, stats.total_seconds);
+
+  Rng qrng(seed + 7);
+  const size_t num_queries = Scaled(200000);
+  const auto pairs = MakeQueryPairs(ds->n(), num_queries, qrng);
+
+  // --- Workload 1: P2P distance batches ---
+  Table p2p("P2P DistanceBatch QPS vs threads",
+            {"threads", "queries", "seconds", "qps", "speedup"});
+  double base_qps = 0.0;
+  for (uint32_t threads : ThreadCounts()) {
+    WallTimer timer;
+    StatusOr<std::vector<double>> answers =
+        DistanceBatch(*oracle, pairs, threads);
+    const double seconds = timer.ElapsedSeconds();
+    TSO_CHECK(answers.ok());
+    const double qps = pairs.size() / seconds;
+    if (threads == 1) base_qps = qps;
+    const double speedup = qps / base_qps;
+    p2p.AddRow(threads, pairs.size(), seconds, qps, speedup);
+    EmitJson("p2p", threads, pairs.size(), seconds, qps, speedup);
+  }
+  p2p.Print();
+
+  // --- Workload 2: kNN with the candidate scan sharded over POIs ---
+  // Every POI queries its 10 nearest neighbours; repeated so each timed run
+  // is long enough to measure.
+  const size_t knn_repeats = std::max<size_t>(1, Scaled(200));
+  Table knn("kNN (k=10, all POIs) seconds vs threads",
+            {"threads", "knn_queries", "seconds", "qps", "speedup"});
+  base_qps = 0.0;
+  for (uint32_t threads : ThreadCounts()) {
+    WallTimer timer;
+    for (size_t r = 0; r < knn_repeats; ++r) {
+      for (uint32_t q = 0; q < ds->n(); ++q) {
+        StatusOr<std::vector<KnnResult>> res =
+            KnnQueryParallel(*oracle, q, 10, threads);
+        TSO_CHECK(res.ok());
+      }
+    }
+    const double seconds = timer.ElapsedSeconds();
+    const size_t total = knn_repeats * ds->n();
+    const double qps = total / seconds;
+    if (threads == 1) base_qps = qps;
+    const double speedup = qps / base_qps;
+    knn.AddRow(threads, total, seconds, qps, speedup);
+    EmitJson("knn10", threads, total, seconds, qps, speedup);
+  }
+  knn.Print();
+}
+
+}  // namespace
+}  // namespace tso::bench
+
+int main() {
+  tso::bench::Run();
+  return 0;
+}

@@ -1,12 +1,24 @@
 # Enables the sanitizers named in TSO_SANITIZE (a semicolon-separated list,
-# e.g. -DTSO_SANITIZE=address;undefined). Called from the root CMakeLists
-# before any target is declared, it uses directory-scoped compile/link options
-# so that every target in the tree — including FetchContent'd GoogleTest — is
-# instrumented consistently (mixing instrumented and uninstrumented TUs in
-# one binary can yield spurious container-overflow reports and blind spots).
+# e.g. -DTSO_SANITIZE=address;undefined or -DTSO_SANITIZE=thread). Called
+# from the root CMakeLists before any target is declared, it uses
+# directory-scoped compile/link options so that every target in the tree —
+# including FetchContent'd GoogleTest — is instrumented consistently (mixing
+# instrumented and uninstrumented TUs in one binary can yield spurious
+# container-overflow reports and blind spots).
 function(tso_enable_sanitizers)
   if(NOT TSO_SANITIZE)
     return()
+  endif()
+  # TSan owns the whole address space layout; combining it with ASan/LSan is
+  # rejected by the compilers with an obscure error, so fail early instead.
+  if("thread" IN_LIST TSO_SANITIZE)
+    foreach(_incompatible address leak memory)
+      if("${_incompatible}" IN_LIST TSO_SANITIZE)
+        message(FATAL_ERROR
+          "TSO: -fsanitize=thread cannot be combined with "
+          "-fsanitize=${_incompatible}; configure them as separate builds")
+      endif()
+    endforeach()
   endif()
   set(_flags "")
   foreach(_san IN LISTS TSO_SANITIZE)

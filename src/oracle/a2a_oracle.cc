@@ -81,16 +81,22 @@ StatusOr<double> A2AOracle::Distance(const SurfacePoint& s,
   // Same-face shortcut: the in-face straight segment is the geodesic.
   if (sface == tface) return ::tso::Distance(s.pos, t.pos);
 
-  graph_->FaceNodes(sface, &xs_);
-  graph_->FaceNodes(tface, &xt_);
+  // Per-thread workspace (attachment sets + inner-oracle ancestor arrays)
+  // keeps this const method re-entrant.
+  static thread_local QueryScratch attach;
+  static thread_local QueryScratch inner_scratch;
+  std::vector<uint32_t>& xs = attach.a;
+  std::vector<uint32_t>& xt = attach.b;
+  graph_->FaceNodes(sface, &xs);
+  graph_->FaceNodes(tface, &xt);
   double best = kInfDist;
-  for (uint32_t p : xs_) {
+  for (uint32_t p : xs) {
     const double ds = ::tso::Distance(s.pos, graph_->node_pos(p));
     if (ds >= best) continue;
-    for (uint32_t q : xt_) {
+    for (uint32_t q : xt) {
       const double dt = ::tso::Distance(graph_->node_pos(q), t.pos);
       if (ds + dt >= best) continue;
-      StatusOr<double> mid = inner_->Distance(p, q);
+      StatusOr<double> mid = inner_->Distance(p, q, inner_scratch);
       if (!mid.ok()) return mid.status();
       best = std::min(best, ds + *mid + dt);
     }

@@ -30,6 +30,10 @@ struct A2ABuildStats {
 /// and t to the boundary nodes of their faces (the sets N(s), N(t)) and
 /// minimizes |s p| + d̃(p, q) + |q t| over p ∈ N(s), q ∈ N(t), each d̃ being
 /// an O(h) probe into the inner SE oracle.
+///
+/// Thread safety: immutable once built; Distance() is const, re-entrant
+/// (per-thread scratch, no shared mutable state), and safe to call
+/// concurrently from any number of threads.
 class A2AOracle {
  public:
   static StatusOr<A2AOracle> Build(const TerrainMesh& mesh,
@@ -54,7 +58,6 @@ class A2AOracle {
   const TerrainMesh* mesh_ = nullptr;
   std::unique_ptr<SteinerGraph> graph_;
   std::unique_ptr<SeOracle> inner_;
-  mutable std::vector<uint32_t> xs_, xt_;
 };
 
 }  // namespace tso

@@ -39,6 +39,12 @@ struct DynamicOracleStats {
 ///
 /// Stable ids: POIs are addressed by the id returned from Insert()
 /// (base POIs keep their original indices); ids are never reused.
+///
+/// Thread safety (single-writer / many-reader): Distance() is const,
+/// re-entrant, and safe to call concurrently with other queries. Insert(),
+/// Remove(), and Compact() mutate the structure and require exclusive
+/// access — callers must not run them concurrently with queries or with
+/// each other (e.g. guard them with an external writer lock).
 class DynamicSeOracle {
  public:
   /// Builds the initial base oracle over `pois`.

@@ -270,17 +270,25 @@ Status SeOracle::CheckQueryIds(uint32_t s, uint32_t t) const {
 }
 
 StatusOr<double> SeOracle::Distance(uint32_t s, uint32_t t) const {
+  static thread_local QueryScratch scratch;
+  return Distance(s, t, scratch);
+}
+
+StatusOr<double> SeOracle::Distance(uint32_t s, uint32_t t,
+                                    QueryScratch& scratch) const {
   TSO_RETURN_IF_ERROR(CheckQueryIds(s, t));
   if (s == t) return 0.0;
   const int h = tree_.height();
-  tree_.AncestorArray(tree_.leaf_of_poi(s), &as_);
-  tree_.AncestorArray(tree_.leaf_of_poi(t), &at_);
+  std::vector<uint32_t>& as = scratch.a;
+  std::vector<uint32_t>& at = scratch.b;
+  tree_.AncestorArray(tree_.leaf_of_poi(s), &as);
+  tree_.AncestorArray(tree_.leaf_of_poi(t), &at);
 
   double d;
   // Pass 1: same-layer pairs.
   for (int i = 0; i <= h; ++i) {
-    if (as_[i] != kInvalidId && at_[i] != kInvalidId &&
-        pairs_.Lookup(as_[i], at_[i], &d)) {
+    if (as[i] != kInvalidId && at[i] != kInvalidId &&
+        pairs_.Lookup(as[i], at[i], &d)) {
       return d;
     }
   }
@@ -288,24 +296,24 @@ StatusOr<double> SeOracle::Distance(uint32_t s, uint32_t t) const {
   // O in A_s, O' in A_t. By Observation 1 the candidate layers k for O are
   // [Layer(parent(O')), Layer(O')).
   for (int i = 1; i <= h; ++i) {
-    const uint32_t ot = at_[i];
+    const uint32_t ot = at[i];
     if (ot == kInvalidId) continue;
     const uint32_t parent = tree_.node(ot).parent;
     if (parent == kInvalidId) continue;
     const int j = tree_.node(parent).layer;
     for (int k = j; k < i; ++k) {
-      if (as_[k] != kInvalidId && pairs_.Lookup(as_[k], ot, &d)) return d;
+      if (as[k] != kInvalidId && pairs_.Lookup(as[k], ot, &d)) return d;
     }
   }
   // Pass 3: first-lower-layer pairs (symmetric).
   for (int i = 1; i <= h; ++i) {
-    const uint32_t os = as_[i];
+    const uint32_t os = as[i];
     if (os == kInvalidId) continue;
     const uint32_t parent = tree_.node(os).parent;
     if (parent == kInvalidId) continue;
     const int j = tree_.node(parent).layer;
     for (int k = j; k < i; ++k) {
-      if (at_[k] != kInvalidId && pairs_.Lookup(os, at_[k], &d)) return d;
+      if (at[k] != kInvalidId && pairs_.Lookup(os, at[k], &d)) return d;
     }
   }
   return Status::Internal(
@@ -313,16 +321,24 @@ StatusOr<double> SeOracle::Distance(uint32_t s, uint32_t t) const {
 }
 
 StatusOr<double> SeOracle::DistanceNaive(uint32_t s, uint32_t t) const {
+  static thread_local QueryScratch scratch;
+  return DistanceNaive(s, t, scratch);
+}
+
+StatusOr<double> SeOracle::DistanceNaive(uint32_t s, uint32_t t,
+                                         QueryScratch& scratch) const {
   TSO_RETURN_IF_ERROR(CheckQueryIds(s, t));
   if (s == t) return 0.0;
   const int h = tree_.height();
-  tree_.AncestorArray(tree_.leaf_of_poi(s), &as_);
-  tree_.AncestorArray(tree_.leaf_of_poi(t), &at_);
+  std::vector<uint32_t>& as = scratch.a;
+  std::vector<uint32_t>& at = scratch.b;
+  tree_.AncestorArray(tree_.leaf_of_poi(s), &as);
+  tree_.AncestorArray(tree_.leaf_of_poi(t), &at);
   double d;
   for (int i = 0; i <= h; ++i) {
-    if (as_[i] == kInvalidId) continue;
+    if (as[i] == kInvalidId) continue;
     for (int j = 0; j <= h; ++j) {
-      if (at_[j] != kInvalidId && pairs_.Lookup(as_[i], at_[j], &d)) return d;
+      if (at[j] != kInvalidId && pairs_.Lookup(as[i], at[j], &d)) return d;
     }
   }
   return Status::Internal(

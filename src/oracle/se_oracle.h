@@ -22,6 +22,14 @@ enum class ConstructionMethod {
 
 const char* ConstructionMethodName(ConstructionMethod m);
 
+/// Reusable per-call workspace for oracle queries. Queries never touch
+/// shared mutable state; they either take a caller-owned QueryScratch (one
+/// per thread — reuse across calls to stay allocation-free) or fall back to
+/// a thread_local instance inside the convenience overloads.
+struct QueryScratch {
+  std::vector<uint32_t> a, b;
+};
+
 /// Produces an independent solver instance (one per worker thread).
 using SolverFactory = std::function<std::unique_ptr<GeodesicSolver>()>;
 
@@ -62,6 +70,13 @@ struct SeBuildStats {
 ///   MmpSolver solver(mesh);
 ///   auto oracle = SeOracle::Build(mesh, pois, solver, {.epsilon = 0.1});
 ///   double d = oracle->Distance(3, 17).value();
+///
+/// Thread safety: a built SeOracle is immutable, and every query method is
+/// const, re-entrant, and safe to call concurrently from any number of
+/// threads. The scratch-taking overloads require one QueryScratch per
+/// thread (a scratch must not be shared between simultaneous calls); the
+/// scratch-free overloads use a thread_local scratch internally. For bulk
+/// workloads see DistanceBatch() in query/batch.h.
 class SeOracle {
  public:
   /// Builds SE over `pois` using `solver` as the geodesic engine (one of
@@ -75,11 +90,20 @@ class SeOracle {
 
   /// ε-approximate distance between POIs s and t — the efficient O(h)
   /// query of §3.4 (same-layer scan + first-higher + first-lower passes).
+  /// Uses a thread_local QueryScratch; re-entrant.
   StatusOr<double> Distance(uint32_t s, uint32_t t) const;
 
+  /// Same query with a caller-owned workspace (one per thread).
+  StatusOr<double> Distance(uint32_t s, uint32_t t,
+                            QueryScratch& scratch) const;
+
   /// The O(h²) naive query of §3.4 (scans A_s × A_t). Same answers; used as
-  /// the SE-Naive baseline and in ablation benchmarks.
+  /// the SE-Naive baseline and in ablation benchmarks. Re-entrant.
   StatusOr<double> DistanceNaive(uint32_t s, uint32_t t) const;
+
+  /// Naive query with a caller-owned workspace (one per thread).
+  StatusOr<double> DistanceNaive(uint32_t s, uint32_t t,
+                                 QueryScratch& scratch) const;
 
   double epsilon() const { return epsilon_; }
   size_t num_pois() const { return pois_.size(); }
@@ -107,8 +131,6 @@ class SeOracle {
   std::vector<SurfacePoint> pois_;
   CompressedTree tree_;
   NodePairSet pairs_;
-  // Scratch for queries (avoids per-query allocation).
-  mutable std::vector<uint32_t> as_, at_;
 };
 
 }  // namespace tso

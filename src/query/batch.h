@@ -1,0 +1,47 @@
+#ifndef TSO_QUERY_BATCH_H_
+#define TSO_QUERY_BATCH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "query/knn.h"
+#include "query/range_query.h"
+
+namespace tso {
+
+/// The concurrent batch query engine: bulk workloads over a shared,
+/// immutable SeOracle, fanned out across worker threads. Each worker owns a
+/// QueryScratch, so no query touches shared mutable state; answers are
+/// bitwise identical to the serial paths regardless of thread count.
+///
+/// Everywhere below, `num_threads == 0` means hardware concurrency and
+/// `num_threads == 1` (or a workload too small to shard) runs serially on
+/// the calling thread without spawning workers.
+
+/// Answers every (s, t) pair in `queries`; out[i] is the ε-approximate
+/// distance for queries[i]. Work is handed to workers in chunks off a
+/// shared counter, so skewed per-query costs still balance.
+StatusOr<std::vector<double>> DistanceBatch(
+    const SeOracle& oracle,
+    std::span<const std::pair<uint32_t, uint32_t>> queries,
+    uint32_t num_threads = 0);
+
+/// KnnQuery with the candidate scan sharded over POI ranges: each worker
+/// computes a local top-k over its shard, then the shard winners are merged.
+/// Same results (including tie-breaks) as KnnQuery.
+StatusOr<std::vector<KnnResult>> KnnQueryParallel(const SeOracle& oracle,
+                                                  uint32_t query, size_t k,
+                                                  uint32_t num_threads = 0);
+
+/// RangeQuery with the candidate scan sharded over POI ranges. Same results
+/// as RangeQuery (sorted by distance, ties by id).
+StatusOr<std::vector<uint32_t>> RangeQueryParallel(const SeOracle& oracle,
+                                                   uint32_t query,
+                                                   double radius,
+                                                   uint32_t num_threads = 0);
+
+}  // namespace tso
+
+#endif  // TSO_QUERY_BATCH_H_

@@ -10,20 +10,18 @@ StatusOr<std::vector<KnnResult>> KnnQuery(const SeOracle& oracle,
   if (query >= oracle.num_pois()) {
     return Status::InvalidArgument("query POI out of range");
   }
+  if (k == 0) return std::vector<KnnResult>{};
+  QueryScratch scratch;
   std::vector<KnnResult> all;
   all.reserve(oracle.num_pois() - 1);
   for (uint32_t p = 0; p < oracle.num_pois(); ++p) {
     if (p == query) continue;
-    StatusOr<double> d = oracle.Distance(query, p);
+    StatusOr<double> d = oracle.Distance(query, p, scratch);
     if (!d.ok()) return d.status();
     all.push_back({p, *d});
   }
   const size_t keep = std::min(k, all.size());
-  std::partial_sort(all.begin(), all.begin() + keep, all.end(),
-                    [](const KnnResult& a, const KnnResult& b) {
-                      return a.distance != b.distance ? a.distance < b.distance
-                                                      : a.poi < b.poi;
-                    });
+  std::partial_sort(all.begin(), all.begin() + keep, all.end(), KnnBefore);
   all.resize(keep);
   return all;
 }
@@ -33,8 +31,12 @@ StatusOr<std::vector<KnnResult>> KnnQueryPruned(const SeOracle& oracle,
   if (query >= oracle.num_pois()) {
     return Status::InvalidArgument("query POI out of range");
   }
+  // Guard before the search: with k == 0 the "full heap" tests below would
+  // call best.front() on an empty vector.
+  if (k == 0) return std::vector<KnnResult>{};
   const CompressedTree& tree = oracle.tree();
   const double eps = oracle.epsilon();
+  QueryScratch scratch;
 
   struct Entry {
     double lower_bound;
@@ -49,7 +51,7 @@ StatusOr<std::vector<KnnResult>> KnnQueryPruned(const SeOracle& oracle,
   // d(q,p) >= d(q,c) - 2r  and  d~ in [(1-eps)d, (1+eps)d].
   auto node_bound = [&](uint32_t node) -> StatusOr<double> {
     const CompressedTree::Node& nd = tree.node(node);
-    StatusOr<double> center_d = oracle.Distance(query, nd.center);
+    StatusOr<double> center_d = oracle.Distance(query, nd.center, scratch);
     if (!center_d.ok()) return center_d.status();
     const double lb =
         (1.0 - eps) * (*center_d / (1.0 + eps) - 2.0 * nd.radius);
@@ -61,11 +63,7 @@ StatusOr<std::vector<KnnResult>> KnnQueryPruned(const SeOracle& oracle,
   frontier.push({*root_bound, tree.root()});
 
   // Max-heap of the best k candidates found so far.
-  auto worse = [](const KnnResult& a, const KnnResult& b) {
-    return a.distance != b.distance ? a.distance < b.distance
-                                    : a.poi < b.poi;
-  };
-  std::vector<KnnResult> best;  // kept heapified by `worse`
+  std::vector<KnnResult> best;  // kept heapified by KnnBefore
 
   while (!frontier.empty()) {
     const Entry top = frontier.top();
@@ -76,17 +74,9 @@ StatusOr<std::vector<KnnResult>> KnnQueryPruned(const SeOracle& oracle,
     const CompressedTree::Node& nd = tree.node(top.node);
     if (nd.num_children == 0) {
       if (nd.center == query) continue;
-      StatusOr<double> d = oracle.Distance(query, nd.center);
+      StatusOr<double> d = oracle.Distance(query, nd.center, scratch);
       if (!d.ok()) return d.status();
-      const KnnResult candidate{nd.center, *d};
-      if (best.size() < k) {
-        best.push_back(candidate);
-        std::push_heap(best.begin(), best.end(), worse);
-      } else if (worse(candidate, best.front())) {
-        std::pop_heap(best.begin(), best.end(), worse);
-        best.back() = candidate;
-        std::push_heap(best.begin(), best.end(), worse);
-      }
+      PushBoundedTopK(best, {nd.center, *d}, k);
       continue;
     }
     for (uint32_t c = nd.first_child; c != kInvalidId;
@@ -97,7 +87,7 @@ StatusOr<std::vector<KnnResult>> KnnQueryPruned(const SeOracle& oracle,
       frontier.push({*lb, c});
     }
   }
-  std::sort(best.begin(), best.end(), worse);
+  std::sort(best.begin(), best.end(), KnnBefore);
   return best;
 }
 

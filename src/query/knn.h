@@ -1,6 +1,7 @@
 #ifndef TSO_QUERY_KNN_H_
 #define TSO_QUERY_KNN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -13,10 +14,33 @@ struct KnnResult {
   double distance;
 };
 
+/// The canonical kNN ordering: by distance, exact ties broken by POI id.
+/// Every kNN variant (linear, pruned, sharded) uses this comparator so that
+/// their results are bitwise identical even in the presence of ties.
+inline bool KnnBefore(const KnnResult& a, const KnnResult& b) {
+  return a.distance != b.distance ? a.distance < b.distance : a.poi < b.poi;
+}
+
+/// Offers `candidate` to `best`, a max-heap (ordered by KnnBefore) bounded
+/// at k elements — the top-k maintenance step shared by the pruned and
+/// sharded kNN variants. Requires k > 0.
+inline void PushBoundedTopK(std::vector<KnnResult>& best,
+                            const KnnResult& candidate, size_t k) {
+  if (best.size() < k) {
+    best.push_back(candidate);
+    std::push_heap(best.begin(), best.end(), KnnBefore);
+  } else if (KnnBefore(candidate, best.front())) {
+    std::pop_heap(best.begin(), best.end(), KnnBefore);
+    best.back() = candidate;
+    std::push_heap(best.begin(), best.end(), KnnBefore);
+  }
+}
+
 /// k nearest POIs to POI `query` under the oracle's ε-approximate geodesic
 /// metric — the proximity-query workload the paper motivates (§1.1, §1.2):
 /// each candidate costs one O(h) oracle probe instead of an SSAD run.
 /// Results are sorted by distance (ties by id); `query` itself is excluded.
+/// `k == 0` returns an empty result.
 StatusOr<std::vector<KnnResult>> KnnQuery(const SeOracle& oracle,
                                           uint32_t query, size_t k);
 
@@ -25,7 +49,7 @@ StatusOr<std::vector<KnnResult>> KnnQuery(const SeOracle& oracle,
 /// lower-bounds all of its POIs by d - 2r·(1+ε-ish slack), so whole subtrees
 /// farther than the current k-th candidate are skipped. On clustered POI
 /// sets this probes far fewer than n candidates (see query_test for the
-/// equivalence property).
+/// equivalence property). `k == 0` returns an empty result.
 StatusOr<std::vector<KnnResult>> KnnQueryPruned(const SeOracle& oracle,
                                                 uint32_t query, size_t k);
 

@@ -10,10 +10,11 @@ StatusOr<std::vector<uint32_t>> RangeQuery(const SeOracle& oracle,
     return Status::InvalidArgument("query POI out of range");
   }
   if (radius < 0.0) return Status::InvalidArgument("radius must be >= 0");
+  QueryScratch scratch;
   std::vector<std::pair<double, uint32_t>> hits;
   for (uint32_t p = 0; p < oracle.num_pois(); ++p) {
     if (p == query) continue;
-    StatusOr<double> d = oracle.Distance(query, p);
+    StatusOr<double> d = oracle.Distance(query, p, scratch);
     if (!d.ok()) return d.status();
     if (*d <= radius) hits.emplace_back(*d, p);
   }

@@ -16,12 +16,12 @@ struct QueryFixture {
   std::unique_ptr<MmpSolver> solver;
   std::unique_ptr<SeOracle> oracle;
 
-  QueryFixture()
+  explicit QueryFixture(double epsilon = 0.1)
       : ds(MakePaperDataset(PaperDataset::kSanFranciscoSmall, 400, 25, 19)) {
     TSO_CHECK(ds.ok());
     solver = std::make_unique<MmpSolver>(*ds->mesh);
     SeOracleOptions options;
-    options.epsilon = 0.1;
+    options.epsilon = epsilon;
     StatusOr<SeOracle> built =
         SeOracle::Build(*ds->mesh, ds->pois, *solver, options, nullptr);
     TSO_CHECK(built.ok());
@@ -94,6 +94,57 @@ TEST(Knn, KLargerThanNReturnsAll) {
 TEST(Knn, InvalidQueryRejected) {
   QueryFixture fx;
   EXPECT_FALSE(KnnQuery(*fx.oracle, 999, 3).ok());
+}
+
+TEST(Knn, KZeroReturnsEmptyInBothVariants) {
+  QueryFixture fx;
+  StatusOr<std::vector<KnnResult>> linear = KnnQuery(*fx.oracle, 3, 0);
+  ASSERT_TRUE(linear.ok());
+  EXPECT_TRUE(linear->empty());
+  // Regression: the pruned variant used to call best.front() on an empty
+  // candidate heap when k == 0.
+  StatusOr<std::vector<KnnResult>> pruned = KnnQueryPruned(*fx.oracle, 3, 0);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_TRUE(pruned->empty());
+  // Out-of-range query ids are rejected even for k == 0.
+  EXPECT_FALSE(KnnQuery(*fx.oracle, 999, 0).ok());
+  EXPECT_FALSE(KnnQueryPruned(*fx.oracle, 999, 0).ok());
+}
+
+TEST(Knn, DistanceTiesBrokenIdenticallyInBothVariants) {
+  // A coarse ε makes node pairs coarse: every POI of a far-away subtree is
+  // answered from the same (ancestor, ancestor) center distance, so exact
+  // oracle-distance ties are common. Both kNN variants must break them the
+  // same way (by POI id) at every k, including ks that split a tie group.
+  QueryFixture fx(0.5);
+  const size_t n = fx.oracle->num_pois();
+  size_t ties = 0;
+  for (uint32_t q = 0; q < n; ++q) {
+    std::vector<double> dists;
+    for (uint32_t p = 0; p < n; ++p) {
+      if (p != q) dists.push_back(*fx.oracle->Distance(q, p));
+    }
+    std::sort(dists.begin(), dists.end());
+    for (size_t i = 1; i < dists.size(); ++i) {
+      if (dists[i] == dists[i - 1]) ++ties;
+    }
+  }
+  ASSERT_GT(ties, 0u) << "fixture produced no exact distance ties; "
+                         "coarsen epsilon to restore the tie coverage";
+  for (uint32_t q = 0; q < n; ++q) {
+    for (size_t k = 1; k < n; ++k) {
+      StatusOr<std::vector<KnnResult>> linear = KnnQuery(*fx.oracle, q, k);
+      StatusOr<std::vector<KnnResult>> pruned =
+          KnnQueryPruned(*fx.oracle, q, k);
+      ASSERT_TRUE(linear.ok() && pruned.ok());
+      ASSERT_EQ(pruned->size(), linear->size());
+      for (size_t i = 0; i < linear->size(); ++i) {
+        ASSERT_EQ((*pruned)[i].poi, (*linear)[i].poi)
+            << "q=" << q << " k=" << k << " i=" << i;
+        ASSERT_EQ((*pruned)[i].distance, (*linear)[i].distance);
+      }
+    }
+  }
 }
 
 TEST(Range, MatchesPredicate) {

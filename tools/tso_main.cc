@@ -8,6 +8,8 @@
 // harness; the paper-figure benches under bench/ remain the source of truth
 // for reproducing figures.
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -25,6 +27,7 @@
 #include "mesh/mesh_io.h"
 #include "oracle/oracle_serde.h"
 #include "oracle/se_oracle.h"
+#include "query/batch.h"
 #include "terrain/dataset.h"
 
 namespace tso {
@@ -42,10 +45,62 @@ struct Args {
   uint32_t vertices = 0;  // 0 = dataset default
   size_t pois = 0;        // 0 = dataset default
   uint32_t threads = 0;   // 0 = hardware concurrency
+  uint32_t query_threads = 0;  // bench: 0 = serial only, T = throughput mode
   size_t random_queries = 0;
   size_t bench_queries = 1000;
   bool check = false;
 };
+
+// Checked numeric flag parsers: unlike atof/strtoul, these reject empty
+// values, trailing garbage ("--epsilon abc", "--vertices 12x"), sign
+// mismatches, and out-of-range magnitudes, with a diagnostic naming the
+// flag.
+bool ParseDoubleFlag(const std::string& flag, const char* v, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double d = std::strtod(v, &end);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "tso: invalid number '%s' for %s\n", v, flag.c_str());
+    return false;
+  }
+  *out = d;
+  return true;
+}
+
+bool ParseU64Flag(const std::string& flag, const char* v, uint64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long u = std::strtoull(v, &end, 10);
+  // Requiring a leading digit rejects the whitespace/sign prefixes strtoull
+  // would otherwise skip (" -1" silently wraps to 2^64-1).
+  if (!std::isdigit(static_cast<unsigned char>(v[0])) || end == v ||
+      *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "tso: invalid non-negative integer '%s' for %s\n", v,
+                 flag.c_str());
+    return false;
+  }
+  *out = u;
+  return true;
+}
+
+bool ParseU32Flag(const std::string& flag, const char* v, uint32_t* out) {
+  uint64_t u = 0;
+  if (!ParseU64Flag(flag, v, &u)) return false;
+  if (u > UINT32_MAX) {
+    std::fprintf(stderr, "tso: value '%s' for %s is out of range\n", v,
+                 flag.c_str());
+    return false;
+  }
+  *out = static_cast<uint32_t>(u);
+  return true;
+}
+
+bool ParseSizeFlag(const std::string& flag, const char* v, size_t* out) {
+  uint64_t u = 0;
+  if (!ParseU64Flag(flag, v, &u)) return false;
+  *out = static_cast<size_t>(u);
+  return true;
+}
 
 void Usage() {
   std::fprintf(stderr, R"(usage: tso <command> [options]
@@ -74,6 +129,8 @@ query options:
 
 bench options: same generation options as build-oracle, plus
   --queries N                   number of timed queries (default 1000)
+  --query-threads T             also measure concurrent query throughput
+                                (QPS at 1 thread vs T threads; 0 = off)
   --check                       verify answers against the exact solver
 )");
 }
@@ -106,31 +163,36 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->solver = v;
     } else if (flag == "--epsilon") {
       if (!(v = next())) return false;
-      args->epsilon = std::atof(v);
+      if (!ParseDoubleFlag(flag, v, &args->epsilon)) return false;
     } else if (flag == "--seed") {
       if (!(v = next())) return false;
-      args->seed = std::strtoull(v, nullptr, 10);
+      if (!ParseU64Flag(flag, v, &args->seed)) return false;
     } else if (flag == "--vertices") {
       if (!(v = next())) return false;
-      args->vertices = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!ParseU32Flag(flag, v, &args->vertices)) return false;
     } else if (flag == "--pois") {
       if (!(v = next())) return false;
-      args->pois = std::strtoull(v, nullptr, 10);
+      if (!ParseSizeFlag(flag, v, &args->pois)) return false;
     } else if (flag == "--threads") {
       if (!(v = next())) return false;
-      args->threads = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!ParseU32Flag(flag, v, &args->threads)) return false;
+    } else if (flag == "--query-threads") {
+      if (!(v = next())) return false;
+      if (!ParseU32Flag(flag, v, &args->query_threads)) return false;
     } else if (flag == "--random") {
       if (!(v = next())) return false;
-      args->random_queries = std::strtoull(v, nullptr, 10);
+      if (!ParseSizeFlag(flag, v, &args->random_queries)) return false;
     } else if (flag == "--queries") {
       if (!(v = next())) return false;
-      args->bench_queries = std::strtoull(v, nullptr, 10);
+      if (!ParseSizeFlag(flag, v, &args->bench_queries)) return false;
     } else if (flag == "--check") {
       args->check = true;
     } else if (flag == "--pair") {
       if (!(v = next())) return false;
       uint32_t s = 0, t = 0;
-      if (std::sscanf(v, "%u,%u", &s, &t) != 2) {
+      int consumed = 0;
+      if (std::sscanf(v, "%u,%u%n", &s, &t, &consumed) != 2 ||
+          v[consumed] != '\0') {
         std::fprintf(stderr, "tso: bad --pair '%s' (expected S,T)\n", v);
         return false;
       }
@@ -317,6 +379,37 @@ int CmdBench(const Args& args) {
   const double secs = timer.ElapsedSeconds();
   std::printf("query: %zu queries in %.3fs (%.2f us/query, checksum %.3f)\n",
               pairs.size(), secs, secs / pairs.size() * 1e6, checksum);
+
+  if (args.query_threads > 0) {
+    // Throughput mode: tile the pair list so each timed run is long enough
+    // for thread scaling to dominate spawn overhead, then compare 1 thread
+    // against T threads over identical work.
+    constexpr size_t kMinThroughputQueries = 200000;
+    std::vector<std::pair<uint32_t, uint32_t>> tiled = pairs;
+    while (tiled.size() < kMinThroughputQueries) {
+      tiled.insert(tiled.end(), pairs.begin(), pairs.end());
+    }
+    auto measure = [&](uint32_t threads) -> StatusOr<double> {
+      WallTimer t;
+      StatusOr<std::vector<double>> answers =
+          DistanceBatch(*oracle, tiled, threads);
+      if (!answers.ok()) return answers.status();
+      return tiled.size() / t.ElapsedSeconds();
+    };
+    StatusOr<double> qps1 = measure(1);
+    StatusOr<double> qpsT = measure(args.query_threads);
+    if (!qps1.ok() || !qpsT.ok()) {
+      std::fprintf(stderr, "tso: throughput: %s\n",
+                   (!qps1.ok() ? qps1.status() : qpsT.status())
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    std::printf(
+        "throughput: %zu queries | 1 thread %.0f qps | %u threads %.0f qps | "
+        "speedup %.2fx\n",
+        tiled.size(), *qps1, args.query_threads, *qpsT, *qpsT / *qps1);
+  }
 
   if (args.check) {
     StatusOr<std::unique_ptr<GeodesicSolver>> exact =
