@@ -1,0 +1,133 @@
+// Construction-performance baseline: per-phase wall-clock of
+// SeOracle::Build, SSAD-kernel heap-op totals, and 1-vs-T thread scaling.
+// Not a paper figure — this bench backs the build pipeline (partition tree,
+// enhanced edges, WSPD node pairs) the way bench_throughput backs the query
+// stack, and CI uploads its output so every PR leaves a construction-perf
+// trace.
+//
+// Every measurement is emitted as one machine-readable line:
+//   BENCH {"bench":"build","solver":...,"threads":...,"phase":...,
+//          "seconds":...}  (plus a "scaling" summary line per solver)
+
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "geodesic/solver_factory.h"
+#include "geodesic/ssad_kernel.h"
+
+namespace tso::bench {
+namespace {
+
+struct BuildMeasurement {
+  SeBuildStats stats;
+  SsadCounterSnapshot kernel_ops;  // delta over the build
+  size_t size_bytes = 0;
+};
+
+void EmitPhase(const char* solver, uint32_t threads, const char* phase,
+               double seconds, size_t ssad_runs) {
+  std::printf(
+      "BENCH {\"bench\":\"build\",\"solver\":\"%s\",\"threads\":%u,"
+      "\"phase\":\"%s\",\"seconds\":%.6f,\"ssad_runs\":%zu}\n",
+      solver, threads, phase, seconds, ssad_runs);
+}
+
+void EmitBuild(const char* solver, uint32_t threads,
+               const BuildMeasurement& m) {
+  const SeBuildStats& st = m.stats;
+  EmitPhase(solver, threads, "tree", st.tree_seconds, 0);
+  EmitPhase(solver, threads, "enhanced", st.enhanced_seconds, 0);
+  EmitPhase(solver, threads, "pairs", st.pair_gen_seconds, 0);
+  EmitPhase(solver, threads, "total", st.total_seconds, st.ssad_runs);
+  std::printf(
+      "BENCH {\"bench\":\"build\",\"solver\":\"%s\",\"threads\":%u,"
+      "\"phase\":\"kernel\",\"settles\":%llu,\"pushes\":%llu,"
+      "\"decrease_keys\":%llu,\"relaxations\":%llu,\"kernel_runs\":%llu}\n",
+      solver, threads,
+      static_cast<unsigned long long>(m.kernel_ops.settles),
+      static_cast<unsigned long long>(m.kernel_ops.pushes),
+      static_cast<unsigned long long>(m.kernel_ops.decrease_keys),
+      static_cast<unsigned long long>(m.kernel_ops.relaxations),
+      static_cast<unsigned long long>(m.kernel_ops.runs));
+}
+
+BuildMeasurement MeasureBuild(const Dataset& ds, SolverKind kind,
+                              uint32_t threads, uint64_t seed) {
+  StatusOr<std::unique_ptr<GeodesicSolver>> solver =
+      MakeSolver(kind, *ds.mesh);
+  TSO_CHECK(solver.ok());
+  SeOracleOptions options;
+  options.epsilon = 0.25;
+  options.seed = seed;
+  if (threads > 1) {
+    const TerrainMesh* mesh = ds.mesh.get();
+    options.parallel_solver_factory = [mesh, kind]() {
+      StatusOr<std::unique_ptr<GeodesicSolver>> s = MakeSolver(kind, *mesh);
+      return s.ok() ? std::move(*s) : nullptr;
+    };
+    options.num_threads = threads;
+  }
+  BuildMeasurement m;
+  const SsadCounterSnapshot before = SsadCounterSnapshot::Take();
+  StatusOr<SeOracle> oracle =
+      SeOracle::Build(*ds.mesh, ds.pois, **solver, options, &m.stats);
+  TSO_CHECK(oracle.ok());
+  m.kernel_ops = SsadCounterSnapshot::Take().Delta(before);
+  m.size_bytes = oracle->SizeBytes();
+  return m;
+}
+
+void Run() {
+  const uint64_t seed = 42;
+  PrintHeader("Oracle construction — per-phase timing and thread scaling",
+              "system bench (SeOracle::Build), backs Table 1's building-time "
+              "column",
+              seed);
+
+  StatusOr<Dataset> ds = MakePaperDataset(PaperDataset::kSanFranciscoSmall,
+                                          Scaled(2000), Scaled(400), seed);
+  TSO_CHECK(ds.ok());
+  std::cout << ds->mesh->DebugString() << ", n=" << ds->n() << "\n";
+
+  // Always sweep to 8 threads (the acceptance gate's comparison point) even
+  // when oversubscribed, plus the hardware width when it is larger.
+  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<uint32_t> thread_counts = {1, 2, 4, 8};
+  if (hw > thread_counts.back()) thread_counts.push_back(hw);
+
+  // Two kernel-backed engines; MMP construction timing is covered by the
+  // paper-figure benches (it bypasses the SSAD kernel).
+  Table table("SeOracle::Build per-phase seconds",
+              {"solver", "threads", "tree_s", "enhanced_s", "pairs_s",
+               "total_s", "ssad_runs", "kernel_settles", "speedup"});
+  for (SolverKind kind : {SolverKind::kDijkstra, SolverKind::kSteiner}) {
+    const char* name = SolverKindName(kind);
+    double serial_total = 0.0;
+    for (uint32_t threads : thread_counts) {
+      const BuildMeasurement m = MeasureBuild(*ds, kind, threads, seed);
+      if (threads == 1) serial_total = m.stats.total_seconds;
+      const double speedup =
+          m.stats.total_seconds > 0 ? serial_total / m.stats.total_seconds
+                                    : 0.0;
+      table.AddRow(name, threads, m.stats.tree_seconds,
+                   m.stats.enhanced_seconds, m.stats.pair_gen_seconds,
+                   m.stats.total_seconds, m.stats.ssad_runs,
+                   m.kernel_ops.settles, speedup);
+      EmitBuild(name, threads, m);
+      std::printf(
+          "BENCH {\"bench\":\"build\",\"solver\":\"%s\",\"threads\":%u,"
+          "\"phase\":\"scaling\",\"total_seconds\":%.6f,\"speedup\":%.3f,"
+          "\"size_bytes\":%zu}\n",
+          name, threads, m.stats.total_seconds, speedup, m.size_bytes);
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace tso::bench
+
+int main() {
+  tso::bench::Run();
+  return 0;
+}

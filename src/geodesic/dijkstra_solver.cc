@@ -1,33 +1,15 @@
 #include "geodesic/dijkstra_solver.h"
 
-#include <queue>
-
 #include "base/logging.h"
 
 namespace tso {
-namespace {
-
-struct QEntry {
-  double key;
-  uint32_t vertex;
-  bool operator>(const QEntry& o) const { return key > o.key; }
-};
-
-}  // namespace
 
 DijkstraSolver::DijkstraSolver(const TerrainMesh& mesh)
-    : mesh_(mesh),
-      dist_(mesh.num_vertices(), kInfDist),
-      epoch_mark_(mesh.num_vertices(), 0),
-      settled_(mesh.num_vertices(), 0) {}
-
-double DijkstraSolver::VertexDistance(uint32_t v) const {
-  return epoch_mark_[v] == epoch_ ? dist_[v] : kInfDist;
-}
+    : mesh_(mesh), kernel_(mesh.num_vertices()) {}
 
 double DijkstraSolver::Estimate(const SurfacePoint& p) const {
   if (p.is_vertex()) return VertexDistance(p.vertex);
-  if (p.face == kInvalidId) return kInfDist;
+  if (p.face == kInvalidId || p.face >= mesh_.num_faces()) return kInfDist;
   // Same-face shortcut: straight segment inside the face.
   double best = kInfDist;
   if (!source_.is_vertex() && source_.face == p.face) {
@@ -54,87 +36,55 @@ double DijkstraSolver::PointDistance(const SurfacePoint& p) const {
   return Estimate(p);
 }
 
+void DijkstraSolver::WatchNodes(const SurfacePoint& p,
+                                std::vector<uint32_t>* out) const {
+  out->clear();
+  if (p.is_vertex()) {
+    if (p.vertex < mesh_.num_vertices()) out->push_back(p.vertex);
+    return;
+  }
+  if (p.face == kInvalidId || p.face >= mesh_.num_faces()) return;
+  for (uint32_t v : mesh_.face(p.face)) out->push_back(v);
+}
+
 Status DijkstraSolver::Run(const SurfacePoint& source,
                            const SsadOptions& opts) {
-  ++epoch_;
   source_ = source;
-  frontier_ = 0.0;
-
-  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> queue;
-  auto relax = [&](uint32_t v, double d) {
-    if (epoch_mark_[v] != epoch_) {
-      epoch_mark_[v] = epoch_;
-      dist_[v] = kInfDist;
-      settled_[v] = 0;
-    }
-    if (d < dist_[v]) {
-      dist_[v] = d;
-      queue.push({d, v});
-    }
-  };
+  kernel_.Begin();
 
   if (source.is_vertex()) {
-    relax(source.vertex, 0.0);
+    kernel_.Relax(source.vertex, 0.0);
   } else {
     if (source.face == kInvalidId || source.face >= mesh_.num_faces()) {
+      kernel_.Finish();
       return Status::InvalidArgument("source has no valid face");
     }
     for (uint32_t v : mesh_.face(source.face)) {
-      relax(v, Distance(source.pos, mesh_.vertex(v)));
+      kernel_.Relax(v, Distance(source.pos, mesh_.vertex(v)));
     }
   }
 
-  // Settlement tracking for cover/stop targets: a non-vertex target is final
-  // once all three vertices of its face are settled (or frontier exceeds its
-  // current estimate).
-  auto target_settled = [&](const SurfacePoint& t) {
-    const double est = Estimate(t);
-    return est < kInfDist && est <= frontier_;
-  };
+  // A target's distance is final once every watched node (its vertex, or the
+  // three vertices of its face) is settled; the kernel tracks this in O(1)
+  // per settle.
+  const SsadKernel::TargetTracking targets = kernel_.RegisterTargets(
+      opts,
+      [this](const SurfacePoint& t, std::vector<uint32_t>* out) {
+        WatchNodes(t, out);
+      },
+      &watch_scratch_);
 
-  size_t cover_needed =
-      opts.cover_targets != nullptr ? opts.cover_targets->size() : 0;
-  std::vector<uint8_t> covered(cover_needed, 0);
-  uint32_t pops_since_scan = 0;
-
-  while (!queue.empty()) {
-    const QEntry top = queue.top();
-    queue.pop();
-    if (epoch_mark_[top.vertex] != epoch_ || settled_[top.vertex] ||
-        top.key > dist_[top.vertex]) {
-      continue;
-    }
-    settled_[top.vertex] = 1;
-    frontier_ = std::max(frontier_, top.key);
-
-    if (top.key > opts.radius_bound) break;
-
-    for (uint32_t e : mesh_.vertex_edges(top.vertex)) {
+  while (!kernel_.Empty()) {
+    const auto [v, key] = kernel_.PopSettle();
+    if (key > opts.radius_bound) break;
+    for (uint32_t e : mesh_.vertex_edges(v)) {
       const TerrainMesh::Edge& ed = mesh_.edge(e);
-      const uint32_t other = ed.v0 == top.vertex ? ed.v1 : ed.v0;
-      relax(other, top.key + ed.length);
+      const uint32_t other = ed.v0 == v ? ed.v1 : ed.v0;
+      kernel_.Relax(other, key + ed.length);
     }
-
-    if (opts.stop_target != nullptr && target_settled(*opts.stop_target)) {
-      break;
-    }
-    if (cover_needed > 0 && (++pops_since_scan >= 64 || queue.empty())) {
-      // Periodic re-check: scan uncovered targets.
-      pops_since_scan = 0;
-      size_t remaining = 0;
-      for (size_t i = 0; i < covered.size(); ++i) {
-        if (!covered[i]) {
-          if (target_settled((*opts.cover_targets)[i])) {
-            covered[i] = 1;
-          } else {
-            ++remaining;
-          }
-        }
-      }
-      if (remaining == 0) break;
-    }
+    if (targets.active() && kernel_.ShouldStop(targets)) break;
   }
-  if (queue.empty()) frontier_ = kInfDist;  // exhausted the whole mesh
+  kernel_.Finish();
   return Status::Ok();
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "geodesic/solver.h"
+#include "geodesic/ssad_kernel.h"
 
 namespace tso {
 
@@ -13,27 +14,28 @@ namespace tso {
 /// source/target points attached to their faces' vertices by straight
 /// segments. It upper-bounds the exact geodesic metric (paths are restricted
 /// to edges) and is the cheap solver used for tests, the capacity-dimension
-/// estimator, and "fast mode" on large meshes.
+/// estimator, and "fast mode" on large meshes. The search runs on the shared
+/// SsadKernel (indexed heap + bucketed target settlement).
 class DijkstraSolver : public GeodesicSolver {
  public:
   explicit DijkstraSolver(const TerrainMesh& mesh);
 
   Status Run(const SurfacePoint& source, const SsadOptions& opts) override;
-  double VertexDistance(uint32_t v) const override;
+  double VertexDistance(uint32_t v) const override {
+    return v < kernel_.num_nodes() ? kernel_.dist(v) : kInfDist;
+  }
   double PointDistance(const SurfacePoint& p) const override;
-  double frontier() const override { return frontier_; }
+  double frontier() const override { return kernel_.frontier(); }
   const char* name() const override { return "dijkstra"; }
 
  private:
   double Estimate(const SurfacePoint& p) const;
+  void WatchNodes(const SurfacePoint& p, std::vector<uint32_t>* out) const;
 
   const TerrainMesh& mesh_;
-  std::vector<double> dist_;
-  std::vector<uint32_t> epoch_mark_;
-  std::vector<uint8_t> settled_;
-  uint32_t epoch_ = 0;
-  double frontier_ = 0.0;
+  SsadKernel kernel_;
   SurfacePoint source_;
+  std::vector<uint32_t> watch_scratch_;
 };
 
 }  // namespace tso

@@ -1,7 +1,9 @@
 #ifndef TSO_GEODESIC_SOLVER_H_
 #define TSO_GEODESIC_SOLVER_H_
 
+#include <functional>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "base/status.h"
@@ -64,6 +66,12 @@ class GeodesicSolver {
     return PointDistance(t);
   }
 };
+
+/// Produces an independent solver instance (one per worker thread). The
+/// factory must create solvers over the same mesh and metric as the solver
+/// injected into the build — parallel phases assume every instance computes
+/// identical distances.
+using SolverFactory = std::function<std::unique_ptr<GeodesicSolver>()>;
 
 }  // namespace tso
 

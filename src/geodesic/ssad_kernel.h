@@ -1,0 +1,336 @@
+#ifndef TSO_GEODESIC_SSAD_KERNEL_H_
+#define TSO_GEODESIC_SSAD_KERNEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geodesic/solver.h"
+
+namespace tso {
+
+/// Process-wide SSAD kernel operation counters, flushed once per Run (not per
+/// heap operation, so the atomics cost nothing on the hot path). bench_build
+/// reads these to report heap-op totals per construction phase.
+struct SsadKernelCounters {
+  std::atomic<uint64_t> runs{0};
+  std::atomic<uint64_t> settles{0};
+  std::atomic<uint64_t> pushes{0};
+  std::atomic<uint64_t> decrease_keys{0};
+  std::atomic<uint64_t> relaxations{0};
+};
+
+inline SsadKernelCounters& GlobalSsadCounters() {
+  static SsadKernelCounters counters;
+  return counters;
+}
+
+/// Plain-value snapshot of the global counters (for before/after deltas).
+struct SsadCounterSnapshot {
+  uint64_t runs = 0;
+  uint64_t settles = 0;
+  uint64_t pushes = 0;
+  uint64_t decrease_keys = 0;
+  uint64_t relaxations = 0;
+
+  static SsadCounterSnapshot Take() {
+    SsadKernelCounters& g = GlobalSsadCounters();
+    SsadCounterSnapshot s;
+    s.runs = g.runs.load(std::memory_order_relaxed);
+    s.settles = g.settles.load(std::memory_order_relaxed);
+    s.pushes = g.pushes.load(std::memory_order_relaxed);
+    s.decrease_keys = g.decrease_keys.load(std::memory_order_relaxed);
+    s.relaxations = g.relaxations.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  SsadCounterSnapshot Delta(const SsadCounterSnapshot& earlier) const {
+    SsadCounterSnapshot d;
+    d.runs = runs - earlier.runs;
+    d.settles = settles - earlier.settles;
+    d.pushes = pushes - earlier.pushes;
+    d.decrease_keys = decrease_keys - earlier.decrease_keys;
+    d.relaxations = relaxations - earlier.relaxations;
+    return d;
+  }
+};
+
+/// The shared Dijkstra engine behind SteinerSolver and DijkstraSolver.
+///
+/// Design (vs the lazy-deletion std::priority_queue it replaced):
+///  * an indexed 4-ary min-heap with decrease-key over flat arrays — at most
+///    one heap entry per node, so no stale pops and no duplicate entries;
+///  * epoch stamping — Begin() is O(1), no O(N) clearing between runs;
+///  * bucketed target settlement — each cover/stop target registers the graph
+///    nodes whose settlement finalizes its distance (its vertex node, or all
+///    boundary nodes of its face). An outstanding counter is decremented as
+///    watched nodes settle, so "are all targets final?" is O(1) per settle
+///    instead of the old O(|targets|) rescan every 64 pops (which made the
+///    root SSAD of PartitionTree::Build, covering all n POIs, degenerate
+///    toward O(n²) scanning).
+///
+/// A target with no watchable nodes (invalid face) is never resolved; the run
+/// then terminates on the radius bound or queue exhaustion, matching the old
+/// estimate-based semantics where such targets had an infinite estimate.
+///
+/// Not thread-safe; use one kernel (one solver) per thread.
+class SsadKernel {
+ public:
+  explicit SsadKernel(size_t num_nodes)
+      : dist_(num_nodes, kInfDist),
+        epoch_mark_(num_nodes, 0),
+        settled_(num_nodes, 0),
+        heap_pos_(num_nodes, kNotInHeap),
+        watch_head_(num_nodes, kNoWatch),
+        watch_epoch_(num_nodes, 0) {}
+
+  size_t num_nodes() const { return dist_.size(); }
+
+  /// Starts a new run. O(1): per-node state is invalidated by epoch bump.
+  void Begin() {
+    ++epoch_;
+    heap_.clear();
+    frontier_ = 0.0;
+    exhausted_ = false;
+    watch_entries_.clear();
+    remaining_.clear();
+    outstanding_ = 0;
+    unresolvable_ = 0;
+    ++runs_;
+  }
+
+  /// Tentative (or final, once settled) distance of `node`; kInfDist if the
+  /// current run has not reached it.
+  double dist(uint32_t node) const {
+    return epoch_mark_[node] == epoch_ ? dist_[node] : kInfDist;
+  }
+
+  bool IsSettled(uint32_t node) const {
+    return epoch_mark_[node] == epoch_ && settled_[node] != 0;
+  }
+
+  /// Largest settled distance so far; kInfDist after the queue exhausted the
+  /// whole reachable graph (every reachable distance is then final).
+  double frontier() const { return exhausted_ ? kInfDist : frontier_; }
+
+  bool Empty() const { return heap_.empty(); }
+
+  /// Insert-or-decrease-key. No-ops when `d` does not improve the node.
+  void Relax(uint32_t node, double d) {
+    ++relaxations_;
+    if (epoch_mark_[node] != epoch_) {
+      epoch_mark_[node] = epoch_;
+      dist_[node] = kInfDist;
+      settled_[node] = 0;
+      heap_pos_[node] = kNotInHeap;
+    }
+    if (d >= dist_[node] || settled_[node] != 0) return;
+    dist_[node] = d;
+    if (heap_pos_[node] == kNotInHeap) {
+      heap_.push_back(node);
+      heap_pos_[node] = static_cast<uint32_t>(heap_.size() - 1);
+      ++pushes_;
+    } else {
+      ++decrease_keys_;
+    }
+    SiftUp(heap_pos_[node]);
+  }
+
+  /// Pops the minimum node, marks it settled, advances the frontier, and
+  /// notifies target watchers. Requires !Empty().
+  std::pair<uint32_t, double> PopSettle() {
+    const uint32_t node = heap_[0];
+    const double key = dist_[node];
+    const uint32_t last = heap_.back();
+    heap_.pop_back();
+    heap_pos_[node] = kNotInHeap;
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      heap_pos_[last] = 0;
+      SiftDown(0);
+    }
+    settled_[node] = 1;
+    if (key > frontier_) frontier_ = key;
+    ++settles_;
+    if (watch_epoch_[node] == epoch_) NotifyWatchers(node);
+    return {node, key};
+  }
+
+  /// Registers a target whose distance becomes final once every node in
+  /// `watch_nodes` is settled. Returns the target id. An empty watch set
+  /// makes the target unresolvable (the run will not early-terminate on it).
+  uint32_t AddTarget(std::span<const uint32_t> watch_nodes) {
+    const uint32_t id = static_cast<uint32_t>(remaining_.size());
+    uint32_t pending = 0;
+    for (uint32_t node : watch_nodes) {
+      if (IsSettled(node)) continue;
+      if (watch_epoch_[node] != epoch_) {
+        watch_epoch_[node] = epoch_;
+        watch_head_[node] = kNoWatch;
+      }
+      watch_entries_.push_back({id, watch_head_[node]});
+      watch_head_[node] = static_cast<uint32_t>(watch_entries_.size() - 1);
+      ++pending;
+    }
+    if (watch_nodes.empty()) {
+      remaining_.push_back(kUnresolvable);
+      ++unresolvable_;
+    } else {
+      remaining_.push_back(pending);
+      if (pending > 0) ++outstanding_;
+    }
+    return id;
+  }
+
+  bool TargetResolved(uint32_t id) const { return remaining_[id] == 0; }
+
+  /// Token returned by RegisterTargets, consumed by ShouldStop.
+  struct TargetTracking {
+    uint32_t stop_id = kInvalidId;
+    size_t cover_count = 0;
+    bool active() const { return stop_id != kInvalidId || cover_count > 0; }
+  };
+
+  /// Registers opts' cover and stop targets. `watch_nodes(point, out)` fills
+  /// `out` with the nodes whose settlement finalizes the point's distance;
+  /// `scratch` is the caller's reusable buffer.
+  template <typename WatchFn>
+  TargetTracking RegisterTargets(const SsadOptions& opts,
+                                 WatchFn&& watch_nodes,
+                                 std::vector<uint32_t>* scratch) {
+    TargetTracking tracking;
+    if (opts.cover_targets != nullptr) {
+      tracking.cover_count = opts.cover_targets->size();
+      for (const SurfacePoint& t : *opts.cover_targets) {
+        watch_nodes(t, scratch);
+        AddTarget(*scratch);
+      }
+    }
+    if (opts.stop_target != nullptr) {
+      watch_nodes(*opts.stop_target, scratch);
+      tracking.stop_id = AddTarget(*scratch);
+    }
+    return tracking;
+  }
+
+  /// True once the run may terminate on its targets: the stop target is
+  /// final, or every cover target is (whichever comes first — the stop
+  /// target does not hold up cover completion, nor vice versa).
+  bool ShouldStop(const TargetTracking& tracking) const {
+    const bool stop_resolved = tracking.stop_id != kInvalidId &&
+                               TargetResolved(tracking.stop_id);
+    if (stop_resolved) return true;
+    if (tracking.cover_count == 0) return false;
+    const size_t stop_pending = tracking.stop_id != kInvalidId ? 1 : 0;
+    return unresolved_targets() <= stop_pending;
+  }
+
+  /// Targets not yet (or never) resolvable. 0 means every registered target
+  /// distance is final.
+  size_t unresolved_targets() const { return outstanding_ + unresolvable_; }
+
+  /// Ends the run: records queue exhaustion (frontier semantics) and flushes
+  /// the local op counts into the global counters.
+  void Finish() {
+    exhausted_ = heap_.empty();
+    SsadKernelCounters& g = GlobalSsadCounters();
+    g.runs.fetch_add(runs_, std::memory_order_relaxed);
+    g.settles.fetch_add(settles_, std::memory_order_relaxed);
+    g.pushes.fetch_add(pushes_, std::memory_order_relaxed);
+    g.decrease_keys.fetch_add(decrease_keys_, std::memory_order_relaxed);
+    g.relaxations.fetch_add(relaxations_, std::memory_order_relaxed);
+    runs_ = settles_ = pushes_ = decrease_keys_ = relaxations_ = 0;
+  }
+
+ private:
+  static constexpr uint32_t kNotInHeap = 0xffffffffu;
+  static constexpr uint32_t kNoWatch = 0xffffffffu;
+  static constexpr uint32_t kUnresolvable = 0xffffffffu;
+
+  struct WatchEntry {
+    uint32_t target;
+    uint32_t next;  // next entry watching the same node, kNoWatch at the end
+  };
+
+  void NotifyWatchers(uint32_t node) {
+    for (uint32_t e = watch_head_[node]; e != kNoWatch;
+         e = watch_entries_[e].next) {
+      uint32_t& rem = remaining_[watch_entries_[e].target];
+      if (rem != kUnresolvable && --rem == 0) --outstanding_;
+    }
+    watch_head_[node] = kNoWatch;
+  }
+
+  void SiftUp(uint32_t idx) {
+    const uint32_t node = heap_[idx];
+    const double key = dist_[node];
+    while (idx > 0) {
+      const uint32_t parent = (idx - 1) >> 2;
+      const uint32_t pnode = heap_[parent];
+      if (dist_[pnode] <= key) break;
+      heap_[idx] = pnode;
+      heap_pos_[pnode] = idx;
+      idx = parent;
+    }
+    heap_[idx] = node;
+    heap_pos_[node] = idx;
+  }
+
+  void SiftDown(uint32_t idx) {
+    const uint32_t node = heap_[idx];
+    const double key = dist_[node];
+    const uint32_t size = static_cast<uint32_t>(heap_.size());
+    while (true) {
+      const uint32_t first = idx * 4 + 1;
+      if (first >= size) break;
+      uint32_t best = first;
+      double best_key = dist_[heap_[first]];
+      const uint32_t stop = std::min(first + 4, size);
+      for (uint32_t c = first + 1; c < stop; ++c) {
+        const double k = dist_[heap_[c]];
+        if (k < best_key) {
+          best_key = k;
+          best = c;
+        }
+      }
+      if (best_key >= key) break;
+      heap_[idx] = heap_[best];
+      heap_pos_[heap_[idx]] = idx;
+      idx = best;
+    }
+    heap_[idx] = node;
+    heap_pos_[node] = idx;
+  }
+
+  // Per-node state, invalidated lazily via epoch_mark_ (dist_, settled_,
+  // heap_pos_) or watch_epoch_ (watch_head_).
+  std::vector<double> dist_;
+  std::vector<uint32_t> epoch_mark_;
+  std::vector<uint8_t> settled_;
+  std::vector<uint32_t> heap_pos_;
+  std::vector<uint32_t> watch_head_;
+  std::vector<uint32_t> watch_epoch_;
+
+  std::vector<uint32_t> heap_;  // node ids; keys live in dist_
+  std::vector<WatchEntry> watch_entries_;
+  std::vector<uint32_t> remaining_;  // per-target unsettled watch count
+  size_t outstanding_ = 0;           // targets with remaining > 0
+  size_t unresolvable_ = 0;          // targets with no watch nodes
+  uint32_t epoch_ = 0;
+  double frontier_ = 0.0;
+  bool exhausted_ = false;
+
+  // Local op counts, flushed to the global atomics once per run.
+  uint64_t runs_ = 0;
+  uint64_t settles_ = 0;
+  uint64_t pushes_ = 0;
+  uint64_t decrease_keys_ = 0;
+  uint64_t relaxations_ = 0;
+};
+
+}  // namespace tso
+
+#endif  // TSO_GEODESIC_SSAD_KERNEL_H_

@@ -1,44 +1,29 @@
 #include "geodesic/steiner_solver.h"
 
-#include <queue>
-
 #include "base/logging.h"
 
 namespace tso {
-namespace {
-
-struct QEntry {
-  double key;
-  uint32_t node;
-  bool operator>(const QEntry& o) const { return key > o.key; }
-};
-
-}  // namespace
 
 SteinerSolver::SteinerSolver(const SteinerGraph& graph)
-    : graph_(graph),
-      dist_(graph.num_nodes(), kInfDist),
-      epoch_mark_(graph.num_nodes(), 0),
-      settled_(graph.num_nodes(), 0) {}
-
-double SteinerSolver::NodeDistance(uint32_t node) const {
-  return epoch_mark_[node] == epoch_ ? dist_[node] : kInfDist;
-}
+    : graph_(graph), kernel_(graph.num_nodes()) {}
 
 double SteinerSolver::VertexDistance(uint32_t v) const {
-  return NodeDistance(graph_.VertexNode(v));
+  if (v >= graph_.mesh().num_vertices()) return kInfDist;
+  return kernel_.dist(graph_.VertexNode(v));
 }
 
 double SteinerSolver::Estimate(const SurfacePoint& p) const {
   if (p.is_vertex()) return VertexDistance(p.vertex);
-  if (p.face == kInvalidId) return kInfDist;
+  if (p.face == kInvalidId || p.face >= graph_.mesh().num_faces()) {
+    return kInfDist;
+  }
   double best = kInfDist;
   if (!source_.is_vertex() && source_.face == p.face) {
     best = Distance(source_.pos, p.pos);
   }
   graph_.FaceNodes(p.face, &scratch_nodes_);
   for (uint32_t node : scratch_nodes_) {
-    const double d = NodeDistance(node);
+    const double d = kernel_.dist(node);
     if (d < kInfDist) {
       best = std::min(best, d + Distance(graph_.node_pos(node), p.pos));
     }
@@ -50,81 +35,53 @@ double SteinerSolver::PointDistance(const SurfacePoint& p) const {
   return Estimate(p);
 }
 
-Status SteinerSolver::Run(const SurfacePoint& source, const SsadOptions& opts) {
-  ++epoch_;
-  source_ = source;
-  frontier_ = 0.0;
+void SteinerSolver::WatchNodes(const SurfacePoint& p,
+                               std::vector<uint32_t>* out) const {
+  out->clear();
+  if (p.is_vertex()) {
+    if (p.vertex < graph_.mesh().num_vertices()) {
+      out->push_back(graph_.VertexNode(p.vertex));
+    }
+    return;
+  }
+  if (p.face == kInvalidId || p.face >= graph_.mesh().num_faces()) return;
+  graph_.FaceNodes(p.face, out);
+}
 
-  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> queue;
-  auto relax = [&](uint32_t node, double d) {
-    if (epoch_mark_[node] != epoch_) {
-      epoch_mark_[node] = epoch_;
-      dist_[node] = kInfDist;
-      settled_[node] = 0;
-    }
-    if (d < dist_[node]) {
-      dist_[node] = d;
-      queue.push({d, node});
-    }
-  };
+Status SteinerSolver::Run(const SurfacePoint& source, const SsadOptions& opts) {
+  source_ = source;
+  kernel_.Begin();
 
   if (source.is_vertex()) {
-    relax(graph_.VertexNode(source.vertex), 0.0);
+    kernel_.Relax(graph_.VertexNode(source.vertex), 0.0);
   } else {
-    if (source.face == kInvalidId) {
+    if (source.face == kInvalidId ||
+        source.face >= graph_.mesh().num_faces()) {
+      kernel_.Finish();
       return Status::InvalidArgument("source has no valid face");
     }
-    std::vector<uint32_t> nodes;
-    graph_.FaceNodes(source.face, &nodes);
-    for (uint32_t node : nodes) {
-      relax(node, Distance(source.pos, graph_.node_pos(node)));
+    graph_.FaceNodes(source.face, &watch_scratch_);
+    for (uint32_t node : watch_scratch_) {
+      kernel_.Relax(node, Distance(source.pos, graph_.node_pos(node)));
     }
   }
 
-  auto target_settled = [&](const SurfacePoint& t) {
-    const double est = Estimate(t);
-    return est < kInfDist && est <= frontier_;
-  };
+  const SsadKernel::TargetTracking targets = kernel_.RegisterTargets(
+      opts,
+      [this](const SurfacePoint& t, std::vector<uint32_t>* out) {
+        WatchNodes(t, out);
+      },
+      &watch_scratch_);
 
-  const size_t cover_needed =
-      opts.cover_targets != nullptr ? opts.cover_targets->size() : 0;
-  std::vector<uint8_t> covered(cover_needed, 0);
-  uint32_t pops_since_scan = 0;
-
-  while (!queue.empty()) {
-    const QEntry top = queue.top();
-    queue.pop();
-    if (epoch_mark_[top.node] != epoch_ || settled_[top.node] ||
-        top.key > dist_[top.node]) {
-      continue;
+  while (!kernel_.Empty()) {
+    const auto [node, key] = kernel_.PopSettle();
+    if (key > opts.radius_bound) break;
+    for (const SteinerGraph::GraphEdge& ge : graph_.Neighbors(node)) {
+      kernel_.Relax(ge.to, key + ge.weight);
     }
-    settled_[top.node] = 1;
-    frontier_ = std::max(frontier_, top.key);
-    if (top.key > opts.radius_bound) break;
-
-    for (const SteinerGraph::GraphEdge& ge : graph_.Neighbors(top.node)) {
-      relax(ge.to, top.key + ge.weight);
-    }
-
-    if (opts.stop_target != nullptr && target_settled(*opts.stop_target)) {
-      break;
-    }
-    if (cover_needed > 0 && (++pops_since_scan >= 64 || queue.empty())) {
-      pops_since_scan = 0;
-      size_t remaining = 0;
-      for (size_t i = 0; i < covered.size(); ++i) {
-        if (!covered[i]) {
-          if (target_settled((*opts.cover_targets)[i])) {
-            covered[i] = 1;
-          } else {
-            ++remaining;
-          }
-        }
-      }
-      if (remaining == 0) break;
-    }
+    if (targets.active() && kernel_.ShouldStop(targets)) break;
   }
-  if (queue.empty()) frontier_ = kInfDist;
+  kernel_.Finish();
   return Status::Ok();
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "geodesic/solver.h"
+#include "geodesic/ssad_kernel.h"
 #include "geodesic/steiner_graph.h"
 
 namespace tso {
@@ -11,7 +12,8 @@ namespace tso {
 /// Dijkstra over a Steiner graph G_ε, with arbitrary surface points attached
 /// to the boundary nodes of their containing face. This is the distance
 /// engine of K-Algo [19] and of the SP-Oracle / A2A substrate, and doubles as
-/// a tunable-accuracy approximate geodesic solver.
+/// a tunable-accuracy approximate geodesic solver. The search itself runs on
+/// the shared SsadKernel (indexed heap + bucketed target settlement).
 class SteinerSolver : public GeodesicSolver {
  public:
   /// The solver keeps a reference to `graph`; it must outlive the solver.
@@ -20,25 +22,25 @@ class SteinerSolver : public GeodesicSolver {
   Status Run(const SurfacePoint& source, const SsadOptions& opts) override;
   double VertexDistance(uint32_t v) const override;
   double PointDistance(const SurfacePoint& p) const override;
-  double frontier() const override { return frontier_; }
+  double frontier() const override { return kernel_.frontier(); }
   const char* name() const override { return "steiner-dijkstra"; }
 
   /// Distance to a graph node (used by SP-Oracle construction).
-  double NodeDistance(uint32_t node) const;
+  double NodeDistance(uint32_t node) const { return kernel_.dist(node); }
 
   const SteinerGraph& graph() const { return graph_; }
 
  private:
   double Estimate(const SurfacePoint& p) const;
+  /// Kernel nodes whose settlement finalizes p's distance (empty for an
+  /// invalid point: such a target never resolves).
+  void WatchNodes(const SurfacePoint& p, std::vector<uint32_t>* out) const;
 
   const SteinerGraph& graph_;
-  std::vector<double> dist_;
-  std::vector<uint32_t> epoch_mark_;
-  std::vector<uint8_t> settled_;
-  uint32_t epoch_ = 0;
-  double frontier_ = 0.0;
+  SsadKernel kernel_;
   SurfacePoint source_;
   mutable std::vector<uint32_t> scratch_nodes_;
+  std::vector<uint32_t> watch_scratch_;
 };
 
 }  // namespace tso

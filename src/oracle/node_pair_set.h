@@ -24,6 +24,20 @@ struct NodePairSetStats {
   size_t distance_evals = 0;
 };
 
+/// Parallel-generation knobs: the WSPD splitting recursion is seeded by a
+/// breadth-first expansion of (root, root), then the frontier is sharded
+/// over `num_threads` workers, each running the depth-first recursion with
+/// the center-distance function `make_center_dist(t)` (one per worker;
+/// functions of distinct workers must be safe to call concurrently — e.g.
+/// backed by per-worker solvers over a shared memo). The resulting pair set
+/// is identical for every thread count: the recursion tree is fixed, and
+/// pairs are canonically sorted before hashing.
+struct NodePairParallelOptions {
+  uint32_t num_threads = 1;
+  std::function<std::function<double(uint32_t, uint32_t)>(uint32_t)>
+      make_center_dist;
+};
+
 /// SE's node pair set (§3.3): starting from (root, root), non-well-separated
 /// pairs are split at the larger-radius node until every pair satisfies
 /// d(c_O, c_O') >= (2/ε + 2) · max(2 r_O, 2 r_O'). The result has the unique
@@ -38,6 +52,13 @@ class NodePairSet {
       const CompressedTree& tree, double epsilon,
       const std::function<double(uint32_t, uint32_t)>& center_dist,
       NodePairSetStats* stats = nullptr);
+
+  /// Multi-threaded generation (see NodePairParallelOptions). Produces the
+  /// same set (same order, same distances) as the serial overload.
+  static StatusOr<NodePairSet> Generate(const CompressedTree& tree,
+                                        double epsilon,
+                                        const NodePairParallelOptions& options,
+                                        NodePairSetStats* stats = nullptr);
 
   /// O(1) probe: true and *distance set iff (a, b) is in the set.
   bool Lookup(uint32_t a, uint32_t b, double* distance) const {

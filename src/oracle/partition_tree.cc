@@ -1,10 +1,13 @@
 #include "oracle/partition_tree.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <queue>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "base/bptree.h"
 #include "base/logging.h"
@@ -22,7 +25,6 @@ class XyGrid {
     for (uint32_t i = 0; i < points.size(); ++i) {
       cells_[Key(points[i].pos.x, points[i].pos.y)].push_back(i);
     }
-    points_ = &points;
   }
 
   void Query(double x, double y, double radius,
@@ -53,7 +55,6 @@ class XyGrid {
 
   double cell_;
   std::unordered_map<uint64_t, std::vector<uint32_t>> cells_;
-  const std::vector<SurfacePoint>* points_ = nullptr;
 };
 
 /// The greedy selection structure of Implementation Detail 1: uncovered POIs
@@ -120,6 +121,15 @@ class GreedyPicker {
   std::priority_queue<std::pair<size_t, uint64_t>> heap_;
 };
 
+/// Everything Build needs from one candidate's 2·r_i SSAD, extracted while
+/// the solver still holds the run. Independent of the covered set, so a
+/// summary computed speculatively ahead of time commits exactly like one
+/// computed on demand.
+struct SsadSummary {
+  std::vector<uint32_t> covers;                      // POI ids with d <= r_i
+  std::vector<std::pair<uint32_t, double>> parents;  // prev-layer idx, d
+};
+
 }  // namespace
 
 const char* SelectionStrategyName(SelectionStrategy s) {
@@ -135,12 +145,21 @@ const char* SelectionStrategyName(SelectionStrategy s) {
 StatusOr<PartitionTree> PartitionTree::Build(
     const TerrainMesh& mesh, const std::vector<SurfacePoint>& pois,
     GeodesicSolver& solver, SelectionStrategy strategy, Rng& rng,
-    PartitionTreeStats* stats) {
-  (void)mesh;
+    PartitionTreeStats* stats, const PartitionTreeOptions& options) {
   const size_t n = pois.size();
   if (n == 0) return Status::InvalidArgument("no POIs");
   WallTimer timer;
   size_t ssad_runs = 0;
+  size_t speculative_ssads = 0;
+  size_t wasted_ssads = 0;
+
+  const uint32_t num_workers =
+      options.solver_factory != nullptr && options.num_threads > 1
+          ? options.num_threads
+          : 1;
+  // Worker solvers for speculative batches; created lazily on the first
+  // parallel batch and reused across layers.
+  std::vector<std::unique_ptr<GeodesicSolver>> workers;
 
   PartitionTree tree;
   tree.leaf_of_poi_.assign(n, kInvalidId);
@@ -187,7 +206,6 @@ StatusOr<PartitionTree> PartitionTree::Build(
 
   // --- Step 2: non-root layers ---
   int layer = 0;
-  std::vector<uint32_t> candidates;
   while (tree.layer_nodes_[layer].size() < n) {
     const int i = layer + 1;
     if (i > 60) {
@@ -221,9 +239,36 @@ StatusOr<PartitionTree> PartitionTree::Build(
       rng.Shuffle(random_order);
     }
 
-    std::vector<uint32_t> this_layer;
-    while (uncovered > 0) {
-      // Step (i): point selection — previous-layer centers first.
+    // Step (ii): SSAD out to 2·r_i — r_i for covering, 2·r_i to reach the
+    // parent (Covering property of layer i-1 guarantees one within
+    // 2·r_i = r_{i-1}). The summary captures the coverage set and the
+    // parent-candidate distances in grid-query order, so committing it later
+    // reproduces the serial build exactly.
+    auto summarize = [&](GeodesicSolver& s, uint32_t p,
+                         SsadSummary* out) -> Status {
+      SsadOptions opts;
+      opts.radius_bound = 2.0 * ri * (1.0 + 1e-9);
+      TSO_RETURN_IF_ERROR(s.Run(pois[p], opts));
+      out->covers.clear();
+      out->parents.clear();
+      std::vector<uint32_t> candidates;
+      poi_grid.Query(pois[p].pos.x, pois[p].pos.y, ri, &candidates);
+      for (uint32_t cand : candidates) {
+        if (s.PointDistance(pois[cand]) <= ri) out->covers.push_back(cand);
+      }
+      prev_grid.Query(pois[p].pos.x, pois[p].pos.y, 2.0 * ri * (1.0 + 1e-9),
+                      &candidates);
+      for (uint32_t k : candidates) {
+        const double d = s.PointDistance(prev_center_points[k]);
+        if (d < kInfDist) out->parents.emplace_back(k, d);
+      }
+      return Status::Ok();
+    };
+
+    // Step (i): point selection — previous-layer centers first, then the
+    // strategy's pick. Identical to the serial algorithm for any worker
+    // count (speculation below consumes no RNG).
+    auto pick_next = [&]() -> uint32_t {
       uint32_t p = kInvalidId;
       while (pc_cursor < prev_nodes.size()) {
         const uint32_t c = tree.nodes_[prev_nodes[pc_cursor]].center;
@@ -246,34 +291,91 @@ StatusOr<PartitionTree> PartitionTree::Build(
           }
         }
       }
-      TSO_CHECK(p != kInvalidId);
+      return p;
+    };
 
-      // Step (ii): SSAD out to 2·r_i — r_i for covering, 2·r_i to reach the
-      // parent (Covering property of layer i-1 guarantees one within
-      // 2·r_i = r_{i-1}).
-      SsadOptions opts;
-      opts.radius_bound = 2.0 * ri * (1.0 + 1e-9);
-      TSO_RETURN_IF_ERROR(solver.Run(pois[p], opts));
-      ++ssad_runs;
+    // Speculation cache: candidate POI -> precomputed SSAD summary. Entries
+    // stay valid for the whole layer (summaries are state-independent);
+    // entries whose candidate never becomes a center are counted as waste.
+    std::unordered_map<uint32_t, SsadSummary> spec_cache;
 
-      poi_grid.Query(pois[p].pos.x, pois[p].pos.y, ri, &candidates);
-      for (uint32_t cand : candidates) {
-        if (covered[cand]) continue;
-        if (solver.PointDistance(pois[cand]) <= ri) {
-          covered[cand] = 1;
-          --uncovered;
-          if (greedy != nullptr) greedy->Remove(cand);
+    // Runs SSADs for `first` plus upcoming uncovered candidates in selection
+    // order, pairwise more than r_i apart in 3-D Euclidean distance (a lower
+    // bound on geodesic distance, so committing one batch member cannot
+    // cover another — their summaries all get used unless an off-batch
+    // candidate intervenes).
+    auto refill_cache = [&](uint32_t first) -> Status {
+      const size_t batch_limit = 2 * static_cast<size_t>(num_workers);
+      std::vector<uint32_t> batch;
+      auto consider = [&](uint32_t c) {
+        if (covered[c] || spec_cache.count(c) != 0) return;
+        for (uint32_t b : batch) {
+          if (c == b || Distance(pois[c].pos, pois[b].pos) <= ri) return;
+        }
+        batch.push_back(c);
+      };
+      consider(first);
+      for (size_t k = pc_cursor;
+           k < prev_nodes.size() && batch.size() < batch_limit; ++k) {
+        consider(tree.nodes_[prev_nodes[k]].center);
+      }
+      if (strategy == SelectionStrategy::kRandom) {
+        for (size_t k = random_cursor;
+             k < random_order.size() && batch.size() < batch_limit; ++k) {
+          consider(random_order[k]);
         }
       }
-      TSO_CHECK(covered[p]);  // a node always covers its own center
+      if (batch.size() <= 1) return Status::Ok();  // nothing to parallelize
 
-      // Step (iii): node creation + parent hookup.
-      prev_grid.Query(pois[p].pos.x, pois[p].pos.y, 2.0 * ri * (1.0 + 1e-9),
-                      &candidates);
+      const uint32_t active =
+          static_cast<uint32_t>(std::min<size_t>(num_workers, batch.size()));
+      while (workers.size() < active) {
+        std::unique_ptr<GeodesicSolver> s = options.solver_factory();
+        if (s == nullptr) {
+          return Status::Internal("solver factory returned null");
+        }
+        workers.push_back(std::move(s));
+      }
+      std::vector<SsadSummary> results(batch.size());
+      std::vector<Status> worker_status(active);
+      std::atomic<size_t> next{0};
+      std::vector<std::thread> pool;
+      pool.reserve(active);
+      for (uint32_t t = 0; t < active; ++t) {
+        pool.emplace_back([&, t]() {
+          while (true) {
+            const size_t k = next.fetch_add(1);
+            if (k >= batch.size()) break;
+            Status st = summarize(*workers[t], batch[k], &results[k]);
+            if (!st.ok()) {
+              worker_status[t] = st;
+              break;
+            }
+          }
+        });
+      }
+      for (std::thread& w : pool) w.join();
+      for (const Status& st : worker_status) TSO_RETURN_IF_ERROR(st);
+      ssad_runs += batch.size();
+      speculative_ssads += batch.size();
+      for (size_t k = 0; k < batch.size(); ++k) {
+        spec_cache.emplace(batch[k], std::move(results[k]));
+      }
+      return Status::Ok();
+    };
+
+    // Step (iii): coverage marking + node creation + parent hookup.
+    auto commit = [&](uint32_t p, const SsadSummary& sum) -> Status {
+      for (uint32_t cand : sum.covers) {
+        if (covered[cand]) continue;
+        covered[cand] = 1;
+        --uncovered;
+        if (greedy != nullptr) greedy->Remove(cand);
+      }
+      TSO_CHECK(covered[p]);  // a node always covers its own center
       double best_dist = kInfDist;
       uint32_t best_parent = kInvalidId;
-      for (uint32_t k : candidates) {
-        const double d = solver.PointDistance(prev_center_points[k]);
+      for (const auto& [k, d] : sum.parents) {
         if (d < best_dist) {
           best_dist = d;
           best_parent = prev_nodes[k];
@@ -286,9 +388,31 @@ StatusOr<PartitionTree> PartitionTree::Build(
       const uint32_t node_id = static_cast<uint32_t>(tree.nodes_.size());
       tree.nodes_.push_back({p, ri, i, best_parent, {}});
       tree.nodes_[best_parent].children.push_back(node_id);
-      this_layer.push_back(node_id);
+      tree.layer_nodes_.back().push_back(node_id);
+      return Status::Ok();
+    };
+
+    tree.layer_nodes_.emplace_back();
+    while (uncovered > 0) {
+      const uint32_t p = pick_next();
+      TSO_CHECK(p != kInvalidId);
+      auto it = spec_cache.find(p);
+      if (it == spec_cache.end() && num_workers > 1) {
+        TSO_RETURN_IF_ERROR(refill_cache(p));
+        it = spec_cache.find(p);
+      }
+      if (it != spec_cache.end()) {
+        const Status st = commit(p, it->second);
+        spec_cache.erase(it);
+        TSO_RETURN_IF_ERROR(st);
+      } else {
+        SsadSummary sum;
+        TSO_RETURN_IF_ERROR(summarize(solver, p, &sum));
+        ++ssad_runs;
+        TSO_RETURN_IF_ERROR(commit(p, sum));
+      }
     }
-    tree.layer_nodes_.push_back(std::move(this_layer));
+    wasted_ssads += spec_cache.size();
     layer = i;
   }
 
@@ -305,6 +429,8 @@ StatusOr<PartitionTree> PartitionTree::Build(
     stats->num_nodes = tree.nodes_.size();
     stats->ssad_runs = ssad_runs;
     stats->build_seconds = timer.ElapsedSeconds();
+    stats->speculative_ssads = speculative_ssads;
+    stats->wasted_ssads = wasted_ssads;
   }
   return tree;
 }

@@ -23,6 +23,23 @@ struct PartitionTreeStats {
   size_t num_nodes = 0;
   size_t ssad_runs = 0;
   double build_seconds = 0.0;
+  // Parallel-build accounting: SSADs executed by worker threads, and
+  // speculative runs whose candidate never became a center (wasted work).
+  size_t speculative_ssads = 0;
+  size_t wasted_ssads = 0;
+};
+
+/// Parallel-construction knobs. When `solver_factory` is set and
+/// `num_threads` > 1, the per-layer coverage/parent SSADs are precomputed
+/// speculatively in batches of pairwise-separated candidates by worker
+/// threads (each with its own solver). The committed tree is bit-identical
+/// to the serial build for any thread count: candidate selection order and
+/// RNG consumption are unchanged, and an SSAD's result does not depend on
+/// when it runs. The factory must produce solvers over the same mesh and
+/// metric as the injected solver.
+struct PartitionTreeOptions {
+  SolverFactory solver_factory;
+  uint32_t num_threads = 1;
 };
 
 /// The hierarchical disk cover of §3.2: Layer i consists of nodes with radius
@@ -40,12 +57,14 @@ class PartitionTree {
   };
 
   /// Builds the tree over `pois` using `solver` as the geodesic engine
-  /// (§3.2's construction algorithm). POIs must be distinct.
-  static StatusOr<PartitionTree> Build(const TerrainMesh& mesh,
-                                       const std::vector<SurfacePoint>& pois,
-                                       GeodesicSolver& solver,
-                                       SelectionStrategy strategy, Rng& rng,
-                                       PartitionTreeStats* stats = nullptr);
+  /// (§3.2's construction algorithm). POIs must be distinct. `options`
+  /// optionally parallelizes the per-layer SSADs (see PartitionTreeOptions);
+  /// the result is identical for every thread count.
+  static StatusOr<PartitionTree> Build(
+      const TerrainMesh& mesh, const std::vector<SurfacePoint>& pois,
+      GeodesicSolver& solver, SelectionStrategy strategy, Rng& rng,
+      PartitionTreeStats* stats = nullptr,
+      const PartitionTreeOptions& options = {});
 
   int height() const { return height_; }        // h
   double root_radius() const { return r0_; }    // r_0

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 
@@ -12,6 +13,38 @@
 
 namespace tso {
 namespace {
+
+/// Mutex-striped distance memo shared by the parallel WSPD workers (replaces
+/// the single-threaded unordered_map fallback path). Keys are PairKey of the
+/// ordered POI ids.
+class ShardedDistMemo {
+ public:
+  bool Lookup(uint64_t key, double* out) {
+    Shard& s = shard(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  void Insert(uint64_t key, double value) {
+    Shard& s = shard(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.emplace(key, value);
+  }
+
+ private:
+  static constexpr size_t kShards = 64;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, double> map;
+  };
+  Shard& shard(uint64_t key) {
+    return shards_[(key * 0x9e3779b97f4a7c15ULL) >> 58];
+  }
+  Shard shards_[kShards];
+};
 
 /// Build-time enhanced-edge index (§3.5 Steps 2–3): for each pair of
 /// same-layer partition-tree nodes with d(c_O, c_O') <= l·r_O (l = 8/ε+10),
@@ -32,15 +65,9 @@ struct EnhancedEdges {
 StatusOr<EnhancedEdges> BuildEnhancedEdges(
     const PartitionTree& tree, const std::vector<SurfacePoint>& pois,
     GeodesicSolver& solver, const SeOracleOptions& options,
-    size_t* ssad_runs) {
+    uint32_t num_threads, size_t* ssad_runs) {
   const double l = 8.0 / options.epsilon + 10.0;
   std::vector<std::pair<uint64_t, uint64_t>> entries;
-  const uint32_t num_threads =
-      options.parallel_solver_factory == nullptr
-          ? 1
-          : (options.num_threads != 0
-                 ? options.num_threads
-                 : std::max(1u, std::thread::hardware_concurrency()));
 
   for (int layer = 0; layer <= tree.height(); ++layer) {
     const std::vector<uint32_t>& nodes = tree.layer_nodes(layer);
@@ -122,6 +149,10 @@ StatusOr<EnhancedEdges> BuildEnhancedEdges(
         workers.emplace_back([&, t]() {
           std::unique_ptr<GeodesicSolver> local =
               options.parallel_solver_factory();
+          if (local == nullptr) {
+            shard_status[t] = Status::Internal("solver factory returned null");
+            return;
+          }
           while (true) {
             const uint32_t i = next.fetch_add(1);
             if (i >= centers.size()) break;
@@ -178,14 +209,32 @@ StatusOr<SeOracle> SeOracle::Build(const TerrainMesh& mesh,
 
   Rng rng(options.seed);
 
+  // One thread count for every parallel phase: tree speculation, enhanced
+  // edges, and the WSPD recursion.
+  const uint32_t num_threads =
+      options.parallel_solver_factory == nullptr
+          ? 1
+          : (options.num_threads != 0
+                 ? options.num_threads
+                 : std::max(1u, std::thread::hardware_concurrency()));
+  st.threads_used = num_threads;
+
   // --- Step 1: partition tree + compressed tree ---
   WallTimer phase_timer;
   PartitionTreeStats tree_stats;
-  StatusOr<PartitionTree> tree = PartitionTree::Build(
-      mesh, pois, solver, options.selection, rng, &tree_stats);
+  PartitionTreeOptions tree_options;
+  if (num_threads > 1) {
+    tree_options.solver_factory = options.parallel_solver_factory;
+    tree_options.num_threads = num_threads;
+  }
+  StatusOr<PartitionTree> tree =
+      PartitionTree::Build(mesh, pois, solver, options.selection, rng,
+                           &tree_stats, tree_options);
   if (!tree.ok()) return tree.status();
   st.tree_seconds = phase_timer.ElapsedSeconds();
   st.ssad_runs += tree_stats.ssad_runs;
+  st.tree_speculative_ssads = tree_stats.speculative_ssads;
+  st.tree_wasted_ssads = tree_stats.wasted_ssads;
   st.height = tree->height();
 
   SeOracle oracle;
@@ -197,8 +246,8 @@ StatusOr<SeOracle> SeOracle::Build(const TerrainMesh& mesh,
   EnhancedEdges enhanced;
   if (options.construction == ConstructionMethod::kEfficient &&
       pois.size() > 1) {
-    StatusOr<EnhancedEdges> built =
-        BuildEnhancedEdges(*tree, pois, solver, options, &st.ssad_runs);
+    StatusOr<EnhancedEdges> built = BuildEnhancedEdges(
+        *tree, pois, solver, options, num_threads, &st.ssad_runs);
     if (!built.ok()) return built.status();
     enhanced = std::move(*built);
     st.enhanced_edges = enhanced.count;
@@ -207,27 +256,44 @@ StatusOr<SeOracle> SeOracle::Build(const TerrainMesh& mesh,
 
   // --- Step 4: node pair set ---
   phase_timer.Reset();
-  // Memoized naive distance (used by SE-Naive for every pair, and by the
-  // efficient method only as a guarded fallback).
-  std::unordered_map<uint64_t, double> memo;
-  auto naive_dist = [&](uint32_t ca, uint32_t cb) -> double {
-    if (ca == cb) return 0.0;
-    const uint64_t key = PairKey(std::min(ca, cb), std::max(ca, cb));
-    auto it = memo.find(key);
-    if (it != memo.end()) return it->second;
-    StatusOr<double> d = solver.PointToPoint(pois[ca], pois[cb]);
-    ++st.ssad_runs;
-    TSO_CHECK(d.ok());
-    memo.emplace(key, *d);
-    return *d;
-  };
-
-  std::function<double(uint32_t, uint32_t)> center_dist;
+  // Naive per-pair distances (used by SE-Naive for every pair, and by the
+  // efficient method only as a guarded fallback) go through a sharded memo
+  // and per-worker solvers, so the WSPD recursion can run multi-threaded.
   const PartitionTree& orig_tree = *tree;
-  if (options.construction == ConstructionMethod::kNaive) {
-    center_dist = naive_dist;
-  } else {
-    center_dist = [&](uint32_t ca, uint32_t cb) -> double {
+  ShardedDistMemo memo;
+  std::atomic<size_t> naive_ssad_runs{0};
+  std::atomic<size_t> distance_fallbacks{0};
+  std::vector<std::unique_ptr<GeodesicSolver>> worker_solvers(num_threads);
+
+  // Builds worker t's center-distance function. Worker 0's may also be used
+  // by the calling thread for seed expansion (never concurrently).
+  auto make_center_dist =
+      [&](uint32_t t) -> std::function<double(uint32_t, uint32_t)> {
+    auto naive_dist = [&, t](uint32_t ca, uint32_t cb) -> double {
+      const uint64_t key = PairKey(std::min(ca, cb), std::max(ca, cb));
+      double d;
+      if (memo.Lookup(key, &d)) return d;
+      GeodesicSolver* s = &solver;
+      if (num_threads > 1) {
+        if (worker_solvers[t] == nullptr) {
+          worker_solvers[t] = options.parallel_solver_factory();
+          TSO_CHECK(worker_solvers[t] != nullptr);
+        }
+        s = worker_solvers[t].get();
+      }
+      StatusOr<double> computed = s->PointToPoint(pois[ca], pois[cb]);
+      naive_ssad_runs.fetch_add(1, std::memory_order_relaxed);
+      TSO_CHECK(computed.ok());
+      memo.Insert(key, *computed);
+      return *computed;
+    };
+    if (options.construction == ConstructionMethod::kNaive) {
+      return [naive_dist](uint32_t ca, uint32_t cb) -> double {
+        if (ca == cb) return 0.0;
+        return naive_dist(ca, cb);
+      };
+    }
+    return [&, naive_dist](uint32_t ca, uint32_t cb) -> double {
       if (ca == cb) return 0.0;
       // Walk the original-tree leaf->root paths in lockstep (one node per
       // layer) and probe the enhanced-edge hash; Lemma 4 guarantees a hit
@@ -243,14 +309,25 @@ StatusOr<SeOracle> SeOracle::Build(const TerrainMesh& mesh,
         u = orig_tree.node(u).parent;
         v = orig_tree.node(v).parent;
       }
-      ++st.distance_fallbacks;
+      distance_fallbacks.fetch_add(1, std::memory_order_relaxed);
       return naive_dist(ca, cb);
     };
-  }
+  };
 
   NodePairSetStats pair_stats;
-  StatusOr<NodePairSet> pairs = NodePairSet::Generate(
-      oracle.tree_, options.epsilon, center_dist, &pair_stats);
+  StatusOr<NodePairSet> pairs{Status::Internal("unset")};
+  if (num_threads > 1) {
+    NodePairParallelOptions par;
+    par.num_threads = num_threads;
+    par.make_center_dist = make_center_dist;
+    pairs = NodePairSet::Generate(oracle.tree_, options.epsilon, par,
+                                  &pair_stats);
+  } else {
+    pairs = NodePairSet::Generate(oracle.tree_, options.epsilon,
+                                  make_center_dist(0), &pair_stats);
+  }
+  st.ssad_runs += naive_ssad_runs.load();
+  st.distance_fallbacks += distance_fallbacks.load();
   if (!pairs.ok()) return pairs.status();
   oracle.pairs_ = std::move(*pairs);
   st.pair_gen_seconds = phase_timer.ElapsedSeconds();

@@ -30,19 +30,23 @@ struct QueryScratch {
   std::vector<uint32_t> a, b;
 };
 
-/// Produces an independent solver instance (one per worker thread).
-using SolverFactory = std::function<std::unique_ptr<GeodesicSolver>()>;
+// SolverFactory (an independent solver per worker thread) now lives in
+// geodesic/solver.h so the partition tree can use it too.
 
 struct SeOracleOptions {
   double epsilon = 0.1;  // ε, the error parameter
   SelectionStrategy selection = SelectionStrategy::kRandom;
   ConstructionMethod construction = ConstructionMethod::kEfficient;
   uint64_t seed = 42;
-  /// Optional: enables multi-threaded enhanced-edge construction (the
-  /// dominant build phase; its per-node SSAD runs are independent). When
-  /// unset, construction is single-threaded on the injected solver.
+  /// Optional: enables multi-threaded construction of every build phase —
+  /// speculative partition-tree SSADs, enhanced edges (one independent SSAD
+  /// per tree node), and the sharded WSPD recursion of the node-pair set.
+  /// The built oracle is identical for any thread count given the same
+  /// seed. When unset, construction is single-threaded on the injected
+  /// solver. The factory must produce solvers over the same mesh and metric
+  /// as the injected one.
   SolverFactory parallel_solver_factory;
-  /// Worker threads for the parallel phase; 0 = hardware concurrency.
+  /// Worker threads for the parallel phases; 0 = hardware concurrency.
   uint32_t num_threads = 0;
 };
 
@@ -57,6 +61,9 @@ struct SeBuildStats {
   size_t pairs_considered = 0;
   size_t distance_fallbacks = 0;   // enhanced-edge misses (expected 0)
   int height = 0;
+  uint32_t threads_used = 1;       // worker threads of the parallel phases
+  size_t tree_speculative_ssads = 0;  // partition-tree SSADs run by workers
+  size_t tree_wasted_ssads = 0;       // speculative SSADs never committed
 };
 
 /// The Space-Efficient distance oracle (SE) — the paper's contribution.

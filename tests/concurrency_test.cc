@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "geodesic/dijkstra_solver.h"
 #include "geodesic/mmp_solver.h"
 #include "oracle/dynamic_oracle.h"
 #include "oracle/se_oracle.h"
@@ -274,6 +275,39 @@ TEST(Concurrency, DynamicOracleConcurrentReads) {
   }
   for (std::thread& w : workers) w.join();
   EXPECT_EQ(mismatches.load(), 0u);
+}
+
+// The parallel build phases (speculative partition-tree SSADs, sharded WSPD
+// recursion, enhanced edges) under the race detector: this suite is the TSan
+// CI target, so the whole multi-threaded construction path runs here. The
+// result must also match the serial build bit-for-bit.
+TEST(Concurrency, ParallelOracleBuildRaceFreeAndDeterministic) {
+  const SharedOracle& fx = Fx();
+  const TerrainMesh& mesh = *fx.ds->mesh;
+  DijkstraSolver serial_solver(mesh);
+  DijkstraSolver parallel_solver(mesh);
+  SeOracleOptions sequential;
+  sequential.epsilon = 0.2;
+  sequential.seed = 31;
+  SeOracleOptions parallel = sequential;
+  parallel.parallel_solver_factory = [&mesh]() {
+    return std::unique_ptr<GeodesicSolver>(new DijkstraSolver(mesh));
+  };
+  parallel.num_threads = kThreads;
+  SeBuildStats par_stats;
+  StatusOr<SeOracle> a =
+      SeOracle::Build(mesh, fx.ds->pois, serial_solver, sequential, nullptr);
+  StatusOr<SeOracle> b =
+      SeOracle::Build(mesh, fx.ds->pois, parallel_solver, parallel,
+                      &par_stats);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(par_stats.threads_used, kThreads);
+  const size_t n = fx.ds->pois.size();
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = 0; t < n; ++t) {
+      EXPECT_EQ(*a->Distance(s, t), *b->Distance(s, t)) << s << "," << t;
+    }
+  }
 }
 
 }  // namespace

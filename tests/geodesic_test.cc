@@ -347,5 +347,30 @@ TEST(SolverFactory, InvalidSourceRejected) {
   EXPECT_FALSE(solver.Run(bogus, {}).ok());
 }
 
+// Regression: SteinerSolver used to index FaceNodes out of bounds for a
+// non-vertex source with face >= num_faces (DijkstraSolver already checked).
+TEST(SteinerSolverRegression, OutOfRangeSourceFaceRejected) {
+  TerrainMesh mesh = FlatMesh(4);
+  StatusOr<SteinerGraph> graph = SteinerGraph::Build(mesh, 2);
+  ASSERT_TRUE(graph.ok());
+  SteinerSolver solver(*graph);
+  const SurfacePoint bad = SurfacePoint::OnFace(
+      static_cast<uint32_t>(mesh.num_faces()), {0.5, 0.5, 0.0});
+  EXPECT_FALSE(solver.Run(bad, {}).ok());
+  SurfacePoint none;  // face == kInvalidId
+  EXPECT_FALSE(solver.Run(none, {}).ok());
+  DijkstraSolver dijkstra(mesh);
+  EXPECT_FALSE(dijkstra.Run(bad, {}).ok());
+  // A valid run still works after the rejected ones.
+  const SurfacePoint ok = SurfacePoint::AtVertex(mesh, 0);
+  EXPECT_TRUE(solver.Run(ok, {}).ok());
+  EXPECT_EQ(solver.VertexDistance(0), 0.0);
+  // Out-of-range vertex ids (e.g. stale ids from another mesh) read as
+  // unreachable rather than indexing past the kernel arrays.
+  const uint32_t bogus_vertex = static_cast<uint32_t>(mesh.num_vertices());
+  EXPECT_EQ(solver.VertexDistance(bogus_vertex), kInfDist);
+  EXPECT_EQ(dijkstra.VertexDistance(bogus_vertex), kInfDist);
+}
+
 }  // namespace
 }  // namespace tso

@@ -121,6 +121,41 @@ TEST(PartitionTree, DeterministicBySeed) {
   }
 }
 
+TEST(PartitionTree, ParallelSpeculativeBuildIsIdentical) {
+  // The speculative batched SSADs must produce the exact tree of the serial
+  // build (same centers, parents, layers) for both selection strategies.
+  TreeFixture fx(24, 23);
+  const TerrainMesh& mesh = *fx.ds->mesh;
+  PartitionTreeOptions options;
+  options.solver_factory = [&mesh]() {
+    return std::unique_ptr<GeodesicSolver>(new MmpSolver(mesh));
+  };
+  options.num_threads = 4;
+  for (SelectionStrategy strategy :
+       {SelectionStrategy::kRandom, SelectionStrategy::kGreedy}) {
+    Rng rng_serial(77), rng_parallel(77);
+    PartitionTreeStats serial_stats, parallel_stats;
+    StatusOr<PartitionTree> serial =
+        PartitionTree::Build(mesh, fx.ds->pois, *fx.solver, strategy,
+                             rng_serial, &serial_stats);
+    StatusOr<PartitionTree> parallel =
+        PartitionTree::Build(mesh, fx.ds->pois, *fx.solver, strategy,
+                             rng_parallel, &parallel_stats, options);
+    ASSERT_TRUE(serial.ok() && parallel.ok());
+    ASSERT_EQ(serial->num_nodes(), parallel->num_nodes());
+    EXPECT_EQ(serial->height(), parallel->height());
+    for (uint32_t id = 0; id < serial->num_nodes(); ++id) {
+      EXPECT_EQ(serial->node(id).center, parallel->node(id).center);
+      EXPECT_EQ(serial->node(id).parent, parallel->node(id).parent);
+      EXPECT_EQ(serial->node(id).layer, parallel->node(id).layer);
+    }
+    if (strategy == SelectionStrategy::kRandom) {
+      EXPECT_GT(parallel_stats.speculative_ssads, 0u);
+    }
+    EXPECT_EQ(serial_stats.speculative_ssads, 0u);
+  }
+}
+
 TEST(PartitionTree, SinglePoi) {
   TreeFixture fx(1, 15);
   Rng rng(5);

@@ -264,6 +264,42 @@ TEST(SeOracle, ParallelBuildMatchesSequential) {
   }
 }
 
+TEST(SeOracle, EightThreadBuildIsDeterministic) {
+  // Acceptance gate: the T=8 build (parallel partition tree + WSPD + enhanced
+  // edges) must answer every query identically to the T=1 build, with the
+  // same node-pair count. The cheap Dijkstra metric keeps this fast.
+  OracleFixture fx(40, 89, 600);
+  DijkstraSolver serial_solver(*fx.ds->mesh);
+  DijkstraSolver parallel_solver(*fx.ds->mesh);
+  SeOracleOptions sequential;
+  sequential.epsilon = 0.2;
+  sequential.seed = 17;
+  SeOracleOptions parallel = sequential;
+  const TerrainMesh& mesh = *fx.ds->mesh;
+  parallel.parallel_solver_factory = [&mesh]() {
+    return std::unique_ptr<GeodesicSolver>(new DijkstraSolver(mesh));
+  };
+  parallel.num_threads = 8;
+  SeBuildStats seq_stats, par_stats;
+  StatusOr<SeOracle> a = SeOracle::Build(mesh, fx.ds->pois, serial_solver,
+                                         sequential, &seq_stats);
+  StatusOr<SeOracle> b = SeOracle::Build(mesh, fx.ds->pois, parallel_solver,
+                                         parallel, &par_stats);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(seq_stats.threads_used, 1u);
+  EXPECT_EQ(par_stats.threads_used, 8u);
+  EXPECT_EQ(par_stats.distance_fallbacks, 0u);
+  EXPECT_EQ(seq_stats.node_pairs, par_stats.node_pairs);
+  EXPECT_EQ(seq_stats.height, par_stats.height);
+  EXPECT_GT(par_stats.tree_speculative_ssads, 0u);
+  const size_t n = fx.ds->pois.size();
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = 0; t < n; ++t) {
+      EXPECT_EQ(*a->Distance(s, t), *b->Distance(s, t)) << s << "," << t;
+    }
+  }
+}
+
 TEST(SeOracleSerde, RoundTripAnswersIdentical) {
   OracleFixture fx(16, 67);
   SeOracleOptions options;

@@ -1,0 +1,339 @@
+// Property tests for the shared SSAD kernel (indexed d-ary heap with
+// decrease-key + bucketed target settlement) pitting the kernel-backed
+// solvers against a reference lazy-deletion std::priority_queue Dijkstra:
+// settle-order ties aside, distances must agree across vertex/face sources,
+// radius bounds, and stop-/cover-target modes.
+
+#include "geodesic/ssad_kernel.h"
+
+#include <cmath>
+#include <queue>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "geodesic/dijkstra_solver.h"
+#include "geodesic/steiner_graph.h"
+#include "geodesic/steiner_solver.h"
+#include "mesh/point_locator.h"
+#include "terrain/poi_generator.h"
+#include "terrain/terrain_synth.h"
+
+namespace tso {
+namespace {
+
+TerrainMesh RuggedMesh(uint32_t target_vertices, uint64_t seed) {
+  SynthSpec spec;
+  spec.extent_x = 900.0;
+  spec.extent_y = 700.0;
+  spec.amplitude = 220.0;
+  spec.feature_size = 240.0;
+  spec.seed = seed;
+  StatusOr<TerrainMesh> mesh = SynthesizeMesh(spec, target_vertices);
+  TSO_CHECK(mesh.ok());
+  return std::move(*mesh);
+}
+
+/// Reference Dijkstra with a lazy-deletion std::priority_queue (the
+/// implementation the kernel replaced): distances over an abstract graph
+/// from multi-source seeds, stopping past `radius_bound`.
+template <typename NeighborFn>
+std::vector<double> ReferenceDijkstra(
+    size_t num_nodes, const std::vector<std::pair<uint32_t, double>>& seeds,
+    double radius_bound, NeighborFn&& neighbors) {
+  struct Entry {
+    double key;
+    uint32_t node;
+    bool operator>(const Entry& o) const { return key > o.key; }
+  };
+  std::vector<double> dist(num_nodes, kInfDist);
+  std::vector<uint8_t> settled(num_nodes, 0);
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  for (const auto& [node, d] : seeds) {
+    if (d < dist[node]) {
+      dist[node] = d;
+      queue.push({d, node});
+    }
+  }
+  while (!queue.empty()) {
+    const Entry top = queue.top();
+    queue.pop();
+    if (settled[top.node] || top.key > dist[top.node]) continue;
+    settled[top.node] = 1;
+    if (top.key > radius_bound) break;
+    neighbors(top.node, [&](uint32_t to, double w) {
+      const double nd = top.key + w;
+      if (nd < dist[to]) {
+        dist[to] = nd;
+        queue.push({nd, to});
+      }
+    });
+  }
+  // Only settled entries are final; tentative ones are upper bounds, which
+  // is exactly what the solvers report too.
+  return dist;
+}
+
+std::vector<std::pair<uint32_t, double>> MeshSeeds(const TerrainMesh& mesh,
+                                                   const SurfacePoint& src) {
+  std::vector<std::pair<uint32_t, double>> seeds;
+  if (src.is_vertex()) {
+    seeds.emplace_back(src.vertex, 0.0);
+  } else {
+    for (uint32_t v : mesh.face(src.face)) {
+      seeds.emplace_back(v, Distance(src.pos, mesh.vertex(v)));
+    }
+  }
+  return seeds;
+}
+
+std::vector<double> RefMeshDistances(const TerrainMesh& mesh,
+                                     const SurfacePoint& src, double bound) {
+  return ReferenceDijkstra(
+      mesh.num_vertices(), MeshSeeds(mesh, src), bound,
+      [&](uint32_t v, auto&& relax) {
+        for (uint32_t e : mesh.vertex_edges(v)) {
+          const TerrainMesh::Edge& ed = mesh.edge(e);
+          relax(ed.v0 == v ? ed.v1 : ed.v0, ed.length);
+        }
+      });
+}
+
+std::vector<double> RefGraphDistances(const SteinerGraph& graph,
+                                      const SurfacePoint& src, double bound) {
+  std::vector<std::pair<uint32_t, double>> seeds;
+  if (src.is_vertex()) {
+    seeds.emplace_back(graph.VertexNode(src.vertex), 0.0);
+  } else {
+    std::vector<uint32_t> nodes;
+    graph.FaceNodes(src.face, &nodes);
+    for (uint32_t node : nodes) {
+      seeds.emplace_back(node, Distance(src.pos, graph.node_pos(node)));
+    }
+  }
+  return ReferenceDijkstra(graph.num_nodes(), seeds, bound,
+                           [&](uint32_t node, auto&& relax) {
+                             for (const auto& ge : graph.Neighbors(node)) {
+                               relax(ge.to, ge.weight);
+                             }
+                           });
+}
+
+SurfacePoint RandomSource(const TerrainMesh& mesh, Rng& rng) {
+  if (rng.Bernoulli(0.5)) {
+    return SurfacePoint::AtVertex(
+        mesh, static_cast<uint32_t>(rng.Uniform(mesh.num_vertices())));
+  }
+  const uint32_t f = static_cast<uint32_t>(rng.Uniform(mesh.num_faces()));
+  return SurfacePoint::OnFace(f, mesh.FaceCentroid(f));
+}
+
+// --- Kernel data structure in isolation ---
+
+TEST(SsadKernelHeap, RandomizedDecreaseKeyPopsSortedAndMinimal) {
+  Rng rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const size_t n = 1 + rng.Uniform(256);
+    SsadKernel kernel(n);
+    kernel.Begin();
+    std::vector<double> best(n, kInfDist);
+    const int ops = 1 + static_cast<int>(rng.Uniform(800));
+    for (int k = 0; k < ops; ++k) {
+      const uint32_t node = static_cast<uint32_t>(rng.Uniform(n));
+      const double key = rng.UniformDouble(0.0, 100.0);
+      kernel.Relax(node, key);
+      best[node] = std::min(best[node], key);
+      EXPECT_EQ(kernel.dist(node), best[node]);
+    }
+    double last = 0.0;
+    size_t popped = 0;
+    while (!kernel.Empty()) {
+      const auto [node, key] = kernel.PopSettle();
+      EXPECT_GE(key, last);
+      EXPECT_EQ(key, best[node]) << "node " << node;
+      EXPECT_TRUE(kernel.IsSettled(node));
+      last = key;
+      ++popped;
+    }
+    size_t expected = 0;
+    for (double b : best) {
+      if (b < kInfDist) ++expected;
+    }
+    EXPECT_EQ(popped, expected);
+    kernel.Finish();
+  }
+}
+
+TEST(SsadKernelHeap, EpochReuseIsolatesRuns) {
+  SsadKernel kernel(8);
+  kernel.Begin();
+  kernel.Relax(3, 1.5);
+  kernel.PopSettle();
+  kernel.Finish();
+  EXPECT_EQ(kernel.dist(3), 1.5);
+  kernel.Begin();
+  EXPECT_EQ(kernel.dist(3), kInfDist);
+  EXPECT_FALSE(kernel.IsSettled(3));
+  EXPECT_TRUE(kernel.Empty());
+}
+
+TEST(SsadKernelTargets, BucketedSettlementResolvesInOrder) {
+  SsadKernel kernel(6);
+  kernel.Begin();
+  for (uint32_t v = 0; v < 6; ++v) kernel.Relax(v, 1.0 + v);
+  const std::vector<uint32_t> t0 = {0};
+  const std::vector<uint32_t> t1 = {1, 4};
+  const std::vector<uint32_t> none;
+  const uint32_t a = kernel.AddTarget(t0);
+  const uint32_t b = kernel.AddTarget(t1);
+  const uint32_t c = kernel.AddTarget(none);  // unresolvable
+  EXPECT_EQ(kernel.unresolved_targets(), 3u);
+  kernel.PopSettle();  // node 0
+  EXPECT_TRUE(kernel.TargetResolved(a));
+  EXPECT_FALSE(kernel.TargetResolved(b));
+  kernel.PopSettle();  // node 1
+  EXPECT_FALSE(kernel.TargetResolved(b));
+  kernel.PopSettle();  // node 2
+  kernel.PopSettle();  // node 3
+  kernel.PopSettle();  // node 4
+  EXPECT_TRUE(kernel.TargetResolved(b));
+  EXPECT_FALSE(kernel.TargetResolved(c));
+  EXPECT_EQ(kernel.unresolved_targets(), 1u);  // the unresolvable one
+  kernel.Finish();
+}
+
+// --- Solver-level equivalence with the reference implementation ---
+
+TEST(SsadKernelVsReference, DijkstraFullRuns) {
+  const TerrainMesh mesh = RuggedMesh(400, 11);
+  DijkstraSolver solver(mesh);
+  Rng rng(101);
+  for (int trial = 0; trial < 8; ++trial) {
+    const SurfacePoint src = RandomSource(mesh, rng);
+    ASSERT_TRUE(solver.Run(src, {}).ok());
+    EXPECT_EQ(solver.frontier(), kInfDist);
+    const std::vector<double> ref = RefMeshDistances(mesh, src, kInfDist);
+    for (uint32_t v = 0; v < mesh.num_vertices(); ++v) {
+      EXPECT_NEAR(solver.VertexDistance(v), ref[v], 1e-9 * (1.0 + ref[v]))
+          << "trial " << trial << " vertex " << v;
+    }
+  }
+}
+
+TEST(SsadKernelVsReference, SteinerFullRuns) {
+  const TerrainMesh mesh = RuggedMesh(250, 13);
+  StatusOr<SteinerGraph> graph = SteinerGraph::Build(mesh, 2);
+  ASSERT_TRUE(graph.ok());
+  SteinerSolver solver(*graph);
+  Rng rng(103);
+  for (int trial = 0; trial < 6; ++trial) {
+    const SurfacePoint src = RandomSource(mesh, rng);
+    ASSERT_TRUE(solver.Run(src, {}).ok());
+    const std::vector<double> ref = RefGraphDistances(*graph, src, kInfDist);
+    for (uint32_t node = 0; node < graph->num_nodes(); ++node) {
+      EXPECT_NEAR(solver.NodeDistance(node), ref[node],
+                  1e-9 * (1.0 + ref[node]))
+          << "trial " << trial << " node " << node;
+    }
+  }
+}
+
+TEST(SsadKernelVsReference, RadiusBoundedRuns) {
+  const TerrainMesh mesh = RuggedMesh(400, 17);
+  DijkstraSolver solver(mesh);
+  Rng rng(107);
+  for (int trial = 0; trial < 8; ++trial) {
+    const SurfacePoint src = RandomSource(mesh, rng);
+    const double bound = rng.UniformDouble(100.0, 600.0);
+    SsadOptions opts;
+    opts.radius_bound = bound;
+    ASSERT_TRUE(solver.Run(src, opts).ok());
+    const std::vector<double> ref = RefMeshDistances(mesh, src, kInfDist);
+    for (uint32_t v = 0; v < mesh.num_vertices(); ++v) {
+      if (ref[v] <= bound) {
+        EXPECT_NEAR(solver.VertexDistance(v), ref[v], 1e-9 * (1.0 + ref[v]))
+            << "trial " << trial << " vertex " << v << " bound " << bound;
+      }
+    }
+  }
+}
+
+TEST(SsadKernelVsReference, StopTargetDistancesExact) {
+  const TerrainMesh mesh = RuggedMesh(400, 19);
+  DijkstraSolver early(mesh);
+  DijkstraSolver full(mesh);
+  Rng rng(109);
+  for (int trial = 0; trial < 8; ++trial) {
+    const SurfacePoint src = RandomSource(mesh, rng);
+    const SurfacePoint dst = RandomSource(mesh, rng);
+    SsadOptions opts;
+    opts.stop_target = &dst;
+    ASSERT_TRUE(early.Run(src, opts).ok());
+    ASSERT_TRUE(full.Run(src, {}).ok());
+    const double want = full.PointDistance(dst);
+    EXPECT_NEAR(early.PointDistance(dst), want, 1e-9 * (1.0 + want))
+        << "trial " << trial;
+  }
+}
+
+TEST(SsadKernelVsReference, CoverTargetDistancesExact) {
+  const TerrainMesh mesh = RuggedMesh(400, 23);
+  PointLocator locator(mesh);
+  Rng rng(113);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<SurfacePoint> targets =
+        GenerateUniformPois(mesh, locator, 3 + trial * 5, rng);
+    DijkstraSolver covering(mesh);
+    DijkstraSolver full(mesh);
+    const SurfacePoint src = RandomSource(mesh, rng);
+    SsadOptions opts;
+    opts.cover_targets = &targets;
+    ASSERT_TRUE(covering.Run(src, opts).ok());
+    ASSERT_TRUE(full.Run(src, {}).ok());
+    for (const SurfacePoint& t : targets) {
+      const double want = full.PointDistance(t);
+      EXPECT_NEAR(covering.PointDistance(t), want, 1e-9 * (1.0 + want));
+    }
+  }
+}
+
+TEST(SsadKernelVsReference, SteinerCoverAndRadiusCombined) {
+  const TerrainMesh mesh = RuggedMesh(250, 29);
+  PointLocator locator(mesh);
+  StatusOr<SteinerGraph> graph = SteinerGraph::Build(mesh, 1);
+  ASSERT_TRUE(graph.ok());
+  Rng rng(127);
+  std::vector<SurfacePoint> targets = GenerateUniformPois(mesh, locator, 9,
+                                                          rng);
+  SteinerSolver bounded(*graph);
+  SteinerSolver full(*graph);
+  const SurfacePoint src = RandomSource(mesh, rng);
+  SsadOptions opts;
+  opts.cover_targets = &targets;
+  opts.radius_bound = 350.0;
+  ASSERT_TRUE(bounded.Run(src, opts).ok());
+  ASSERT_TRUE(full.Run(src, {}).ok());
+  for (const SurfacePoint& t : targets) {
+    const double want = full.PointDistance(t);
+    // Combined stopping: exact for anything final before the radius bound.
+    if (want <= 350.0 && bounded.PointDistance(t) <= bounded.frontier()) {
+      EXPECT_NEAR(bounded.PointDistance(t), want, 1e-9 * (1.0 + want));
+    }
+  }
+}
+
+TEST(SsadKernelCounters, GlobalCountersAdvanceAcrossRuns) {
+  const TerrainMesh mesh = RuggedMesh(200, 31);
+  const SsadCounterSnapshot before = SsadCounterSnapshot::Take();
+  DijkstraSolver solver(mesh);
+  ASSERT_TRUE(solver.Run(SurfacePoint::AtVertex(mesh, 0), {}).ok());
+  const SsadCounterSnapshot delta =
+      SsadCounterSnapshot::Take().Delta(before);
+  EXPECT_EQ(delta.runs, 1u);
+  EXPECT_EQ(delta.settles, mesh.num_vertices());
+  EXPECT_GE(delta.pushes, delta.settles);
+  EXPECT_GE(delta.relaxations, delta.pushes + delta.decrease_keys);
+}
+
+}  // namespace
+}  // namespace tso

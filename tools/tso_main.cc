@@ -117,7 +117,9 @@ build-oracle options:
   --pois N                      number of POIs (0 = dataset default)
   --epsilon E                   error parameter (default 0.25)
   --solver mmp|dijkstra|steiner geodesic engine (default mmp)
-  --threads T                   build threads (0 = hardware concurrency)
+  --build-threads T             worker threads for every build phase
+                                (0 = hardware concurrency; --threads is an
+                                accepted alias)
   --seed S                      RNG seed (default 42)
   --out PATH                    output file (default oracle.bin)
 
@@ -173,7 +175,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--pois") {
       if (!(v = next())) return false;
       if (!ParseSizeFlag(flag, v, &args->pois)) return false;
-    } else if (flag == "--threads") {
+    } else if (flag == "--threads" || flag == "--build-threads") {
       if (!(v = next())) return false;
       if (!ParseU32Flag(flag, v, &args->threads)) return false;
     } else if (flag == "--query-threads") {
@@ -282,6 +284,16 @@ int CmdBuildOracle(const Args& args) {
       "size=%.1f KiB in %.2fs\n",
       oracle->epsilon(), stats.height, stats.node_pairs, stats.ssad_runs,
       oracle->SizeBytes() / 1024.0, stats.total_seconds);
+  std::printf("phase timing (threads=%u):\n", stats.threads_used);
+  std::printf("  %-16s %10s\n", "phase", "seconds");
+  std::printf("  %-16s %10.3f\n", "partition-tree", stats.tree_seconds);
+  std::printf("  %-16s %10.3f\n", "enhanced-edges", stats.enhanced_seconds);
+  std::printf("  %-16s %10.3f\n", "node-pairs", stats.pair_gen_seconds);
+  std::printf("  %-16s %10.3f\n", "total", stats.total_seconds);
+  if (stats.tree_speculative_ssads > 0) {
+    std::printf("  tree speculation: %zu worker SSADs, %zu wasted\n",
+                stats.tree_speculative_ssads, stats.tree_wasted_ssads);
+  }
 
   Status saved = SaveSeOracle(*oracle, args.out_path);
   if (!saved.ok()) {
@@ -351,11 +363,11 @@ int CmdBench(const Args& args) {
                  oracle.status().ToString().c_str());
     return 1;
   }
-  std::printf("build: %.3fs (tree %.3fs, enhanced %.3fs, pairs %.3fs), "
-              "%zu ssad runs, %zu node pairs, %.1f KiB\n",
+  std::printf("build: %.3fs (tree %.3fs, enhanced %.3fs, pairs %.3fs, "
+              "threads %u), %zu ssad runs, %zu node pairs, %.1f KiB\n",
               stats.total_seconds, stats.tree_seconds, stats.enhanced_seconds,
-              stats.pair_gen_seconds, stats.ssad_runs, stats.node_pairs,
-              oracle->SizeBytes() / 1024.0);
+              stats.pair_gen_seconds, stats.threads_used, stats.ssad_runs,
+              stats.node_pairs, oracle->SizeBytes() / 1024.0);
 
   Rng rng(args.seed ^ 0x9e3779b97f4a7c15ULL);
   std::vector<std::pair<uint32_t, uint32_t>> pairs;
