@@ -1,13 +1,16 @@
 // Construction-performance baseline: per-phase wall-clock of
-// SeOracle::Build, SSAD-kernel heap-op totals, and 1-vs-T thread scaling.
-// Not a paper figure — this bench backs the build pipeline (partition tree,
+// SeOracle::Build, SSAD-kernel heap-op totals, 1-vs-T thread scaling, and
+// the multi-source SSAD batch dimension of the enhanced-edge phase. Not a
+// paper figure — this bench backs the build pipeline (partition tree,
 // enhanced edges, WSPD node pairs) the way bench_throughput backs the query
-// stack, and CI uploads its output so every PR leaves a construction-perf
-// trace.
+// stack, and CI gates on its output (see tools/bench_compare.py and
+// bench/baselines/ci-tiny.json).
 //
 // Every measurement is emitted as one machine-readable line:
-//   BENCH {"bench":"build","solver":...,"threads":...,"phase":...,
-//          "seconds":...}  (plus a "scaling" summary line per solver)
+//   BENCH {"bench":"build","solver":...,"threads":...,"batch":...,
+//          "phase":...,"seconds":...}
+// (plus "kernel", "scaling", and "batch_scaling" summary lines; the schema
+// is documented in docs/bench-json.md).
 
 #include <thread>
 
@@ -24,41 +27,48 @@ struct BuildMeasurement {
   size_t size_bytes = 0;
 };
 
-void EmitPhase(const char* solver, uint32_t threads, const char* phase,
-               double seconds, size_t ssad_runs) {
-  std::printf(
-      "BENCH {\"bench\":\"build\",\"solver\":\"%s\",\"threads\":%u,"
-      "\"phase\":\"%s\",\"seconds\":%.6f,\"ssad_runs\":%zu}\n",
-      solver, threads, phase, seconds, ssad_runs);
+void EmitPhase(const char* solver, uint32_t threads, uint32_t batch,
+               const char* phase, double seconds, size_t ssad_runs) {
+  BenchJson("build")
+      .Str("solver", solver)
+      .Int("threads", threads)
+      .Int("batch", batch)
+      .Str("phase", phase)
+      .Num("seconds", seconds, 6)
+      .Int("ssad_runs", ssad_runs)
+      .Emit();
 }
 
-void EmitBuild(const char* solver, uint32_t threads,
+void EmitBuild(const char* solver, uint32_t threads, uint32_t batch,
                const BuildMeasurement& m) {
   const SeBuildStats& st = m.stats;
-  EmitPhase(solver, threads, "tree", st.tree_seconds, 0);
-  EmitPhase(solver, threads, "enhanced", st.enhanced_seconds, 0);
-  EmitPhase(solver, threads, "pairs", st.pair_gen_seconds, 0);
-  EmitPhase(solver, threads, "total", st.total_seconds, st.ssad_runs);
-  std::printf(
-      "BENCH {\"bench\":\"build\",\"solver\":\"%s\",\"threads\":%u,"
-      "\"phase\":\"kernel\",\"settles\":%llu,\"pushes\":%llu,"
-      "\"decrease_keys\":%llu,\"relaxations\":%llu,\"kernel_runs\":%llu}\n",
-      solver, threads,
-      static_cast<unsigned long long>(m.kernel_ops.settles),
-      static_cast<unsigned long long>(m.kernel_ops.pushes),
-      static_cast<unsigned long long>(m.kernel_ops.decrease_keys),
-      static_cast<unsigned long long>(m.kernel_ops.relaxations),
-      static_cast<unsigned long long>(m.kernel_ops.runs));
+  EmitPhase(solver, threads, batch, "tree", st.tree_seconds, 0);
+  EmitPhase(solver, threads, batch, "enhanced", st.enhanced_seconds, 0);
+  EmitPhase(solver, threads, batch, "pairs", st.pair_gen_seconds, 0);
+  EmitPhase(solver, threads, batch, "total", st.total_seconds, st.ssad_runs);
+  BenchJson("build")
+      .Str("solver", solver)
+      .Int("threads", threads)
+      .Int("batch", batch)
+      .Str("phase", "kernel")
+      .Int("settles", m.kernel_ops.settles)
+      .Int("pushes", m.kernel_ops.pushes)
+      .Int("decrease_keys", m.kernel_ops.decrease_keys)
+      .Int("relaxations", m.kernel_ops.relaxations)
+      .Int("kernel_runs", m.kernel_ops.runs)
+      .Emit();
 }
 
 BuildMeasurement MeasureBuild(const Dataset& ds, SolverKind kind,
-                              uint32_t threads, uint64_t seed) {
+                              uint32_t threads, uint32_t batch,
+                              uint64_t seed) {
   StatusOr<std::unique_ptr<GeodesicSolver>> solver =
       MakeSolver(kind, *ds.mesh);
   TSO_CHECK(solver.ok());
   SeOracleOptions options;
   options.epsilon = 0.25;
   options.seed = seed;
+  options.ssad_batch = batch;
   if (threads > 1) {
     const TerrainMesh* mesh = ds.mesh.get();
     options.parallel_solver_factory = [mesh, kind]() {
@@ -79,7 +89,9 @@ BuildMeasurement MeasureBuild(const Dataset& ds, SolverKind kind,
 
 void Run() {
   const uint64_t seed = 42;
-  PrintHeader("Oracle construction — per-phase timing and thread scaling",
+  const uint32_t kDefaultBatch = 4;
+  PrintHeader("Oracle construction — per-phase timing, thread scaling, and "
+              "SSAD batch scaling",
               "system bench (SeOracle::Build), backs Table 1's building-time "
               "column",
               seed);
@@ -94,31 +106,77 @@ void Run() {
   const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
   std::vector<uint32_t> thread_counts = {1, 2, 4, 8};
   if (hw > thread_counts.back()) thread_counts.push_back(hw);
+  const std::vector<uint32_t> batch_sizes = {1, 2, 4, 8};
 
   // Two kernel-backed engines; MMP construction timing is covered by the
   // paper-figure benches (it bypasses the SSAD kernel).
   Table table("SeOracle::Build per-phase seconds",
-              {"solver", "threads", "tree_s", "enhanced_s", "pairs_s",
-               "total_s", "ssad_runs", "kernel_settles", "speedup"});
+              {"solver", "threads", "batch", "tree_s", "enhanced_s",
+               "pairs_s", "total_s", "ssad_runs", "kernel_settles",
+               "speedup"});
   for (SolverKind kind : {SolverKind::kDijkstra, SolverKind::kSteiner}) {
     const char* name = SolverKindName(kind);
-    double serial_total = 0.0;
+
+    // --- Batch dimension: enhanced-edge phase at 1 thread ---
+    double enhanced_base = 0.0;
+    double serial_total = 0.0;  // threads=1 @ default batch, reused below
+    for (uint32_t batch : batch_sizes) {
+      const BuildMeasurement m = MeasureBuild(*ds, kind, 1, batch, seed);
+      if (batch == 1) enhanced_base = m.stats.enhanced_seconds;
+      if (batch == kDefaultBatch) serial_total = m.stats.total_seconds;
+      const double batch_speedup =
+          m.stats.enhanced_seconds > 0
+              ? enhanced_base / m.stats.enhanced_seconds
+              : 0.0;
+      table.AddRow(name, 1u, batch, m.stats.tree_seconds,
+                   m.stats.enhanced_seconds, m.stats.pair_gen_seconds,
+                   m.stats.total_seconds, m.stats.ssad_runs,
+                   m.kernel_ops.settles, batch_speedup);
+      EmitBuild(name, 1, batch, m);
+      BenchJson("build")
+          .Str("solver", name)
+          .Int("threads", 1)
+          .Int("batch", batch)
+          .Str("phase", "batch_scaling")
+          .Num("enhanced_seconds", m.stats.enhanced_seconds, 6)
+          .Num("enhanced_speedup_vs_batch1", batch_speedup, 3)
+          .Int("enhanced_sweeps", m.stats.enhanced_sweeps)
+          .Emit();
+      if (batch == kDefaultBatch) {
+        BenchJson("build")
+            .Str("solver", name)
+            .Int("threads", 1)
+            .Int("batch", batch)
+            .Str("phase", "scaling")
+            .Num("total_seconds", m.stats.total_seconds, 6)
+            .Num("speedup", 1.0, 3)
+            .Int("size_bytes", m.size_bytes)
+            .Emit();
+      }
+    }
+
+    // --- Thread dimension at the default batch (threads=1 covered above) ---
     for (uint32_t threads : thread_counts) {
-      const BuildMeasurement m = MeasureBuild(*ds, kind, threads, seed);
-      if (threads == 1) serial_total = m.stats.total_seconds;
+      if (threads == 1) continue;
+      const BuildMeasurement m =
+          MeasureBuild(*ds, kind, threads, kDefaultBatch, seed);
       const double speedup =
           m.stats.total_seconds > 0 ? serial_total / m.stats.total_seconds
                                     : 0.0;
-      table.AddRow(name, threads, m.stats.tree_seconds,
+      table.AddRow(name, threads, kDefaultBatch, m.stats.tree_seconds,
                    m.stats.enhanced_seconds, m.stats.pair_gen_seconds,
                    m.stats.total_seconds, m.stats.ssad_runs,
                    m.kernel_ops.settles, speedup);
-      EmitBuild(name, threads, m);
-      std::printf(
-          "BENCH {\"bench\":\"build\",\"solver\":\"%s\",\"threads\":%u,"
-          "\"phase\":\"scaling\",\"total_seconds\":%.6f,\"speedup\":%.3f,"
-          "\"size_bytes\":%zu}\n",
-          name, threads, m.stats.total_seconds, speedup, m.size_bytes);
+      EmitBuild(name, threads, kDefaultBatch, m);
+      BenchJson("build")
+          .Str("solver", name)
+          .Int("threads", threads)
+          .Int("batch", kDefaultBatch)
+          .Str("phase", "scaling")
+          .Num("total_seconds", m.stats.total_seconds, 6)
+          .Num("speedup", speedup, 3)
+          .Int("size_bytes", m.size_bytes)
+          .Emit();
     }
   }
   table.Print();

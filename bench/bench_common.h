@@ -99,6 +99,48 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// The single producer of machine-readable benchmark output: one
+/// `BENCH {...}` line per measurement, built key by key. The CI perf gate
+/// (tools/bench_compare.py against bench/baselines/ci-tiny.json) consumes
+/// these lines and docs/bench-json.md documents the schema — key names are
+/// part of the gated contract, so add keys freely but do not rename them.
+///
+///   BenchJson("build").Str("solver", name).Int("threads", t)
+///       .Num("seconds", secs, 6).Emit();
+class BenchJson {
+ public:
+  explicit BenchJson(const char* bench) {
+    os_ << "BENCH {\"bench\":\"" << bench << '"';
+  }
+
+  BenchJson& Str(const char* key, const char* value) {
+    os_ << ",\"" << key << "\":\"" << value << '"';
+    return *this;
+  }
+
+  BenchJson& Int(const char* key, uint64_t value) {
+    os_ << ",\"" << key << "\":" << value;
+    return *this;
+  }
+
+  /// Fixed-point double with `digits` fractional digits (seconds want 6,
+  /// QPS 1, ratios 3).
+  BenchJson& Num(const char* key, double value, int digits) {
+    os_ << ",\"" << key << "\":" << std::fixed << std::setprecision(digits)
+        << value;
+    return *this;
+  }
+
+  void Emit() {
+    os_ << "}";
+    std::cout << os_.str() << "\n";
+    std::cout.flush();
+  }
+
+ private:
+  std::ostringstream os_;
+};
+
 /// Random P2P query pairs (the paper's query generation, §5.1).
 inline std::vector<std::pair<uint32_t, uint32_t>> MakeQueryPairs(
     size_t n, size_t count, Rng& rng) {

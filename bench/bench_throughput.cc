@@ -5,7 +5,8 @@
 // QPS should scale near-linearly until memory bandwidth saturates.
 //
 // Besides the usual table, every measurement is emitted as one
-// machine-readable line:
+// machine-readable line (schema in docs/bench-json.md; the CI gate tracks
+// the workload sizes and coarse floors):
 //   BENCH {"bench":"throughput","workload":...,"threads":...,"qps":...}
 
 #include <thread>
@@ -18,10 +19,14 @@ namespace {
 
 void EmitJson(const char* workload, uint32_t threads, size_t queries,
               double seconds, double qps, double speedup) {
-  std::printf(
-      "BENCH {\"bench\":\"throughput\",\"workload\":\"%s\",\"threads\":%u,"
-      "\"queries\":%zu,\"seconds\":%.6f,\"qps\":%.1f,\"speedup\":%.3f}\n",
-      workload, threads, queries, seconds, qps, speedup);
+  BenchJson("throughput")
+      .Str("workload", workload)
+      .Int("threads", threads)
+      .Int("queries", queries)
+      .Num("seconds", seconds, 6)
+      .Num("qps", qps, 1)
+      .Num("speedup", speedup, 3)
+      .Emit();
 }
 
 std::vector<uint32_t> ThreadCounts() {

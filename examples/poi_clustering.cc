@@ -39,7 +39,9 @@ int main() {
     medoids.push_back(static_cast<uint32_t>(i));
   }
   std::vector<uint32_t> assignment(n, 0);
-  auto d = [&](uint32_t a, uint32_t b) { return oracle->Distance(a, b).value(); };
+  auto d = [&](uint32_t a, uint32_t b) {
+    return oracle->Distance(a, b).value();
+  };
 
   double total_cost = 0.0;
   for (int iter = 0; iter < 12; ++iter) {

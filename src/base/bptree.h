@@ -335,7 +335,9 @@ class BPlusTree {
       --left->count;
       parent->keys[idx - 1] = child->keys[0];
     } else {
-      for (int j = child->count; j > 0; --j) child->keys[j] = child->keys[j - 1];
+      for (int j = child->count; j > 0; --j) {
+        child->keys[j] = child->keys[j - 1];
+      }
       for (int j = child->count + 1; j > 0; --j) {
         child->children[j] = child->children[j - 1];
       }
@@ -363,7 +365,9 @@ class BPlusTree {
       child->children[child->count + 1] = right->children[0];
       ++child->count;
       parent->keys[idx] = right->keys[0];
-      for (int j = 0; j + 1 < right->count; ++j) right->keys[j] = right->keys[j + 1];
+      for (int j = 0; j + 1 < right->count; ++j) {
+        right->keys[j] = right->keys[j + 1];
+      }
       for (int j = 0; j < right->count; ++j) {
         right->children[j] = right->children[j + 1];
       }

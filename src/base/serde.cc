@@ -16,7 +16,9 @@ Status BinaryReader::GetU32(uint32_t* out) {
 Status BinaryReader::GetU64(uint64_t* out) {
   return GetFixed(out, sizeof(*out));
 }
-Status BinaryReader::GetI64(int64_t* out) { return GetFixed(out, sizeof(*out)); }
+Status BinaryReader::GetI64(int64_t* out) {
+  return GetFixed(out, sizeof(*out));
+}
 Status BinaryReader::GetDouble(double* out) {
   return GetFixed(out, sizeof(*out));
 }

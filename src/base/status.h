@@ -85,7 +85,8 @@ class Status {
 template <typename T>
 class StatusOr {
  public:
-  /// Intentionally implicit so functions can `return value;` / `return status;`.
+  /// Intentionally implicit so functions can `return value;` /
+  /// `return status;`.
   StatusOr(const T& value) : value_(value) {}
   StatusOr(T&& value) : value_(std::move(value)) {}
   StatusOr(Status status) : status_(std::move(status)) {

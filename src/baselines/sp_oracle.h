@@ -44,7 +44,8 @@ class SpOracle {
 
   /// ε-approximate distance between arbitrary surface points (covers P2P,
   /// V2V and A2A alike — the oracle is POI-independent).
-  StatusOr<double> Distance(const SurfacePoint& s, const SurfacePoint& t) const {
+  StatusOr<double> Distance(const SurfacePoint& s,
+                            const SurfacePoint& t) const {
     return impl_->Distance(s, t);
   }
 

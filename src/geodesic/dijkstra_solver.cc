@@ -5,35 +5,33 @@
 namespace tso {
 
 DijkstraSolver::DijkstraSolver(const TerrainMesh& mesh)
-    : mesh_(mesh), kernel_(mesh.num_vertices()) {}
+    : mesh_(mesh), kernel_(mesh.num_vertices()), sources_(1) {}
 
-double DijkstraSolver::Estimate(const SurfacePoint& p) const {
-  if (p.is_vertex()) return VertexDistance(p.vertex);
+double DijkstraSolver::BatchPointDistance(uint32_t i,
+                                          const SurfacePoint& p) const {
+  if (p.is_vertex()) return BatchVertexDistance(i, p.vertex);
   if (p.face == kInvalidId || p.face >= mesh_.num_faces()) return kInfDist;
   // Same-face shortcut: straight segment inside the face.
   double best = kInfDist;
-  if (!source_.is_vertex() && source_.face == p.face) {
-    best = Distance(source_.pos, p.pos);
+  const SurfacePoint& source = sources_[i];
+  if (!source.is_vertex() && source.face == p.face) {
+    best = Distance(source.pos, p.pos);
   }
-  if (source_.is_vertex()) {
+  if (source.is_vertex()) {
     const auto& tri = mesh_.face(p.face);
-    for (int i = 0; i < 3; ++i) {
-      if (tri[i] == source_.vertex) {
-        best = std::min(best, Distance(source_.pos, p.pos));
+    for (int c = 0; c < 3; ++c) {
+      if (tri[c] == source.vertex) {
+        best = std::min(best, Distance(source.pos, p.pos));
       }
     }
   }
   for (uint32_t v : mesh_.face(p.face)) {
-    const double dv = VertexDistance(v);
+    const double dv = BatchVertexDistance(i, v);
     if (dv < kInfDist) {
       best = std::min(best, dv + Distance(mesh_.vertex(v), p.pos));
     }
   }
   return best;
-}
-
-double DijkstraSolver::PointDistance(const SurfacePoint& p) const {
-  return Estimate(p);
 }
 
 void DijkstraSolver::WatchNodes(const SurfacePoint& p,
@@ -49,7 +47,7 @@ void DijkstraSolver::WatchNodes(const SurfacePoint& p,
 
 Status DijkstraSolver::Run(const SurfacePoint& source,
                            const SsadOptions& opts) {
-  source_ = source;
+  sources_.assign(1, source);
   kernel_.Begin();
 
   if (source.is_vertex()) {
@@ -83,6 +81,51 @@ Status DijkstraSolver::Run(const SurfacePoint& source,
       kernel_.Relax(other, key + ed.length);
     }
     if (targets.active() && kernel_.ShouldStop(targets)) break;
+  }
+  kernel_.Finish();
+  return Status::Ok();
+}
+
+Status DijkstraSolver::SolveBatch(std::span<const SurfacePoint> sources,
+                                  const SsadOptions& opts) {
+  const uint32_t k = static_cast<uint32_t>(sources.size());
+  if (k == 1) return Run(sources[0], opts);
+  if (k == 0 || k > max_batch()) {
+    return Status::InvalidArgument("batch size out of range");
+  }
+  if (opts.cover_targets != nullptr || opts.stop_target != nullptr) {
+    return Status::InvalidArgument("cover/stop targets require a batch of 1");
+  }
+  sources_.assign(sources.begin(), sources.end());
+  kernel_.BeginBatch(k, BatchSlack(sources));
+
+  for (uint32_t s = 0; s < k; ++s) {
+    const SurfacePoint& source = sources[s];
+    if (source.is_vertex()) {
+      kernel_.BatchSeed(source.vertex, s, 0.0);
+      continue;
+    }
+    if (source.face == kInvalidId || source.face >= mesh_.num_faces()) {
+      kernel_.Finish();
+      return Status::InvalidArgument("source has no valid face");
+    }
+    for (uint32_t v : mesh_.face(source.face)) {
+      kernel_.BatchSeed(v, s, Distance(source.pos, mesh_.vertex(v)));
+    }
+  }
+
+  // Group sweep: each pop relaxes all k labels over the vertex's edges in
+  // one pass. Once the best pending label exceeds the bound, every label
+  // within it is final (and bit-identical to k independent runs).
+  uint32_t v = 0;
+  double key = 0.0;
+  while (kernel_.PopBatch(&v, &key)) {
+    if (key > opts.radius_bound) break;
+    for (uint32_t e : mesh_.vertex_edges(v)) {
+      const TerrainMesh::Edge& ed = mesh_.edge(e);
+      const uint32_t other = ed.v0 == v ? ed.v1 : ed.v0;
+      kernel_.BatchRelaxEdge(v, other, ed.length);
+    }
   }
   kernel_.Finish();
   return Status::Ok();

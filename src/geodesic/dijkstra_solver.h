@@ -15,26 +15,39 @@ namespace tso {
 /// segments. It upper-bounds the exact geodesic metric (paths are restricted
 /// to edges) and is the cheap solver used for tests, the capacity-dimension
 /// estimator, and "fast mode" on large meshes. The search runs on the shared
-/// SsadKernel (indexed heap + bucketed target settlement).
+/// SsadKernel (indexed heap + bucketed target settlement), whose multi-source
+/// mode lets SolveBatch sweep several nearby sources over the mesh at once.
 class DijkstraSolver : public GeodesicSolver {
  public:
   explicit DijkstraSolver(const TerrainMesh& mesh);
 
   Status Run(const SurfacePoint& source, const SsadOptions& opts) override;
   double VertexDistance(uint32_t v) const override {
-    return v < kernel_.num_nodes() ? kernel_.dist(v) : kInfDist;
+    return BatchVertexDistance(0, v);
   }
-  double PointDistance(const SurfacePoint& p) const override;
+  double PointDistance(const SurfacePoint& p) const override {
+    return BatchPointDistance(0, p);
+  }
   double frontier() const override { return kernel_.frontier(); }
   const char* name() const override { return "dijkstra"; }
 
+  uint32_t max_batch() const override {
+    return SsadKernel::MaxBatchFor(kernel_.num_nodes());
+  }
+  Status SolveBatch(std::span<const SurfacePoint> sources,
+                    const SsadOptions& opts) override;
+  double BatchPointDistance(uint32_t i, const SurfacePoint& p) const override;
+  double BatchVertexDistance(uint32_t i, uint32_t v) const override {
+    if (v >= kernel_.num_nodes()) return kInfDist;
+    return kernel_.BatchDist(v, i);
+  }
+
  private:
-  double Estimate(const SurfacePoint& p) const;
   void WatchNodes(const SurfacePoint& p, std::vector<uint32_t>* out) const;
 
   const TerrainMesh& mesh_;
   SsadKernel kernel_;
-  SurfacePoint source_;
+  std::vector<SurfacePoint> sources_;
   std::vector<uint32_t> watch_scratch_;
 };
 

@@ -504,7 +504,8 @@ Status MmpSolver::Run(const SurfacePoint& source, const SsadOptions& opts) {
   };
   auto settle_targets = [&]() {
     while (!target_heap_.empty() &&
-           target_heap_.front().key <= frontier_ + kTieEps * (1.0 + frontier_)) {
+           target_heap_.front().key <=
+               frontier_ + kTieEps * (1.0 + frontier_)) {
       const Event top = target_heap_.front();
       std::pop_heap(target_heap_.begin(), target_heap_.end(),
                     std::greater<Event>());

@@ -86,7 +86,8 @@ class MmpSolver : public GeodesicSolver {
   std::vector<Window> pool_;
   std::vector<std::vector<uint32_t>> edge_windows_;
   std::vector<uint32_t> touched_edges_;
-  std::vector<Event> heap_;  // std::priority_queue replacement via push/pop_heap
+  // std::priority_queue replacement via push/pop_heap.
+  std::vector<Event> heap_;
   double frontier_ = 0.0;
   double eps_len_ = 0.0;
   SurfacePoint source_;

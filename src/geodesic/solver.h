@@ -1,9 +1,11 @@
 #ifndef TSO_GEODESIC_SOLVER_H_
 #define TSO_GEODESIC_SOLVER_H_
 
+#include <algorithm>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "base/status.h"
@@ -58,6 +60,38 @@ class GeodesicSolver {
 
   virtual const char* name() const = 0;
 
+  /// Largest batch SolveBatch accepts; 1 means no native multi-source
+  /// support (the base SolveBatch then only forwards singleton batches).
+  virtual uint32_t max_batch() const { return 1; }
+
+  /// Runs SSAD from every source in one shared sweep. Per-source distances
+  /// up to the radius bound (all reachable distances, for an unbounded run)
+  /// are bit-identical to sources.size() independent Run() calls; callers
+  /// read them through BatchPointDistance/BatchVertexDistance. Batches
+  /// larger than 1 support the radius_bound stopping criterion only
+  /// (cover/stop targets are per-run state and are rejected). A batch of 1
+  /// is exactly Run(), including target support.
+  virtual Status SolveBatch(std::span<const SurfacePoint> sources,
+                            const SsadOptions& opts) {
+    if (sources.size() != 1) {
+      return Status::InvalidArgument(
+          "solver has no native multi-source support");
+    }
+    return Run(sources[0], opts);
+  }
+
+  /// Distance from batch source `i` of the last SolveBatch to `p` / to mesh
+  /// vertex `v`. With the base (batch-of-1) implementation these are the
+  /// single-source accessors.
+  virtual double BatchPointDistance(uint32_t i, const SurfacePoint& p) const {
+    (void)i;
+    return PointDistance(p);
+  }
+  virtual double BatchVertexDistance(uint32_t i, uint32_t v) const {
+    (void)i;
+    return VertexDistance(v);
+  }
+
   /// Convenience point-to-point distance with early termination.
   StatusOr<double> PointToPoint(const SurfacePoint& s, const SurfacePoint& t) {
     SsadOptions opts;
@@ -66,6 +100,23 @@ class GeodesicSolver {
     return PointDistance(t);
   }
 };
+
+/// Propagation-window slack for a multi-source group sweep: an estimate of
+/// the largest per-node label spread between any two batch sources. Labels
+/// differ by at most the pairwise source distance; x-y-z Euclidean distance
+/// underestimates the graph metric, so scale it by a terrain-stretch factor.
+/// Slack only affects performance, never correctness (see
+/// SsadKernel::BeginBatch).
+inline double BatchSlack(std::span<const SurfacePoint> sources) {
+  constexpr double kStretchFactor = 1.5;
+  double spread = 0.0;
+  for (size_t i = 0; i + 1 < sources.size(); ++i) {
+    for (size_t j = i + 1; j < sources.size(); ++j) {
+      spread = std::max(spread, Distance(sources[i].pos, sources[j].pos));
+    }
+  }
+  return kStretchFactor * spread;
+}
 
 /// Produces an independent solver instance (one per worker thread). The
 /// factory must create solvers over the same mesh and metric as the solver

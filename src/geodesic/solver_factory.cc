@@ -29,6 +29,18 @@ class OwningSteinerSolver : public GeodesicSolver {
   double frontier() const override { return impl_->frontier(); }
   const char* name() const override { return "steiner-dijkstra"; }
 
+  uint32_t max_batch() const override { return impl_->max_batch(); }
+  Status SolveBatch(std::span<const SurfacePoint> sources,
+                    const SsadOptions& opts) override {
+    return impl_->SolveBatch(sources, opts);
+  }
+  double BatchPointDistance(uint32_t i, const SurfacePoint& p) const override {
+    return impl_->BatchPointDistance(i, p);
+  }
+  double BatchVertexDistance(uint32_t i, uint32_t v) const override {
+    return impl_->BatchVertexDistance(i, v);
+  }
+
  private:
   std::unique_ptr<SteinerGraph> graph_;
   std::unique_ptr<SteinerSolver> impl_;

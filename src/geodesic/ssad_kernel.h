@@ -3,11 +3,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "base/logging.h"
 #include "geodesic/solver.h"
 
 namespace tso {
@@ -58,9 +60,10 @@ struct SsadCounterSnapshot {
   }
 };
 
-/// The shared Dijkstra engine behind SteinerSolver and DijkstraSolver.
+/// The shared search engine behind SteinerSolver and DijkstraSolver.
 ///
-/// Design (vs the lazy-deletion std::priority_queue it replaced):
+/// Single-source mode (vs the lazy-deletion std::priority_queue it
+/// replaced):
 ///  * an indexed 4-ary min-heap with decrease-key over flat arrays — at most
 ///    one heap entry per node, so no stale pops and no duplicate entries;
 ///  * epoch stamping — Begin() is O(1), no O(N) clearing between runs;
@@ -72,26 +75,62 @@ struct SsadCounterSnapshot {
 ///    root SSAD of PartitionTree::Build, covering all n POIs, degenerate
 ///    toward O(n²) scanning).
 ///
+/// Multi-source mode (BeginBatch / BatchRelaxEdge / PopBatch): k sources
+/// share one label-correcting sweep. Every node carries k contiguous
+/// epoch-stamped labels (one per source id) and a single heap entry keyed by
+/// its best pending label, so the heap stays node-sized and each adjacency
+/// fetch relaxes all k labels in one cache-friendly (vectorizable) inner
+/// loop — the graph traversal that dominates construction is paid once per
+/// node visit instead of once per source. Pop order is only near-monotone
+/// (a node is revisited when a label improves after its pop), but labels
+/// monotonically decrease to the same fixpoint as k independent Dijkstra
+/// runs: every final label is the minimum over path sums, so per-source
+/// distances up to the stopping radius are bit-identical to k single-source
+/// runs. With nearby sources the revisit rate is small (only labels within
+/// the source spread of the frontier can improve late).
+///
 /// A target with no watchable nodes (invalid face) is never resolved; the run
 /// then terminates on the radius bound or queue exhaustion, matching the old
 /// estimate-based semantics where such targets had an infinite estimate.
+/// Targets are single-source state: batch sweeps support the radius bound
+/// only.
 ///
 /// Not thread-safe; use one kernel (one solver) per thread.
 class SsadKernel {
  public:
+  /// Hard cap on BeginBatch sizes (label memory grows linearly with the
+  /// batch; past ~16 sources the per-node label block outgrows a cache line
+  /// pair and the amortization flattens).
+  static constexpr uint32_t kMaxBatch = 16;
+
   explicit SsadKernel(size_t num_nodes)
-      : dist_(num_nodes, kInfDist),
+      : num_nodes_(num_nodes),
+        dist_(num_nodes, kInfDist),
         epoch_mark_(num_nodes, 0),
         settled_(num_nodes, 0),
         heap_pos_(num_nodes, kNotInHeap),
         watch_head_(num_nodes, kNoWatch),
-        watch_epoch_(num_nodes, 0) {}
+        watch_epoch_(num_nodes, 0),
+        batch_epoch_(num_nodes, 0) {}
 
-  size_t num_nodes() const { return dist_.size(); }
+  size_t num_nodes() const { return num_nodes_; }
 
-  /// Starts a new run. O(1): per-node state is invalidated by epoch bump.
+  /// Largest batch BeginBatch accepts for a graph of `num_nodes` nodes.
+  static uint32_t MaxBatchFor(size_t num_nodes) {
+    uint32_t batch = kMaxBatch;
+    while (batch > 1 && (num_nodes * static_cast<uint64_t>(
+                             std::bit_ceil(batch))) > kNotInHeap) {
+      batch /= 2;
+    }
+    return batch;
+  }
+
+  /// Starts a new single-source run. O(1): per-node state is invalidated by
+  /// epoch bump.
   void Begin() {
     ++epoch_;
+    batch_ = 1;
+    batch_mode_ = false;
     heap_.clear();
     frontier_ = 0.0;
     exhausted_ = false;
@@ -103,10 +142,9 @@ class SsadKernel {
   }
 
   /// Tentative (or final, once settled) distance of `node`; kInfDist if the
-  /// current run has not reached it.
-  double dist(uint32_t node) const {
-    return epoch_mark_[node] == epoch_ ? dist_[node] : kInfDist;
-  }
+  /// current run has not reached it. After a BeginBatch run this is the
+  /// source-0 label.
+  double dist(uint32_t node) const { return BatchDist(node, 0); }
 
   bool IsSettled(uint32_t node) const {
     return epoch_mark_[node] == epoch_ && settled_[node] != 0;
@@ -119,6 +157,7 @@ class SsadKernel {
   bool Empty() const { return heap_.empty(); }
 
   /// Insert-or-decrease-key. No-ops when `d` does not improve the node.
+  /// Single-source mode only.
   void Relax(uint32_t node, double d) {
     ++relaxations_;
     if (epoch_mark_[node] != epoch_) {
@@ -130,9 +169,7 @@ class SsadKernel {
     if (d >= dist_[node] || settled_[node] != 0) return;
     dist_[node] = d;
     if (heap_pos_[node] == kNotInHeap) {
-      heap_.push_back(node);
-      heap_pos_[node] = static_cast<uint32_t>(heap_.size() - 1);
-      ++pushes_;
+      Push(node);
     } else {
       ++decrease_keys_;
     }
@@ -140,24 +177,143 @@ class SsadKernel {
   }
 
   /// Pops the minimum node, marks it settled, advances the frontier, and
-  /// notifies target watchers. Requires !Empty().
+  /// notifies target watchers. Requires !Empty(). Single-source mode only.
   std::pair<uint32_t, double> PopSettle() {
-    const uint32_t node = heap_[0];
+    const uint32_t node = PopMin();
     const double key = dist_[node];
-    const uint32_t last = heap_.back();
-    heap_.pop_back();
-    heap_pos_[node] = kNotInHeap;
-    if (!heap_.empty()) {
-      heap_[0] = last;
-      heap_pos_[last] = 0;
-      SiftDown(0);
-    }
     settled_[node] = 1;
     if (key > frontier_) frontier_ = key;
     ++settles_;
     if (watch_epoch_[node] == epoch_) NotifyWatchers(node);
     return {node, key};
   }
+
+  // --- Multi-source (label-correcting) mode ---
+
+  uint32_t batch_size() const { return batch_; }
+
+  /// Starts a run with `batch` sources sharing one group sweep. `slack`
+  /// bounds the expected label spread between sources (their pairwise
+  /// distance): a popped node only propagates labels within `slack` of the
+  /// pop key, which keeps each label's propagation Dijkstra-ordered. Any
+  /// slack value yields exact distances — an underestimate costs extra
+  /// revisit pops, an overestimate lets near-final labels propagate early
+  /// and be corrected later. O(1) plus a one-time label-array grow on the
+  /// first larger batch.
+  void BeginBatch(uint32_t batch, double slack) {
+    TSO_CHECK(batch >= 1 && batch <= MaxBatchFor(num_nodes_));
+    ++epoch_;
+    batch_ = batch;
+    batch_mode_ = true;
+    batch_slack_ = slack >= 0.0 ? slack : 0.0;
+    batch_cutoff_ = kInfDist;  // seeds may propagate at the first pop
+    batch_shift_ =
+        batch > 1 ? static_cast<uint32_t>(std::bit_width(batch - 1)) : 0;
+    const size_t slots = num_nodes_ << batch_shift_;
+    if (slots > batch_labels_.size()) batch_labels_.resize(slots, kInfDist);
+    heap_.clear();
+    frontier_ = 0.0;
+    exhausted_ = false;
+    watch_entries_.clear();
+    remaining_.clear();
+    outstanding_ = 0;
+    unresolvable_ = 0;
+    ++runs_;
+  }
+
+  /// Label of `node` for batch source `source`; kInfDist if unreached.
+  /// After a single-source Begin() run this reads the source-0 distance.
+  /// The source index must belong to the current run — padding slots of the
+  /// power-of-two label stride hold stale labels from earlier runs.
+  double BatchDist(uint32_t node, uint32_t source) const {
+    TSO_DCHECK(source < batch_);
+    if (!batch_mode_) {
+      return epoch_mark_[node] == epoch_ ? dist_[node] : kInfDist;
+    }
+    if (batch_epoch_[node] != epoch_) return kInfDist;
+    return batch_labels_[(static_cast<size_t>(node) << batch_shift_) +
+                         source];
+  }
+
+  /// Seeds (or improves) one source's label at `node` and queues the node.
+  void BatchSeed(uint32_t node, uint32_t source, double d) {
+    ++relaxations_;
+    double* labels = TouchBatchNode(node);
+    if (d >= labels[source]) return;
+    labels[source] = d;
+    QueueBatch(node, d);
+  }
+
+  /// Relaxes the edge (from -> to, weight w) for every source at once: each
+  /// improved label is lowered, and `to` is (re-)queued keyed by its best
+  /// improvement. Only labels inside the current pop's propagation window
+  /// (pop key + slack) act as relaxation sources — labels beyond it are not
+  /// final yet and were requeued by PopBatch. `from` must be the node of the
+  /// last PopBatch. The inner loop is branchless (min + compare
+  /// accumulators) so the compiler can vectorize it over the contiguous
+  /// label block.
+  void BatchRelaxEdge(uint32_t from, uint32_t to, double w) {
+    const double* lu =
+        &batch_labels_[static_cast<size_t>(from) << batch_shift_];
+    double* lv = TouchBatchNode(to);
+    const double cutoff = batch_cutoff_;
+    double key = kInfDist;
+    bool improved = false;
+    for (uint32_t s = 0; s < batch_; ++s) {
+      const double src = lu[s] <= cutoff ? lu[s] : kInfDist;
+      const double cand = src + w;
+      const double old = lv[s];
+      const double next = cand < old ? cand : old;
+      lv[s] = next;
+      improved |= next < old;
+      key = next < key ? next : key;
+    }
+    relaxations_ += batch_;
+    if (improved) QueueBatch(to, key);
+  }
+
+  /// Pops the pending node with the smallest queue key, opening its
+  /// propagation window [0, key + slack]: labels inside it are final (for
+  /// well-chosen slack) and are broadcast by the caller's BatchRelaxEdge
+  /// loop; labels beyond it are requeued to pop again once the sweep
+  /// reaches them. Every label <= the largest key popped so far is final.
+  /// Returns false once the queue is empty.
+  bool PopBatch(uint32_t* node, double* key) {
+    if (heap_.empty()) return false;
+    const uint32_t n = PopMin();
+    const double k = dist_[n];
+    batch_cutoff_ = k + batch_slack_;
+    // Labels beyond the window still need a pop of their own; requeue at
+    // the earliest such label. (Improvements requeue via BatchRelaxEdge.)
+    const double* labels =
+        &batch_labels_[static_cast<size_t>(n) << batch_shift_];
+    double above = kInfDist;
+    for (uint32_t s = 0; s < batch_; ++s) {
+      const double lab = labels[s];
+      if (lab > batch_cutoff_ && lab < above) above = lab;
+    }
+    if (above < kInfDist) QueueBatch(n, above);
+    if (k > frontier_) frontier_ = k;
+    ++settles_;
+    *node = n;
+    *key = k;
+    return true;
+  }
+
+  /// Ends the run: records queue exhaustion (frontier semantics) and flushes
+  /// the local op counts into the global counters.
+  void Finish() {
+    exhausted_ = heap_.empty();
+    SsadKernelCounters& g = GlobalSsadCounters();
+    g.runs.fetch_add(runs_, std::memory_order_relaxed);
+    g.settles.fetch_add(settles_, std::memory_order_relaxed);
+    g.pushes.fetch_add(pushes_, std::memory_order_relaxed);
+    g.decrease_keys.fetch_add(decrease_keys_, std::memory_order_relaxed);
+    g.relaxations.fetch_add(relaxations_, std::memory_order_relaxed);
+    runs_ = settles_ = pushes_ = decrease_keys_ = relaxations_ = 0;
+  }
+
+  // --- Targets (single-source mode) ---
 
   /// Registers a target whose distance becomes final once every node in
   /// `watch_nodes` is settled. Returns the target id. An empty watch set
@@ -232,19 +388,6 @@ class SsadKernel {
   /// distance is final.
   size_t unresolved_targets() const { return outstanding_ + unresolvable_; }
 
-  /// Ends the run: records queue exhaustion (frontier semantics) and flushes
-  /// the local op counts into the global counters.
-  void Finish() {
-    exhausted_ = heap_.empty();
-    SsadKernelCounters& g = GlobalSsadCounters();
-    g.runs.fetch_add(runs_, std::memory_order_relaxed);
-    g.settles.fetch_add(settles_, std::memory_order_relaxed);
-    g.pushes.fetch_add(pushes_, std::memory_order_relaxed);
-    g.decrease_keys.fetch_add(decrease_keys_, std::memory_order_relaxed);
-    g.relaxations.fetch_add(relaxations_, std::memory_order_relaxed);
-    runs_ = settles_ = pushes_ = decrease_keys_ = relaxations_ = 0;
-  }
-
  private:
   static constexpr uint32_t kNotInHeap = 0xffffffffu;
   static constexpr uint32_t kNoWatch = 0xffffffffu;
@@ -254,6 +397,54 @@ class SsadKernel {
     uint32_t target;
     uint32_t next;  // next entry watching the same node, kNoWatch at the end
   };
+
+  void Push(uint32_t node) {
+    heap_.push_back(node);
+    heap_pos_[node] = static_cast<uint32_t>(heap_.size() - 1);
+    ++pushes_;
+  }
+
+  /// Removes and returns the minimum node (heap bookkeeping only).
+  /// Requires !Empty().
+  uint32_t PopMin() {
+    const uint32_t node = heap_[0];
+    const uint32_t last = heap_.back();
+    heap_.pop_back();
+    heap_pos_[node] = kNotInHeap;
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      heap_pos_[last] = 0;
+      SiftDown(0);
+    }
+    return node;
+  }
+
+  /// First-touch init of a node's batch labels in the current run.
+  double* TouchBatchNode(uint32_t node) {
+    double* labels =
+        &batch_labels_[static_cast<size_t>(node) << batch_shift_];
+    if (batch_epoch_[node] != epoch_) {
+      batch_epoch_[node] = epoch_;
+      for (uint32_t s = 0; s < batch_; ++s) labels[s] = kInfDist;
+      heap_pos_[node] = kNotInHeap;  // any heap entry is from a previous run
+    }
+    return labels;
+  }
+
+  /// Queues `node` with `key`, lowering its key if already queued. Unlike
+  /// Relax, re-queues nodes that were already popped this run (the
+  /// label-correcting revisit path).
+  void QueueBatch(uint32_t node, double key) {
+    if (heap_pos_[node] == kNotInHeap) {
+      dist_[node] = key;
+      Push(node);
+      SiftUp(heap_pos_[node]);
+    } else if (key < dist_[node]) {
+      dist_[node] = key;
+      ++decrease_keys_;
+      SiftUp(heap_pos_[node]);
+    }
+  }
 
   void NotifyWatchers(uint32_t node) {
     for (uint32_t e = watch_head_[node]; e != kNoWatch;
@@ -306,7 +497,9 @@ class SsadKernel {
   }
 
   // Per-node state, invalidated lazily via epoch_mark_ (dist_, settled_,
-  // heap_pos_) or watch_epoch_ (watch_head_).
+  // heap_pos_), watch_epoch_ (watch_head_), or batch_epoch_ (batch_labels_).
+  // In batch mode dist_ holds queue keys (best pending label per node).
+  size_t num_nodes_;
   std::vector<double> dist_;
   std::vector<uint32_t> epoch_mark_;
   std::vector<uint8_t> settled_;
@@ -322,6 +515,17 @@ class SsadKernel {
   uint32_t epoch_ = 0;
   double frontier_ = 0.0;
   bool exhausted_ = false;
+
+  // Multi-source state: batch_ labels per node, padded to a power of two
+  // ((node << batch_shift_) + source), grown lazily on the first large
+  // batch.
+  uint32_t batch_ = 1;
+  uint32_t batch_shift_ = 0;
+  bool batch_mode_ = false;
+  double batch_slack_ = 0.0;
+  double batch_cutoff_ = kInfDist;
+  std::vector<double> batch_labels_;
+  std::vector<uint32_t> batch_epoch_;
 
   // Local op counts, flushed to the global atomics once per run.
   uint64_t runs_ = 0;

@@ -103,7 +103,9 @@ StatusOr<SteinerGraph> SteinerGraph::Build(const TerrainMesh& mesh,
     ++g.adj_offset_[(key >> 32) + 1];
     ++g.adj_offset_[(key & 0xffffffffu) + 1];
   }
-  for (size_t i = 0; i < num_nodes; ++i) g.adj_offset_[i + 1] += g.adj_offset_[i];
+  for (size_t i = 0; i < num_nodes; ++i) {
+    g.adj_offset_[i + 1] += g.adj_offset_[i];
+  }
   g.adj_.resize(g.adj_offset_.back());
   std::vector<uint32_t> cursor(g.adj_offset_.begin(), g.adj_offset_.end() - 1);
   for (const auto& [key, w] : raw_edges) {
@@ -129,7 +131,8 @@ void SteinerGraph::FaceNodes(uint32_t f, std::vector<uint32_t>* out) const {
 size_t SteinerGraph::SizeBytes() const {
   return sizeof(*this) + node_pos_.size() * sizeof(Vec3) +
          steiner_base_.size() * sizeof(uint32_t) +
-         adj_offset_.size() * sizeof(uint32_t) + adj_.size() * sizeof(GraphEdge);
+         adj_offset_.size() * sizeof(uint32_t) +
+         adj_.size() * sizeof(GraphEdge);
 }
 
 }  // namespace tso

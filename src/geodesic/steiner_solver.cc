@@ -5,34 +5,27 @@
 namespace tso {
 
 SteinerSolver::SteinerSolver(const SteinerGraph& graph)
-    : graph_(graph), kernel_(graph.num_nodes()) {}
+    : graph_(graph), kernel_(graph.num_nodes()), sources_(1) {}
 
-double SteinerSolver::VertexDistance(uint32_t v) const {
-  if (v >= graph_.mesh().num_vertices()) return kInfDist;
-  return kernel_.dist(graph_.VertexNode(v));
-}
-
-double SteinerSolver::Estimate(const SurfacePoint& p) const {
-  if (p.is_vertex()) return VertexDistance(p.vertex);
+double SteinerSolver::BatchPointDistance(uint32_t i,
+                                         const SurfacePoint& p) const {
+  if (p.is_vertex()) return BatchVertexDistance(i, p.vertex);
   if (p.face == kInvalidId || p.face >= graph_.mesh().num_faces()) {
     return kInfDist;
   }
   double best = kInfDist;
-  if (!source_.is_vertex() && source_.face == p.face) {
-    best = Distance(source_.pos, p.pos);
+  const SurfacePoint& source = sources_[i];
+  if (!source.is_vertex() && source.face == p.face) {
+    best = Distance(source.pos, p.pos);
   }
   graph_.FaceNodes(p.face, &scratch_nodes_);
   for (uint32_t node : scratch_nodes_) {
-    const double d = kernel_.dist(node);
+    const double d = kernel_.BatchDist(node, i);
     if (d < kInfDist) {
       best = std::min(best, d + Distance(graph_.node_pos(node), p.pos));
     }
   }
   return best;
-}
-
-double SteinerSolver::PointDistance(const SurfacePoint& p) const {
-  return Estimate(p);
 }
 
 void SteinerSolver::WatchNodes(const SurfacePoint& p,
@@ -49,7 +42,7 @@ void SteinerSolver::WatchNodes(const SurfacePoint& p,
 }
 
 Status SteinerSolver::Run(const SurfacePoint& source, const SsadOptions& opts) {
-  source_ = source;
+  sources_.assign(1, source);
   kernel_.Begin();
 
   if (source.is_vertex()) {
@@ -80,6 +73,51 @@ Status SteinerSolver::Run(const SurfacePoint& source, const SsadOptions& opts) {
       kernel_.Relax(ge.to, key + ge.weight);
     }
     if (targets.active() && kernel_.ShouldStop(targets)) break;
+  }
+  kernel_.Finish();
+  return Status::Ok();
+}
+
+Status SteinerSolver::SolveBatch(std::span<const SurfacePoint> sources,
+                                 const SsadOptions& opts) {
+  const uint32_t k = static_cast<uint32_t>(sources.size());
+  if (k == 1) return Run(sources[0], opts);
+  if (k == 0 || k > max_batch()) {
+    return Status::InvalidArgument("batch size out of range");
+  }
+  if (opts.cover_targets != nullptr || opts.stop_target != nullptr) {
+    return Status::InvalidArgument("cover/stop targets require a batch of 1");
+  }
+  sources_.assign(sources.begin(), sources.end());
+  kernel_.BeginBatch(k, BatchSlack(sources));
+
+  for (uint32_t s = 0; s < k; ++s) {
+    const SurfacePoint& source = sources[s];
+    if (source.is_vertex()) {
+      kernel_.BatchSeed(graph_.VertexNode(source.vertex), s, 0.0);
+      continue;
+    }
+    if (source.face == kInvalidId ||
+        source.face >= graph_.mesh().num_faces()) {
+      kernel_.Finish();
+      return Status::InvalidArgument("source has no valid face");
+    }
+    graph_.FaceNodes(source.face, &watch_scratch_);
+    for (uint32_t node : watch_scratch_) {
+      kernel_.BatchSeed(node, s, Distance(source.pos, graph_.node_pos(node)));
+    }
+  }
+
+  // Group sweep: each pop relaxes all k labels over the node's adjacency in
+  // one pass. Once the best pending label exceeds the bound, every label
+  // within it is final (and bit-identical to k independent runs).
+  uint32_t node = 0;
+  double key = 0.0;
+  while (kernel_.PopBatch(&node, &key)) {
+    if (key > opts.radius_bound) break;
+    for (const SteinerGraph::GraphEdge& ge : graph_.Neighbors(node)) {
+      kernel_.BatchRelaxEdge(node, ge.to, ge.weight);
+    }
   }
   kernel_.Finish();
   return Status::Ok();

@@ -13,32 +13,52 @@ namespace tso {
 /// to the boundary nodes of their containing face. This is the distance
 /// engine of K-Algo [19] and of the SP-Oracle / A2A substrate, and doubles as
 /// a tunable-accuracy approximate geodesic solver. The search itself runs on
-/// the shared SsadKernel (indexed heap + bucketed target settlement).
+/// the shared SsadKernel (indexed heap + bucketed target settlement), whose
+/// multi-source mode lets SolveBatch sweep several nearby sources over the
+/// graph at once.
 class SteinerSolver : public GeodesicSolver {
  public:
   /// The solver keeps a reference to `graph`; it must outlive the solver.
   explicit SteinerSolver(const SteinerGraph& graph);
 
   Status Run(const SurfacePoint& source, const SsadOptions& opts) override;
-  double VertexDistance(uint32_t v) const override;
-  double PointDistance(const SurfacePoint& p) const override;
+  double VertexDistance(uint32_t v) const override {
+    return BatchVertexDistance(0, v);
+  }
+  double PointDistance(const SurfacePoint& p) const override {
+    return BatchPointDistance(0, p);
+  }
   double frontier() const override { return kernel_.frontier(); }
   const char* name() const override { return "steiner-dijkstra"; }
 
+  uint32_t max_batch() const override {
+    return SsadKernel::MaxBatchFor(graph_.num_nodes());
+  }
+  Status SolveBatch(std::span<const SurfacePoint> sources,
+                    const SsadOptions& opts) override;
+  double BatchPointDistance(uint32_t i, const SurfacePoint& p) const override;
+  double BatchVertexDistance(uint32_t i, uint32_t v) const override {
+    if (v >= graph_.mesh().num_vertices()) return kInfDist;
+    return kernel_.BatchDist(graph_.VertexNode(v), i);
+  }
+
   /// Distance to a graph node (used by SP-Oracle construction).
   double NodeDistance(uint32_t node) const { return kernel_.dist(node); }
+  /// Distance from batch source `i` to a graph node.
+  double BatchNodeDistance(uint32_t i, uint32_t node) const {
+    return kernel_.BatchDist(node, i);
+  }
 
   const SteinerGraph& graph() const { return graph_; }
 
  private:
-  double Estimate(const SurfacePoint& p) const;
   /// Kernel nodes whose settlement finalizes p's distance (empty for an
   /// invalid point: such a target never resolves).
   void WatchNodes(const SurfacePoint& p, std::vector<uint32_t>* out) const;
 
   const SteinerGraph& graph_;
   SsadKernel kernel_;
-  SurfacePoint source_;
+  std::vector<SurfacePoint> sources_;
   mutable std::vector<uint32_t> scratch_nodes_;
   std::vector<uint32_t> watch_scratch_;
 };

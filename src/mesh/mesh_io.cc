@@ -39,7 +39,9 @@ StatusOr<TerrainMesh> ReadOff(const std::string& path) {
   for (size_t i = 0; i < nf; ++i) {
     int arity = 0;
     in >> arity;
-    if (arity != 3) return Status::InvalidArgument("OFF face is not a triangle");
+    if (arity != 3) {
+      return Status::InvalidArgument("OFF face is not a triangle");
+    }
     in >> faces[i][0] >> faces[i][1] >> faces[i][2];
   }
   if (!in) return Status::InvalidArgument("truncated OFF file");

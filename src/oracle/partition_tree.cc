@@ -14,48 +14,117 @@
 #include "base/timer.h"
 
 namespace tso {
-namespace {
 
-/// Uniform x-y grid over a point set; returns candidate ids whose cells
-/// intersect a query disk (caller verifies real distances).
-class XyGrid {
- public:
-  XyGrid(const std::vector<SurfacePoint>& points, double cell)
-      : cell_(std::max(cell, 1e-9)) {
-    for (uint32_t i = 0; i < points.size(); ++i) {
-      cells_[Key(points[i].pos.x, points[i].pos.y)].push_back(i);
+XyGrid::XyGrid(const std::vector<SurfacePoint>& points, double cell)
+    : cell_(std::max(cell, 1e-9)) {
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    cells_[Pack(Coord(points[i].pos.x), Coord(points[i].pos.y))].push_back(i);
+  }
+}
+
+void XyGrid::Query(double x, double y, double radius,
+                   std::vector<uint32_t>* out) const {
+  out->clear();
+  const int64_t cx0 = Coord(x - radius);
+  const int64_t cx1 = Coord(x + radius);
+  const int64_t cy0 = Coord(y - radius);
+  const int64_t cy1 = Coord(y + radius);
+  for (int64_t cy = cy0; cy <= cy1; ++cy) {
+    for (int64_t cx = cx0; cx <= cx1; ++cx) {
+      auto it = cells_.find(Pack(cx, cy));
+      if (it == cells_.end()) continue;
+      for (uint32_t id : it->second) out->push_back(id);
     }
   }
+}
 
-  void Query(double x, double y, double radius,
-             std::vector<uint32_t>* out) const {
-    out->clear();
-    const int64_t cx0 = Coord(x - radius);
-    const int64_t cx1 = Coord(x + radius);
-    const int64_t cy0 = Coord(y - radius);
-    const int64_t cy1 = Coord(y + radius);
-    for (int64_t cy = cy0; cy <= cy1; ++cy) {
-      for (int64_t cx = cx0; cx <= cx1; ++cx) {
-        auto it = cells_.find(Pack(cx, cy));
-        if (it == cells_.end()) continue;
-        for (uint32_t id : it->second) out->push_back(id);
+int64_t XyGrid::Coord(double v) const {
+  return static_cast<int64_t>(std::floor(v / cell_));
+}
+
+uint64_t XyGrid::Pack(int64_t cx, int64_t cy) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+         static_cast<uint32_t>(cy);
+}
+
+std::vector<std::vector<uint32_t>> XyClusteredBatches(
+    const std::vector<SurfacePoint>& points, size_t max_batch,
+    double max_spread) {
+  const size_t limit = std::max<size_t>(max_batch, 1);
+  // Cell width targeting ~max_batch points per cell (so chunks of the
+  // cell-sorted order stay within one or two adjacent cells): sqrt of
+  // max_batch times the bounding-box area per point.
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Vec3& p = points[i].pos;
+    if (i == 0) {
+      min_x = max_x = p.x;
+      min_y = max_y = p.y;
+    } else {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+    }
+  }
+  const double area = std::max((max_x - min_x) * (max_y - min_y), 1e-12);
+  const double width = std::max(
+      std::sqrt(area * static_cast<double>(limit) /
+                static_cast<double>(std::max<size_t>(points.size(), 1))),
+      1e-9);
+  // Sort indices by cell coordinate (stably: ties keep input order), then
+  // chunk consecutive runs. No hash-map iteration, so the grouping is a pure
+  // function of the inputs.
+  struct Keyed {
+    int64_t cx, cy;
+    uint32_t id;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(points.size());
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    keyed.push_back({static_cast<int64_t>(std::floor(points[i].pos.x / width)),
+                     static_cast<int64_t>(std::floor(points[i].pos.y / width)),
+                     i});
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) {
+                     if (a.cx != b.cx) return a.cx < b.cx;
+                     return a.cy < b.cy;
+                   });
+  // Greedy chunking of the sorted order: a batch closes at max_batch
+  // members, or as soon as the next point would stretch its bounding box
+  // beyond max_spread in any axis — including z, since the group sweep's
+  // propagation slack follows the full 3-D source spread and sources
+  // straddling steep relief cost more than they amortize.
+  std::vector<std::vector<uint32_t>> batches;
+  std::vector<uint32_t> batch;
+  Vec3 bb_min{0.0, 0.0, 0.0}, bb_max{0.0, 0.0, 0.0};
+  for (const Keyed& k : keyed) {
+    const Vec3& p = points[k.id].pos;
+    if (!batch.empty()) {
+      const Vec3 n0{std::min(bb_min.x, p.x), std::min(bb_min.y, p.y),
+                    std::min(bb_min.z, p.z)};
+      const Vec3 n1{std::max(bb_max.x, p.x), std::max(bb_max.y, p.y),
+                    std::max(bb_max.z, p.z)};
+      if (batch.size() >= limit || n1.x - n0.x > max_spread ||
+          n1.y - n0.y > max_spread || n1.z - n0.z > max_spread) {
+        batches.push_back(std::move(batch));
+        batch.clear();
+      } else {
+        bb_min = n0;
+        bb_max = n1;
+        batch.push_back(k.id);
+        continue;
       }
     }
+    bb_min = bb_max = p;
+    batch.push_back(k.id);
   }
+  if (!batch.empty()) batches.push_back(std::move(batch));
+  return batches;
+}
 
- private:
-  int64_t Coord(double v) const {
-    return static_cast<int64_t>(std::floor(v / cell_));
-  }
-  static uint64_t Pack(int64_t cx, int64_t cy) {
-    return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
-           static_cast<uint32_t>(cy);
-  }
-  uint64_t Key(double x, double y) const { return Pack(Coord(x), Coord(y)); }
-
-  double cell_;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> cells_;
-};
+namespace {
 
 /// The greedy selection structure of Implementation Detail 1: uncovered POIs
 /// bucketed into cells of width O(r_i), each cell's ids indexed in a

@@ -2,6 +2,7 @@
 #define TSO_ORACLE_PARTITION_TREE_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "base/rng.h"
@@ -9,6 +10,38 @@
 #include "mesh/terrain_mesh.h"
 
 namespace tso {
+
+/// Uniform x-y grid over a point set; returns candidate ids whose cells
+/// intersect a query disk (caller verifies real distances — geodesic
+/// distance dominates x-y Euclidean distance, so the filter is
+/// conservative). Shared by the partition-tree build and the enhanced-edge
+/// phase of SeOracle::Build.
+class XyGrid {
+ public:
+  XyGrid(const std::vector<SurfacePoint>& points, double cell);
+
+  void Query(double x, double y, double radius,
+             std::vector<uint32_t>* out) const;
+
+ private:
+  int64_t Coord(double v) const;
+  static uint64_t Pack(int64_t cx, int64_t cy);
+
+  double cell_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> cells_;
+};
+
+/// Groups point indices into batches of at most `max_batch`, consecutive in
+/// x-y cell order (cell width sized for ~max_batch points per cell,
+/// lexicographic by cell coordinate), so each batch is spatially clustered;
+/// a batch never spans more than `max_spread` along any axis (x, y, or z —
+/// points too far apart to share a sweep get their own batch). This is the
+/// source-grouping used to feed GeodesicSolver::SolveBatch: it only pays off
+/// when a sweep's sources search overlapping regions. Deterministic in the
+/// input order — independent of thread count or hash-map iteration.
+std::vector<std::vector<uint32_t>> XyClusteredBatches(
+    const std::vector<SurfacePoint>& points, size_t max_batch,
+    double max_spread);
 
 /// Point-selection strategies of §3.2 Implementation Detail 1.
 enum class SelectionStrategy {

@@ -62,115 +62,243 @@ struct EnhancedEdges {
   }
 };
 
+/// Per-layer lookup structures shared by both enhanced-edge pipelines.
+struct EnhancedLayer {
+  double reach = 0.0;                // candidate-pair distance cap
+  std::vector<SurfacePoint> center_points;  // aligned with layer_nodes
+  std::unique_ptr<XyGrid> grid;      // x-y prefilter over the centers
+  std::unordered_map<uint32_t, uint32_t> center_to_index;  // POI -> index
+};
+
+/// Emits every enhanced edge of `layer` anchored at its center index `i`,
+/// reading per-source distances from the solver's last sweep. The grid
+/// prefilter is conservative (geodesic >= planar distance), so the emitted
+/// set is exactly the pairs with d <= reach regardless of the sweep that
+/// produced the labels.
+void EmitLayerEdges(const EnhancedLayer& layer,
+                    const std::vector<uint32_t>& nodes, uint32_t i,
+                    const GeodesicSolver& s, uint32_t source_index,
+                    std::vector<uint32_t>* candidates,
+                    std::vector<std::pair<uint64_t, uint64_t>>* out) {
+  const SurfacePoint& center = layer.center_points[i];
+  layer.grid->Query(center.pos.x, center.pos.y, layer.reach, candidates);
+  for (uint32_t j : *candidates) {
+    if (j == i) continue;
+    const double d =
+        s.BatchPointDistance(source_index, layer.center_points[j]);
+    if (d <= layer.reach) {
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(double));
+      out->emplace_back(PairKey(nodes[i], nodes[j]), bits);
+    }
+  }
+}
+
+using EdgeEntries = std::vector<std::pair<uint64_t, uint64_t>>;
+
+/// Runs `process(solver, index, out)` for indices [0, count): serially on
+/// the injected solver when a worker pool would not pay off, otherwise
+/// sharded over `num_threads` workers (each with a factory-created solver),
+/// concatenating the per-worker entry shards in worker order. Entry order
+/// is scheduling-dependent in the parallel case; consumers only depend on
+/// the entry set.
+Status ShardEnhancedWork(
+    GeodesicSolver& solver, const SolverFactory& factory,
+    uint32_t num_threads, size_t count,
+    const std::function<Status(GeodesicSolver&, uint32_t, EdgeEntries&)>&
+        process,
+    EdgeEntries* entries) {
+  if (num_threads <= 1 || count < 2 * num_threads) {
+    for (uint32_t i = 0; i < count; ++i) {
+      TSO_RETURN_IF_ERROR(process(solver, i, *entries));
+    }
+    return Status::Ok();
+  }
+  std::atomic<uint32_t> next{0};
+  std::vector<EdgeEntries> shards(num_threads);
+  std::vector<Status> shard_status(num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t]() {
+      std::unique_ptr<GeodesicSolver> local = factory();
+      if (local == nullptr) {
+        shard_status[t] = Status::Internal("solver factory returned null");
+        return;
+      }
+      while (true) {
+        const uint32_t i = next.fetch_add(1);
+        if (i >= count) break;
+        Status status = process(*local, i, shards[t]);
+        if (!status.ok()) {
+          shard_status[t] = status;
+          break;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (const Status& status : shard_status) TSO_RETURN_IF_ERROR(status);
+  for (EdgeEntries& shard : shards) {
+    entries->insert(entries->end(), shard.begin(), shard.end());
+  }
+  return Status::Ok();
+}
+
 StatusOr<EnhancedEdges> BuildEnhancedEdges(
     const PartitionTree& tree, const std::vector<SurfacePoint>& pois,
     GeodesicSolver& solver, const SeOracleOptions& options,
-    uint32_t num_threads, size_t* ssad_runs) {
+    uint32_t num_threads, SeBuildStats* st) {
   const double l = 8.0 / options.epsilon + 10.0;
-  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  // Sources per sweep: the requested batch, clamped to what the solver's
+  // kernel can tag (1 for solvers without native multi-source support).
+  const uint32_t batch_limit =
+      std::max(1u, std::min(std::max(options.ssad_batch, 1u),
+                            solver.max_batch()));
+  st->ssad_batch_used = batch_limit;
+  const int height = tree.height();
 
-  for (int layer = 0; layer <= tree.height(); ++layer) {
-    const std::vector<uint32_t>& nodes = tree.layer_nodes(layer);
-    if (nodes.size() < 2) continue;  // no same-layer pairs possible
+  // Candidate lookup per layer. Layers with < 2 nodes have no same-layer
+  // pairs; layer sizes are non-decreasing, so eligible layers are a suffix.
+  std::vector<EnhancedLayer> layers(height + 1);
+  for (int m = 0; m <= height; ++m) {
+    const std::vector<uint32_t>& nodes = tree.layer_nodes(m);
+    if (nodes.size() < 2) continue;
+    EnhancedLayer& layer = layers[m];
     // All POIs lie within r_0 of the root center, so center distances never
     // exceed 2·r_0; capping the expansion there loses no enhanced edge.
-    const double reach = std::min(l * tree.LayerRadius(layer),
-                                  2.0 * tree.root_radius() * (1.0 + 1e-9));
-    // x-y prefilter over this layer's centers (geodesic >= planar distance).
-    struct Center {
-      double x, y;
-      uint32_t node;
-    };
-    std::vector<Center> centers;
-    centers.reserve(nodes.size());
+    layer.reach = std::min(l * tree.LayerRadius(m),
+                           2.0 * tree.root_radius() * (1.0 + 1e-9));
+    layer.center_points.reserve(nodes.size());
     for (uint32_t id : nodes) {
-      const Vec3& p = pois[tree.node(id).center].pos;
-      centers.push_back({p.x, p.y, id});
+      layer.center_points.push_back(pois[tree.node(id).center]);
     }
-    const double cell = std::max(reach, 1e-9);
-    std::unordered_map<uint64_t, std::vector<uint32_t>> grid;
-    auto cell_key = [&](double x, double y) {
-      const int64_t cx = static_cast<int64_t>(std::floor(x / cell));
-      const int64_t cy = static_cast<int64_t>(std::floor(y / cell));
-      return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
-             static_cast<uint32_t>(cy);
-    };
-    for (uint32_t i = 0; i < centers.size(); ++i) {
-      grid[cell_key(centers[i].x, centers[i].y)].push_back(i);
+    layer.grid = std::make_unique<XyGrid>(layer.center_points, layer.reach);
+    if (batch_limit > 1) {
+      // Only the batched pipeline's cross-layer harvest looks centers up.
+      layer.center_to_index.reserve(nodes.size());
+      for (uint32_t i = 0; i < nodes.size(); ++i) {
+        layer.center_to_index.emplace(tree.node(nodes[i]).center, i);
+      }
     }
+  }
 
-    // One SSAD per node; independent across nodes, so shard over workers.
-    auto process_node = [&](GeodesicSolver& s, uint32_t i,
-                            std::vector<std::pair<uint64_t, uint64_t>>& out)
-        -> Status {
-      const uint32_t node_a = centers[i].node;
-      const uint32_t ca = tree.node(node_a).center;
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+
+  if (batch_limit == 1) {
+    // Reference pipeline (no multi-source batching): one SSAD per tree node,
+    // layer by layer. Kept as the plain baseline the batched pipeline must
+    // match bit-for-bit; still sharded over workers when threads are given.
+    for (int m = 0; m <= height; ++m) {
+      if (layers[m].grid == nullptr) continue;
+      const EnhancedLayer& layer = layers[m];
+      const std::vector<uint32_t>& nodes = tree.layer_nodes(m);
+
+      auto process_node = [&](GeodesicSolver& s, uint32_t i,
+                              EdgeEntries& out) -> Status {
+        SsadOptions opts;
+        opts.radius_bound = layer.reach * (1.0 + 1e-9);
+        TSO_RETURN_IF_ERROR(s.Run(layer.center_points[i], opts));
+        std::vector<uint32_t> candidates;
+        EmitLayerEdges(layer, nodes, i, s, 0, &candidates, &out);
+        return Status::Ok();
+      };
+      TSO_RETURN_IF_ERROR(ShardEnhancedWork(
+          solver, options.parallel_solver_factory, num_threads, nodes.size(),
+          process_node, &entries));
+      st->ssad_runs += nodes.size();
+      st->enhanced_sweeps += nodes.size();
+    }
+  } else {
+    // Batched pipeline. Two amortizations, both preserving the exact entry
+    // set and bit-identical distances:
+    //  * cross-layer sweep dedup — a center persists to every deeper layer
+    //    (pc-priority selection + the Separation property), so instead of
+    //    one SSAD per tree node, each *distinct* center sweeps once at its
+    //    topmost (largest) reach and the labels are harvested for every
+    //    layer it centers (a bounded Dijkstra's labels within the bound do
+    //    not depend on the bound);
+    //  * multi-source group sweeps — sweeps that start at the same topmost
+    //    layer share one kernel sweep per spatially-clustered batch.
+    struct SweepGroup {
+      int top_layer;                        // sweep radius = reach here
+      std::vector<uint32_t> first_indices;  // into that layer's nodes
+      std::vector<std::vector<uint32_t>> batches;
+    };
+    std::vector<SweepGroup> groups;
+    std::vector<uint8_t> seen(pois.size(), 0);
+    size_t total_batches = 0;
+    for (int m = 0; m <= height; ++m) {
+      if (layers[m].grid == nullptr) continue;
+      const std::vector<uint32_t>& nodes = tree.layer_nodes(m);
+      SweepGroup group;
+      group.top_layer = m;
+      std::vector<SurfacePoint> group_points;
+      for (uint32_t i = 0; i < nodes.size(); ++i) {
+        const uint32_t center = tree.node(nodes[i]).center;
+        if (seen[center] != 0) continue;
+        seen[center] = 1;
+        group.first_indices.push_back(i);
+        group_points.push_back(layers[m].center_points[i]);
+      }
+      if (group.first_indices.empty()) continue;
+      // Sources sharing a sweep must be tight relative to the search
+      // radius: a spread-comparable-to-reach batch degenerates into
+      // label-correcting churn.
+      group.batches = XyClusteredBatches(group_points, batch_limit,
+                                         0.1 * layers[m].reach);
+      total_batches += group.batches.size();
+      st->ssad_runs += group.first_indices.size();
+      groups.push_back(std::move(group));
+    }
+    st->enhanced_sweeps += total_batches;
+
+    // Flatten for the work queue: one group sweep per batch, harvested for
+    // every layer from the batch's top layer down. Batches are independent,
+    // so shard them over workers.
+    std::vector<std::pair<const SweepGroup*, const std::vector<uint32_t>*>>
+        work;
+    work.reserve(total_batches);
+    for (const SweepGroup& group : groups) {
+      for (const std::vector<uint32_t>& batch : group.batches) {
+        work.emplace_back(&group, &batch);
+      }
+    }
+    auto process_batch = [&](GeodesicSolver& s, const SweepGroup& group,
+                             const std::vector<uint32_t>& batch,
+                             EdgeEntries& out) -> Status {
+      const EnhancedLayer& top = layers[group.top_layer];
+      const std::vector<uint32_t>& top_nodes =
+          tree.layer_nodes(group.top_layer);
+      std::vector<SurfacePoint> sources;
+      sources.reserve(batch.size());
+      for (uint32_t b : batch) {
+        sources.push_back(top.center_points[group.first_indices[b]]);
+      }
       SsadOptions opts;
-      opts.radius_bound = reach * (1.0 + 1e-9);
-      TSO_RETURN_IF_ERROR(s.Run(pois[ca], opts));
-      const int64_t cx = static_cast<int64_t>(std::floor(centers[i].x / cell));
-      const int64_t cy = static_cast<int64_t>(std::floor(centers[i].y / cell));
-      for (int64_t dy = -1; dy <= 1; ++dy) {
-        for (int64_t dx = -1; dx <= 1; ++dx) {
-          const uint64_t key =
-              (static_cast<uint64_t>(static_cast<uint32_t>(cx + dx)) << 32) |
-              static_cast<uint32_t>(cy + dy);
-          auto it = grid.find(key);
-          if (it == grid.end()) continue;
-          for (uint32_t j : it->second) {
-            if (j == i) continue;
-            const uint32_t node_b = centers[j].node;
-            const uint32_t cb = tree.node(node_b).center;
-            const double d = s.PointDistance(pois[cb]);
-            if (d <= reach) {
-              uint64_t bits;
-              std::memcpy(&bits, &d, sizeof(double));
-              out.emplace_back(PairKey(node_a, node_b), bits);
-            }
-          }
+      opts.radius_bound = top.reach * (1.0 + 1e-9);
+      TSO_RETURN_IF_ERROR(s.SolveBatch(sources, opts));
+      std::vector<uint32_t> candidates;
+      for (uint32_t b = 0; b < batch.size(); ++b) {
+        const uint32_t i_top = group.first_indices[batch[b]];
+        const uint32_t center = tree.node(top_nodes[i_top]).center;
+        for (int m = group.top_layer; m <= height; ++m) {
+          if (layers[m].grid == nullptr) continue;
+          const auto it = layers[m].center_to_index.find(center);
+          TSO_CHECK(it != layers[m].center_to_index.end());
+          EmitLayerEdges(layers[m], tree.layer_nodes(m), it->second, s, b,
+                         &candidates, &out);
         }
       }
       return Status::Ok();
     };
 
-    if (num_threads <= 1 || centers.size() < 2 * num_threads) {
-      for (uint32_t i = 0; i < centers.size(); ++i) {
-        TSO_RETURN_IF_ERROR(process_node(solver, i, entries));
-        ++*ssad_runs;
-      }
-    } else {
-      std::atomic<uint32_t> next{0};
-      std::vector<std::vector<std::pair<uint64_t, uint64_t>>> shards(
-          num_threads);
-      std::vector<Status> shard_status(num_threads);
-      std::vector<std::thread> workers;
-      workers.reserve(num_threads);
-      for (uint32_t t = 0; t < num_threads; ++t) {
-        workers.emplace_back([&, t]() {
-          std::unique_ptr<GeodesicSolver> local =
-              options.parallel_solver_factory();
-          if (local == nullptr) {
-            shard_status[t] = Status::Internal("solver factory returned null");
-            return;
-          }
-          while (true) {
-            const uint32_t i = next.fetch_add(1);
-            if (i >= centers.size()) break;
-            Status st = process_node(*local, i, shards[t]);
-            if (!st.ok()) {
-              shard_status[t] = st;
-              break;
-            }
-          }
-        });
-      }
-      for (std::thread& w : workers) w.join();
-      for (const Status& st : shard_status) TSO_RETURN_IF_ERROR(st);
-      for (auto& shard : shards) {
-        entries.insert(entries.end(), shard.begin(), shard.end());
-      }
-      *ssad_runs += centers.size();
-    }
+    TSO_RETURN_IF_ERROR(ShardEnhancedWork(
+        solver, options.parallel_solver_factory, num_threads, work.size(),
+        [&](GeodesicSolver& s, uint32_t i, EdgeEntries& out) {
+          return process_batch(s, *work[i].first, *work[i].second, out);
+        },
+        &entries));
   }
 
   EnhancedEdges edges;
@@ -247,7 +375,7 @@ StatusOr<SeOracle> SeOracle::Build(const TerrainMesh& mesh,
   if (options.construction == ConstructionMethod::kEfficient &&
       pois.size() > 1) {
     StatusOr<EnhancedEdges> built = BuildEnhancedEdges(
-        *tree, pois, solver, options, num_threads, &st.ssad_runs);
+        *tree, pois, solver, options, num_threads, &st);
     if (!built.ok()) return built.status();
     enhanced = std::move(*built);
     st.enhanced_edges = enhanced.count;

@@ -16,7 +16,7 @@ namespace tso {
 
 /// How node-pair distances are computed during construction (§3.5).
 enum class ConstructionMethod {
-  kEfficient,  // enhanced-edge precomputation: one SSAD per tree node
+  kEfficient,  // enhanced-edge precomputation: batched SSADs over tree nodes
   kNaive,      // one SSAD per node pair considered (SE-Naive baseline)
 };
 
@@ -39,15 +39,23 @@ struct SeOracleOptions {
   ConstructionMethod construction = ConstructionMethod::kEfficient;
   uint64_t seed = 42;
   /// Optional: enables multi-threaded construction of every build phase —
-  /// speculative partition-tree SSADs, enhanced edges (one independent SSAD
-  /// per tree node), and the sharded WSPD recursion of the node-pair set.
-  /// The built oracle is identical for any thread count given the same
+  /// speculative partition-tree SSADs, enhanced edges (SSAD sweeps over
+  /// batches of tree nodes), and the sharded WSPD recursion of the node-pair
+  /// set. The built oracle is identical for any thread count given the same
   /// seed. When unset, construction is single-threaded on the injected
   /// solver. The factory must produce solvers over the same mesh and metric
   /// as the injected one.
   SolverFactory parallel_solver_factory;
   /// Worker threads for the parallel phases; 0 = hardware concurrency.
   uint32_t num_threads = 0;
+  /// Sources per SSAD sweep in the enhanced-edge phase: same-layer tree
+  /// nodes are grouped into spatially-clustered batches of this size and
+  /// dispatched to GeodesicSolver::SolveBatch, which amortizes the graph
+  /// traversal across nearby sources. Clamped to the solver's max_batch()
+  /// (1 for solvers without native multi-source support, e.g. MMP); 0 and 1
+  /// both mean one source per sweep. The built oracle is bit-identical for
+  /// any batch size.
+  uint32_t ssad_batch = 4;
 };
 
 struct SeBuildStats {
@@ -64,6 +72,8 @@ struct SeBuildStats {
   uint32_t threads_used = 1;       // worker threads of the parallel phases
   size_t tree_speculative_ssads = 0;  // partition-tree SSADs run by workers
   size_t tree_wasted_ssads = 0;       // speculative SSADs never committed
+  uint32_t ssad_batch_used = 1;    // enhanced-edge sources per sweep (clamped)
+  size_t enhanced_sweeps = 0;      // multi-source sweeps in the enhanced phase
 };
 
 /// The Space-Efficient distance oracle (SE) — the paper's contribution.

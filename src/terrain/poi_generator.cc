@@ -119,7 +119,8 @@ std::vector<SurfacePoint> PoisFromAllVertices(const TerrainMesh& mesh) {
 std::vector<SurfacePoint> PoisFromRandomVertices(const TerrainMesh& mesh,
                                                  size_t n, Rng& rng) {
   TSO_CHECK_LE(n, mesh.num_vertices());
-  std::vector<size_t> idx = rng.SampleWithoutReplacement(mesh.num_vertices(), n);
+  std::vector<size_t> idx =
+      rng.SampleWithoutReplacement(mesh.num_vertices(), n);
   std::vector<SurfacePoint> pois;
   pois.reserve(n);
   for (size_t v : idx) {

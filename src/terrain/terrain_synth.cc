@@ -95,8 +95,8 @@ StatusOr<TerrainMesh> SynthesizeMesh(const SynthSpec& spec,
   const double cell_y = spec.extent_y / (height - 1);
   for (uint32_t iy = 0; iy < height; ++iy) {
     for (uint32_t ix = 0; ix < width; ++ix) {
-      vertices.push_back(
-          {ix * cell_x, iy * cell_y, dem.z[static_cast<size_t>(iy) * width + ix]});
+      vertices.push_back({ix * cell_x, iy * cell_y,
+                          dem.z[static_cast<size_t>(iy) * width + ix]});
     }
   }
   std::vector<std::array<uint32_t, 3>> faces;

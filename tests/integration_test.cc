@@ -128,7 +128,8 @@ TEST(Integration, VertexAndFacePoisMixed) {
   Rng rng(5);
   for (uint32_t i = 0; i < 10; ++i) {
     pois.push_back(SurfacePoint::AtVertex(
-        *ds->mesh, static_cast<uint32_t>(rng.Uniform(ds->mesh->num_vertices()))));
+        *ds->mesh,
+        static_cast<uint32_t>(rng.Uniform(ds->mesh->num_vertices()))));
   }
   MmpSolver solver(*ds->mesh);
   SeOracleOptions options;

@@ -65,7 +65,8 @@ TEST(Knn, PrunedMatchesLinearScan) {
       ASSERT_TRUE(linear.ok() && pruned.ok());
       ASSERT_EQ(pruned->size(), linear->size());
       for (size_t i = 0; i < linear->size(); ++i) {
-        EXPECT_EQ((*pruned)[i].poi, (*linear)[i].poi) << "q=" << q << " k=" << k;
+        EXPECT_EQ((*pruned)[i].poi, (*linear)[i].poi)
+            << "q=" << q << " k=" << k;
         EXPECT_EQ((*pruned)[i].distance, (*linear)[i].distance);
       }
     }

@@ -300,6 +300,60 @@ TEST(SeOracle, EightThreadBuildIsDeterministic) {
   }
 }
 
+TEST(SeOracle, BatchedParallelBuildMatchesSerialUnbatched) {
+  // Acceptance gate for multi-source batching: T=8 with 4-source group
+  // sweeps must answer every query identically to the plain T=1 build with
+  // batching disabled (batch=1 runs the reference one-SSAD-per-node
+  // pipeline), with the same node-pair count and no enhanced-edge misses.
+  OracleFixture fx(40, 97, 600);
+  DijkstraSolver serial_solver(*fx.ds->mesh);
+  DijkstraSolver parallel_solver(*fx.ds->mesh);
+  SeOracleOptions serial;
+  serial.epsilon = 0.2;
+  serial.seed = 23;
+  serial.ssad_batch = 1;
+  SeOracleOptions batched = serial;
+  const TerrainMesh& mesh = *fx.ds->mesh;
+  batched.parallel_solver_factory = [&mesh]() {
+    return std::unique_ptr<GeodesicSolver>(new DijkstraSolver(mesh));
+  };
+  batched.num_threads = 8;
+  batched.ssad_batch = 4;
+  SeBuildStats serial_stats, batched_stats;
+  StatusOr<SeOracle> a = SeOracle::Build(mesh, fx.ds->pois, serial_solver,
+                                         serial, &serial_stats);
+  StatusOr<SeOracle> b = SeOracle::Build(mesh, fx.ds->pois, parallel_solver,
+                                         batched, &batched_stats);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(serial_stats.ssad_batch_used, 1u);
+  EXPECT_EQ(batched_stats.ssad_batch_used, 4u);
+  EXPECT_EQ(batched_stats.threads_used, 8u);
+  EXPECT_EQ(batched_stats.distance_fallbacks, 0u);
+  EXPECT_EQ(serial_stats.node_pairs, batched_stats.node_pairs);
+  EXPECT_EQ(serial_stats.enhanced_edges, batched_stats.enhanced_edges);
+  // The batched pipeline sweeps each distinct center once (at its topmost
+  // layer) instead of once per tree node.
+  EXPECT_LT(batched_stats.enhanced_sweeps, serial_stats.enhanced_sweeps);
+  const size_t n = fx.ds->pois.size();
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = 0; t < n; ++t) {
+      EXPECT_EQ(*a->Distance(s, t), *b->Distance(s, t)) << s << "," << t;
+    }
+  }
+}
+
+TEST(SeOracle, SsadBatchClampedForSolversWithoutNativeBatching) {
+  OracleFixture fx(12, 101);
+  SeOracleOptions options;
+  options.epsilon = 0.25;
+  options.ssad_batch = 8;  // MMP has no native batching: clamps to 1
+  SeBuildStats stats;
+  SeOracle oracle = fx.BuildOracle(options, &stats);
+  EXPECT_EQ(stats.ssad_batch_used, 1u);
+  EXPECT_GT(stats.enhanced_sweeps, 0u);
+  EXPECT_EQ(*oracle.Distance(0, 0), 0.0);
+}
+
 TEST(SeOracleSerde, RoundTripAnswersIdentical) {
   OracleFixture fx(16, 67);
   SeOracleOptions options;

@@ -6,6 +6,7 @@
 
 #include "geodesic/ssad_kernel.h"
 
+#include <array>
 #include <cmath>
 #include <queue>
 
@@ -13,6 +14,7 @@
 
 #include "base/rng.h"
 #include "geodesic/dijkstra_solver.h"
+#include "geodesic/mmp_solver.h"
 #include "geodesic/steiner_graph.h"
 #include "geodesic/steiner_solver.h"
 #include "mesh/point_locator.h"
@@ -318,6 +320,147 @@ TEST(SsadKernelVsReference, SteinerCoverAndRadiusCombined) {
     // Combined stopping: exact for anything final before the radius bound.
     if (want <= 350.0 && bounded.PointDistance(t) <= bounded.frontier()) {
       EXPECT_NEAR(bounded.PointDistance(t), want, 1e-9 * (1.0 + want));
+    }
+  }
+}
+
+// --- Multi-source batching ---
+
+TEST(SsadKernelBatch, BatchOfOneMatchesSingleSourceOnEverySolver) {
+  const TerrainMesh mesh = RuggedMesh(300, 37);
+  StatusOr<SteinerGraph> graph = SteinerGraph::Build(mesh, 2);
+  ASSERT_TRUE(graph.ok());
+  DijkstraSolver dijkstra_run(mesh), dijkstra_batch(mesh);
+  SteinerSolver steiner_run(*graph), steiner_batch(*graph);
+  MmpSolver mmp_run(mesh), mmp_batch(mesh);
+  const std::array<std::pair<GeodesicSolver*, GeodesicSolver*>, 3> solvers = {
+      {{&dijkstra_run, &dijkstra_batch},
+       {&steiner_run, &steiner_batch},
+       {&mmp_run, &mmp_batch}}};
+  Rng rng(131);
+  for (const auto& [run, batch] : solvers) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const SurfacePoint src = RandomSource(mesh, rng);
+      SsadOptions opts;
+      if (trial == 1) opts.radius_bound = 300.0;
+      ASSERT_TRUE(run->Run(src, opts).ok()) << run->name();
+      ASSERT_TRUE(batch->SolveBatch({&src, 1}, opts).ok()) << run->name();
+      EXPECT_EQ(batch->frontier(), run->frontier()) << run->name();
+      for (uint32_t v = 0; v < mesh.num_vertices(); ++v) {
+        EXPECT_EQ(batch->BatchVertexDistance(0, v), run->VertexDistance(v))
+            << run->name() << " trial " << trial << " vertex " << v;
+      }
+      for (int probe = 0; probe < 10; ++probe) {
+        const SurfacePoint p = RandomSource(mesh, rng);
+        EXPECT_EQ(batch->BatchPointDistance(0, p), run->PointDistance(p))
+            << run->name() << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(SsadKernelBatch, OversizedBatchAndTargetsRejected) {
+  const TerrainMesh mesh = RuggedMesh(200, 41);
+  DijkstraSolver solver(mesh);
+  Rng rng(137);
+  std::vector<SurfacePoint> sources;
+  for (int i = 0; i < 3; ++i) sources.push_back(RandomSource(mesh, rng));
+  EXPECT_FALSE(solver.SolveBatch({sources.data(), 0}, {}).ok());
+  std::vector<SurfacePoint> oversized(solver.max_batch() + 1, sources[0]);
+  EXPECT_FALSE(solver.SolveBatch(oversized, {}).ok());
+  SsadOptions with_target;
+  const SurfacePoint t = RandomSource(mesh, rng);
+  with_target.stop_target = &t;
+  EXPECT_FALSE(solver.SolveBatch(sources, with_target).ok());
+  // A batch of 1 is exactly Run(), so targets are fine there.
+  EXPECT_TRUE(solver.SolveBatch({sources.data(), 1}, with_target).ok());
+  // MMP has no native batching: only singleton batches are accepted.
+  MmpSolver mmp(mesh);
+  EXPECT_EQ(mmp.max_batch(), 1u);
+  EXPECT_FALSE(mmp.SolveBatch(sources, {}).ok());
+}
+
+/// The core equivalence property: per-source distances of one group sweep
+/// must be bitwise identical to K independent runs — and to the reference
+/// lazy-deletion std::priority_queue Dijkstra — for every node within the
+/// radius bound (everywhere, for unbounded runs).
+TEST(SsadKernelBatch, RandomKSourceDijkstraMatchesIndependentRunsAndRefPq) {
+  const TerrainMesh mesh = RuggedMesh(400, 43);
+  DijkstraSolver batch_solver(mesh);
+  DijkstraSolver single(mesh);
+  Rng rng(139);
+  for (int trial = 0; trial < 6; ++trial) {
+    const uint32_t k = 2 + static_cast<uint32_t>(rng.Uniform(7));  // 2..8
+    std::vector<SurfacePoint> sources;
+    for (uint32_t s = 0; s < k; ++s) sources.push_back(RandomSource(mesh, rng));
+    SsadOptions opts;
+    const bool bounded = trial % 2 == 0;
+    if (bounded) opts.radius_bound = rng.UniformDouble(150.0, 500.0);
+    ASSERT_TRUE(batch_solver.SolveBatch(sources, opts).ok());
+    for (uint32_t s = 0; s < k; ++s) {
+      ASSERT_TRUE(single.Run(sources[s], opts).ok());
+      const std::vector<double> ref =
+          RefMeshDistances(mesh, sources[s], kInfDist);
+      for (uint32_t v = 0; v < mesh.num_vertices(); ++v) {
+        if (ref[v] > opts.radius_bound) continue;
+        EXPECT_EQ(batch_solver.BatchVertexDistance(s, v),
+                  single.VertexDistance(v))
+            << "trial " << trial << " source " << s << " vertex " << v;
+        EXPECT_EQ(batch_solver.BatchVertexDistance(s, v), ref[v])
+            << "trial " << trial << " source " << s << " vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(SsadKernelBatch, RandomKSourceSteinerMatchesIndependentRunsAndRefPq) {
+  const TerrainMesh mesh = RuggedMesh(250, 47);
+  StatusOr<SteinerGraph> graph = SteinerGraph::Build(mesh, 2);
+  ASSERT_TRUE(graph.ok());
+  SteinerSolver batch_solver(*graph);
+  SteinerSolver single(*graph);
+  Rng rng(149);
+  for (int trial = 0; trial < 4; ++trial) {
+    const uint32_t k = 2 + static_cast<uint32_t>(rng.Uniform(7));  // 2..8
+    std::vector<SurfacePoint> sources;
+    for (uint32_t s = 0; s < k; ++s) sources.push_back(RandomSource(mesh, rng));
+    SsadOptions opts;
+    const bool bounded = trial % 2 == 1;
+    if (bounded) opts.radius_bound = rng.UniformDouble(200.0, 600.0);
+    ASSERT_TRUE(batch_solver.SolveBatch(sources, opts).ok());
+    for (uint32_t s = 0; s < k; ++s) {
+      ASSERT_TRUE(single.Run(sources[s], opts).ok());
+      const std::vector<double> ref =
+          RefGraphDistances(*graph, sources[s], kInfDist);
+      for (uint32_t node = 0; node < graph->num_nodes(); ++node) {
+        if (ref[node] > opts.radius_bound) continue;
+        EXPECT_EQ(batch_solver.BatchNodeDistance(s, node),
+                  single.NodeDistance(node))
+            << "trial " << trial << " source " << s << " node " << node;
+        EXPECT_EQ(batch_solver.BatchNodeDistance(s, node), ref[node])
+            << "trial " << trial << " source " << s << " node " << node;
+      }
+    }
+  }
+}
+
+TEST(SsadKernelBatch, BatchRunsDoNotDisturbSingleSourceRuns) {
+  // Interleave batch and single-source runs on one kernel-backed solver:
+  // epoch stamping must isolate the modes completely.
+  const TerrainMesh mesh = RuggedMesh(300, 53);
+  DijkstraSolver solver(mesh);
+  DijkstraSolver fresh(mesh);
+  Rng rng(151);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<SurfacePoint> sources;
+    for (int s = 0; s < 4; ++s) sources.push_back(RandomSource(mesh, rng));
+    ASSERT_TRUE(solver.SolveBatch(sources, {}).ok());
+    const SurfacePoint src = RandomSource(mesh, rng);
+    ASSERT_TRUE(solver.Run(src, {}).ok());
+    ASSERT_TRUE(fresh.Run(src, {}).ok());
+    for (uint32_t v = 0; v < mesh.num_vertices(); ++v) {
+      ASSERT_EQ(solver.VertexDistance(v), fresh.VertexDistance(v))
+          << "round " << round << " vertex " << v;
     }
   }
 }

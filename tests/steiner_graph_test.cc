@@ -9,8 +9,8 @@ namespace tso {
 namespace {
 
 TerrainMesh SmallMesh() {
-  StatusOr<TerrainMesh> mesh =
-      MeshFromFunction(4, 4, 1.0, [](double x, double y) { return x * y * 0.1; });
+  StatusOr<TerrainMesh> mesh = MeshFromFunction(
+      4, 4, 1.0, [](double x, double y) { return x * y * 0.1; });
   TSO_CHECK(mesh.ok());
   return std::move(*mesh);
 }

@@ -45,6 +45,7 @@ struct Args {
   uint32_t vertices = 0;  // 0 = dataset default
   size_t pois = 0;        // 0 = dataset default
   uint32_t threads = 0;   // 0 = hardware concurrency
+  uint32_t ssad_batch = 4;     // enhanced-edge sources per SSAD sweep
   uint32_t query_threads = 0;  // bench: 0 = serial only, T = throughput mode
   size_t random_queries = 0;
   size_t bench_queries = 1000;
@@ -120,6 +121,9 @@ build-oracle options:
   --build-threads T             worker threads for every build phase
                                 (0 = hardware concurrency; --threads is an
                                 accepted alias)
+  --ssad-batch K                enhanced-edge sources per SSAD sweep
+                                (default 4; 1 disables multi-source batching;
+                                clamped to the solver's native limit)
   --seed S                      RNG seed (default 42)
   --out PATH                    output file (default oracle.bin)
 
@@ -178,6 +182,9 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--threads" || flag == "--build-threads") {
       if (!(v = next())) return false;
       if (!ParseU32Flag(flag, v, &args->threads)) return false;
+    } else if (flag == "--ssad-batch") {
+      if (!(v = next())) return false;
+      if (!ParseU32Flag(flag, v, &args->ssad_batch)) return false;
     } else if (flag == "--query-threads") {
       if (!(v = next())) return false;
       if (!ParseU32Flag(flag, v, &args->query_threads)) return false;
@@ -254,10 +261,12 @@ StatusOr<SeOracle> BuildOracle(const Args& args, const Dataset& ds,
   options.epsilon = args.epsilon;
   options.seed = args.seed;
   options.num_threads = args.threads;
+  options.ssad_batch = args.ssad_batch;
   const TerrainMesh* mesh = ds.mesh.get();
   const SolverKind solver_kind = *kind;
   options.parallel_solver_factory = [mesh, solver_kind]() {
-    StatusOr<std::unique_ptr<GeodesicSolver>> s = MakeSolver(solver_kind, *mesh);
+    StatusOr<std::unique_ptr<GeodesicSolver>> s =
+        MakeSolver(solver_kind, *mesh);
     return s.ok() ? std::move(*s) : nullptr;
   };
   return SeOracle::Build(*ds.mesh, ds.pois, **solver, options, stats);
@@ -284,7 +293,10 @@ int CmdBuildOracle(const Args& args) {
       "size=%.1f KiB in %.2fs\n",
       oracle->epsilon(), stats.height, stats.node_pairs, stats.ssad_runs,
       oracle->SizeBytes() / 1024.0, stats.total_seconds);
-  std::printf("phase timing (threads=%u):\n", stats.threads_used);
+  std::printf("phase timing (threads=%u, ssad batch=%u, %zu enhanced "
+              "sweeps):\n",
+              stats.threads_used, stats.ssad_batch_used,
+              stats.enhanced_sweeps);
   std::printf("  %-16s %10s\n", "phase", "seconds");
   std::printf("  %-16s %10.3f\n", "partition-tree", stats.tree_seconds);
   std::printf("  %-16s %10.3f\n", "enhanced-edges", stats.enhanced_seconds);
