@@ -12,11 +12,14 @@
 // (plus "kernel", "scaling", and "batch_scaling" summary lines; the schema
 // is documented in docs/bench-json.md).
 
+#include <filesystem>
 #include <thread>
 
 #include "bench/bench_common.h"
 #include "geodesic/solver_factory.h"
 #include "geodesic/ssad_kernel.h"
+#include "oracle/oracle_serde.h"
+#include "oracle/oracle_view.h"
 
 namespace tso::bench {
 namespace {
@@ -85,6 +88,85 @@ BuildMeasurement MeasureBuild(const Dataset& ds, SolverKind kind,
   m.kernel_ops = SsadCounterSnapshot::Take().Delta(before);
   m.size_bytes = oracle->SizeBytes();
   return m;
+}
+
+/// Load-path benchmark: legacy full deserialization vs zero-copy mmap open
+/// of the flat format (with and without the checksum pass). Emits one BENCH
+/// line per variant plus the headline mmap-vs-deserialize speedup — the
+/// serving-startup metric the frozen format exists for. Best-of-K wall
+/// clock; a Distance probe per iteration keeps the loads honest.
+void MeasureLoad(const Dataset& ds, uint64_t seed) {
+  StatusOr<std::unique_ptr<GeodesicSolver>> solver =
+      MakeSolver(SolverKind::kDijkstra, *ds.mesh);
+  TSO_CHECK(solver.ok());
+  SeOracleOptions options;
+  options.epsilon = 0.25;
+  options.seed = seed;
+  StatusOr<SeOracle> oracle =
+      SeOracle::Build(*ds.mesh, ds.pois, **solver, options, nullptr);
+  TSO_CHECK(oracle.ok());
+
+  const std::string dir = std::filesystem::temp_directory_path().string();
+  const std::string legacy_path = dir + "/bench_load_oracle.seor";
+  const std::string flat_path = dir + "/bench_load_oracle.tsoflat";
+  TSO_CHECK(SaveSeOracle(*oracle, legacy_path).ok());
+  TSO_CHECK(SaveSeOracleFlat(*oracle, flat_path).ok());
+
+  constexpr int kIters = 25;
+  double checksum = 0.0;
+  auto best_of = [&](auto&& load_and_probe) {
+    double best = 1e100;
+    for (int i = 0; i < kIters; ++i) {
+      WallTimer timer;
+      checksum += load_and_probe();
+      best = std::min(best, timer.ElapsedSeconds());
+    }
+    return best;
+  };
+
+  const double legacy_seconds = best_of([&]() {
+    StatusOr<SeOracle> loaded = LoadSeOracle(legacy_path);
+    TSO_CHECK(loaded.ok());
+    return *loaded->Distance(0, 1);
+  });
+  const double flat_seconds = best_of([&]() {
+    StatusOr<OracleView> view = OracleView::Open(flat_path);  // default open
+    TSO_CHECK(view.ok());
+    return *view->Distance(0, 1);
+  });
+  OracleView::Options verify;
+  verify.verify_checksums = true;
+  const double flat_verify_seconds = best_of([&]() {
+    StatusOr<OracleView> view = OracleView::Open(flat_path, verify);
+    TSO_CHECK(view.ok());
+    return *view->Distance(0, 1);
+  });
+
+  const uintmax_t legacy_bytes = std::filesystem::file_size(legacy_path);
+  const uintmax_t flat_bytes = std::filesystem::file_size(flat_path);
+  std::filesystem::remove(legacy_path);
+  std::filesystem::remove(flat_path);
+
+  BenchJson("build")
+      .Str("phase", "load")
+      .Str("format", "legacy")
+      .Num("load_seconds", legacy_seconds, 6)
+      .Int("bytes", legacy_bytes)
+      .Emit();
+  BenchJson("build")
+      .Str("phase", "load")
+      .Str("format", "flat")
+      .Num("load_seconds", flat_seconds, 6)
+      .Num("load_seconds_verify", flat_verify_seconds, 6)
+      .Int("bytes", flat_bytes)
+      .Num("mmap_speedup_vs_deserialize",
+           flat_seconds > 0 ? legacy_seconds / flat_seconds : 0.0, 3)
+      .Emit();
+  std::cout << "load: legacy deserialize " << legacy_seconds * 1e3
+            << " ms | mmap open " << flat_seconds * 1e3 << " ms ("
+            << flat_verify_seconds * 1e3 << " ms with checksums) | "
+            << "speedup " << legacy_seconds / flat_seconds << "x (checksum "
+            << checksum << ")\n";
 }
 
 void Run() {
@@ -180,6 +262,8 @@ void Run() {
     }
   }
   table.Print();
+
+  MeasureLoad(*ds, seed);
 }
 
 }  // namespace

@@ -1,0 +1,58 @@
+#include "base/crc32.h"
+
+#include <array>
+
+namespace tso {
+namespace {
+
+constexpr uint32_t kPoly = 0xedb88320u;  // reflected IEEE 802.3
+
+struct Crc32Tables {
+  // tables[k][b]: CRC contribution of byte b processed k positions ahead,
+  // the standard slice-by-8 decomposition.
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  constexpr Crc32Tables() : t{} {
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = b;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][b] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t b = 0; b < 256; ++b) {
+        t[k][b] = (t[k - 1][b] >> 8) ^ t[0][t[k - 1][b] & 0xffu];
+      }
+    }
+  }
+};
+
+constexpr Crc32Tables kTables;
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const auto& t = kTables.t;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  while (size >= 8) {
+    // Fold the current CRC into the first 4 bytes, then combine all 8
+    // per-position tables. Byte-indexed loads keep this endian-agnostic.
+    const uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                               static_cast<uint32_t>(p[1]) << 8 |
+                               static_cast<uint32_t>(p[2]) << 16 |
+                               static_cast<uint32_t>(p[3]) << 24);
+    crc = t[7][lo & 0xffu] ^ t[6][(lo >> 8) & 0xffu] ^
+          t[5][(lo >> 16) & 0xffu] ^ t[4][lo >> 24] ^ t[3][p[4]] ^
+          t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xffu];
+  }
+  return ~crc;
+}
+
+}  // namespace tso

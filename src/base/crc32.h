@@ -1,0 +1,20 @@
+#ifndef TSO_BASE_CRC32_H_
+#define TSO_BASE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tso {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), slice-by-8: the per-section
+/// checksum of the flat oracle format (docs/oracle-format.md). Runs at
+/// memcpy-comparable speed so verifying a mapped oracle stays cheap next to
+/// a full deserialization.
+///
+/// `seed` is the running CRC for incremental use: Crc32(b, n2, Crc32(a, n1))
+/// equals the CRC of the concatenation a||b.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace tso
+
+#endif  // TSO_BASE_CRC32_H_

@@ -1,0 +1,41 @@
+#ifndef TSO_BASE_MMAP_FILE_H_
+#define TSO_BASE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace tso {
+
+/// A read-only memory-mapped file: the O(1) load path of the frozen oracle
+/// format. The mapping is shared (`MAP_SHARED` of read-only pages), so any
+/// number of processes serving the same oracle file share one copy of the
+/// page cache — the multi-process serving story the ROADMAP targets.
+///
+/// Move-only; the mapping is released on destruction. An empty file maps to
+/// a valid object with size() == 0 and a null data pointer.
+class MmapFile {
+ public:
+  static StatusOr<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const char* data() const { return static_cast<const char*>(data_); }
+  size_t size() const { return size_; }
+  std::string_view view() const { return std::string_view(data(), size_); }
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace tso
+
+#endif  // TSO_BASE_MMAP_FILE_H_

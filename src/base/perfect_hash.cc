@@ -94,22 +94,6 @@ StatusOr<PerfectHash> PerfectHash::Build(
   return ph;
 }
 
-bool PerfectHash::Lookup(uint64_t key, uint64_t* value) const {
-  if (num_keys_ == 0) return false;
-  const Raw& raw = raw_;
-  const uint32_t b =
-      static_cast<uint32_t>(Mix(key, raw.mul1) % raw.num_buckets);
-  const uint32_t base = raw.bucket_offset[b];
-  const uint32_t width = raw.bucket_offset[b + 1] - base;
-  if (width == 0) return false;
-  const uint32_t slot = base +
-                        static_cast<uint32_t>(Mix(key, raw.bucket_mul[b]) %
-                                              width);
-  if (!raw.slot_used[slot] || raw.slot_key[slot] != key) return false;
-  *value = raw.slot_value[slot];
-  return true;
-}
-
 size_t PerfectHash::SizeBytes() const {
   const Raw& raw = raw_;
   return sizeof(*this) + raw.bucket_mul.size() * sizeof(uint64_t) +

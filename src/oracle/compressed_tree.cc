@@ -60,8 +60,30 @@ CompressedTree CompressedTree::FromPartitionTree(const PartitionTree& tree) {
   return out;
 }
 
-void CompressedTree::AncestorArray(uint32_t leaf,
-                                   std::vector<uint32_t>* out) const {
+Status ValidateTreeChildLists(std::span<const CompressedTreeNode> nodes) {
+  for (uint32_t id = 0; id < nodes.size(); ++id) {
+    const CompressedTreeNode& node = nodes[id];
+    if (node.num_children > nodes.size()) {
+      return Status::InvalidArgument("tree child count out of range");
+    }
+    uint32_t child = node.first_child;
+    for (uint32_t i = 0; i < node.num_children; ++i) {
+      if (child == kInvalidId || nodes[child].parent != id) {
+        return Status::InvalidArgument(
+            "tree child list inconsistent with parent links");
+      }
+      child = nodes[child].next_sibling;
+    }
+    if (child != kInvalidId) {
+      return Status::InvalidArgument(
+          "tree child list longer than num_children");
+    }
+  }
+  return Status::Ok();
+}
+
+void CompressedTreeView::AncestorArray(uint32_t leaf,
+                                       std::vector<uint32_t>* out) const {
   out->assign(height_ + 1, kInvalidId);
   uint32_t cur = leaf;
   while (cur != kInvalidId) {
@@ -70,7 +92,7 @@ void CompressedTree::AncestorArray(uint32_t leaf,
   }
 }
 
-Status CompressedTree::CheckInvariants() const {
+Status CompressedTreeView::CheckInvariants() const {
   if (nodes_.empty()) return Status::Internal("empty compressed tree");
   if (nodes_.size() > 2 * leaf_of_poi_.size()) {
     return Status::Internal("compressed tree larger than 2n-1 (Lemma 9)");

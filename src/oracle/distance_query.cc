@@ -1,0 +1,71 @@
+#include "oracle/distance_query.h"
+
+namespace tso {
+
+StatusOr<double> OracleDistance(const CompressedTreeView& tree,
+                                const NodePairSetView& pairs, uint32_t s,
+                                uint32_t t, QueryScratch& scratch) {
+  if (s == t) return 0.0;
+  const int h = tree.height();
+  std::vector<uint32_t>& as = scratch.a;
+  std::vector<uint32_t>& at = scratch.b;
+  tree.AncestorArray(tree.leaf_of_poi(s), &as);
+  tree.AncestorArray(tree.leaf_of_poi(t), &at);
+
+  double d;
+  // Pass 1: same-layer pairs.
+  for (int i = 0; i <= h; ++i) {
+    if (as[i] != kInvalidId && at[i] != kInvalidId &&
+        pairs.Lookup(as[i], at[i], &d)) {
+      return d;
+    }
+  }
+  // Pass 2: first-higher-layer pairs <O, O'> with Layer(O) < Layer(O'),
+  // O in A_s, O' in A_t. By Observation 1 the candidate layers k for O are
+  // [Layer(parent(O')), Layer(O')).
+  for (int i = 1; i <= h; ++i) {
+    const uint32_t ot = at[i];
+    if (ot == kInvalidId) continue;
+    const uint32_t parent = tree.node(ot).parent;
+    if (parent == kInvalidId) continue;
+    const int j = tree.node(parent).layer;
+    for (int k = j; k < i; ++k) {
+      if (as[k] != kInvalidId && pairs.Lookup(as[k], ot, &d)) return d;
+    }
+  }
+  // Pass 3: first-lower-layer pairs (symmetric).
+  for (int i = 1; i <= h; ++i) {
+    const uint32_t os = as[i];
+    if (os == kInvalidId) continue;
+    const uint32_t parent = tree.node(os).parent;
+    if (parent == kInvalidId) continue;
+    const int j = tree.node(parent).layer;
+    for (int k = j; k < i; ++k) {
+      if (at[k] != kInvalidId && pairs.Lookup(os, at[k], &d)) return d;
+    }
+  }
+  return Status::Internal(
+      "unique node pair match property violated: no pair found");
+}
+
+StatusOr<double> OracleDistanceNaive(const CompressedTreeView& tree,
+                                     const NodePairSetView& pairs, uint32_t s,
+                                     uint32_t t, QueryScratch& scratch) {
+  if (s == t) return 0.0;
+  const int h = tree.height();
+  std::vector<uint32_t>& as = scratch.a;
+  std::vector<uint32_t>& at = scratch.b;
+  tree.AncestorArray(tree.leaf_of_poi(s), &as);
+  tree.AncestorArray(tree.leaf_of_poi(t), &at);
+  double d;
+  for (int i = 0; i <= h; ++i) {
+    if (as[i] == kInvalidId) continue;
+    for (int j = 0; j <= h; ++j) {
+      if (at[j] != kInvalidId && pairs.Lookup(as[i], at[j], &d)) return d;
+    }
+  }
+  return Status::Internal(
+      "unique node pair match property violated: no pair found");
+}
+
+}  // namespace tso

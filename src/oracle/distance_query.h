@@ -1,0 +1,41 @@
+#ifndef TSO_ORACLE_DISTANCE_QUERY_H_
+#define TSO_ORACLE_DISTANCE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "oracle/compressed_tree.h"
+#include "oracle/node_pair_set.h"
+
+namespace tso {
+
+/// Reusable per-call workspace for oracle queries. Queries never touch
+/// shared mutable state; they either take a caller-owned QueryScratch (one
+/// per thread — reuse across calls to stay allocation-free) or fall back to
+/// a thread_local instance inside the convenience overloads.
+struct QueryScratch {
+  std::vector<uint32_t> a, b;
+};
+
+/// The efficient O(h) POI-to-POI query of §3.4 (same-layer scan +
+/// first-higher + first-lower passes), implemented once over the non-owning
+/// view forms. Both representations of the oracle answer through this
+/// function: SeOracle passes views of its heap-backed components, OracleView
+/// passes views straight into a mapped file — the answers are bit-identical
+/// because the probed structures are byte-identical.
+///
+/// `s` and `t` must already be validated against the POI count.
+StatusOr<double> OracleDistance(const CompressedTreeView& tree,
+                                const NodePairSetView& pairs, uint32_t s,
+                                uint32_t t, QueryScratch& scratch);
+
+/// The O(h²) naive query of §3.4 (scans A_s × A_t). Same answers; used as
+/// the SE-Naive baseline and in ablation benchmarks.
+StatusOr<double> OracleDistanceNaive(const CompressedTreeView& tree,
+                                     const NodePairSetView& pairs, uint32_t s,
+                                     uint32_t t, QueryScratch& scratch);
+
+}  // namespace tso
+
+#endif  // TSO_ORACLE_DISTANCE_QUERY_H_

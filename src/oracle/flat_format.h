@@ -1,0 +1,116 @@
+#ifndef TSO_ORACLE_FLAT_FORMAT_H_
+#define TSO_ORACLE_FLAT_FORMAT_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#include "mesh/terrain_mesh.h"
+#include "oracle/compressed_tree.h"
+#include "oracle/node_pair_set.h"
+
+namespace tso {
+
+/// The frozen on-disk layout of a serialized SE oracle ("flat" format):
+///
+///   [FlatHeader][section table: FlatSectionEntry × N][sections ...]
+///
+/// Every section is an aligned little-endian POD array readable in place —
+/// OracleView answers queries straight from a mapped file without
+/// materializing a single vector. See docs/oracle-format.md for the full
+/// layout, validation, and versioning policy. Any change to these structs,
+/// to CompressedTreeNode/NodePair/SurfacePoint, or to the section list is a
+/// format change: bump kFlatFormatVersion and regenerate the golden files
+/// under tests/golden/.
+static_assert(std::endian::native == std::endian::little,
+              "the flat oracle format is little-endian on disk and is read "
+              "in place");
+
+inline constexpr char kFlatMagic[8] = {'T', 'S', 'O', 'F',
+                                       'L', 'A', 'T', '\n'};
+inline constexpr uint32_t kFlatFormatVersion = 1;
+/// Written verbatim as 4 bytes; a big-endian producer would store the
+/// reversed byte pattern, so the loader detects foreign-arch files cleanly.
+inline constexpr uint32_t kFlatEndianTag = 0x01020304u;
+/// Every section offset is a multiple of this (cache-line alignment,
+/// comfortably above the 8-byte requirement of the widest element).
+inline constexpr uint64_t kFlatSectionAlign = 64;
+
+/// Section ids, in file order. The loader requires exactly this set, each
+/// exactly once, in this order.
+enum FlatSectionId : uint32_t {
+  kFlatMeta = 1,            // FlatMeta × 1
+  kFlatPois = 2,            // SurfacePoint × num_pois
+  kFlatTreeNodes = 3,       // CompressedTreeNode × num_tree_nodes
+  kFlatLeafOfPoi = 4,       // uint32 × num_pois
+  kFlatPairs = 5,           // NodePair × num_pairs
+  kFlatHashBucketMul = 6,   // uint64 × hash_num_buckets
+  kFlatHashBucketOffset = 7,  // uint32 × (hash_num_buckets + 1)
+  kFlatHashSlotKey = 8,     // uint64 × total_slots
+  kFlatHashSlotValue = 9,   // uint64 × total_slots
+  kFlatHashSlotUsed = 10,   // uint8 × total_slots
+};
+inline constexpr uint32_t kFlatSectionCount = 10;
+
+const char* FlatSectionName(uint32_t id);
+
+/// Fixed 64-byte file header at offset 0.
+struct FlatHeader {
+  char magic[8];        // kFlatMagic
+  uint32_t endian_tag;  // kFlatEndianTag, as written by the producer
+  uint32_t version;     // kFlatFormatVersion
+  uint64_t file_size;   // total bytes: cheap truncation detection
+  uint32_t section_count;      // kFlatSectionCount
+  uint32_t section_table_crc;  // CRC32 of the section-table bytes
+  uint64_t reserved0;
+  uint64_t reserved1;
+  uint64_t reserved2;
+  uint64_t reserved3;
+
+  bool MagicMatches() const {
+    return std::memcmp(magic, kFlatMagic, sizeof(kFlatMagic)) == 0;
+  }
+};
+static_assert(sizeof(FlatHeader) == 64 && alignof(FlatHeader) == 8,
+              "FlatHeader layout is frozen");
+
+/// One row of the section table (immediately after the header).
+struct FlatSectionEntry {
+  uint32_t id;       // FlatSectionId
+  uint32_t crc32;    // CRC32 of the section's `size` payload bytes
+  uint64_t offset;   // from file start; kFlatSectionAlign-aligned
+  uint64_t size;     // payload bytes (excluding inter-section padding)
+  uint64_t count;    // element count
+  uint64_t reserved;
+};
+static_assert(sizeof(FlatSectionEntry) == 40 &&
+                  alignof(FlatSectionEntry) == 8,
+              "FlatSectionEntry layout is frozen");
+
+/// The kFlatMeta section: scalar oracle parameters, one 64-byte struct.
+struct FlatMeta {
+  double epsilon;
+  uint64_t num_pois;
+  uint64_t num_tree_nodes;
+  uint32_t tree_root;
+  int32_t tree_height;
+  uint64_t num_pairs;
+  uint64_t hash_mul1;
+  uint64_t hash_num_keys;
+  uint32_t hash_num_buckets;
+  uint32_t reserved0;
+};
+static_assert(sizeof(FlatMeta) == 64 && alignof(FlatMeta) == 8,
+              "FlatMeta layout is frozen");
+
+// The in-place element types must themselves be padding-free (their sizeof
+// equals the sum of their member sizes) so section bytes, and therefore the
+// golden files and CRCs, are deterministic.
+static_assert(sizeof(SurfacePoint) == 32 && alignof(SurfacePoint) == 8,
+              "SurfacePoint is mapped in place by the flat oracle format");
+static_assert(sizeof(CompressedTreeNode) == 32);
+static_assert(sizeof(NodePair) == 16);
+
+}  // namespace tso
+
+#endif  // TSO_ORACLE_FLAT_FORMAT_H_

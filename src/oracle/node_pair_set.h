@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "base/perfect_hash.h"
@@ -11,11 +12,46 @@
 namespace tso {
 
 /// One entry of SE's second component: an ordered well-separated node pair
-/// with the geodesic distance between its centers.
+/// with the geodesic distance between its centers. The layout is frozen: it
+/// is stored verbatim as the pair section of the flat oracle format (see
+/// oracle/flat_format.h).
 struct NodePair {
   uint32_t a;
   uint32_t b;
   double distance;
+};
+static_assert(sizeof(NodePair) == 16 && alignof(NodePair) == 8,
+              "NodePair must stay padding-free: it is mapped directly from "
+              "the flat oracle format");
+
+/// Non-owning pointer+count form of the node pair set: the O(1) probe
+/// implemented once over a pair span + PerfectHashView, shared by the
+/// owning NodePairSet and the zero-copy OracleView.
+class NodePairSetView {
+ public:
+  NodePairSetView() = default;
+  NodePairSetView(std::span<const NodePair> pairs, PerfectHashView hash)
+      : pairs_(pairs), hash_(hash) {}
+
+  /// O(1) probe: true and *distance set iff (a, b) is in the set. The
+  /// stored index is bounds-checked (never-taken branch for well-formed
+  /// sets) so a corrupt mapped file cannot read out of bounds — see the
+  /// note on PerfectHashView::Lookup.
+  bool Lookup(uint32_t a, uint32_t b, double* distance) const {
+    uint64_t idx;
+    if (!hash_.Lookup(PairKey(a, b), &idx)) return false;
+    if (idx >= pairs_.size()) return false;  // corrupt value table
+    *distance = pairs_[idx].distance;
+    return true;
+  }
+
+  size_t size() const { return pairs_.size(); }
+  std::span<const NodePair> pairs() const { return pairs_; }
+  const PerfectHashView& hash() const { return hash_; }
+
+ private:
+  std::span<const NodePair> pairs_;
+  PerfectHashView hash_;
 };
 
 struct NodePairSetStats {
@@ -62,10 +98,12 @@ class NodePairSet {
 
   /// O(1) probe: true and *distance set iff (a, b) is in the set.
   bool Lookup(uint32_t a, uint32_t b, double* distance) const {
-    uint64_t idx;
-    if (!hash_.Lookup(PairKey(a, b), &idx)) return false;
-    *distance = pairs_[idx].distance;
-    return true;
+    return view().Lookup(a, b, distance);
+  }
+
+  /// The non-owning probe form over this set's storage.
+  NodePairSetView view() const {
+    return NodePairSetView(pairs_, hash_.view());
   }
 
   size_t size() const { return pairs_.size(); }

@@ -1,15 +1,94 @@
 #include "oracle/oracle_serde.h"
 
+#include <cstring>
 #include <fstream>
-#include <sstream>
 
+#include "base/crc32.h"
 #include "base/serde.h"
+#include "oracle/flat_format.h"
 
 namespace tso {
 namespace {
 
-constexpr uint32_t kMagic = 0x53454f52;  // "SEOR"
+constexpr uint32_t kMagic = 0x53454f52;  // "SEOR" (legacy stream format)
 constexpr uint32_t kVersion = 1;
+
+uint64_t AlignUp(uint64_t v, uint64_t align) {
+  return (v + align - 1) / align * align;
+}
+
+/// One section to be laid out by the flat writer.
+struct SectionDesc {
+  uint32_t id;
+  const void* data;
+  uint64_t size;   // payload bytes
+  uint64_t count;  // element count
+};
+
+template <typename T>
+SectionDesc PodSection(uint32_t id, const std::vector<T>& v) {
+  static_assert(kIsPodSerializable<T>);
+  return {id, v.data(), v.size() * sizeof(T), v.size()};
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open " + path);
+  const std::streamsize size = in.tellg();
+  if (size < 0) return Status::IoError("cannot stat " + path);
+  out->resize(static_cast<size_t>(size));
+  in.seekg(0);
+  if (size > 0 && !in.read(out->data(), size)) {
+    return Status::IoError("read failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status WriteStringToFile(const std::string& blob, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+/// Full structural validation of deserialized perfect-hash tables: Lookup
+/// indexes bucket_offset[b] + Mix(...) % width into the slot arrays, so
+/// offsets must be monotone and bounded by consistent slot-array sizes, and
+/// stored values must index into the pair list. Shared by the legacy
+/// deserializer and MaterializeSeOracle — any owning oracle built from
+/// untrusted bytes passes through here. (The zero-copy OracleView instead
+/// bounds-checks these indices per probe; see oracle_view.cc.)
+Status ValidateHashRaw(const PerfectHash::Raw& raw, uint64_t num_pairs) {
+  if (raw.num_keys > 0) {
+    if (raw.num_buckets == 0 ||
+        raw.bucket_offset.size() != static_cast<size_t>(raw.num_buckets) + 1 ||
+        raw.bucket_mul.size() != raw.num_buckets) {
+      return Status::InvalidArgument("perfect hash tables inconsistent");
+    }
+    if (raw.bucket_offset.front() != 0) {
+      return Status::InvalidArgument("perfect hash offset base");
+    }
+    for (size_t b = 0; b + 1 < raw.bucket_offset.size(); ++b) {
+      if (raw.bucket_offset[b] > raw.bucket_offset[b + 1]) {
+        return Status::InvalidArgument("perfect hash offsets not monotone");
+      }
+    }
+    const size_t total_slots = raw.bucket_offset.back();
+    if (raw.slot_key.size() != total_slots ||
+        raw.slot_value.size() != total_slots ||
+        raw.slot_used.size() != total_slots) {
+      return Status::InvalidArgument("perfect hash slot arrays inconsistent");
+    }
+  }
+  // Lookup results index into pairs; validate stored values.
+  for (size_t i = 0; i < raw.slot_used.size(); ++i) {
+    if (raw.slot_used[i] && raw.slot_value[i] >= num_pairs) {
+      return Status::InvalidArgument("perfect hash value range");
+    }
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
@@ -71,7 +150,7 @@ std::string SerializeSeOracle(const SeOracle& oracle) {
   return w.Release();
 }
 
-StatusOr<SeOracle> DeserializeSeOracle(const std::string& blob) {
+StatusOr<SeOracle> DeserializeSeOracle(std::string_view blob) {
   BinaryReader r(blob);
   uint32_t magic = 0, version = 0;
   TSO_RETURN_IF_ERROR(r.GetU32(&magic));
@@ -83,6 +162,7 @@ StatusOr<SeOracle> DeserializeSeOracle(const std::string& blob) {
 
   uint64_t n = 0;
   TSO_RETURN_IF_ERROR(r.GetVarint64(&n));
+  if (n > blob.size()) return Status::InvalidArgument("poi count");
   std::vector<SurfacePoint> pois(n);
   for (auto& p : pois) {
     TSO_RETURN_IF_ERROR(r.GetU32(&p.face));
@@ -131,6 +211,8 @@ StatusOr<SeOracle> DeserializeSeOracle(const std::string& blob) {
       return Status::InvalidArgument("tree parent layer not decreasing");
     }
   }
+  // Child chains must be exact and acyclic so tree traversals terminate.
+  TSO_RETURN_IF_ERROR(ValidateTreeChildLists(tree.mutable_nodes()));
   tree.set_root(root);
   tree.set_height(static_cast<int>(height));
   uint64_t n_leaf = 0;
@@ -144,6 +226,7 @@ StatusOr<SeOracle> DeserializeSeOracle(const std::string& blob) {
 
   uint64_t num_pairs = 0;
   TSO_RETURN_IF_ERROR(r.GetVarint64(&num_pairs));
+  if (num_pairs > blob.size()) return Status::InvalidArgument("pair count");
   std::vector<NodePair> pairs(num_pairs);
   for (auto& pair : pairs) {
     TSO_RETURN_IF_ERROR(r.GetU32(&pair.a));
@@ -163,36 +246,7 @@ StatusOr<SeOracle> DeserializeSeOracle(const std::string& blob) {
   TSO_RETURN_IF_ERROR(r.GetPodVector(&raw.slot_key));
   TSO_RETURN_IF_ERROR(r.GetPodVector(&raw.slot_value));
   TSO_RETURN_IF_ERROR(r.GetPodVector(&raw.slot_used));
-  // Full structural validation of the two-level tables: Lookup indexes
-  // bucket_offset[b] + Mix(...) % width into the slot arrays, so offsets
-  // must be monotone and bounded by consistent slot-array sizes.
-  if (raw.num_keys > 0) {
-    if (raw.num_buckets == 0 ||
-        raw.bucket_offset.size() != static_cast<size_t>(raw.num_buckets) + 1 ||
-        raw.bucket_mul.size() != raw.num_buckets) {
-      return Status::InvalidArgument("perfect hash tables inconsistent");
-    }
-    if (raw.bucket_offset.front() != 0) {
-      return Status::InvalidArgument("perfect hash offset base");
-    }
-    for (size_t b = 0; b + 1 < raw.bucket_offset.size(); ++b) {
-      if (raw.bucket_offset[b] > raw.bucket_offset[b + 1]) {
-        return Status::InvalidArgument("perfect hash offsets not monotone");
-      }
-    }
-    const size_t total_slots = raw.bucket_offset.back();
-    if (raw.slot_key.size() != total_slots ||
-        raw.slot_value.size() != total_slots ||
-        raw.slot_used.size() != total_slots) {
-      return Status::InvalidArgument("perfect hash slot arrays inconsistent");
-    }
-  }
-  // Lookup results index into pairs; validate stored values.
-  for (size_t i = 0; i < raw.slot_used.size(); ++i) {
-    if (raw.slot_used[i] && raw.slot_value[i] >= num_pairs) {
-      return Status::InvalidArgument("perfect hash value range");
-    }
-  }
+  TSO_RETURN_IF_ERROR(ValidateHashRaw(raw, num_pairs));
 
   if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes");
 
@@ -202,21 +256,149 @@ StatusOr<SeOracle> DeserializeSeOracle(const std::string& blob) {
                              std::move(pair_set));
 }
 
+std::string SerializeSeOracleFlat(const SeOracle& oracle) {
+  const CompressedTree& tree = oracle.tree();
+  const NodePairSet& pairs = oracle.pair_set();
+  const PerfectHash::Raw& raw = pairs.hash().raw();
+
+  FlatMeta meta{};
+  meta.epsilon = oracle.epsilon();
+  meta.num_pois = oracle.pois().size();
+  meta.num_tree_nodes = tree.num_nodes();
+  meta.tree_root = tree.root();
+  meta.tree_height = tree.height();
+  meta.num_pairs = pairs.size();
+  meta.hash_mul1 = raw.mul1;
+  meta.hash_num_keys = raw.num_keys;
+  meta.hash_num_buckets = raw.num_buckets;
+
+  const SectionDesc sections[kFlatSectionCount] = {
+      {kFlatMeta, &meta, sizeof(meta), 1},
+      PodSection(kFlatPois, oracle.pois()),
+      PodSection(kFlatTreeNodes, tree.nodes()),
+      PodSection(kFlatLeafOfPoi, tree.leaf_of_poi_map()),
+      PodSection(kFlatPairs, pairs.pairs()),
+      PodSection(kFlatHashBucketMul, raw.bucket_mul),
+      PodSection(kFlatHashBucketOffset, raw.bucket_offset),
+      PodSection(kFlatHashSlotKey, raw.slot_key),
+      PodSection(kFlatHashSlotValue, raw.slot_value),
+      PodSection(kFlatHashSlotUsed, raw.slot_used),
+  };
+
+  // Lay out: header, section table, then 64-byte-aligned sections.
+  FlatSectionEntry table[kFlatSectionCount] = {};
+  uint64_t cursor =
+      sizeof(FlatHeader) + kFlatSectionCount * sizeof(FlatSectionEntry);
+  for (uint32_t i = 0; i < kFlatSectionCount; ++i) {
+    const SectionDesc& s = sections[i];
+    table[i].id = s.id;
+    table[i].offset = AlignUp(cursor, kFlatSectionAlign);
+    table[i].size = s.size;
+    table[i].count = s.count;
+    table[i].crc32 = Crc32(s.data, s.size);
+    cursor = table[i].offset + s.size;
+  }
+  const uint64_t file_size = cursor;
+
+  FlatHeader header{};
+  std::memcpy(header.magic, kFlatMagic, sizeof(kFlatMagic));
+  header.endian_tag = kFlatEndianTag;
+  header.version = kFlatFormatVersion;
+  header.file_size = file_size;
+  header.section_count = kFlatSectionCount;
+  header.section_table_crc = Crc32(table, sizeof(table));
+
+  std::string out;
+  out.reserve(file_size);
+  out.append(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.append(reinterpret_cast<const char*>(table), sizeof(table));
+  for (uint32_t i = 0; i < kFlatSectionCount; ++i) {
+    out.append(table[i].offset - out.size(), '\0');  // alignment padding
+    out.append(static_cast<const char*>(sections[i].data),
+               sections[i].size);
+  }
+  return out;
+}
+
+StatusOr<SeOracle> MaterializeSeOracle(std::string_view flat_blob) {
+  // A one-time conversion can afford the full checksum pass on top of the
+  // structural validation; the view also hands us typed spans to copy from.
+  OracleView::Options verify;
+  verify.verify_checksums = true;
+  StatusOr<OracleView> view = OracleView::FromBuffer(flat_blob, verify);
+  if (!view.ok()) return view.status();
+
+  StatusOr<FlatFileInfo> info = ReadFlatFileInfo(flat_blob);
+  if (!info.ok()) return info.status();
+  FlatMeta meta{};
+  for (const FlatSectionEntry& e : info->sections) {
+    if (e.id == kFlatMeta) {
+      std::memcpy(&meta, flat_blob.data() + e.offset, sizeof(meta));
+    }
+  }
+
+  std::vector<SurfacePoint> pois(view->pois().begin(), view->pois().end());
+
+  CompressedTree tree;
+  const CompressedTreeView& tv = view->tree();
+  tree.mutable_nodes().assign(tv.nodes().begin(), tv.nodes().end());
+  tree.mutable_leaf_of_poi().assign(tv.leaf_of_poi_map().begin(),
+                                    tv.leaf_of_poi_map().end());
+  tree.set_root(tv.root());
+  tree.set_height(tv.height());
+
+  FlatReader reader(flat_blob);
+  PerfectHash::Raw raw;
+  raw.mul1 = meta.hash_mul1;
+  raw.num_buckets = meta.hash_num_buckets;
+  raw.num_keys = meta.hash_num_keys;
+  auto copy_section = [&](FlatSectionId id, auto* out_vec) -> Status {
+    using T = typename std::remove_reference_t<
+        decltype(*out_vec)>::value_type;
+    for (const FlatSectionEntry& e : info->sections) {
+      if (e.id != id) continue;
+      std::span<const T> span;
+      TSO_RETURN_IF_ERROR(reader.ViewArray<T>(e.offset, e.count, &span));
+      out_vec->assign(span.begin(), span.end());
+      return Status::Ok();
+    }
+    return Status::Internal("flat oracle: section missing after validation");
+  };
+  TSO_RETURN_IF_ERROR(copy_section(kFlatHashBucketMul, &raw.bucket_mul));
+  TSO_RETURN_IF_ERROR(copy_section(kFlatHashBucketOffset, &raw.bucket_offset));
+  TSO_RETURN_IF_ERROR(copy_section(kFlatHashSlotKey, &raw.slot_key));
+  TSO_RETURN_IF_ERROR(copy_section(kFlatHashSlotValue, &raw.slot_value));
+  TSO_RETURN_IF_ERROR(copy_section(kFlatHashSlotUsed, &raw.slot_used));
+
+  std::vector<NodePair> pair_vec(view->pair_set().pairs().begin(),
+                                 view->pair_set().pairs().end());
+  // The view defers deep hash/pair validation to per-probe guards; an
+  // owning oracle gets the full legacy-grade scan instead.
+  TSO_RETURN_IF_ERROR(ValidateHashRaw(raw, pair_vec.size()));
+  for (const NodePair& pair : pair_vec) {
+    if (pair.a >= tree.num_nodes() || pair.b >= tree.num_nodes()) {
+      return Status::InvalidArgument("flat oracle: pair node id range");
+    }
+  }
+  NodePairSet pair_set = NodePairSet::FromParts(
+      std::move(pair_vec), PerfectHash::FromRaw(std::move(raw)));
+  return SeOracle::FromParts(meta.epsilon, std::move(pois), std::move(tree),
+                             std::move(pair_set));
+}
+
 Status SaveSeOracle(const SeOracle& oracle, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  const std::string blob = SerializeSeOracle(oracle);
-  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  return WriteStringToFile(SerializeSeOracle(oracle), path);
+}
+
+Status SaveSeOracleFlat(const SeOracle& oracle, const std::string& path) {
+  return WriteStringToFile(SerializeSeOracleFlat(oracle), path);
 }
 
 StatusOr<SeOracle> LoadSeOracle(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return DeserializeSeOracle(ss.str());
+  std::string blob;
+  TSO_RETURN_IF_ERROR(ReadFileToString(path, &blob));
+  if (LooksLikeFlatOracle(blob)) return MaterializeSeOracle(blob);
+  return DeserializeSeOracle(blob);
 }
 
 }  // namespace tso

@@ -2,10 +2,17 @@
 #define TSO_ORACLE_ORACLE_SERDE_H_
 
 #include <string>
+#include <string_view>
 
+#include "oracle/oracle_view.h"
 #include "oracle/se_oracle.h"
 
 namespace tso {
+
+// ---------------------------------------------------------------------------
+// Legacy stream format ("SEOR"): varint-framed field-by-field encoding,
+// fully deserialized into an owning SeOracle on load.
+// ---------------------------------------------------------------------------
 
 /// Serializes an SE oracle to a compact binary blob. The blob contains
 /// everything needed to answer queries (compressed tree, node pair set,
@@ -13,11 +20,35 @@ namespace tso {
 std::string SerializeSeOracle(const SeOracle& oracle);
 
 /// Reconstructs an oracle from SerializeSeOracle output. Fails cleanly on
-/// truncated or corrupt input.
-StatusOr<SeOracle> DeserializeSeOracle(const std::string& blob);
+/// truncated or corrupt input. The blob is only read, never copied — the
+/// view must stay valid for the duration of the call.
+StatusOr<SeOracle> DeserializeSeOracle(std::string_view blob);
 
-/// Convenience file round-trip.
+// ---------------------------------------------------------------------------
+// Flat format ("TSOFLAT"): sectioned, checksummed, mmap-able layout
+// (oracle/flat_format.h, docs/oracle-format.md). Serve it zero-copy through
+// OracleView, or materialize an owning SeOracle when mutation-adjacent APIs
+// (e.g. the dynamic oracle's base) need one.
+// ---------------------------------------------------------------------------
+
+/// Serializes an SE oracle into the flat format. Deterministic: the same
+/// oracle always produces byte-identical output (the format-stability CI
+/// job byte-compares against a golden file).
+std::string SerializeSeOracleFlat(const SeOracle& oracle);
+
+/// Copies a flat buffer's sections into an owning SeOracle (the inverse of
+/// SerializeSeOracleFlat; validation matches OracleView::FromBuffer).
+StatusOr<SeOracle> MaterializeSeOracle(std::string_view flat_blob);
+
+// ---------------------------------------------------------------------------
+// File round-trips.
+// ---------------------------------------------------------------------------
+
 Status SaveSeOracle(const SeOracle& oracle, const std::string& path);
+Status SaveSeOracleFlat(const SeOracle& oracle, const std::string& path);
+
+/// Loads either format into an owning SeOracle: flat files (detected by
+/// magic) are materialized, legacy streams deserialized.
 StatusOr<SeOracle> LoadSeOracle(const std::string& path);
 
 }  // namespace tso

@@ -1,0 +1,313 @@
+#include "oracle/oracle_view.h"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "base/crc32.h"
+#include "base/serde.h"
+
+namespace tso {
+namespace {
+
+/// The fixed section order of format version 1 (see flat_format.h).
+constexpr FlatSectionId kSectionOrder[kFlatSectionCount] = {
+    kFlatMeta,          kFlatPois,          kFlatTreeNodes,
+    kFlatLeafOfPoi,     kFlatPairs,         kFlatHashBucketMul,
+    kFlatHashBucketOffset,
+    kFlatHashSlotKey,   kFlatHashSlotValue, kFlatHashSlotUsed};
+
+Status SectionError(uint32_t id, const char* what) {
+  return Status::InvalidArgument(std::string("flat oracle: section ") +
+                                 FlatSectionName(id) + ": " + what);
+}
+
+/// Finds the entry for `id`; ReadFlatFileInfo already guarantees presence.
+const FlatSectionEntry& Section(const FlatFileInfo& info, FlatSectionId id) {
+  for (const FlatSectionEntry& e : info.sections) {
+    if (e.id == id) return e;
+  }
+  // Unreachable after validation; keep the compiler happy.
+  return info.sections.front();
+}
+
+/// Maps section `id` as `count` elements of T, checking the element size
+/// against the table's byte size.
+template <typename T>
+Status ViewSection(const FlatReader& reader, const FlatFileInfo& info,
+                   FlatSectionId id, std::span<const T>* out) {
+  const FlatSectionEntry& e = Section(info, id);
+  if (e.size != e.count * sizeof(T)) {
+    return SectionError(id, "size does not match element count");
+  }
+  TSO_RETURN_IF_ERROR(reader.ViewArray<T>(e.offset, e.count, out));
+  return Status::Ok();
+}
+
+Status VerifySectionChecksums(const FlatReader& reader,
+                              const FlatFileInfo& info) {
+  for (const FlatSectionEntry& e : info.sections) {
+    std::string_view bytes;
+    TSO_RETURN_IF_ERROR(reader.ViewBytes(e.offset, e.size, &bytes));
+    const uint32_t crc = Crc32(bytes.data(), bytes.size());
+    if (crc != e.crc32) {
+      return Status::InvalidArgument(std::string("flat oracle: section ") +
+                              FlatSectionName(e.id) +
+                              " checksum mismatch (corrupt file)");
+    }
+  }
+  return Status::Ok();
+}
+
+/// Structural validation of the mapped content: after this passes, every
+/// index a query can follow stays in bounds, and every parent walk
+/// terminates. Deliberately cheaper than the legacy deserializer's full
+/// content scan: only the tree sections (O(n) with n = POIs, the small part
+/// of the file) are walked, because the tree traversal dereferences their
+/// links unguarded on the hot path. The big sections — node pairs and the
+/// perfect-hash tables, the bulk of the bytes — need no upfront scan: their
+/// only query-time consumers (PerfectHashView::Lookup and
+/// NodePairSetView::Lookup) bounds-check the indices they read, so a
+/// corrupt table degrades to NotFound instead of an out-of-bounds access.
+/// That keeps Open at O(header + n) rather than O(file size); enable
+/// Options::verify_checksums to detect (not just survive) corruption.
+Status ValidateStructure(const FlatMeta& meta,
+                         std::span<const SurfacePoint> pois,
+                         std::span<const CompressedTreeNode> nodes,
+                         std::span<const uint32_t> leaf_of_poi,
+                         std::span<const NodePair> pairs,
+                         std::span<const uint32_t> bucket_offset,
+                         std::span<const uint64_t> slot_key,
+                         std::span<const uint64_t> slot_value,
+                         std::span<const uint8_t> slot_used) {
+  if (!(meta.epsilon > 0.0) || !std::isfinite(meta.epsilon)) {
+    return Status::InvalidArgument("flat oracle: epsilon out of range");
+  }
+  const uint64_t n = meta.num_pois;
+  const uint64_t num_nodes = meta.num_tree_nodes;
+  if (n == 0) return Status::InvalidArgument("flat oracle: no POIs");
+  if (num_nodes == 0 || num_nodes > 2 * n + 1) {
+    return Status::InvalidArgument("flat oracle: node count");
+  }
+  if (meta.tree_root >= num_nodes || meta.tree_height < 0 ||
+      meta.tree_height > 64) {
+    return Status::InvalidArgument(
+        "flat oracle: tree root/height out of range");
+  }
+  (void)pois;  // POI content is free-form geometry; only the count matters.
+  for (const CompressedTreeNode& node : nodes) {
+    if (node.center >= n || node.layer < 0 ||
+        node.layer > meta.tree_height) {
+      return Status::InvalidArgument(
+          "flat oracle: tree node fields out of range");
+    }
+    for (uint32_t link : {node.parent, node.first_child, node.next_sibling}) {
+      if (link != kInvalidId && link >= num_nodes) {
+        return Status::InvalidArgument("flat oracle: tree link out of range");
+      }
+    }
+  }
+  // Acyclicity: parents must live on strictly higher layers, so any parent
+  // walk terminates within height+1 steps.
+  for (const CompressedTreeNode& node : nodes) {
+    if (node.parent != kInvalidId &&
+        nodes[node.parent].layer >= node.layer) {
+      return Status::InvalidArgument(
+          "flat oracle: tree parent layer not decreasing");
+    }
+  }
+  // Child lists: exact, acyclic chains (see ValidateTreeChildLists), so
+  // the best-first tree traversals (KnnQueryPruned) terminate on any
+  // opened view.
+  TSO_RETURN_IF_ERROR(ValidateTreeChildLists(nodes));
+  for (uint32_t leaf : leaf_of_poi) {
+    if (leaf >= num_nodes) {
+      return Status::InvalidArgument("flat oracle: leaf id range");
+    }
+  }
+  // Pair contents and the hash tables get no content scan (see the function
+  // comment) — only the O(1) shape checks that the probe's guards rely on:
+  // Lookup indexes all three slot arrays with one bounds-checked slot, so
+  // they must be equally long, and a non-empty table needs buckets.
+  (void)pairs;
+  if (meta.hash_num_keys > 0 && meta.hash_num_buckets == 0) {
+    return Status::InvalidArgument(
+        "flat oracle: perfect hash tables inconsistent");
+  }
+  if (slot_key.size() != slot_used.size() ||
+      slot_value.size() != slot_used.size()) {
+    return Status::InvalidArgument(
+        "flat oracle: perfect hash slot arrays inconsistent");
+  }
+  (void)bucket_offset;  // size checked against meta by the caller
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* FlatSectionName(uint32_t id) {
+  switch (id) {
+    case kFlatMeta:
+      return "meta";
+    case kFlatPois:
+      return "pois";
+    case kFlatTreeNodes:
+      return "tree-nodes";
+    case kFlatLeafOfPoi:
+      return "leaf-of-poi";
+    case kFlatPairs:
+      return "node-pairs";
+    case kFlatHashBucketMul:
+      return "hash-bucket-mul";
+    case kFlatHashBucketOffset:
+      return "hash-bucket-offset";
+    case kFlatHashSlotKey:
+      return "hash-slot-key";
+    case kFlatHashSlotValue:
+      return "hash-slot-value";
+    case kFlatHashSlotUsed:
+      return "hash-slot-used";
+    default:
+      return "unknown";
+  }
+}
+
+bool LooksLikeFlatOracle(std::string_view buffer) {
+  return buffer.size() >= sizeof(kFlatMagic) &&
+         std::memcmp(buffer.data(), kFlatMagic, sizeof(kFlatMagic)) == 0;
+}
+
+StatusOr<FlatFileInfo> ReadFlatFileInfo(std::string_view buffer) {
+  FlatReader reader(buffer);
+  FlatFileInfo info;
+  TSO_RETURN_IF_ERROR(reader.ReadPod(0, &info.header));
+  const FlatHeader& h = info.header;
+  if (!h.MagicMatches()) {
+    return Status::InvalidArgument("flat oracle: bad magic");
+  }
+  if (h.endian_tag != kFlatEndianTag) {
+    return Status::InvalidArgument(
+        "flat oracle: endianness mismatch (file written on a foreign "
+        "architecture)");
+  }
+  if (h.version != kFlatFormatVersion) {
+    return Status::InvalidArgument("flat oracle: unsupported format version");
+  }
+  if (h.file_size != buffer.size()) {
+    return Status::OutOfRange("flat oracle: truncated (file size mismatch)");
+  }
+  if (h.section_count != kFlatSectionCount) {
+    return Status::InvalidArgument("flat oracle: wrong section count");
+  }
+  std::string_view table_bytes;
+  TSO_RETURN_IF_ERROR(reader.ViewBytes(
+      sizeof(FlatHeader), h.section_count * sizeof(FlatSectionEntry),
+      &table_bytes));
+  if (Crc32(table_bytes.data(), table_bytes.size()) != h.section_table_crc) {
+    return Status::InvalidArgument(
+        "flat oracle: section table checksum mismatch");
+  }
+  info.sections.resize(h.section_count);
+  std::memcpy(info.sections.data(), table_bytes.data(), table_bytes.size());
+
+  uint64_t prev_end =
+      sizeof(FlatHeader) + h.section_count * sizeof(FlatSectionEntry);
+  for (uint32_t i = 0; i < h.section_count; ++i) {
+    const FlatSectionEntry& e = info.sections[i];
+    if (e.id != kSectionOrder[i]) {
+      return Status::InvalidArgument("flat oracle: unexpected section order");
+    }
+    if (e.offset % kFlatSectionAlign != 0) {
+      return SectionError(e.id, "misaligned offset");
+    }
+    if (e.offset < prev_end) {
+      return SectionError(e.id, "overlaps the previous section");
+    }
+    if (e.offset > buffer.size() || buffer.size() - e.offset < e.size) {
+      return SectionError(e.id, "extends past the end of the file");
+    }
+    prev_end = e.offset + e.size;
+  }
+  return info;
+}
+
+StatusOr<OracleView> OracleView::FromBuffer(std::string_view buffer,
+                                            const Options& options) {
+  StatusOr<FlatFileInfo> info = ReadFlatFileInfo(buffer);
+  if (!info.ok()) return info.status();
+  FlatReader reader(buffer);
+  if (options.verify_checksums) {
+    TSO_RETURN_IF_ERROR(VerifySectionChecksums(reader, *info));
+  }
+
+  const FlatSectionEntry& meta_entry = Section(*info, kFlatMeta);
+  if (meta_entry.size != sizeof(FlatMeta) || meta_entry.count != 1) {
+    return SectionError(kFlatMeta, "wrong size");
+  }
+  FlatMeta meta;
+  TSO_RETURN_IF_ERROR(reader.ReadPod(meta_entry.offset, &meta));
+
+  OracleView view;
+  view.buffer_ = buffer;
+  view.epsilon_ = meta.epsilon;
+  std::span<const CompressedTreeNode> nodes;
+  std::span<const uint32_t> leaf_of_poi;
+  std::span<const NodePair> pairs;
+  std::span<const uint64_t> bucket_mul;
+  std::span<const uint32_t> bucket_offset;
+  std::span<const uint64_t> slot_key;
+  std::span<const uint64_t> slot_value;
+  std::span<const uint8_t> slot_used;
+  TSO_RETURN_IF_ERROR(ViewSection(reader, *info, kFlatPois, &view.pois_));
+  TSO_RETURN_IF_ERROR(ViewSection(reader, *info, kFlatTreeNodes, &nodes));
+  TSO_RETURN_IF_ERROR(
+      ViewSection(reader, *info, kFlatLeafOfPoi, &leaf_of_poi));
+  TSO_RETURN_IF_ERROR(ViewSection(reader, *info, kFlatPairs, &pairs));
+  TSO_RETURN_IF_ERROR(
+      ViewSection(reader, *info, kFlatHashBucketMul, &bucket_mul));
+  TSO_RETURN_IF_ERROR(
+      ViewSection(reader, *info, kFlatHashBucketOffset, &bucket_offset));
+  TSO_RETURN_IF_ERROR(ViewSection(reader, *info, kFlatHashSlotKey, &slot_key));
+  TSO_RETURN_IF_ERROR(
+      ViewSection(reader, *info, kFlatHashSlotValue, &slot_value));
+  TSO_RETURN_IF_ERROR(
+      ViewSection(reader, *info, kFlatHashSlotUsed, &slot_used));
+
+  // Cross-check the table's element counts against the meta scalars.
+  if (view.pois_.size() != meta.num_pois ||
+      leaf_of_poi.size() != meta.num_pois ||
+      nodes.size() != meta.num_tree_nodes ||
+      pairs.size() != meta.num_pairs ||
+      bucket_mul.size() != meta.hash_num_buckets ||
+      bucket_offset.size() !=
+          static_cast<size_t>(meta.hash_num_buckets) + 1) {
+    return Status::InvalidArgument(
+        "flat oracle: section counts inconsistent with meta");
+  }
+
+  TSO_RETURN_IF_ERROR(ValidateStructure(meta, view.pois_, nodes, leaf_of_poi,
+                                        pairs, bucket_offset, slot_key,
+                                        slot_value, slot_used));
+
+  view.tree_ = CompressedTreeView(nodes, leaf_of_poi, meta.tree_root,
+                                  meta.tree_height);
+  view.pairs_ = NodePairSetView(
+      pairs,
+      PerfectHashView(meta.hash_mul1, meta.hash_num_buckets,
+                      meta.hash_num_keys, bucket_mul, bucket_offset, slot_key,
+                      slot_value, slot_used));
+  return view;
+}
+
+StatusOr<OracleView> OracleView::Open(const std::string& path,
+                                      const Options& options) {
+  StatusOr<MmapFile> file = MmapFile::Open(path);
+  if (!file.ok()) return file.status();
+  auto shared = std::make_shared<MmapFile>(std::move(*file));
+  StatusOr<OracleView> view = FromBuffer(shared->view(), options);
+  if (!view.ok()) return view.status();
+  view->file_ = std::move(shared);
+  return view;
+}
+
+}  // namespace tso

@@ -9,6 +9,7 @@
 #include "base/rng.h"
 #include "geodesic/solver.h"
 #include "oracle/compressed_tree.h"
+#include "oracle/distance_query.h"
 #include "oracle/node_pair_set.h"
 #include "oracle/partition_tree.h"
 
@@ -22,13 +23,8 @@ enum class ConstructionMethod {
 
 const char* ConstructionMethodName(ConstructionMethod m);
 
-/// Reusable per-call workspace for oracle queries. Queries never touch
-/// shared mutable state; they either take a caller-owned QueryScratch (one
-/// per thread — reuse across calls to stay allocation-free) or fall back to
-/// a thread_local instance inside the convenience overloads.
-struct QueryScratch {
-  std::vector<uint32_t> a, b;
-};
+// QueryScratch (the per-thread query workspace) lives in
+// oracle/distance_query.h, next to the shared query implementation.
 
 // SolverFactory (an independent solver per worker thread) now lives in
 // geodesic/solver.h so the partition tree can use it too.
@@ -83,6 +79,11 @@ struct SeBuildStats {
 /// by a perfect hash. Answers POI-to-POI ε-approximate geodesic distance
 /// queries in O(h) probes (h = tree height, < 30 in practice).
 ///
+/// This is the owning in-memory representation. Construction lives in
+/// SeOracleBuilder (oracle/se_oracle_builder.h); the query logic is shared
+/// with the zero-copy OracleView (oracle/oracle_view.h) through the view
+/// forms of the components, so a mapped oracle file answers bit-identically.
+///
 /// Usage:
 ///   MmpSolver solver(mesh);
 ///   auto oracle = SeOracle::Build(mesh, pois, solver, {.epsilon = 0.1});
@@ -99,6 +100,7 @@ class SeOracle {
   /// Builds SE over `pois` using `solver` as the geodesic engine (one of
   /// the SSAD algorithms). The guarantee: for any POIs s, t,
   /// |Distance(s,t) - d(s,t)| <= ε·d(s,t) with d the solver's metric.
+  /// (Convenience wrapper around SeOracleBuilder.)
   static StatusOr<SeOracle> Build(const TerrainMesh& mesh,
                                   std::vector<SurfacePoint> pois,
                                   GeodesicSolver& solver,
@@ -135,7 +137,7 @@ class SeOracle {
            pois_.size() * sizeof(SurfacePoint);
   }
 
-  // For serialization (oracle_serde.cc).
+  // For serialization (oracle_serde.cc) and SeOracleBuilder.
   static SeOracle FromParts(double epsilon, std::vector<SurfacePoint> pois,
                             CompressedTree tree, NodePairSet pairs);
 

@@ -40,8 +40,9 @@ Status RunWorkers(uint32_t threads, WorkFn&& work) {
 
 }  // namespace
 
+template <typename Oracle>
 StatusOr<std::vector<double>> DistanceBatch(
-    const SeOracle& oracle,
+    const Oracle& oracle,
     std::span<const std::pair<uint32_t, uint32_t>> queries,
     uint32_t num_threads) {
   std::vector<double> out(queries.size(), 0.0);
@@ -86,7 +87,8 @@ StatusOr<std::vector<double>> DistanceBatch(
   return out;
 }
 
-StatusOr<std::vector<KnnResult>> KnnQueryParallel(const SeOracle& oracle,
+template <typename Oracle>
+StatusOr<std::vector<KnnResult>> KnnQueryParallel(const Oracle& oracle,
                                                   uint32_t query, size_t k,
                                                   uint32_t num_threads) {
   if (query >= oracle.num_pois()) {
@@ -126,7 +128,8 @@ StatusOr<std::vector<KnnResult>> KnnQueryParallel(const SeOracle& oracle,
   return merged;
 }
 
-StatusOr<std::vector<uint32_t>> RangeQueryParallel(const SeOracle& oracle,
+template <typename Oracle>
+StatusOr<std::vector<uint32_t>> RangeQueryParallel(const Oracle& oracle,
                                                    uint32_t query,
                                                    double radius,
                                                    uint32_t num_threads) {
@@ -163,5 +166,20 @@ StatusOr<std::vector<uint32_t>> RangeQueryParallel(const SeOracle& oracle,
   for (const auto& [d, p] : hits) out.push_back(p);
   return out;
 }
+
+template StatusOr<std::vector<double>> DistanceBatch<SeOracle>(
+    const SeOracle&, std::span<const std::pair<uint32_t, uint32_t>>,
+    uint32_t);
+template StatusOr<std::vector<double>> DistanceBatch<OracleView>(
+    const OracleView&, std::span<const std::pair<uint32_t, uint32_t>>,
+    uint32_t);
+template StatusOr<std::vector<KnnResult>> KnnQueryParallel<SeOracle>(
+    const SeOracle&, uint32_t, size_t, uint32_t);
+template StatusOr<std::vector<KnnResult>> KnnQueryParallel<OracleView>(
+    const OracleView&, uint32_t, size_t, uint32_t);
+template StatusOr<std::vector<uint32_t>> RangeQueryParallel<SeOracle>(
+    const SeOracle&, uint32_t, double, uint32_t);
+template StatusOr<std::vector<uint32_t>> RangeQueryParallel<OracleView>(
+    const OracleView&, uint32_t, double, uint32_t);
 
 }  // namespace tso

@@ -12,9 +12,13 @@
 namespace tso {
 
 /// The concurrent batch query engine: bulk workloads over a shared,
-/// immutable SeOracle, fanned out across worker threads. Each worker owns a
+/// immutable oracle, fanned out across worker threads. Each worker owns a
 /// QueryScratch, so no query touches shared mutable state; answers are
 /// bitwise identical to the serial paths regardless of thread count.
+///
+/// Generic over the oracle representation (SeOracle or OracleView — for a
+/// mapped file the workers read shared read-only pages); instantiated for
+/// both in batch.cc.
 ///
 /// Everywhere below, `num_threads == 0` means hardware concurrency and
 /// `num_threads == 1` (or a workload too small to shard) runs serially on
@@ -23,24 +27,42 @@ namespace tso {
 /// Answers every (s, t) pair in `queries`; out[i] is the ε-approximate
 /// distance for queries[i]. Work is handed to workers in chunks off a
 /// shared counter, so skewed per-query costs still balance.
+template <typename Oracle>
 StatusOr<std::vector<double>> DistanceBatch(
-    const SeOracle& oracle,
+    const Oracle& oracle,
     std::span<const std::pair<uint32_t, uint32_t>> queries,
     uint32_t num_threads = 0);
 
 /// KnnQuery with the candidate scan sharded over POI ranges: each worker
 /// computes a local top-k over its shard, then the shard winners are merged.
 /// Same results (including tie-breaks) as KnnQuery.
-StatusOr<std::vector<KnnResult>> KnnQueryParallel(const SeOracle& oracle,
+template <typename Oracle>
+StatusOr<std::vector<KnnResult>> KnnQueryParallel(const Oracle& oracle,
                                                   uint32_t query, size_t k,
                                                   uint32_t num_threads = 0);
 
 /// RangeQuery with the candidate scan sharded over POI ranges. Same results
 /// as RangeQuery (sorted by distance, ties by id).
-StatusOr<std::vector<uint32_t>> RangeQueryParallel(const SeOracle& oracle,
+template <typename Oracle>
+StatusOr<std::vector<uint32_t>> RangeQueryParallel(const Oracle& oracle,
                                                    uint32_t query,
                                                    double radius,
                                                    uint32_t num_threads = 0);
+
+extern template StatusOr<std::vector<double>> DistanceBatch<SeOracle>(
+    const SeOracle&, std::span<const std::pair<uint32_t, uint32_t>>,
+    uint32_t);
+extern template StatusOr<std::vector<double>> DistanceBatch<OracleView>(
+    const OracleView&, std::span<const std::pair<uint32_t, uint32_t>>,
+    uint32_t);
+extern template StatusOr<std::vector<KnnResult>> KnnQueryParallel<SeOracle>(
+    const SeOracle&, uint32_t, size_t, uint32_t);
+extern template StatusOr<std::vector<KnnResult>> KnnQueryParallel<OracleView>(
+    const OracleView&, uint32_t, size_t, uint32_t);
+extern template StatusOr<std::vector<uint32_t>> RangeQueryParallel<SeOracle>(
+    const SeOracle&, uint32_t, double, uint32_t);
+extern template StatusOr<std::vector<uint32_t>> RangeQueryParallel<OracleView>(
+    const OracleView&, uint32_t, double, uint32_t);
 
 }  // namespace tso
 

@@ -5,7 +5,8 @@
 
 namespace tso {
 
-StatusOr<std::vector<KnnResult>> KnnQuery(const SeOracle& oracle,
+template <typename Oracle>
+StatusOr<std::vector<KnnResult>> KnnQuery(const Oracle& oracle,
                                           uint32_t query, size_t k) {
   if (query >= oracle.num_pois()) {
     return Status::InvalidArgument("query POI out of range");
@@ -26,7 +27,8 @@ StatusOr<std::vector<KnnResult>> KnnQuery(const SeOracle& oracle,
   return all;
 }
 
-StatusOr<std::vector<KnnResult>> KnnQueryPruned(const SeOracle& oracle,
+template <typename Oracle>
+StatusOr<std::vector<KnnResult>> KnnQueryPruned(const Oracle& oracle,
                                                 uint32_t query, size_t k) {
   if (query >= oracle.num_pois()) {
     return Status::InvalidArgument("query POI out of range");
@@ -34,7 +36,9 @@ StatusOr<std::vector<KnnResult>> KnnQueryPruned(const SeOracle& oracle,
   // Guard before the search: with k == 0 the "full heap" tests below would
   // call best.front() on an empty vector.
   if (k == 0) return std::vector<KnnResult>{};
-  const CompressedTree& tree = oracle.tree();
+  // CompressedTree for SeOracle, CompressedTreeView for OracleView — the
+  // traversal surface is identical.
+  const auto& tree = oracle.tree();
   const double eps = oracle.epsilon();
   QueryScratch scratch;
 
@@ -50,7 +54,7 @@ StatusOr<std::vector<KnnResult>> KnnQueryPruned(const SeOracle& oracle,
   // Lower bound on the *oracle* distance to any POI under `node`:
   // d(q,p) >= d(q,c) - 2r  and  d~ in [(1-eps)d, (1+eps)d].
   auto node_bound = [&](uint32_t node) -> StatusOr<double> {
-    const CompressedTree::Node& nd = tree.node(node);
+    const CompressedTreeNode& nd = tree.node(node);
     StatusOr<double> center_d = oracle.Distance(query, nd.center, scratch);
     if (!center_d.ok()) return center_d.status();
     const double lb =
@@ -71,7 +75,7 @@ StatusOr<std::vector<KnnResult>> KnnQueryPruned(const SeOracle& oracle,
     if (best.size() == k && top.lower_bound > best.front().distance) {
       break;  // nothing below can beat the current k-th candidate
     }
-    const CompressedTree::Node& nd = tree.node(top.node);
+    const CompressedTreeNode& nd = tree.node(top.node);
     if (nd.num_children == 0) {
       if (nd.center == query) continue;
       StatusOr<double> d = oracle.Distance(query, nd.center, scratch);
@@ -90,5 +94,15 @@ StatusOr<std::vector<KnnResult>> KnnQueryPruned(const SeOracle& oracle,
   std::sort(best.begin(), best.end(), KnnBefore);
   return best;
 }
+
+template StatusOr<std::vector<KnnResult>> KnnQuery<SeOracle>(const SeOracle&,
+                                                             uint32_t,
+                                                             size_t);
+template StatusOr<std::vector<KnnResult>> KnnQuery<OracleView>(
+    const OracleView&, uint32_t, size_t);
+template StatusOr<std::vector<KnnResult>> KnnQueryPruned<SeOracle>(
+    const SeOracle&, uint32_t, size_t);
+template StatusOr<std::vector<KnnResult>> KnnQueryPruned<OracleView>(
+    const OracleView&, uint32_t, size_t);
 
 }  // namespace tso

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "oracle/oracle_view.h"
 #include "oracle/se_oracle.h"
 
 namespace tso {
@@ -36,12 +37,19 @@ inline void PushBoundedTopK(std::vector<KnnResult>& best,
   }
 }
 
+// Every query engine below is generic over the oracle representation: the
+// owning SeOracle and the zero-copy OracleView (a mapped oracle file) expose
+// the same query surface, so one implementation serves both. The templates
+// are instantiated for exactly those two types in knn.cc (extern template
+// keeps them out of every includer's object file).
+
 /// k nearest POIs to POI `query` under the oracle's ε-approximate geodesic
 /// metric — the proximity-query workload the paper motivates (§1.1, §1.2):
 /// each candidate costs one O(h) oracle probe instead of an SSAD run.
 /// Results are sorted by distance (ties by id); `query` itself is excluded.
 /// `k == 0` returns an empty result.
-StatusOr<std::vector<KnnResult>> KnnQuery(const SeOracle& oracle,
+template <typename Oracle>
+StatusOr<std::vector<KnnResult>> KnnQuery(const Oracle& oracle,
                                           uint32_t query, size_t k);
 
 /// Same results as KnnQuery, but pruned with a best-first search over the
@@ -50,8 +58,18 @@ StatusOr<std::vector<KnnResult>> KnnQuery(const SeOracle& oracle,
 /// farther than the current k-th candidate are skipped. On clustered POI
 /// sets this probes far fewer than n candidates (see query_test for the
 /// equivalence property). `k == 0` returns an empty result.
-StatusOr<std::vector<KnnResult>> KnnQueryPruned(const SeOracle& oracle,
+template <typename Oracle>
+StatusOr<std::vector<KnnResult>> KnnQueryPruned(const Oracle& oracle,
                                                 uint32_t query, size_t k);
+
+extern template StatusOr<std::vector<KnnResult>> KnnQuery<SeOracle>(
+    const SeOracle&, uint32_t, size_t);
+extern template StatusOr<std::vector<KnnResult>> KnnQuery<OracleView>(
+    const OracleView&, uint32_t, size_t);
+extern template StatusOr<std::vector<KnnResult>> KnnQueryPruned<SeOracle>(
+    const SeOracle&, uint32_t, size_t);
+extern template StatusOr<std::vector<KnnResult>> KnnQueryPruned<OracleView>(
+    const OracleView&, uint32_t, size_t);
 
 }  // namespace tso
 

@@ -4,7 +4,8 @@
 
 namespace tso {
 
-StatusOr<std::vector<uint32_t>> RangeQuery(const SeOracle& oracle,
+template <typename Oracle>
+StatusOr<std::vector<uint32_t>> RangeQuery(const Oracle& oracle,
                                            uint32_t query, double radius) {
   if (query >= oracle.num_pois()) {
     return Status::InvalidArgument("query POI out of range");
@@ -24,5 +25,11 @@ StatusOr<std::vector<uint32_t>> RangeQuery(const SeOracle& oracle,
   for (const auto& [d, p] : hits) out.push_back(p);
   return out;
 }
+
+template StatusOr<std::vector<uint32_t>> RangeQuery<SeOracle>(const SeOracle&,
+                                                              uint32_t,
+                                                              double);
+template StatusOr<std::vector<uint32_t>> RangeQuery<OracleView>(
+    const OracleView&, uint32_t, double);
 
 }  // namespace tso

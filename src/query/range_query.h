@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "oracle/oracle_view.h"
 #include "oracle/se_oracle.h"
 
 namespace tso {
@@ -11,8 +12,17 @@ namespace tso {
 /// All POIs whose ε-approximate geodesic distance from POI `query` is at
 /// most `radius` (geodesic range query, §1.2). Sorted by distance.
 /// `query` itself is excluded.
-StatusOr<std::vector<uint32_t>> RangeQuery(const SeOracle& oracle,
+///
+/// Generic over the oracle representation (SeOracle or OracleView); see the
+/// note in query/knn.h. Instantiated in range_query.cc.
+template <typename Oracle>
+StatusOr<std::vector<uint32_t>> RangeQuery(const Oracle& oracle,
                                            uint32_t query, double radius);
+
+extern template StatusOr<std::vector<uint32_t>> RangeQuery<SeOracle>(
+    const SeOracle&, uint32_t, double);
+extern template StatusOr<std::vector<uint32_t>> RangeQuery<OracleView>(
+    const OracleView&, uint32_t, double);
 
 }  // namespace tso
 

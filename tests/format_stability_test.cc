@@ -1,0 +1,130 @@
+// Format-stability gate: the on-disk oracle formats are frozen contracts.
+// Golden files (tests/golden/, generated once with
+//   tso build-oracle --dataset sf-small --vertices 150 --pois 12 \
+//     --solver dijkstra --epsilon 0.25 --seed 7 --format flat|legacy)
+// are loaded and re-serialized; any byte difference means the format
+// changed and kFlatFormatVersion (or the legacy version) must be bumped and
+// the goldens regenerated. Loading + re-serializing involves no floating-
+// point computation, so these comparisons are exact on every platform. The
+// CI `format-stability` job runs this suite as a blocking gate.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "oracle/flat_format.h"
+#include "oracle/oracle_serde.h"
+#include "oracle/oracle_view.h"
+
+#ifndef TSO_GOLDEN_DIR
+#define TSO_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace tso {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string GoldenFlat() {
+  return ReadFile(std::string(TSO_GOLDEN_DIR) + "/oracle-v1.tsoflat");
+}
+std::string GoldenLegacy() {
+  return ReadFile(std::string(TSO_GOLDEN_DIR) + "/oracle-v1.seor");
+}
+
+TEST(FormatStability, GoldenFlatOpensAndValidates) {
+  const std::string blob = GoldenFlat();
+  ASSERT_FALSE(blob.empty());
+  ASSERT_TRUE(LooksLikeFlatOracle(blob));
+  StatusOr<OracleView> view = OracleView::FromBuffer(blob);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->num_pois(), 12u);
+  EXPECT_DOUBLE_EQ(view->epsilon(), 0.25);
+  EXPECT_EQ(view->height(), 3);
+  EXPECT_EQ(view->pair_set().size(), 144u);
+  EXPECT_TRUE(view->tree().CheckInvariants().ok());
+}
+
+TEST(FormatStability, GoldenFlatRoundTripsByteIdentically) {
+  const std::string blob = GoldenFlat();
+  ASSERT_FALSE(blob.empty());
+  StatusOr<SeOracle> oracle = MaterializeSeOracle(blob);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  const std::string reserialized = SerializeSeOracleFlat(*oracle);
+  ASSERT_EQ(reserialized.size(), blob.size())
+      << "flat format layout drifted — bump kFlatFormatVersion and "
+         "regenerate tests/golden/";
+  EXPECT_EQ(reserialized, blob)
+      << "flat format bytes drifted — bump kFlatFormatVersion and "
+         "regenerate tests/golden/";
+}
+
+TEST(FormatStability, GoldenLegacyRoundTripsByteIdentically) {
+  const std::string blob = GoldenLegacy();
+  ASSERT_FALSE(blob.empty());
+  StatusOr<SeOracle> oracle = DeserializeSeOracle(blob);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  EXPECT_EQ(SerializeSeOracle(*oracle), blob)
+      << "legacy format bytes drifted — bump its version and regenerate "
+         "tests/golden/";
+}
+
+TEST(FormatStability, GoldenFormatsAgreeOnEveryQuery) {
+  // The two golden files were built from the same oracle: the mapped flat
+  // view and the deserialized legacy oracle must agree bit-for-bit on every
+  // distance (queries only read stored doubles — no FP arithmetic — so
+  // exact equality is portable).
+  const std::string flat = GoldenFlat();
+  const std::string legacy = GoldenLegacy();
+  StatusOr<OracleView> view = OracleView::FromBuffer(flat);
+  StatusOr<SeOracle> oracle = DeserializeSeOracle(legacy);
+  ASSERT_TRUE(view.ok() && oracle.ok());
+  ASSERT_EQ(view->num_pois(), oracle->num_pois());
+  const uint32_t n = static_cast<uint32_t>(oracle->num_pois());
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = 0; t < n; ++t) {
+      EXPECT_EQ(*view->Distance(s, t), *oracle->Distance(s, t))
+          << s << "," << t;
+    }
+  }
+}
+
+TEST(FormatStability, GoldenSpotChecksMatchRecordedValues) {
+  // Values recorded at golden-generation time (printed by `tso query`).
+  // They are stored doubles read back verbatim; the 1e-6 tolerance only
+  // absorbs the print rounding of the recorded literals.
+  const std::string blob = GoldenFlat();  // must outlive the view
+  StatusOr<OracleView> view = OracleView::FromBuffer(blob);
+  ASSERT_TRUE(view.ok());
+  EXPECT_NEAR(*view->Distance(0, 1), 782.040311, 1e-6);
+  EXPECT_NEAR(*view->Distance(2, 9), 1306.800491, 1e-6);
+  EXPECT_NEAR(*view->Distance(3, 7), 1636.347612, 1e-6);
+  EXPECT_NEAR(*view->Distance(11, 4), 1089.404627, 1e-6);
+  EXPECT_NEAR(*view->Distance(10, 6), 1082.123295, 1e-6);
+  EXPECT_EQ(*view->Distance(5, 5), 0.0);
+}
+
+TEST(FormatStability, FreshBuildSaveLoadSaveIsByteStable) {
+  // Independent of the goldens: any oracle serialized, materialized, and
+  // re-serialized must be byte-stable in both formats.
+  const std::string flat = GoldenFlat();
+  StatusOr<SeOracle> oracle = MaterializeSeOracle(flat);
+  ASSERT_TRUE(oracle.ok());
+  const std::string legacy_blob = SerializeSeOracle(*oracle);
+  StatusOr<SeOracle> via_legacy = DeserializeSeOracle(legacy_blob);
+  ASSERT_TRUE(via_legacy.ok());
+  // Cross-format: legacy round-trip preserves the flat bytes too.
+  EXPECT_EQ(SerializeSeOracleFlat(*via_legacy), flat);
+  EXPECT_EQ(SerializeSeOracle(*via_legacy), legacy_blob);
+}
+
+}  // namespace
+}  // namespace tso

@@ -120,6 +120,50 @@ TEST(Serde, OversizedVarintFails) {
   EXPECT_FALSE(r.GetVarint64(&v).ok());
 }
 
+TEST(FlatReader, ReadPodAndViewArray) {
+  std::string buf;
+  const uint64_t header = 0x1122334455667788ULL;
+  buf.append(reinterpret_cast<const char*>(&header), sizeof(header));
+  const std::vector<uint32_t> values = {1, 2, 3, 4};
+  buf.append(reinterpret_cast<const char*>(values.data()),
+             values.size() * sizeof(uint32_t));
+
+  FlatReader r(buf);
+  uint64_t got_header = 0;
+  ASSERT_TRUE(r.ReadPod(0, &got_header).ok());
+  EXPECT_EQ(got_header, header);
+
+  std::span<const uint32_t> view;
+  ASSERT_TRUE(r.ViewArray<uint32_t>(8, 4, &view).ok());
+  ASSERT_EQ(view.size(), 4u);
+  EXPECT_EQ(view[0], 1u);
+  EXPECT_EQ(view[3], 4u);
+  // Zero-copy: the span aliases the buffer.
+  EXPECT_EQ(reinterpret_cast<const char*>(view.data()), buf.data() + 8);
+}
+
+TEST(FlatReader, RejectsOutOfBoundsAndMisalignment) {
+  std::string buf(32, '\0');
+  FlatReader r(buf);
+  std::span<const uint64_t> v64;
+  // Past the end.
+  EXPECT_FALSE(r.ViewArray<uint64_t>(0, 5, &v64).ok());
+  EXPECT_FALSE(r.ViewArray<uint64_t>(32, 1, &v64).ok());
+  EXPECT_FALSE(r.ViewArray<uint64_t>(1u << 20, 1, &v64).ok());
+  // Count * sizeof overflow must not wrap.
+  EXPECT_FALSE(r.ViewArray<uint64_t>(0, ~size_t{0} / 4, &v64).ok());
+  // Misaligned offset for an 8-byte element.
+  EXPECT_FALSE(r.ViewArray<uint64_t>(4, 1, &v64).ok());
+  // In-bounds aligned view still works.
+  EXPECT_TRUE(r.ViewArray<uint64_t>(8, 3, &v64).ok());
+  uint64_t pod = 0;
+  EXPECT_FALSE(r.ReadPod(25, &pod).ok());
+  EXPECT_TRUE(r.ReadPod(24, &pod).ok());
+  std::string_view bytes;
+  EXPECT_FALSE(r.ViewBytes(16, 17, &bytes).ok());
+  EXPECT_TRUE(r.ViewBytes(16, 16, &bytes).ok());
+}
+
 TEST(Serde, RemainingTracksPosition) {
   BinaryWriter w;
   w.PutU32(1);

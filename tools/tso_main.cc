@@ -15,17 +15,22 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "base/crc32.h"
+#include "base/mmap_file.h"
 #include "base/rng.h"
 #include "base/timer.h"
 #include "base/version.h"
 #include "geodesic/solver_factory.h"
 #include "mesh/mesh_io.h"
 #include "oracle/oracle_serde.h"
+#include "oracle/oracle_view.h"
 #include "oracle/se_oracle.h"
 #include "query/batch.h"
 #include "terrain/dataset.h"
@@ -38,6 +43,7 @@ struct Args {
   std::string mesh_path;
   std::string oracle_path;
   std::string out_path = "oracle.bin";
+  std::string format = "flat";  // build-oracle output: flat | legacy
   std::string solver = "mmp";
   std::vector<std::pair<uint32_t, uint32_t>> pairs;
   double epsilon = 0.25;
@@ -109,6 +115,9 @@ void Usage() {
 commands:
   build-oracle   build the SE oracle and save it to disk
   query          answer distance queries against a saved oracle
+                 (flat oracles are memory-mapped and served zero-copy)
+  inspect        print the layout of a saved oracle file (header, sections,
+                 checksums)
   bench          build + query micro-benchmark (one line per phase)
 
 build-oracle options:
@@ -126,12 +135,19 @@ build-oracle options:
                                 clamped to the solver's native limit)
   --seed S                      RNG seed (default 42)
   --out PATH                    output file (default oracle.bin)
+  --format flat|legacy          on-disk format (default flat: sectioned,
+                                checksummed, mmap-able; legacy: the v1
+                                varint stream)
 
 query options:
-  --oracle PATH                 saved oracle file (required)
+  --oracle PATH                 saved oracle file (required; format is
+                                auto-detected by magic)
   --pair S,T                    POI id pair; repeatable
   --random N                    additionally run N random pairs
   --seed S                      seed for --random
+
+inspect options:
+  --oracle PATH                 saved oracle file (required)
 
 bench options: same generation options as build-oracle, plus
   --queries N                   number of timed queries (default 1000)
@@ -167,6 +183,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--solver") {
       if (!(v = next())) return false;
       args->solver = v;
+    } else if (flag == "--format") {
+      if (!(v = next())) return false;
+      args->format = v;
+      if (args->format != "flat" && args->format != "legacy") {
+        std::fprintf(stderr,
+                     "tso: bad --format '%s' (expected flat|legacy)\n", v);
+        return false;
+      }
     } else if (flag == "--epsilon") {
       if (!(v = next())) return false;
       if (!ParseDoubleFlag(flag, v, &args->epsilon)) return false;
@@ -307,12 +331,55 @@ int CmdBuildOracle(const Args& args) {
                 stats.tree_speculative_ssads, stats.tree_wasted_ssads);
   }
 
-  Status saved = SaveSeOracle(*oracle, args.out_path);
+  Status saved = args.format == "legacy"
+                     ? SaveSeOracle(*oracle, args.out_path)
+                     : SaveSeOracleFlat(*oracle, args.out_path);
   if (!saved.ok()) {
     std::fprintf(stderr, "tso: save: %s\n", saved.ToString().c_str());
     return 1;
   }
-  std::printf("saved to %s\n", args.out_path.c_str());
+  std::printf("saved to %s (%s format)\n", args.out_path.c_str(),
+              args.format.c_str());
+  return 0;
+}
+
+/// Sniffs the on-disk format: flat files open zero-copy via mmap.
+StatusOr<bool> IsFlatOracleFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  char magic[sizeof(kFlatMagic)] = {};
+  const size_t got = std::fread(magic, 1, sizeof(magic), f);
+  std::fclose(f);
+  return got == sizeof(magic) &&
+         LooksLikeFlatOracle(std::string_view(magic, sizeof(magic)));
+}
+
+/// Answers the query list against either representation (SeOracle or
+/// OracleView expose the same surface).
+template <typename Oracle>
+int RunQueryPairs(const Args& args, const Oracle& oracle) {
+  std::vector<std::pair<uint32_t, uint32_t>> pairs = args.pairs;
+  if (args.random_queries > 0) {
+    Rng rng(args.seed);
+    for (size_t i = 0; i < args.random_queries; ++i) {
+      pairs.emplace_back(
+          static_cast<uint32_t>(rng.Uniform(oracle.num_pois())),
+          static_cast<uint32_t>(rng.Uniform(oracle.num_pois())));
+    }
+  }
+  if (pairs.empty()) {
+    std::fprintf(stderr, "tso: nothing to do (use --pair S,T or --random N)\n");
+    return 1;
+  }
+  for (const auto& [s, t] : pairs) {
+    StatusOr<double> d = oracle.Distance(s, t);
+    if (!d.ok()) {
+      std::fprintf(stderr, "tso: query %u,%u: %s\n", s, t,
+                   d.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("d(%u, %u) = %.6f\n", s, t, *d);
+  }
   return 0;
 }
 
@@ -321,36 +388,110 @@ int CmdQuery(const Args& args) {
     std::fprintf(stderr, "tso: query requires --oracle PATH\n");
     return 1;
   }
+  StatusOr<bool> flat = IsFlatOracleFile(args.oracle_path);
+  if (!flat.ok()) {
+    std::fprintf(stderr, "tso: %s\n", flat.status().ToString().c_str());
+    return 1;
+  }
+  if (*flat) {
+    // Zero-copy serving: queries read the mapped file in place.
+    StatusOr<OracleView> view = OracleView::Open(args.oracle_path);
+    if (view.ok()) {
+      std::printf(
+          "mapped oracle (zero-copy): n=%zu POIs eps=%.3g height=%d "
+          "(%.1f KiB shared read-only)\n",
+          view->num_pois(), view->epsilon(), view->height(),
+          view->SizeBytes() / 1024.0);
+      return RunQueryPairs(args, *view);
+    }
+    if (view.status().code() != StatusCode::kUnimplemented) {
+      std::fprintf(stderr, "tso: open: %s\n",
+                   view.status().ToString().c_str());
+      return 1;
+    }
+    // No mmap on this platform: fall through to the in-memory loader,
+    // which materializes flat files too.
+  }
   StatusOr<SeOracle> oracle = LoadSeOracle(args.oracle_path);
   if (!oracle.ok()) {
     std::fprintf(stderr, "tso: load: %s\n", oracle.status().ToString().c_str());
     return 1;
   }
-  std::printf("loaded oracle: n=%zu POIs eps=%.3g height=%d\n",
+  std::printf("loaded oracle (legacy deserialize): n=%zu POIs eps=%.3g "
+              "height=%d\n",
               oracle->num_pois(), oracle->epsilon(), oracle->height());
+  return RunQueryPairs(args, *oracle);
+}
 
-  std::vector<std::pair<uint32_t, uint32_t>> pairs = args.pairs;
-  if (args.random_queries > 0) {
-    Rng rng(args.seed);
-    for (size_t i = 0; i < args.random_queries; ++i) {
-      pairs.emplace_back(
-          static_cast<uint32_t>(rng.Uniform(oracle->num_pois())),
-          static_cast<uint32_t>(rng.Uniform(oracle->num_pois())));
-    }
-  }
-  if (pairs.empty()) {
-    std::fprintf(stderr, "tso: nothing to do (use --pair S,T or --random N)\n");
+int CmdInspect(const Args& args) {
+  if (args.oracle_path.empty()) {
+    std::fprintf(stderr, "tso: inspect requires --oracle PATH\n");
     return 1;
   }
-  for (const auto& [s, t] : pairs) {
-    StatusOr<double> d = oracle->Distance(s, t);
-    if (!d.ok()) {
-      std::fprintf(stderr, "tso: query %u,%u: %s\n", s, t,
-                   d.status().ToString().c_str());
+  // Inspection reads the bytes through the portable buffered path (works on
+  // platforms without mmap); serving uses OracleView::Open instead.
+  std::ifstream in(args.oracle_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "tso: cannot open %s\n", args.oracle_path.c_str());
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string bytes = ss.str();
+  if (!LooksLikeFlatOracle(bytes)) {
+    StatusOr<SeOracle> oracle = DeserializeSeOracle(bytes);
+    if (!oracle.ok()) {
+      std::fprintf(stderr, "tso: not a flat oracle, and legacy load failed: "
+                   "%s\n", oracle.status().ToString().c_str());
       return 1;
     }
-    std::printf("d(%u, %u) = %.6f\n", s, t, *d);
+    std::printf("%s: legacy stream format (\"SEOR\" v1), %zu bytes\n",
+                args.oracle_path.c_str(), bytes.size());
+    std::printf("  n=%zu POIs eps=%.3g height=%d node_pairs=%zu\n",
+                oracle->num_pois(), oracle->epsilon(), oracle->height(),
+                oracle->pair_set().size());
+    std::printf("  hint: convert to the mmap-able flat format with\n"
+                "    tso build-oracle ... --format flat\n");
+    return 0;
   }
+
+  StatusOr<FlatFileInfo> info = ReadFlatFileInfo(bytes);
+  if (!info.ok()) {
+    std::fprintf(stderr, "tso: %s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: flat oracle format v%u, %zu bytes, %u sections\n",
+              args.oracle_path.c_str(), info->header.version, bytes.size(),
+              info->header.section_count);
+  std::printf("  %-20s %10s %12s %10s %10s  %s\n", "section", "offset",
+              "bytes", "count", "crc32", "status");
+  bool all_ok = true;
+  for (const FlatSectionEntry& e : info->sections) {
+    const uint32_t actual = Crc32(bytes.data() + e.offset, e.size);
+    const bool ok = actual == e.crc32;
+    all_ok = all_ok && ok;
+    std::printf("  %-20s %10llu %12llu %10llu   %08x  %s\n",
+                FlatSectionName(e.id),
+                static_cast<unsigned long long>(e.offset),
+                static_cast<unsigned long long>(e.size),
+                static_cast<unsigned long long>(e.count), e.crc32,
+                ok ? "ok" : "CORRUPT");
+  }
+  if (!all_ok) {
+    std::fprintf(stderr, "tso: checksum verification FAILED\n");
+    return 1;
+  }
+  StatusOr<OracleView> view = OracleView::FromBuffer(bytes);
+  if (!view.ok()) {
+    std::fprintf(stderr, "tso: structural validation FAILED: %s\n",
+                 view.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "  oracle: n=%zu POIs eps=%.3g height=%d node_pairs=%zu "
+      "(all checksums ok)\n",
+      view->num_pois(), view->epsilon(), view->height(),
+      view->pair_set().size());
   return 0;
 }
 
@@ -484,6 +625,7 @@ int Main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) return 2;
   if (cmd == "build-oracle") return CmdBuildOracle(args);
   if (cmd == "query") return CmdQuery(args);
+  if (cmd == "inspect") return CmdInspect(args);
   if (cmd == "bench") return CmdBench(args);
   if (cmd == "help" || cmd == "--help" || cmd == "-h") {
     Usage();
