@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "oracle/pack_view.h"
 #include "query/batch.h"
 
 namespace tso::bench {
@@ -104,6 +105,62 @@ void Run() {
     EmitJson("knn10", threads, total, seconds, qps, speedup);
   }
   knn.Print();
+
+  // --- Workload 3: multi-shard oracle pack serving ---
+  // The serving-tier representation: the same oracle resharded into a
+  // 4-shard pack. Open cost (full structural validation of the frame plus
+  // every shard) and routed P2P throughput are both gated — sharding must
+  // not tax the query path (the router adds one array index per probe).
+  PackBuildOptions pack_options;
+  pack_options.num_shards = 4;
+  StatusOr<std::string> pack_bytes =
+      SerializeOraclePack(*oracle, pack_options);
+  TSO_CHECK(pack_bytes.ok());
+
+  const size_t open_iters = std::max<size_t>(1, Scaled(200));
+  WallTimer open_timer;
+  for (size_t i = 0; i < open_iters; ++i) {
+    StatusOr<PackView> reopened = PackView::FromBuffer(*pack_bytes);
+    TSO_CHECK(reopened.ok());
+  }
+  const double open_seconds = open_timer.ElapsedSeconds() / open_iters;
+  std::printf("pack open: %u shards, %.1f KiB, %.1f us/open (%zu opens)\n",
+              pack_options.num_shards, pack_bytes->size() / 1024.0,
+              open_seconds * 1e6, open_iters);
+  BenchJson("throughput")
+      .Str("workload", "pack_open")
+      .Int("shards", pack_options.num_shards)
+      .Int("opens", open_iters)
+      .Int("bytes", pack_bytes->size())
+      .Num("open_seconds", open_seconds, 8)
+      .Emit();
+
+  StatusOr<PackView> pack = PackView::FromBuffer(*pack_bytes);
+  TSO_CHECK(pack.ok());
+  Table routed("Pack-routed P2P DistanceBatch QPS vs threads (4 shards)",
+               {"threads", "queries", "seconds", "qps", "speedup"});
+  base_qps = 0.0;
+  for (uint32_t threads : ThreadCounts()) {
+    WallTimer timer;
+    StatusOr<std::vector<double>> answers =
+        DistanceBatch(*pack, pairs, threads);
+    const double seconds = timer.ElapsedSeconds();
+    TSO_CHECK(answers.ok());
+    const double qps = pairs.size() / seconds;
+    if (threads == 1) base_qps = qps;
+    const double speedup = qps / base_qps;
+    routed.AddRow(threads, pairs.size(), seconds, qps, speedup);
+    BenchJson("throughput")
+        .Str("workload", "pack_p2p")
+        .Int("shards", pack_options.num_shards)
+        .Int("threads", threads)
+        .Int("queries", pairs.size())
+        .Num("seconds", seconds, 6)
+        .Num("qps", qps, 1)
+        .Num("speedup", speedup, 3)
+        .Emit();
+  }
+  routed.Print();
 }
 
 }  // namespace

@@ -1,0 +1,109 @@
+#include "base/epoch.h"
+
+#include <thread>
+#include <utility>
+
+namespace tso {
+namespace {
+
+/// Domains are identified by a process-unique serial, not their address, so
+/// a thread-local slot cached for a destroyed domain can never be mistaken
+/// for a slot of a new domain living at the same address.
+std::atomic<uint64_t> g_next_domain_id{1};
+
+struct CachedSlot {
+  uint64_t domain_id;
+  EpochDomain::Slot* slot;
+};
+
+/// Per-thread slot cache. Entries for destroyed domains go stale but are
+/// never matched again (unique ids) nor dereferenced.
+thread_local std::vector<CachedSlot> t_slot_cache;
+
+}  // namespace
+
+EpochDomain::EpochDomain()
+    : domain_id_(g_next_domain_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+EpochDomain::~EpochDomain() {
+  Quiesce();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slot* slot : slots_) delete slot;
+  slots_.clear();
+}
+
+EpochDomain::Slot* EpochDomain::SlotForThisThread() {
+  for (const CachedSlot& c : t_slot_cache) {
+    if (c.domain_id == domain_id_) return c.slot;
+  }
+  Slot* slot = new Slot();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_.push_back(slot);
+  }
+  t_slot_cache.push_back({domain_id_, slot});
+  return slot;
+}
+
+void EpochDomain::Retire(std::function<void()> reclaimer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Stamp with the epoch during which the object was still reachable, then
+  // advance: every reader announcing a later epoch is guaranteed (by the
+  // writer's publish-before-Retire ordering) to see the replacement.
+  const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  retired_.push_back({e, std::move(reclaimer)});
+  global_epoch_.store(e + 1, std::memory_order_seq_cst);
+  ++retired_count_;
+}
+
+size_t EpochDomain::ReclaimLocked(std::vector<std::function<void()>>* ready) {
+  uint64_t min_pinned = kIdleEpoch;
+  for (const Slot* slot : slots_) {
+    const uint64_t e = slot->epoch.load(std::memory_order_seq_cst);
+    if (e < min_pinned) min_pinned = e;
+  }
+  size_t freed = 0;
+  while (!retired_.empty() && retired_.front().epoch < min_pinned) {
+    ready->push_back(std::move(retired_.front().reclaimer));
+    retired_.pop_front();
+    ++freed;
+  }
+  reclaimed_count_ += freed;
+  return freed;
+}
+
+size_t EpochDomain::Reclaim() {
+  std::vector<std::function<void()>> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ReclaimLocked(&ready);
+  }
+  // Reclaimers (deleters, munmap) run outside the lock so a slow one cannot
+  // stall Retire() on the reload path.
+  for (std::function<void()>& fn : ready) fn();
+  return ready.size();
+}
+
+void EpochDomain::Quiesce() {
+  for (;;) {
+    Reclaim();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (retired_.empty()) return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+EpochDomain::Stats EpochDomain::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.epoch = global_epoch_.load(std::memory_order_relaxed);
+  s.retired = retired_count_;
+  s.reclaimed = reclaimed_count_;
+  s.pending = retired_.size();
+  s.reader_slots = slots_.size();
+  return s;
+}
+
+}  // namespace tso

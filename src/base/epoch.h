@@ -1,0 +1,168 @@
+#ifndef TSO_BASE_EPOCH_H_
+#define TSO_BASE_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace tso {
+
+/// Epoch-based grace-period reclamation: the publish/retire protocol behind
+/// the serving tier's hot reload (serve/engine.h). A writer that replaces a
+/// shared structure (e.g. swaps the pointer to a mapped oracle shard) cannot
+/// free — or munmap — the old version while concurrent readers may still be
+/// probing it. EpochDomain solves this without a stop-the-world and without
+/// per-read reference counting:
+///
+///   - Readers wrap each access in a Guard (Enter()): the guard announces
+///     the global epoch in a reader-private, cache-line-aligned slot. The
+///     fast path is one store to the thread's own slot plus a validation
+///     load of the global epoch — no shared-cacheline RMW, no locks, so
+///     read throughput scales with cores.
+///   - The writer publishes the replacement (an atomic pointer swap it
+///     performs itself), then hands the old version to Retire(), which
+///     stamps it with the current epoch and advances the global epoch.
+///   - Reclaim() frees every retired object whose stamp is older than the
+///     minimum epoch announced by any active reader: such an object can no
+///     longer be reached, because every reader that could still hold it
+///     entered before the epoch advanced, and every later reader observed
+///     the new version.
+///
+/// This is the classic grace-period scheme of epoch/RCU reclamation (the
+/// BonsaiKV epoch.c / rcu.c lineage): retirement never blocks readers,
+/// readers never block the writer, and memory is reclaimed as soon as all
+/// readers of the old epoch have exited.
+///
+/// Thread safety: Enter()/Guard are lock-free and may be called from any
+/// number of threads. Retire()/Reclaim()/Quiesce() may be called
+/// concurrently (they serialize on an internal mutex) but are designed for
+/// rare writer-side use. A thread must not call Retire() or Quiesce() while
+/// holding a Guard of the same domain (self-deadlock on the grace period).
+///
+/// Lifetime: the domain must outlive every Guard taken from it, and slots
+/// are reclaimed only when the domain is destroyed (a thread that touched a
+/// domain parks an idle slot there until then). The destructor runs
+/// Quiesce(), so any still-retired objects are freed — but all reader
+/// threads must have released their Guards by then.
+class EpochDomain {
+ public:
+  /// Slot value while the owning thread is not inside a Guard. Also the
+  /// "no reader active" sentinel: every real epoch is smaller.
+  static constexpr uint64_t kIdleEpoch = ~0ull;
+
+  EpochDomain();
+  ~EpochDomain();
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  struct alignas(64) Slot {
+    /// The epoch this thread announced, or kIdleEpoch. Written by the
+    /// owning thread, scanned by Reclaim().
+    std::atomic<uint64_t> epoch{kIdleEpoch};
+    /// Guard nesting depth; touched only by the owning thread.
+    int depth = 0;
+  };
+
+  /// RAII critical-section pin. Move-only; cheap to create and destroy.
+  /// Nested guards on the same thread reuse the outer pin.
+  class Guard {
+   public:
+    explicit Guard(Slot* slot) : slot_(slot) {}
+    ~Guard() {
+      if (slot_ != nullptr && --slot_->depth == 0) {
+        slot_->epoch.store(kIdleEpoch, std::memory_order_release);
+      }
+    }
+    Guard(Guard&& other) noexcept : slot_(other.slot_) {
+      other.slot_ = nullptr;
+    }
+    Guard& operator=(Guard&&) = delete;
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Slot* slot_;
+  };
+
+  /// Enters a read-side critical section. Any shared pointer loaded while
+  /// the returned Guard is alive stays valid (not reclaimed) until the
+  /// guard is destroyed, provided the writer retires through this domain.
+  ///
+  /// The announce loop re-validates the global epoch after publishing the
+  /// slot: without it, a reader could load epoch e, stall, and announce e
+  /// only after a writer — seeing an idle slot — already freed everything
+  /// from e. Re-checking closes that window (hazard-pointer-style validate):
+  /// once the loop exits, the announced epoch was globally current *after*
+  /// the announcement was visible, so Reclaim() either sees the pin or the
+  /// reader sees every pointer published before the epoch advanced.
+  Guard Enter() {
+    Slot* slot = SlotForThisThread();
+    if (slot->depth++ == 0) {
+      uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+      for (;;) {
+        slot->epoch.store(e, std::memory_order_seq_cst);
+        const uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+        if (now == e) break;
+        e = now;
+      }
+    }
+    return Guard(slot);
+  }
+
+  /// Hands an unreachable object to the domain: `reclaimer` runs (typically
+  /// deleting the object, dropping the last reference to a mapping) once
+  /// every reader that might still hold it has exited. Stamps the object
+  /// with the current epoch, then advances the epoch so later readers are
+  /// distinguishable. Never blocks readers; does not reclaim by itself —
+  /// call Reclaim() (cheap, non-blocking) whenever convenient.
+  void Retire(std::function<void()> reclaimer);
+
+  /// Frees every retired object whose grace period has elapsed (stamp older
+  /// than the minimum epoch pinned by any active reader). Non-blocking —
+  /// returns 0 if readers still pin the oldest retired epoch. Reclaimers
+  /// run outside the internal lock. Returns the number reclaimed.
+  size_t Reclaim();
+
+  /// Blocks until every currently retired object has been reclaimed (i.e.
+  /// all readers of the retired epochs have exited). Spin+yield; intended
+  /// for shutdown and tests, not the serving path.
+  void Quiesce();
+
+  struct Stats {
+    uint64_t epoch = 0;        // current global epoch
+    uint64_t retired = 0;      // objects handed to Retire() so far
+    uint64_t reclaimed = 0;    // objects whose reclaimer has run
+    size_t pending = 0;        // retired - reclaimed
+    size_t reader_slots = 0;   // threads that ever entered this domain
+  };
+  Stats stats() const;
+
+ private:
+  struct Retired {
+    uint64_t epoch;
+    std::function<void()> reclaimer;
+  };
+
+  /// Finds (or registers) this thread's slot for this domain. Lock-free
+  /// after the first call per (thread, domain).
+  Slot* SlotForThisThread();
+
+  size_t ReclaimLocked(std::vector<std::function<void()>>* ready);
+
+  const uint64_t domain_id_;
+  std::atomic<uint64_t> global_epoch_{0};
+
+  mutable std::mutex mu_;
+  std::vector<Slot*> slots_;        // owned; stable addresses
+  std::deque<Retired> retired_;     // FIFO: epochs non-decreasing
+  uint64_t retired_count_ = 0;
+  uint64_t reclaimed_count_ = 0;
+};
+
+}  // namespace tso
+
+#endif  // TSO_BASE_EPOCH_H_

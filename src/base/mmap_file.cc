@@ -27,6 +27,7 @@ StatusOr<MmapFile> MmapFile::Open(const std::string& path) {
 MmapFile::~MmapFile() = default;
 MmapFile::MmapFile(MmapFile&& other) noexcept = default;
 MmapFile& MmapFile::operator=(MmapFile&& other) noexcept = default;
+void MmapFile::Close() {}
 
 #else
 
@@ -64,8 +65,12 @@ StatusOr<MmapFile> MmapFile::Open(const std::string& path) {
   return out;
 }
 
-MmapFile::~MmapFile() {
+MmapFile::~MmapFile() { Close(); }
+
+void MmapFile::Close() {
   if (data_ != nullptr) ::munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
 }
 
 MmapFile::MmapFile(MmapFile&& other) noexcept
@@ -74,7 +79,7 @@ MmapFile::MmapFile(MmapFile&& other) noexcept
 
 MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
   if (this != &other) {
-    if (data_ != nullptr) ::munmap(data_, size_);
+    Close();
     data_ = std::exchange(other.data_, nullptr);
     size_ = std::exchange(other.size_, 0);
   }

@@ -14,8 +14,9 @@ namespace tso {
 /// number of processes serving the same oracle file share one copy of the
 /// page cache — the multi-process serving story the ROADMAP targets.
 ///
-/// Move-only; the mapping is released on destruction. An empty file maps to
-/// a valid object with size() == 0 and a null data pointer.
+/// Move-only; the mapping is released on destruction (or an explicit
+/// Close()). An empty file maps to a valid object with size() == 0 and a
+/// null data pointer.
 class MmapFile {
  public:
   static StatusOr<MmapFile> Open(const std::string& path);
@@ -26,6 +27,13 @@ class MmapFile {
   MmapFile& operator=(MmapFile&& other) noexcept;
   MmapFile(const MmapFile&) = delete;
   MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Releases the mapping now instead of at destruction — the serving
+  /// tier's hot-reload path unmaps a retired shard as soon as its grace
+  /// period elapses. Idempotent: closing an already-closed, default-
+  /// constructed, or moved-from file is a no-op, and the destructor never
+  /// double-unmaps.
+  void Close();
 
   const char* data() const { return static_cast<const char*>(data_); }
   size_t size() const { return size_; }

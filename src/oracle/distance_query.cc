@@ -3,7 +3,7 @@
 namespace tso {
 
 StatusOr<double> OracleDistance(const CompressedTreeView& tree,
-                                const NodePairSetView& pairs, uint32_t s,
+                                const PairSource& pairs, uint32_t s,
                                 uint32_t t, QueryScratch& scratch) {
   if (s == t) return 0.0;
   const int h = tree.height();
@@ -49,7 +49,7 @@ StatusOr<double> OracleDistance(const CompressedTreeView& tree,
 }
 
 StatusOr<double> OracleDistanceNaive(const CompressedTreeView& tree,
-                                     const NodePairSetView& pairs, uint32_t s,
+                                     const PairSource& pairs, uint32_t s,
                                      uint32_t t, QueryScratch& scratch) {
   if (s == t) return 0.0;
   const int h = tree.height();

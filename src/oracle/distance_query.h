@@ -2,6 +2,7 @@
 #define TSO_ORACLE_DISTANCE_QUERY_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "base/status.h"
@@ -18,22 +19,72 @@ struct QueryScratch {
   std::vector<uint32_t> a, b;
 };
 
+/// Where a query probe finds its node pairs: either one monolithic
+/// NodePairSetView (SeOracle, OracleView) or the shards of an oracle pack
+/// routed by the pair's first node (PackView). Implicitly constructible
+/// from a NodePairSetView so the monolithic call sites read unchanged.
+///
+/// Sharded routing is exact, not approximate: the pack writer places every
+/// pair record (a, b) in the shard of node `a` (see oracle/pack_format.h),
+/// and the recursion of §3.3 emits each unordered pair in both
+/// orientations, so a probe for (a, b) is answered entirely by shard(a) —
+/// the same stored double a monolithic set would return. Bit-identical
+/// results follow for every query built on top.
+///
+/// Non-owning (spans); the backing shard views and routing table must
+/// outlive the source.
+class PairSource {
+ public:
+  PairSource() = default;
+  /// Monolithic: every probe goes to `single`. Intentionally implicit.
+  PairSource(NodePairSetView single)  // NOLINT(google-explicit-constructor)
+      : single_(single) {}
+  /// Sharded: a probe for (a, b) goes to shards[shard_of_node[a]].
+  static PairSource Sharded(std::span<const NodePairSetView> shards,
+                            std::span<const uint32_t> shard_of_node) {
+    PairSource s;
+    s.shards_ = shards;
+    s.shard_of_node_ = shard_of_node;
+    return s;
+  }
+
+  /// O(1) probe: true and *distance set iff (a, b) is in the set. Out-of-
+  /// range node ids and corrupt routing entries miss (return false) rather
+  /// than fault, matching the hardening of NodePairSetView::Lookup.
+  bool Lookup(uint32_t a, uint32_t b, double* distance) const {
+    if (shards_.empty()) return single_.Lookup(a, b, distance);
+    if (a >= shard_of_node_.size()) return false;
+    const uint32_t shard = shard_of_node_[a];
+    if (shard >= shards_.size()) return false;  // corrupt routing table
+    return shards_[shard].Lookup(a, b, distance);
+  }
+
+  bool sharded() const { return !shards_.empty(); }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  NodePairSetView single_;
+  std::span<const NodePairSetView> shards_;
+  std::span<const uint32_t> shard_of_node_;
+};
+
 /// The efficient O(h) POI-to-POI query of §3.4 (same-layer scan +
 /// first-higher + first-lower passes), implemented once over the non-owning
-/// view forms. Both representations of the oracle answer through this
+/// view forms. Every representation of the oracle answers through this
 /// function: SeOracle passes views of its heap-backed components, OracleView
-/// passes views straight into a mapped file — the answers are bit-identical
-/// because the probed structures are byte-identical.
+/// passes views straight into a mapped file, PackView passes its sharded
+/// PairSource — the answers are bit-identical because the probed structures
+/// hold byte-identical records.
 ///
 /// `s` and `t` must already be validated against the POI count.
 StatusOr<double> OracleDistance(const CompressedTreeView& tree,
-                                const NodePairSetView& pairs, uint32_t s,
+                                const PairSource& pairs, uint32_t s,
                                 uint32_t t, QueryScratch& scratch);
 
 /// The O(h²) naive query of §3.4 (scans A_s × A_t). Same answers; used as
 /// the SE-Naive baseline and in ablation benchmarks.
 StatusOr<double> OracleDistanceNaive(const CompressedTreeView& tree,
-                                     const NodePairSetView& pairs, uint32_t s,
+                                     const PairSource& pairs, uint32_t s,
                                      uint32_t t, QueryScratch& scratch);
 
 }  // namespace tso

@@ -257,13 +257,19 @@ StatusOr<SeOracle> DeserializeSeOracle(std::string_view blob) {
 }
 
 std::string SerializeSeOracleFlat(const SeOracle& oracle) {
-  const CompressedTree& tree = oracle.tree();
-  const NodePairSet& pairs = oracle.pair_set();
+  return SerializeSeOracleFlat(oracle.epsilon(), oracle.pois(), oracle.tree(),
+                               oracle.pair_set());
+}
+
+std::string SerializeSeOracleFlat(double epsilon,
+                                  const std::vector<SurfacePoint>& pois,
+                                  const CompressedTree& tree,
+                                  const NodePairSet& pairs) {
   const PerfectHash::Raw& raw = pairs.hash().raw();
 
   FlatMeta meta{};
-  meta.epsilon = oracle.epsilon();
-  meta.num_pois = oracle.pois().size();
+  meta.epsilon = epsilon;
+  meta.num_pois = pois.size();
   meta.num_tree_nodes = tree.num_nodes();
   meta.tree_root = tree.root();
   meta.tree_height = tree.height();
@@ -274,7 +280,7 @@ std::string SerializeSeOracleFlat(const SeOracle& oracle) {
 
   const SectionDesc sections[kFlatSectionCount] = {
       {kFlatMeta, &meta, sizeof(meta), 1},
-      PodSection(kFlatPois, oracle.pois()),
+      PodSection(kFlatPois, pois),
       PodSection(kFlatTreeNodes, tree.nodes()),
       PodSection(kFlatLeafOfPoi, tree.leaf_of_poi_map()),
       PodSection(kFlatPairs, pairs.pairs()),

@@ -36,6 +36,15 @@ StatusOr<SeOracle> DeserializeSeOracle(std::string_view blob);
 /// job byte-compares against a golden file).
 std::string SerializeSeOracleFlat(const SeOracle& oracle);
 
+/// Parts-based form of SerializeSeOracleFlat: serializes a flat oracle from
+/// its components without an owning SeOracle. The pack writer
+/// (oracle/pack_view.h) uses it to emit shards that share `pois` and `tree`
+/// but carry per-shard pair subsets. Same determinism guarantee.
+std::string SerializeSeOracleFlat(double epsilon,
+                                  const std::vector<SurfacePoint>& pois,
+                                  const CompressedTree& tree,
+                                  const NodePairSet& pairs);
+
 /// Copies a flat buffer's sections into an owning SeOracle (the inverse of
 /// SerializeSeOracleFlat; validation matches OracleView::FromBuffer).
 StatusOr<SeOracle> MaterializeSeOracle(std::string_view flat_blob);

@@ -1,0 +1,144 @@
+#ifndef TSO_ORACLE_PACK_VIEW_H_
+#define TSO_ORACLE_PACK_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/mmap_file.h"
+#include "oracle/distance_query.h"
+#include "oracle/oracle_view.h"
+#include "oracle/pack_format.h"
+#include "oracle/se_oracle.h"
+
+namespace tso {
+
+/// Pack writer knobs: how many shards and how POIs map to them. Both
+/// policies produce bit-identical answers (routing is exact — see
+/// pack_format.h); they differ in which pairs co-reside, i.e. in locality:
+/// kPoiRange shards by POI id, kGeo by surface position, which keeps
+/// geographically clustered workloads inside fewer shards and lets a
+/// serving deployment reload the shard covering a region independently.
+struct PackBuildOptions {
+  uint32_t num_shards = 2;
+  PackPolicy policy = PackPolicy::kPoiRange;
+};
+
+/// Serializes `oracle` into an oracle pack (pack_format.h): the node-pair
+/// set is partitioned into `num_shards` standalone TSOFLAT shards behind
+/// one section table. Deterministic: the same oracle and options always
+/// produce byte-identical output.
+StatusOr<std::string> SerializeOraclePack(const SeOracle& oracle,
+                                          const PackBuildOptions& options);
+
+Status SaveOraclePack(const SeOracle& oracle, const PackBuildOptions& options,
+                      const std::string& path);
+
+/// Parsed header + section table of a pack, exposed for `tso inspect`.
+struct PackFileInfo {
+  FlatHeader header;  // pack magic/version, same struct shape
+  PackMeta meta;
+  std::vector<FlatSectionEntry> sections;  // fixed sections, then shards
+};
+
+/// Parses and structurally validates the pack header + section table + meta
+/// (no shard content validation, no checksum pass).
+StatusOr<PackFileInfo> ReadPackFileInfo(std::string_view buffer);
+
+/// The multi-shard query-time representation: a zero-copy facade over an
+/// oracle pack, typically memory-mapped. Opening validates the pack frame,
+/// opens every shard through OracleView::FromBuffer (full per-shard
+/// structural validation), cross-checks the shards against the pack meta,
+/// and validates the routing tables — after which queries are memory-safe
+/// on arbitrary input bytes, and bit-identical to the monolithic oracle the
+/// pack was built from.
+///
+/// Thread safety: immutable after open; every query is const, re-entrant,
+/// and safe to call concurrently. Copying shares the mapping.
+class PackView {
+ public:
+  struct Options {
+    /// Verify every pack-level section CRC32 (routing tables and whole
+    /// shard blobs) at open. Same trade-off as OracleView::Options: off by
+    /// default, structural validation always runs.
+    bool verify_checksums = false;
+  };
+
+  /// Opens a pack over caller-owned bytes (`buffer` must outlive the view).
+  static StatusOr<PackView> FromBuffer(std::string_view buffer,
+                                       const Options& options);
+  static StatusOr<PackView> FromBuffer(std::string_view buffer) {
+    return FromBuffer(buffer, Options());
+  }
+
+  /// Memory-maps `path` and opens it; the mapping is owned by the view
+  /// (shared across copies) and released with the last copy.
+  static StatusOr<PackView> Open(const std::string& path,
+                                 const Options& options);
+  static StatusOr<PackView> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  /// ε-approximate distance between POIs s and t: the same O(h) query as
+  /// SeOracle::Distance, with each pair probe routed to its owning shard.
+  StatusOr<double> Distance(uint32_t s, uint32_t t) const {
+    static thread_local QueryScratch scratch;
+    return Distance(s, t, scratch);
+  }
+  StatusOr<double> Distance(uint32_t s, uint32_t t,
+                            QueryScratch& scratch) const {
+    if (s >= pois_.size() || t >= pois_.size()) {
+      return Status::InvalidArgument("POI index out of range");
+    }
+    return OracleDistance(tree_, pair_source(), s, t, scratch);
+  }
+
+  double epsilon() const { return meta_.epsilon; }
+  size_t num_pois() const { return pois_.size(); }
+  int height() const { return tree_.height(); }
+  std::span<const SurfacePoint> pois() const { return pois_; }
+  const CompressedTreeView& tree() const { return tree_; }
+
+  uint32_t num_shards() const { return meta_.num_shards; }
+  PackPolicy policy() const { return static_cast<PackPolicy>(meta_.policy); }
+  const PackMeta& meta() const { return meta_; }
+
+  /// Shard i as a standalone oracle view (its pair subset only — distances
+  /// through it are partial; route through the PackView for full answers).
+  const OracleView& shard(uint32_t i) const { return shards_[i]; }
+  /// The per-shard pair sets, indexed by shard id.
+  std::span<const NodePairSetView> pair_shards() const { return pair_shards_; }
+  std::span<const uint32_t> shard_of_poi() const { return shard_of_poi_; }
+  std::span<const uint32_t> shard_of_node() const { return shard_of_node_; }
+
+  /// The sharded probe source (query/engine.h consumes this through
+  /// MakeSource). Borrows from this view: the PackView must stay alive and
+  /// in place while the source (or a DistanceSource made from it) is used.
+  PairSource pair_source() const {
+    return PairSource::Sharded(pair_shards_, shard_of_node_);
+  }
+
+  /// Size of the backing buffer.
+  size_t SizeBytes() const { return buffer_.size(); }
+  std::string_view buffer() const { return buffer_; }
+
+ private:
+  PackView() = default;
+
+  std::string_view buffer_;
+  std::shared_ptr<MmapFile> file_;  // null when FromBuffer supplied the bytes
+  PackMeta meta_{};
+  std::span<const uint32_t> shard_of_poi_;
+  std::span<const uint32_t> shard_of_node_;
+  std::vector<OracleView> shards_;
+  std::vector<NodePairSetView> pair_shards_;  // shards_[i].pair_set()
+  std::span<const SurfacePoint> pois_;        // shard 0's replica
+  CompressedTreeView tree_;                   // shard 0's replica
+};
+
+}  // namespace tso
+
+#endif  // TSO_ORACLE_PACK_VIEW_H_

@@ -40,9 +40,8 @@ Status RunWorkers(uint32_t threads, WorkFn&& work) {
 
 }  // namespace
 
-template <typename Oracle>
 StatusOr<std::vector<double>> DistanceBatch(
-    const Oracle& oracle,
+    const DistanceSource& source,
     std::span<const std::pair<uint32_t, uint32_t>> queries,
     uint32_t num_threads) {
   std::vector<double> out(queries.size(), 0.0);
@@ -51,7 +50,7 @@ StatusOr<std::vector<double>> DistanceBatch(
     QueryScratch scratch;
     for (size_t i = 0; i < queries.size(); ++i) {
       StatusOr<double> d =
-          oracle.Distance(queries[i].first, queries[i].second, scratch);
+          source.Distance(queries[i].first, queries[i].second, scratch);
       if (!d.ok()) return d.status();
       out[i] = *d;
     }
@@ -73,7 +72,7 @@ StatusOr<std::vector<double>> DistanceBatch(
       const size_t end = std::min(queries.size(), begin + kChunk);
       for (size_t i = begin; i < end; ++i) {
         StatusOr<double> d =
-            oracle.Distance(queries[i].first, queries[i].second, scratch);
+            source.Distance(queries[i].first, queries[i].second, scratch);
         if (!d.ok()) {
           failed.store(true, std::memory_order_relaxed);
           return d.status();
@@ -87,17 +86,16 @@ StatusOr<std::vector<double>> DistanceBatch(
   return out;
 }
 
-template <typename Oracle>
-StatusOr<std::vector<KnnResult>> KnnQueryParallel(const Oracle& oracle,
+StatusOr<std::vector<KnnResult>> KnnQueryParallel(const DistanceSource& source,
                                                   uint32_t query, size_t k,
                                                   uint32_t num_threads) {
-  if (query >= oracle.num_pois()) {
+  if (query >= source.num_pois()) {
     return Status::InvalidArgument("query POI out of range");
   }
   if (k == 0) return std::vector<KnnResult>{};
-  const size_t n = oracle.num_pois();
+  const size_t n = source.num_pois();
   const uint32_t threads = EffectiveThreads(num_threads, n);
-  if (threads <= 1) return KnnQuery(oracle, query, k);
+  if (threads <= 1) return KnnQuery(source, query, k);
 
   // Each worker scans a contiguous POI shard and keeps its local top-k as a
   // max-heap; the global answer is the best k of the shard winners.
@@ -109,7 +107,7 @@ StatusOr<std::vector<KnnResult>> KnnQueryParallel(const Oracle& oracle,
     std::vector<KnnResult>& best = shard_best[t];
     for (uint32_t p = static_cast<uint32_t>(begin); p < end; ++p) {
       if (p == query) continue;
-      StatusOr<double> d = oracle.Distance(query, p, scratch);
+      StatusOr<double> d = source.Distance(query, p, scratch);
       if (!d.ok()) return d.status();
       PushBoundedTopK(best, {p, *d}, k);
     }
@@ -128,18 +126,16 @@ StatusOr<std::vector<KnnResult>> KnnQueryParallel(const Oracle& oracle,
   return merged;
 }
 
-template <typename Oracle>
-StatusOr<std::vector<uint32_t>> RangeQueryParallel(const Oracle& oracle,
-                                                   uint32_t query,
-                                                   double radius,
-                                                   uint32_t num_threads) {
-  if (query >= oracle.num_pois()) {
+StatusOr<std::vector<uint32_t>> RangeQueryParallel(
+    const DistanceSource& source, uint32_t query, double radius,
+    uint32_t num_threads) {
+  if (query >= source.num_pois()) {
     return Status::InvalidArgument("query POI out of range");
   }
   if (radius < 0.0) return Status::InvalidArgument("radius must be >= 0");
-  const size_t n = oracle.num_pois();
+  const size_t n = source.num_pois();
   const uint32_t threads = EffectiveThreads(num_threads, n);
-  if (threads <= 1) return RangeQuery(oracle, query, radius);
+  if (threads <= 1) return RangeQuery(source, query, radius);
 
   std::vector<std::vector<std::pair<double, uint32_t>>> shard_hits(threads);
   Status st = RunWorkers(threads, [&](uint32_t t) -> Status {
@@ -148,7 +144,7 @@ StatusOr<std::vector<uint32_t>> RangeQueryParallel(const Oracle& oracle,
     QueryScratch scratch;
     for (uint32_t p = static_cast<uint32_t>(begin); p < end; ++p) {
       if (p == query) continue;
-      StatusOr<double> d = oracle.Distance(query, p, scratch);
+      StatusOr<double> d = source.Distance(query, p, scratch);
       if (!d.ok()) return d.status();
       if (*d <= radius) shard_hits[t].emplace_back(*d, p);
     }
@@ -166,20 +162,5 @@ StatusOr<std::vector<uint32_t>> RangeQueryParallel(const Oracle& oracle,
   for (const auto& [d, p] : hits) out.push_back(p);
   return out;
 }
-
-template StatusOr<std::vector<double>> DistanceBatch<SeOracle>(
-    const SeOracle&, std::span<const std::pair<uint32_t, uint32_t>>,
-    uint32_t);
-template StatusOr<std::vector<double>> DistanceBatch<OracleView>(
-    const OracleView&, std::span<const std::pair<uint32_t, uint32_t>>,
-    uint32_t);
-template StatusOr<std::vector<KnnResult>> KnnQueryParallel<SeOracle>(
-    const SeOracle&, uint32_t, size_t, uint32_t);
-template StatusOr<std::vector<KnnResult>> KnnQueryParallel<OracleView>(
-    const OracleView&, uint32_t, size_t, uint32_t);
-template StatusOr<std::vector<uint32_t>> RangeQueryParallel<SeOracle>(
-    const SeOracle&, uint32_t, double, uint32_t);
-template StatusOr<std::vector<uint32_t>> RangeQueryParallel<OracleView>(
-    const OracleView&, uint32_t, double, uint32_t);
 
 }  // namespace tso

@@ -16,53 +16,59 @@ namespace tso {
 /// QueryScratch, so no query touches shared mutable state; answers are
 /// bitwise identical to the serial paths regardless of thread count.
 ///
-/// Generic over the oracle representation (SeOracle or OracleView — for a
-/// mapped file the workers read shared read-only pages); instantiated for
-/// both in batch.cc.
+/// Written once against DistanceSource (query/engine.h) — for a mapped
+/// oracle or pack the workers read shared read-only pages. The deprecated
+/// representation-templated shims at the bottom forward via MakeSource.
 ///
 /// Everywhere below, `num_threads == 0` means hardware concurrency and
 /// `num_threads == 1` (or a workload too small to shard) runs serially on
-/// the calling thread without spawning workers.
+/// the calling thread without spawning workers. These are the query-side
+/// worker counts — the CLI exposes them as --query-threads (build-side
+/// parallelism is a separate knob, --build-threads; see tools/tso_main.cc).
 
 /// Answers every (s, t) pair in `queries`; out[i] is the ε-approximate
 /// distance for queries[i]. Work is handed to workers in chunks off a
 /// shared counter, so skewed per-query costs still balance.
-template <typename Oracle>
 StatusOr<std::vector<double>> DistanceBatch(
-    const Oracle& oracle,
+    const DistanceSource& source,
     std::span<const std::pair<uint32_t, uint32_t>> queries,
     uint32_t num_threads = 0);
 
 /// KnnQuery with the candidate scan sharded over POI ranges: each worker
 /// computes a local top-k over its shard, then the shard winners are merged.
 /// Same results (including tie-breaks) as KnnQuery.
-template <typename Oracle>
-StatusOr<std::vector<KnnResult>> KnnQueryParallel(const Oracle& oracle,
+StatusOr<std::vector<KnnResult>> KnnQueryParallel(const DistanceSource& source,
                                                   uint32_t query, size_t k,
                                                   uint32_t num_threads = 0);
 
 /// RangeQuery with the candidate scan sharded over POI ranges. Same results
 /// as RangeQuery (sorted by distance, ties by id).
+StatusOr<std::vector<uint32_t>> RangeQueryParallel(
+    const DistanceSource& source, uint32_t query, double radius,
+    uint32_t num_threads = 0);
+
+/// Deprecated representation-templated entry points: thin shims kept for
+/// pre-DistanceSource call sites; prefer the overloads above in new code.
+template <typename Oracle>
+StatusOr<std::vector<double>> DistanceBatch(
+    const Oracle& oracle,
+    std::span<const std::pair<uint32_t, uint32_t>> queries,
+    uint32_t num_threads = 0) {
+  return DistanceBatch(MakeSource(oracle), queries, num_threads);
+}
+template <typename Oracle>
+StatusOr<std::vector<KnnResult>> KnnQueryParallel(const Oracle& oracle,
+                                                  uint32_t query, size_t k,
+                                                  uint32_t num_threads = 0) {
+  return KnnQueryParallel(MakeSource(oracle), query, k, num_threads);
+}
 template <typename Oracle>
 StatusOr<std::vector<uint32_t>> RangeQueryParallel(const Oracle& oracle,
                                                    uint32_t query,
                                                    double radius,
-                                                   uint32_t num_threads = 0);
-
-extern template StatusOr<std::vector<double>> DistanceBatch<SeOracle>(
-    const SeOracle&, std::span<const std::pair<uint32_t, uint32_t>>,
-    uint32_t);
-extern template StatusOr<std::vector<double>> DistanceBatch<OracleView>(
-    const OracleView&, std::span<const std::pair<uint32_t, uint32_t>>,
-    uint32_t);
-extern template StatusOr<std::vector<KnnResult>> KnnQueryParallel<SeOracle>(
-    const SeOracle&, uint32_t, size_t, uint32_t);
-extern template StatusOr<std::vector<KnnResult>> KnnQueryParallel<OracleView>(
-    const OracleView&, uint32_t, size_t, uint32_t);
-extern template StatusOr<std::vector<uint32_t>> RangeQueryParallel<SeOracle>(
-    const SeOracle&, uint32_t, double, uint32_t);
-extern template StatusOr<std::vector<uint32_t>> RangeQueryParallel<OracleView>(
-    const OracleView&, uint32_t, double, uint32_t);
+                                                   uint32_t num_threads = 0) {
+  return RangeQueryParallel(MakeSource(oracle), query, radius, num_threads);
+}
 
 }  // namespace tso
 

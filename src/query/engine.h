@@ -1,0 +1,106 @@
+#ifndef TSO_QUERY_ENGINE_H_
+#define TSO_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "base/status.h"
+#include "mesh/terrain_mesh.h"
+#include "oracle/compressed_tree.h"
+#include "oracle/distance_query.h"
+#include "oracle/oracle_view.h"
+#include "oracle/pack_view.h"
+#include "oracle/se_oracle.h"
+
+namespace tso {
+
+/// The one oracle interface the query engines consume. Every representation
+/// of the SE oracle — the owning SeOracle, the zero-copy OracleView over a
+/// mapped file, and the multi-shard PackView over an oracle pack — flattens
+/// to the same four ingredients: ε, the POI table, the compressed partition
+/// tree, and a PairSource to probe. DistanceSource carries exactly those,
+/// by view (non-owning, 2 pointers per span): the kNN / range / batch
+/// engines in query/ are written once against it instead of being
+/// instantiated per representation, and anything that can produce a
+/// DistanceSource (see MakeSource) gets the full query surface for free.
+///
+/// Answers are bit-identical across representations because every probe
+/// runs the same code (oracle/distance_query.h) over byte-identical
+/// records.
+///
+/// Lifetime: a DistanceSource borrows from the representation it was made
+/// from; the SeOracle / OracleView / PackView must outlive it. Thread
+/// safety: immutable, freely shared across threads; the scratch-taking
+/// Distance requires one QueryScratch per thread.
+class DistanceSource {
+ public:
+  DistanceSource() = default;
+  DistanceSource(double epsilon, std::span<const SurfacePoint> pois,
+                 CompressedTreeView tree, PairSource pairs)
+      : epsilon_(epsilon), pois_(pois), tree_(tree), pairs_(pairs) {}
+
+  /// ε-approximate distance between POIs s and t: the O(h) query of §3.4.
+  StatusOr<double> Distance(uint32_t s, uint32_t t,
+                            QueryScratch& scratch) const {
+    if (s >= pois_.size() || t >= pois_.size()) {
+      return Status::InvalidArgument("POI index out of range");
+    }
+    return OracleDistance(tree_, pairs_, s, t, scratch);
+  }
+  /// Convenience overload over a thread_local scratch; re-entrant.
+  StatusOr<double> Distance(uint32_t s, uint32_t t) const {
+    static thread_local QueryScratch scratch;
+    return Distance(s, t, scratch);
+  }
+
+  /// The O(h²) naive query (SE-Naive baseline). Same answers.
+  StatusOr<double> DistanceNaive(uint32_t s, uint32_t t,
+                                 QueryScratch& scratch) const {
+    if (s >= pois_.size() || t >= pois_.size()) {
+      return Status::InvalidArgument("POI index out of range");
+    }
+    return OracleDistanceNaive(tree_, pairs_, s, t, scratch);
+  }
+
+  double epsilon() const { return epsilon_; }
+  size_t num_pois() const { return pois_.size(); }
+  std::span<const SurfacePoint> pois() const { return pois_; }
+  const CompressedTreeView& tree() const { return tree_; }
+  const PairSource& pair_source() const { return pairs_; }
+
+ private:
+  double epsilon_ = 0.0;
+  std::span<const SurfacePoint> pois_;
+  CompressedTreeView tree_;
+  PairSource pairs_;
+};
+
+/// Flattens an owning SeOracle to the unified query interface.
+inline DistanceSource MakeSource(const SeOracle& oracle) {
+  return DistanceSource(oracle.epsilon(), oracle.pois(), oracle.tree().view(),
+                        oracle.pair_set().view());
+}
+
+/// Flattens a mapped OracleView to the unified query interface.
+inline DistanceSource MakeSource(const OracleView& view) {
+  return DistanceSource(view.epsilon(), view.pois(), view.tree(),
+                        view.pair_set());
+}
+
+/// Flattens a multi-shard PackView to the unified query interface: probes
+/// route through the pack's sharded PairSource, so every engine in query/
+/// serves a pack with no sharding-aware code.
+inline DistanceSource MakeSource(const PackView& pack) {
+  return DistanceSource(pack.epsilon(), pack.pois(), pack.tree(),
+                        pack.pair_source());
+}
+
+/// Identity overload so generic code can normalize anything query-able to a
+/// DistanceSource with one spelling.
+inline const DistanceSource& MakeSource(const DistanceSource& source) {
+  return source;
+}
+
+}  // namespace tso
+
+#endif  // TSO_QUERY_ENGINE_H_

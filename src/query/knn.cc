@@ -5,19 +5,18 @@
 
 namespace tso {
 
-template <typename Oracle>
-StatusOr<std::vector<KnnResult>> KnnQuery(const Oracle& oracle,
+StatusOr<std::vector<KnnResult>> KnnQuery(const DistanceSource& source,
                                           uint32_t query, size_t k) {
-  if (query >= oracle.num_pois()) {
+  if (query >= source.num_pois()) {
     return Status::InvalidArgument("query POI out of range");
   }
   if (k == 0) return std::vector<KnnResult>{};
   QueryScratch scratch;
   std::vector<KnnResult> all;
-  all.reserve(oracle.num_pois() - 1);
-  for (uint32_t p = 0; p < oracle.num_pois(); ++p) {
+  all.reserve(source.num_pois() - 1);
+  for (uint32_t p = 0; p < source.num_pois(); ++p) {
     if (p == query) continue;
-    StatusOr<double> d = oracle.Distance(query, p, scratch);
+    StatusOr<double> d = source.Distance(query, p, scratch);
     if (!d.ok()) return d.status();
     all.push_back({p, *d});
   }
@@ -27,19 +26,16 @@ StatusOr<std::vector<KnnResult>> KnnQuery(const Oracle& oracle,
   return all;
 }
 
-template <typename Oracle>
-StatusOr<std::vector<KnnResult>> KnnQueryPruned(const Oracle& oracle,
+StatusOr<std::vector<KnnResult>> KnnQueryPruned(const DistanceSource& source,
                                                 uint32_t query, size_t k) {
-  if (query >= oracle.num_pois()) {
+  if (query >= source.num_pois()) {
     return Status::InvalidArgument("query POI out of range");
   }
   // Guard before the search: with k == 0 the "full heap" tests below would
   // call best.front() on an empty vector.
   if (k == 0) return std::vector<KnnResult>{};
-  // CompressedTree for SeOracle, CompressedTreeView for OracleView — the
-  // traversal surface is identical.
-  const auto& tree = oracle.tree();
-  const double eps = oracle.epsilon();
+  const CompressedTreeView& tree = source.tree();
+  const double eps = source.epsilon();
   QueryScratch scratch;
 
   struct Entry {
@@ -55,7 +51,7 @@ StatusOr<std::vector<KnnResult>> KnnQueryPruned(const Oracle& oracle,
   // d(q,p) >= d(q,c) - 2r  and  d~ in [(1-eps)d, (1+eps)d].
   auto node_bound = [&](uint32_t node) -> StatusOr<double> {
     const CompressedTreeNode& nd = tree.node(node);
-    StatusOr<double> center_d = oracle.Distance(query, nd.center, scratch);
+    StatusOr<double> center_d = source.Distance(query, nd.center, scratch);
     if (!center_d.ok()) return center_d.status();
     const double lb =
         (1.0 - eps) * (*center_d / (1.0 + eps) - 2.0 * nd.radius);
@@ -78,7 +74,7 @@ StatusOr<std::vector<KnnResult>> KnnQueryPruned(const Oracle& oracle,
     const CompressedTreeNode& nd = tree.node(top.node);
     if (nd.num_children == 0) {
       if (nd.center == query) continue;
-      StatusOr<double> d = oracle.Distance(query, nd.center, scratch);
+      StatusOr<double> d = source.Distance(query, nd.center, scratch);
       if (!d.ok()) return d.status();
       PushBoundedTopK(best, {nd.center, *d}, k);
       continue;
@@ -94,15 +90,5 @@ StatusOr<std::vector<KnnResult>> KnnQueryPruned(const Oracle& oracle,
   std::sort(best.begin(), best.end(), KnnBefore);
   return best;
 }
-
-template StatusOr<std::vector<KnnResult>> KnnQuery<SeOracle>(const SeOracle&,
-                                                             uint32_t,
-                                                             size_t);
-template StatusOr<std::vector<KnnResult>> KnnQuery<OracleView>(
-    const OracleView&, uint32_t, size_t);
-template StatusOr<std::vector<KnnResult>> KnnQueryPruned<SeOracle>(
-    const SeOracle&, uint32_t, size_t);
-template StatusOr<std::vector<KnnResult>> KnnQueryPruned<OracleView>(
-    const OracleView&, uint32_t, size_t);
 
 }  // namespace tso

@@ -5,8 +5,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "oracle/oracle_view.h"
-#include "oracle/se_oracle.h"
+#include "query/engine.h"
 
 namespace tso {
 
@@ -37,19 +36,18 @@ inline void PushBoundedTopK(std::vector<KnnResult>& best,
   }
 }
 
-// Every query engine below is generic over the oracle representation: the
-// owning SeOracle and the zero-copy OracleView (a mapped oracle file) expose
-// the same query surface, so one implementation serves both. The templates
-// are instantiated for exactly those two types in knn.cc (extern template
-// keeps them out of every includer's object file).
+// Every query engine below is written once against DistanceSource, the
+// unified oracle interface of query/engine.h; SeOracle, OracleView, and
+// PackView all flatten to it via MakeSource. The representation-templated
+// entry points of earlier revisions survive as thin forwarding shims at the
+// bottom of this header — new code should pass a DistanceSource.
 
 /// k nearest POIs to POI `query` under the oracle's ε-approximate geodesic
 /// metric — the proximity-query workload the paper motivates (§1.1, §1.2):
 /// each candidate costs one O(h) oracle probe instead of an SSAD run.
 /// Results are sorted by distance (ties by id); `query` itself is excluded.
 /// `k == 0` returns an empty result.
-template <typename Oracle>
-StatusOr<std::vector<KnnResult>> KnnQuery(const Oracle& oracle,
+StatusOr<std::vector<KnnResult>> KnnQuery(const DistanceSource& source,
                                           uint32_t query, size_t k);
 
 /// Same results as KnnQuery, but pruned with a best-first search over the
@@ -58,18 +56,23 @@ StatusOr<std::vector<KnnResult>> KnnQuery(const Oracle& oracle,
 /// farther than the current k-th candidate are skipped. On clustered POI
 /// sets this probes far fewer than n candidates (see query_test for the
 /// equivalence property). `k == 0` returns an empty result.
-template <typename Oracle>
-StatusOr<std::vector<KnnResult>> KnnQueryPruned(const Oracle& oracle,
+StatusOr<std::vector<KnnResult>> KnnQueryPruned(const DistanceSource& source,
                                                 uint32_t query, size_t k);
 
-extern template StatusOr<std::vector<KnnResult>> KnnQuery<SeOracle>(
-    const SeOracle&, uint32_t, size_t);
-extern template StatusOr<std::vector<KnnResult>> KnnQuery<OracleView>(
-    const OracleView&, uint32_t, size_t);
-extern template StatusOr<std::vector<KnnResult>> KnnQueryPruned<SeOracle>(
-    const SeOracle&, uint32_t, size_t);
-extern template StatusOr<std::vector<KnnResult>> KnnQueryPruned<OracleView>(
-    const OracleView&, uint32_t, size_t);
+/// Deprecated representation-templated entry points: thin shims that
+/// normalize through MakeSource. Kept so pre-DistanceSource call sites
+/// (tests, benchmarks, downstream users) compile unchanged; prefer the
+/// DistanceSource overloads above in new code.
+template <typename Oracle>
+StatusOr<std::vector<KnnResult>> KnnQuery(const Oracle& oracle, uint32_t query,
+                                          size_t k) {
+  return KnnQuery(MakeSource(oracle), query, k);
+}
+template <typename Oracle>
+StatusOr<std::vector<KnnResult>> KnnQueryPruned(const Oracle& oracle,
+                                                uint32_t query, size_t k) {
+  return KnnQueryPruned(MakeSource(oracle), query, k);
+}
 
 }  // namespace tso
 

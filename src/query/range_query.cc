@@ -4,18 +4,17 @@
 
 namespace tso {
 
-template <typename Oracle>
-StatusOr<std::vector<uint32_t>> RangeQuery(const Oracle& oracle,
+StatusOr<std::vector<uint32_t>> RangeQuery(const DistanceSource& source,
                                            uint32_t query, double radius) {
-  if (query >= oracle.num_pois()) {
+  if (query >= source.num_pois()) {
     return Status::InvalidArgument("query POI out of range");
   }
   if (radius < 0.0) return Status::InvalidArgument("radius must be >= 0");
   QueryScratch scratch;
   std::vector<std::pair<double, uint32_t>> hits;
-  for (uint32_t p = 0; p < oracle.num_pois(); ++p) {
+  for (uint32_t p = 0; p < source.num_pois(); ++p) {
     if (p == query) continue;
-    StatusOr<double> d = oracle.Distance(query, p, scratch);
+    StatusOr<double> d = source.Distance(query, p, scratch);
     if (!d.ok()) return d.status();
     if (*d <= radius) hits.emplace_back(*d, p);
   }
@@ -25,11 +24,5 @@ StatusOr<std::vector<uint32_t>> RangeQuery(const Oracle& oracle,
   for (const auto& [d, p] : hits) out.push_back(p);
   return out;
 }
-
-template StatusOr<std::vector<uint32_t>> RangeQuery<SeOracle>(const SeOracle&,
-                                                              uint32_t,
-                                                              double);
-template StatusOr<std::vector<uint32_t>> RangeQuery<OracleView>(
-    const OracleView&, uint32_t, double);
 
 }  // namespace tso

@@ -4,8 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "oracle/oracle_view.h"
-#include "oracle/se_oracle.h"
+#include "query/engine.h"
 
 namespace tso {
 
@@ -13,16 +12,18 @@ namespace tso {
 /// most `radius` (geodesic range query, §1.2). Sorted by distance.
 /// `query` itself is excluded.
 ///
-/// Generic over the oracle representation (SeOracle or OracleView); see the
-/// note in query/knn.h. Instantiated in range_query.cc.
-template <typename Oracle>
-StatusOr<std::vector<uint32_t>> RangeQuery(const Oracle& oracle,
+/// Written once against DistanceSource (query/engine.h); every oracle
+/// representation answers through MakeSource.
+StatusOr<std::vector<uint32_t>> RangeQuery(const DistanceSource& source,
                                            uint32_t query, double radius);
 
-extern template StatusOr<std::vector<uint32_t>> RangeQuery<SeOracle>(
-    const SeOracle&, uint32_t, double);
-extern template StatusOr<std::vector<uint32_t>> RangeQuery<OracleView>(
-    const OracleView&, uint32_t, double);
+/// Deprecated representation-templated entry point: thin shim kept for
+/// pre-DistanceSource call sites; prefer the overload above in new code.
+template <typename Oracle>
+StatusOr<std::vector<uint32_t>> RangeQuery(const Oracle& oracle,
+                                           uint32_t query, double radius) {
+  return RangeQuery(MakeSource(oracle), query, radius);
+}
 
 }  // namespace tso
 

@@ -1,0 +1,126 @@
+#include "serve/engine.h"
+
+#include <optional>
+
+#include "oracle/pack_format.h"
+
+namespace tso {
+
+/// The views borrow from the mapped file owned by pack/flat; `source` in
+/// turn borrows from the views (for a pack, its PairSource spans the
+/// PackView's shard vector). The struct is never moved after construction,
+/// so those internal borrows stay valid for its whole lifetime.
+struct ServeEngine::State {
+  std::optional<PackView> pack;
+  std::optional<OracleView> flat;
+  DistanceSource source;
+  uint32_t num_shards = 0;
+  size_t mapped_bytes = 0;
+};
+
+ServeEngine::~ServeEngine() {
+  State* old = state_.exchange(nullptr, std::memory_order_seq_cst);
+  if (old != nullptr) epoch_.Retire([old]() { delete old; });
+  // ~EpochDomain quiesces, so the retired state (and its mapping) is gone
+  // before the engine's storage is.
+}
+
+Status ServeEngine::Load(const std::string& path) {
+  // Build and validate the replacement completely before touching the
+  // published pointer: a failed open leaves the old generation serving.
+  auto fresh = std::make_unique<State>();
+  {
+    // Sniff the magic through a short-lived mapping attempt: packs and flat
+    // oracles share the open-and-validate shape, only the view type
+    // differs.
+    StatusOr<PackView> pack = PackView::Open(path);
+    if (pack.ok()) {
+      fresh->pack.emplace(std::move(*pack));
+      fresh->source = MakeSource(*fresh->pack);
+      fresh->num_shards = fresh->pack->num_shards();
+      fresh->mapped_bytes = fresh->pack->SizeBytes();
+    } else {
+      StatusOr<OracleView> flat = OracleView::Open(path);
+      if (!flat.ok()) {
+        // Report the error of the format the file claims to be.
+        StatusOr<MmapFile> sniff = MmapFile::Open(path);
+        if (sniff.ok() && LooksLikeOraclePack(sniff->view())) {
+          return pack.status();
+        }
+        return flat.status();
+      }
+      fresh->flat.emplace(std::move(*flat));
+      fresh->source = MakeSource(*fresh->flat);
+      fresh->num_shards = 1;
+      fresh->mapped_bytes = fresh->flat->SizeBytes();
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(load_mu_);
+  State* old = state_.exchange(fresh.release(), std::memory_order_seq_cst);
+  if (old != nullptr) epoch_.Retire([old]() { delete old; });
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  // Opportunistic reclaim: frees generations whose readers have all left.
+  // Nothing blocks here; a pinned generation is picked up by a later load
+  // or the destructor.
+  epoch_.Reclaim();
+  return Status::Ok();
+}
+
+StatusOr<double> ServeEngine::Distance(uint32_t s, uint32_t t) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  EpochDomain::Guard guard = epoch_.Enter();
+  const State* state = Pinned();
+  if (state == nullptr) return Status::FailedPrecondition("no oracle loaded");
+  return state->source.Distance(s, t);
+}
+
+StatusOr<std::vector<double>> ServeEngine::Batch(
+    std::span<const std::pair<uint32_t, uint32_t>> queries,
+    uint32_t num_threads) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  // The calling thread's guard covers the worker threads too: they are
+  // joined before DistanceBatch returns, which happens before the guard is
+  // released.
+  EpochDomain::Guard guard = epoch_.Enter();
+  const State* state = Pinned();
+  if (state == nullptr) return Status::FailedPrecondition("no oracle loaded");
+  return DistanceBatch(state->source, queries, num_threads);
+}
+
+StatusOr<std::vector<KnnResult>> ServeEngine::Knn(uint32_t query, size_t k,
+                                                  uint32_t num_threads) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  EpochDomain::Guard guard = epoch_.Enter();
+  const State* state = Pinned();
+  if (state == nullptr) return Status::FailedPrecondition("no oracle loaded");
+  if (num_threads == 1) return KnnQuery(state->source, query, k);
+  return KnnQueryParallel(state->source, query, k, num_threads);
+}
+
+StatusOr<std::vector<uint32_t>> ServeEngine::Range(
+    uint32_t query, double radius, uint32_t num_threads) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  EpochDomain::Guard guard = epoch_.Enter();
+  const State* state = Pinned();
+  if (state == nullptr) return Status::FailedPrecondition("no oracle loaded");
+  if (num_threads == 1) return RangeQuery(state->source, query, radius);
+  return RangeQueryParallel(state->source, query, radius, num_threads);
+}
+
+ServeEngine::Stats ServeEngine::stats() const {
+  Stats s;
+  s.reloads = reloads_.load(std::memory_order_relaxed);
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.epoch = epoch_.stats();
+  EpochDomain::Guard guard = epoch_.Enter();
+  const State* state = Pinned();
+  if (state != nullptr) {
+    s.num_shards = state->num_shards;
+    s.num_pois = state->source.num_pois();
+    s.mapped_bytes = state->mapped_bytes;
+  }
+  return s;
+}
+
+}  // namespace tso

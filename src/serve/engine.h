@@ -1,0 +1,107 @@
+#ifndef TSO_SERVE_ENGINE_H_
+#define TSO_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/epoch.h"
+#include "query/batch.h"
+#include "query/engine.h"
+
+namespace tso {
+
+/// The serving tier: a long-lived engine that owns the currently published
+/// oracle — a multi-shard pack (TSOPACK) or a single flat oracle (TSOFLAT),
+/// memory-mapped either way — and answers the full query surface through
+/// the unified DistanceSource interface while allowing the mapping to be
+/// republished at any time.
+///
+/// Hot reload, the point of this class: Load() may be called while any
+/// number of threads are mid-query. The swap is one atomic pointer
+/// exchange; queries that began against the old mapping finish against it
+/// (their epoch guard pins it — see base/epoch.h), queries that begin after
+/// the swap see the new one, and the old mapping is munmap'ed only after
+/// every reader of its epoch has exited. No stop-the-world, no failed
+/// queries, no use-after-unmap — the serve_engine_test hammer runs this
+/// under TSan.
+///
+/// Thread safety: all methods are safe to call concurrently. Load() calls
+/// serialize among themselves internally. A thread must not call Load() or
+/// the destructor from inside a query callback (it would wait on its own
+/// guard). Destruction requires that no queries are in flight.
+class ServeEngine {
+ public:
+  ServeEngine() = default;
+  ~ServeEngine();
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Opens `path` (oracle pack or flat oracle, detected by magic), fully
+  /// validates it, and atomically publishes it, retiring the previously
+  /// published state to the epoch domain. On failure the previous state
+  /// stays published and serving — a bad file can never take the engine
+  /// down. Also the initial load.
+  Status Load(const std::string& path);
+
+  /// True once a Load() has succeeded.
+  bool loaded() const {
+    return state_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// ε-approximate POI-to-POI distance (routed across shards for a pack).
+  StatusOr<double> Distance(uint32_t s, uint32_t t) const;
+
+  /// Bulk distance batch (query/batch.h semantics; num_threads == 0 means
+  /// hardware concurrency). One epoch guard spans the whole batch.
+  StatusOr<std::vector<double>> Batch(
+      std::span<const std::pair<uint32_t, uint32_t>> queries,
+      uint32_t num_threads = 0) const;
+
+  /// k nearest POIs, merged across shards; bit-identical to the monolithic
+  /// oracle's KnnQuery. num_threads > 1 shards the candidate scan.
+  StatusOr<std::vector<KnnResult>> Knn(uint32_t query, size_t k,
+                                       uint32_t num_threads = 1) const;
+
+  /// Geodesic range query, merged across shards; bit-identical to the
+  /// monolithic RangeQuery.
+  StatusOr<std::vector<uint32_t>> Range(uint32_t query, double radius,
+                                        uint32_t num_threads = 1) const;
+
+  struct Stats {
+    uint64_t reloads = 0;       // successful Load() calls
+    uint64_t queries = 0;       // query-surface calls served
+    uint32_t num_shards = 0;    // 0 before the first load; 1 for flat files
+    uint64_t num_pois = 0;
+    size_t mapped_bytes = 0;    // current published mapping
+    EpochDomain::Stats epoch;   // grace-period bookkeeping
+  };
+  Stats stats() const;
+
+ private:
+  /// One published generation: the mapping plus the views into it. Heap-
+  /// allocated and immutable after construction; destroyed (dropping the
+  /// mapping) by the epoch domain once its grace period elapses.
+  struct State;
+
+  /// Enters the epoch and loads the current state; null if nothing is
+  /// published yet (reported to callers as FailedPrecondition).
+  const State* Pinned() const {
+    return state_.load(std::memory_order_acquire);
+  }
+
+  std::atomic<State*> state_{nullptr};
+  mutable EpochDomain epoch_;
+  std::mutex load_mu_;  // serializes Load() calls, not queries
+  std::atomic<uint64_t> reloads_{0};
+  mutable std::atomic<uint64_t> queries_{0};
+};
+
+}  // namespace tso
+
+#endif  // TSO_SERVE_ENGINE_H_

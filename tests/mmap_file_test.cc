@@ -1,0 +1,100 @@
+#include "base/mmap_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+
+namespace tso {
+namespace {
+
+/// Writes `content` to a fresh temp file and returns its path.
+std::string WriteTempFile(const std::string& name, const std::string& content) {
+  const std::string path =
+      std::string(::testing::TempDir().empty() ? "/tmp" : ::testing::TempDir())
+          .append("/")
+          .append(name);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.close();
+  return path;
+}
+
+TEST(MmapFileTest, OpenReadsContent) {
+  const std::string path = WriteTempFile("mmap_basic.bin", "hello mapped");
+  StatusOr<MmapFile> file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ(file->view(), "hello mapped");
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileTest, OpenMissingFileFails) {
+  StatusOr<MmapFile> file = MmapFile::Open("/nonexistent/tso-mmap-test");
+  EXPECT_FALSE(file.ok());
+}
+
+TEST(MmapFileTest, EmptyFileMapsToEmptyView) {
+  const std::string path = WriteTempFile("mmap_empty.bin", "");
+  StatusOr<MmapFile> file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ(file->size(), 0u);
+  EXPECT_EQ(file->data(), nullptr);
+  file->Close();  // no-op on an empty mapping
+  std::remove(path.c_str());
+}
+
+// Regression: Close() must be idempotent — a second Close (and the
+// destructor after an explicit Close) must not munmap the same range twice,
+// which could tear down an unrelated mapping placed there in the meantime.
+TEST(MmapFileTest, DoubleCloseIsSafe) {
+  const std::string path = WriteTempFile("mmap_double_close.bin", "payload");
+  StatusOr<MmapFile> file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_NE(file->data(), nullptr);
+  file->Close();
+  EXPECT_EQ(file->data(), nullptr);
+  EXPECT_EQ(file->size(), 0u);
+  file->Close();  // second close: no-op
+  EXPECT_EQ(file->data(), nullptr);
+  std::remove(path.c_str());
+  // Destructor runs after the explicit closes: must also be a no-op.
+}
+
+// Regression: a moved-from MmapFile must not unmap the pages it handed
+// away — the destination (and anyone reading through it) still uses them.
+TEST(MmapFileTest, MovedFromDoesNotUnmap) {
+  const std::string path = WriteTempFile("mmap_moved_from.bin", "still here");
+  StatusOr<MmapFile> opened = MmapFile::Open(path);
+  ASSERT_TRUE(opened.ok());
+  MmapFile dst(std::move(*opened));
+  {
+    MmapFile src = std::move(dst);
+    dst = std::move(src);
+    // `src` is moved-from here; its destructor and an explicit Close must
+    // leave dst's mapping intact.
+    src.Close();
+  }
+  EXPECT_EQ(dst.view(), "still here");
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileTest, MoveAssignReleasesPreviousMapping) {
+  const std::string path_a = WriteTempFile("mmap_move_a.bin", "aaaa");
+  const std::string path_b = WriteTempFile("mmap_move_b.bin", "bbbb");
+  StatusOr<MmapFile> a = MmapFile::Open(path_a);
+  StatusOr<MmapFile> b = MmapFile::Open(path_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Overwriting a live mapping must unmap it exactly once (ASan/LSan would
+  // flag a leak or double-unmap) and adopt the source's pages.
+  *a = std::move(*b);
+  EXPECT_EQ(a->view(), "bbbb");
+  EXPECT_EQ(b->data(), nullptr);  // moved-from: empty
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+}  // namespace
+}  // namespace tso

@@ -1,13 +1,17 @@
 // Unified command-line driver for the terrain-surface distance oracle.
 //
-//   tso build-oracle  — synthesize/load a terrain, build the SE oracle, save it
-//   tso query         — load a saved oracle and answer POI-to-POI queries
+//   tso build-oracle  — synthesize/load a terrain, build + save the oracle
+//   tso pack          — reshard a saved oracle into a multi-shard oracle pack
+//   tso query         — load a saved oracle/pack, answer POI-to-POI queries
+//   tso serve-bench   — ServeEngine throughput + hot-reload benchmark
+//   tso inspect       — print layout/checksums of an oracle or pack file
 //   tso bench         — end-to-end build + query micro-benchmark
 //
 // This is the stable entry point for running the system outside the gtest
 // harness; the paper-figure benches under bench/ remain the source of truth
 // for reproducing figures.
 
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <cmath>
@@ -19,6 +23,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -31,8 +36,11 @@
 #include "mesh/mesh_io.h"
 #include "oracle/oracle_serde.h"
 #include "oracle/oracle_view.h"
+#include "oracle/pack_format.h"
+#include "oracle/pack_view.h"
 #include "oracle/se_oracle.h"
 #include "query/batch.h"
+#include "serve/engine.h"
 #include "terrain/dataset.h"
 
 namespace tso {
@@ -55,6 +63,10 @@ struct Args {
   uint32_t query_threads = 0;  // bench: 0 = serial only, T = throughput mode
   size_t random_queries = 0;
   size_t bench_queries = 1000;
+  uint32_t shards = 4;                // pack: shard count
+  std::string policy = "poi-range";   // pack: poi-range | geo
+  size_t reloads = 0;                 // serve-bench: hot reloads under load
+  bool out_set = false;               // --out given (pack defaults differ)
   bool check = false;
 };
 
@@ -114,11 +126,18 @@ void Usage() {
 
 commands:
   build-oracle   build the SE oracle and save it to disk
-  query          answer distance queries against a saved oracle
-                 (flat oracles are memory-mapped and served zero-copy)
-  inspect        print the layout of a saved oracle file (header, sections,
-                 checksums)
+  pack           reshard a saved oracle into a multi-shard oracle pack
+  query          answer distance queries against a saved oracle or pack
+                 (flat oracles and packs are memory-mapped, served zero-copy)
+  serve-bench    ServeEngine throughput benchmark, optionally with hot
+                 reloads republishing the mapping under load
+  inspect        print the layout of a saved oracle or pack file (header,
+                 sections, checksums; non-zero exit on any corruption)
   bench          build + query micro-benchmark (one line per phase)
+
+Thread flags, uniformly: --build-threads T drives construction phases,
+--query-threads T drives query throughput measurement; 0 means hardware
+concurrency for builds and "off" for throughput modes.
 
 build-oracle options:
   --dataset bh|ep|sf|sf-small   paper dataset stand-in (default sf-small)
@@ -139,15 +158,31 @@ build-oracle options:
                                 checksummed, mmap-able; legacy: the v1
                                 varint stream)
 
+pack options:
+  --oracle PATH                 saved oracle file to reshard (required)
+  --out PATH                    output pack file (default oracle.tsop)
+  --shards N                    shard count (default 4)
+  --policy poi-range|geo        POI-to-shard assignment (default poi-range)
+
 query options:
-  --oracle PATH                 saved oracle file (required; format is
-                                auto-detected by magic)
+  --oracle PATH                 saved oracle or pack file (required; format
+                                is auto-detected by magic)
   --pair S,T                    POI id pair; repeatable
   --random N                    additionally run N random pairs
   --seed S                      seed for --random
 
+serve-bench options:
+  --oracle PATH                 oracle or pack file to serve (required)
+  --queries N                   timed queries per measurement (default 1000)
+  --query-threads T             concurrent throughput threads (0 = off,
+                                serial measurement only)
+  --reloads M                   hot-reload the file M times while the query
+                                hammer runs; reports failed queries (must
+                                be 0) and reload latency
+  --seed S                      seed for the query workload
+
 inspect options:
-  --oracle PATH                 saved oracle file (required)
+  --oracle PATH                 saved oracle or pack file (required)
 
 bench options: same generation options as build-oracle, plus
   --queries N                   number of timed queries (default 1000)
@@ -180,6 +215,21 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--out") {
       if (!(v = next())) return false;
       args->out_path = v;
+      args->out_set = true;
+    } else if (flag == "--shards") {
+      if (!(v = next())) return false;
+      if (!ParseU32Flag(flag, v, &args->shards)) return false;
+    } else if (flag == "--policy") {
+      if (!(v = next())) return false;
+      args->policy = v;
+      if (args->policy != "poi-range" && args->policy != "geo") {
+        std::fprintf(stderr,
+                     "tso: bad --policy '%s' (expected poi-range|geo)\n", v);
+        return false;
+      }
+    } else if (flag == "--reloads") {
+      if (!(v = next())) return false;
+      if (!ParseSizeFlag(flag, v, &args->reloads)) return false;
     } else if (flag == "--solver") {
       if (!(v = next())) return false;
       args->solver = v;
@@ -343,15 +393,60 @@ int CmdBuildOracle(const Args& args) {
   return 0;
 }
 
-/// Sniffs the on-disk format: flat files open zero-copy via mmap.
-StatusOr<bool> IsFlatOracleFile(const std::string& path) {
+int CmdPack(const Args& args) {
+  if (args.oracle_path.empty()) {
+    std::fprintf(stderr, "tso: pack requires --oracle PATH\n");
+    return 1;
+  }
+  // Materialize the source oracle (either on-disk format), reshard its
+  // node-pair set, and write the pack. Answers are bit-identical to the
+  // input for any shard count, so this is purely an operational reshaping.
+  StatusOr<SeOracle> oracle = LoadSeOracle(args.oracle_path);
+  if (!oracle.ok()) {
+    std::fprintf(stderr, "tso: load: %s\n", oracle.status().ToString().c_str());
+    return 1;
+  }
+  PackBuildOptions options;
+  options.num_shards = args.shards;
+  options.policy =
+      args.policy == "geo" ? PackPolicy::kGeo : PackPolicy::kPoiRange;
+  const std::string out =
+      args.out_set ? args.out_path : std::string("oracle.tsop");
+  WallTimer timer;
+  Status saved = SaveOraclePack(*oracle, options, out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "tso: pack: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  StatusOr<PackView> pack = PackView::Open(out);
+  if (!pack.ok()) {
+    std::fprintf(stderr, "tso: reopen: %s\n",
+                 pack.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "packed %s -> %s: %u shards (%s policy), n=%zu POIs, %zu node pairs, "
+      "%.1f KiB in %.2fs\n",
+      args.oracle_path.c_str(), out.c_str(), pack->num_shards(),
+      args.policy.c_str(), pack->num_pois(),
+      static_cast<size_t>(pack->meta().num_pairs_total),
+      pack->SizeBytes() / 1024.0, timer.ElapsedSeconds());
+  return 0;
+}
+
+/// Sniffs the leading magic so query/serve-bench can report which mapped
+/// representation they serve (both magics are sizeof(kFlatMagic) bytes).
+enum class FileKind { kFlat, kPack, kOther };
+StatusOr<FileKind> SniffFileKind(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
   char magic[sizeof(kFlatMagic)] = {};
   const size_t got = std::fread(magic, 1, sizeof(magic), f);
   std::fclose(f);
-  return got == sizeof(magic) &&
-         LooksLikeFlatOracle(std::string_view(magic, sizeof(magic)));
+  const std::string_view head(magic, got);
+  if (LooksLikeFlatOracle(head)) return FileKind::kFlat;
+  if (LooksLikeOraclePack(head)) return FileKind::kPack;
+  return FileKind::kOther;
 }
 
 /// Answers the query list against either representation (SeOracle or
@@ -388,12 +483,26 @@ int CmdQuery(const Args& args) {
     std::fprintf(stderr, "tso: query requires --oracle PATH\n");
     return 1;
   }
-  StatusOr<bool> flat = IsFlatOracleFile(args.oracle_path);
-  if (!flat.ok()) {
-    std::fprintf(stderr, "tso: %s\n", flat.status().ToString().c_str());
+  StatusOr<FileKind> kind = SniffFileKind(args.oracle_path);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "tso: %s\n", kind.status().ToString().c_str());
     return 1;
   }
-  if (*flat) {
+  if (*kind == FileKind::kPack) {
+    StatusOr<PackView> pack = PackView::Open(args.oracle_path);
+    if (!pack.ok()) {
+      std::fprintf(stderr, "tso: open: %s\n",
+                   pack.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "mapped oracle pack (zero-copy): %u shards (%s policy), n=%zu POIs "
+        "eps=%.3g (%.1f KiB shared read-only)\n",
+        pack->num_shards(), PackPolicyName(pack->policy()), pack->num_pois(),
+        pack->epsilon(), pack->SizeBytes() / 1024.0);
+    return RunQueryPairs(args, *pack);
+  }
+  if (*kind == FileKind::kFlat) {
     // Zero-copy serving: queries read the mapped file in place.
     StatusOr<OracleView> view = OracleView::Open(args.oracle_path);
     if (view.ok()) {
@@ -423,6 +532,224 @@ int CmdQuery(const Args& args) {
   return RunQueryPairs(args, *oracle);
 }
 
+int CmdServeBench(const Args& args) {
+  if (args.oracle_path.empty()) {
+    std::fprintf(stderr, "tso: serve-bench requires --oracle PATH\n");
+    return 1;
+  }
+  if (args.bench_queries == 0) {
+    std::fprintf(stderr, "tso: --queries must be > 0\n");
+    return 2;
+  }
+  ServeEngine engine;
+  WallTimer open_timer;
+  Status loaded = engine.Load(args.oracle_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "tso: load: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  const double open_ms = open_timer.ElapsedSeconds() * 1e3;
+  const ServeEngine::Stats opened = engine.stats();
+  std::printf(
+      "serving %s: %u shard%s, n=%llu POIs, %.1f KiB mapped, opened in "
+      "%.3f ms\n",
+      args.oracle_path.c_str(), opened.num_shards,
+      opened.num_shards == 1 ? "" : "s",
+      static_cast<unsigned long long>(opened.num_pois),
+      opened.mapped_bytes / 1024.0, open_ms);
+
+  const size_t n = static_cast<size_t>(opened.num_pois);
+  Rng rng(args.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  pairs.reserve(args.bench_queries);
+  for (size_t i = 0; i < args.bench_queries; ++i) {
+    pairs.emplace_back(static_cast<uint32_t>(rng.Uniform(n)),
+                       static_cast<uint32_t>(rng.Uniform(n)));
+  }
+
+  WallTimer timer;
+  for (const auto& [s, t] : pairs) {
+    StatusOr<double> d = engine.Distance(s, t);
+    if (!d.ok()) {
+      std::fprintf(stderr, "tso: query %u,%u: %s\n", s, t,
+                   d.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const double secs = timer.ElapsedSeconds();
+  std::printf("serial: %zu queries in %.3fs (%.2f us/query)\n", pairs.size(),
+              secs, secs / pairs.size() * 1e6);
+
+  if (args.query_threads > 0) {
+    // Same tiling discipline as `tso bench`: stretch the workload so thread
+    // scaling dominates spawn overhead, compare identical work at 1 vs T.
+    constexpr size_t kMinThroughputQueries = 200000;
+    std::vector<std::pair<uint32_t, uint32_t>> tiled = pairs;
+    while (tiled.size() < kMinThroughputQueries) {
+      tiled.insert(tiled.end(), pairs.begin(), pairs.end());
+    }
+    auto measure = [&](uint32_t threads) -> StatusOr<double> {
+      WallTimer t;
+      StatusOr<std::vector<double>> answers = engine.Batch(tiled, threads);
+      if (!answers.ok()) return answers.status();
+      return tiled.size() / t.ElapsedSeconds();
+    };
+    StatusOr<double> qps1 = measure(1);
+    StatusOr<double> qpsT = measure(args.query_threads);
+    if (!qps1.ok() || !qpsT.ok()) {
+      std::fprintf(stderr, "tso: throughput: %s\n",
+                   (!qps1.ok() ? qps1.status() : qpsT.status())
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    std::printf(
+        "throughput: %zu queries | 1 thread %.0f qps | %u threads %.0f qps | "
+        "speedup %.2fx\n",
+        tiled.size(), *qps1, args.query_threads, *qpsT, *qpsT / *qps1);
+  }
+
+  if (args.reloads > 0) {
+    // The hot-reload demo: republish the same file repeatedly while reader
+    // threads hammer the engine. Every query must succeed — a failure (or a
+    // crash under a sanitizer) means the epoch protocol is broken.
+    const uint32_t readers = args.query_threads > 0 ? args.query_threads : 4;
+    std::atomic<bool> stop{false};
+    std::atomic<uint32_t> started{0};
+    std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> failed{0};
+    std::vector<std::thread> hammer;
+    hammer.reserve(readers);
+    for (uint32_t r = 0; r < readers; ++r) {
+      hammer.emplace_back([&, r]() {
+        size_t i = static_cast<size_t>(r);
+        bool first = true;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const auto& [s, t] = pairs[i % pairs.size()];
+          ++i;
+          if (engine.Distance(s, t).ok()) {
+            served.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            failed.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (first) {
+            first = false;
+            started.fetch_add(1, std::memory_order_release);
+          }
+        }
+      });
+    }
+    // Wait for every reader's first query so the reloads genuinely overlap
+    // in-flight reads instead of finishing before the threads are scheduled.
+    while (started.load(std::memory_order_acquire) < readers) {
+      std::this_thread::yield();
+    }
+    double total_ms = 0.0;
+    double max_ms = 0.0;
+    for (size_t i = 0; i < args.reloads; ++i) {
+      WallTimer reload_timer;
+      Status reloaded = engine.Load(args.oracle_path);
+      const double ms = reload_timer.ElapsedSeconds() * 1e3;
+      if (!reloaded.ok()) {
+        stop.store(true, std::memory_order_relaxed);
+        for (std::thread& th : hammer) th.join();
+        std::fprintf(stderr, "tso: reload %zu: %s\n", i,
+                     reloaded.ToString().c_str());
+        return 1;
+      }
+      total_ms += ms;
+      if (ms > max_ms) max_ms = ms;
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& th : hammer) th.join();
+    std::printf(
+        "hot reload: %zu reloads under %u reader threads | mean %.3f ms, "
+        "max %.3f ms | %llu queries served, %llu failed\n",
+        args.reloads, readers, total_ms / args.reloads, max_ms,
+        static_cast<unsigned long long>(served.load()),
+        static_cast<unsigned long long>(failed.load()));
+    if (failed.load() != 0) {
+      std::fprintf(stderr, "tso: hot reload FAILED: queries failed during "
+                   "republish\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// Pack inspection: verify the pack frame (header, section CRCs), then
+/// recurse into each shard's own flat section table. Any corruption at
+/// either level exits non-zero.
+int InspectPack(const std::string& path, const std::string& bytes) {
+  StatusOr<PackFileInfo> info = ReadPackFileInfo(bytes);
+  if (!info.ok()) {
+    std::fprintf(stderr, "tso: %s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: oracle pack format v%u, %zu bytes, %u shards (%s policy)\n",
+              path.c_str(), info->header.version, bytes.size(),
+              info->meta.num_shards,
+              PackPolicyName(static_cast<PackPolicy>(info->meta.policy)));
+  std::printf("  %-20s %10s %12s %10s %10s  %s\n", "section", "offset",
+              "bytes", "count", "crc32", "status");
+  bool all_ok = true;
+  for (const FlatSectionEntry& e : info->sections) {
+    const uint32_t actual = Crc32(bytes.data() + e.offset, e.size);
+    const bool ok = actual == e.crc32;
+    all_ok = all_ok && ok;
+    std::printf("  %-20s %10llu %12llu %10llu   %08x  %s\n",
+                PackSectionName(e.id),
+                static_cast<unsigned long long>(e.offset),
+                static_cast<unsigned long long>(e.size),
+                static_cast<unsigned long long>(e.count), e.crc32,
+                ok ? "ok" : "CORRUPT");
+  }
+  if (!all_ok) {
+    std::fprintf(stderr, "tso: checksum verification FAILED\n");
+    return 1;
+  }
+  // Each shard is a standalone flat oracle: verify its inner section table
+  // too, so a pack passes inspection only if every nested level does.
+  for (uint32_t s = 0; s < info->meta.num_shards; ++s) {
+    const FlatSectionEntry& e = info->sections[kPackFixedSectionCount + s];
+    const std::string_view shard_bytes =
+        std::string_view(bytes).substr(e.offset, e.size);
+    StatusOr<FlatFileInfo> shard = ReadFlatFileInfo(shard_bytes);
+    if (!shard.ok()) {
+      std::fprintf(stderr, "tso: shard %u: %s\n", s,
+                   shard.status().ToString().c_str());
+      return 1;
+    }
+    size_t pairs = 0;
+    for (const FlatSectionEntry& se : shard->sections) {
+      if (Crc32(shard_bytes.data() + se.offset, se.size) != se.crc32) {
+        std::fprintf(stderr, "tso: shard %u section %s: checksum FAILED\n", s,
+                     FlatSectionName(se.id));
+        return 1;
+      }
+      if (se.id == kFlatPairs) pairs = se.count;
+    }
+    std::printf("  shard %-3u %12llu bytes, %u sections, %zu node pairs "
+                "(checksums ok)\n",
+                s, static_cast<unsigned long long>(e.size),
+                shard->header.section_count, pairs);
+  }
+  PackView::Options verify;
+  verify.verify_checksums = true;
+  StatusOr<PackView> pack = PackView::FromBuffer(bytes, verify);
+  if (!pack.ok()) {
+    std::fprintf(stderr, "tso: structural validation FAILED: %s\n",
+                 pack.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "  pack: n=%zu POIs eps=%.3g height=%d node_pairs=%llu "
+      "(all checksums ok)\n",
+      pack->num_pois(), pack->epsilon(), pack->height(),
+      static_cast<unsigned long long>(pack->meta().num_pairs_total));
+  return 0;
+}
+
 int CmdInspect(const Args& args) {
   if (args.oracle_path.empty()) {
     std::fprintf(stderr, "tso: inspect requires --oracle PATH\n");
@@ -438,6 +765,7 @@ int CmdInspect(const Args& args) {
   std::ostringstream ss;
   ss << in.rdbuf();
   const std::string bytes = ss.str();
+  if (LooksLikeOraclePack(bytes)) return InspectPack(args.oracle_path, bytes);
   if (!LooksLikeFlatOracle(bytes)) {
     StatusOr<SeOracle> oracle = DeserializeSeOracle(bytes);
     if (!oracle.ok()) {
@@ -624,7 +952,9 @@ int Main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return 2;
   if (cmd == "build-oracle") return CmdBuildOracle(args);
+  if (cmd == "pack") return CmdPack(args);
   if (cmd == "query") return CmdQuery(args);
+  if (cmd == "serve-bench") return CmdServeBench(args);
   if (cmd == "inspect") return CmdInspect(args);
   if (cmd == "bench") return CmdBench(args);
   if (cmd == "help" || cmd == "--help" || cmd == "-h") {
