@@ -4,7 +4,7 @@
 // unchanged.
 
 #include "bench/bench_common.h"
-#include "oracle/dynamic_oracle.h"
+#include "dyn/dynamic_oracle.h"
 #include "terrain/poi_generator.h"
 
 namespace tso::bench {
@@ -24,9 +24,10 @@ void Run() {
   options.base = ParallelSeOptions(*ds->mesh, 0.1, seed);
   options.compaction_ratio = 0.5;  // defer compaction during the measurement
   WallTimer build_timer;
-  StatusOr<DynamicSeOracle> oracle =
-      DynamicSeOracle::Build(*ds->mesh, ds->pois, solver, options);
-  TSO_CHECK(oracle.ok());
+  StatusOr<std::unique_ptr<DynamicSeOracle>> built =
+      DynamicSeOracle::Create(*ds->mesh, ds->pois, solver, options);
+  TSO_CHECK(built.ok());
+  std::unique_ptr<DynamicSeOracle>& oracle = *built;
   const double base_build_s = build_timer.ElapsedSeconds();
 
   Rng rng(seed + 3);

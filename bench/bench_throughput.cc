@@ -9,11 +9,16 @@
 // the workload sizes and coarse floors):
 //   BENCH {"bench":"throughput","workload":...,"threads":...,"qps":...}
 
+#include <atomic>
+#include <deque>
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "dyn/dynamic_oracle.h"
+#include "geodesic/dijkstra_solver.h"
 #include "oracle/pack_view.h"
 #include "query/batch.h"
+#include "terrain/poi_generator.h"
 
 namespace tso::bench {
 namespace {
@@ -69,7 +74,7 @@ void Run() {
   for (uint32_t threads : ThreadCounts()) {
     WallTimer timer;
     StatusOr<std::vector<double>> answers =
-        DistanceBatch(*oracle, pairs, threads);
+        DistanceBatch(MakeSource(*oracle), pairs, threads);
     const double seconds = timer.ElapsedSeconds();
     TSO_CHECK(answers.ok());
     const double qps = pairs.size() / seconds;
@@ -92,7 +97,7 @@ void Run() {
     for (size_t r = 0; r < knn_repeats; ++r) {
       for (uint32_t q = 0; q < ds->n(); ++q) {
         StatusOr<std::vector<KnnResult>> res =
-            KnnQueryParallel(*oracle, q, 10, threads);
+            KnnQueryParallel(MakeSource(*oracle), q, 10, threads);
         TSO_CHECK(res.ok());
       }
     }
@@ -143,7 +148,7 @@ void Run() {
   for (uint32_t threads : ThreadCounts()) {
     WallTimer timer;
     StatusOr<std::vector<double>> answers =
-        DistanceBatch(*pack, pairs, threads);
+        DistanceBatch(MakeSource(*pack), pairs, threads);
     const double seconds = timer.ElapsedSeconds();
     TSO_CHECK(answers.ok());
     const double qps = pairs.size() / seconds;
@@ -161,6 +166,96 @@ void Run() {
         .Emit();
   }
   routed.Print();
+
+  // --- Workload 4: mixed read/write over the dynamic oracle ---
+  // A single writer drives a deterministic insert/remove script (every 4th
+  // op tombstones the oldest live insert) through the log-structured
+  // DynamicSeOracle while 4 readers sweep P2P distances through pinned
+  // snapshots. The op script is single-writer, so the insert/remove/
+  // compaction counters are exactly reproducible at a fixed scale — the CI
+  // gate pins them with zero tolerance; only the read throughput gets a
+  // loose wall-clock floor.
+  const uint32_t dyn_base_n = std::min<uint32_t>(ds->n(), Scaled(200));
+  std::vector<SurfacePoint> dyn_base(ds->pois.begin(),
+                                     ds->pois.begin() + dyn_base_n);
+  DijkstraSolver dyn_solver(*ds->mesh);
+  DynamicOracleOptions dyn_options;
+  dyn_options.base.epsilon = 0.25;
+  dyn_options.max_delta = 16;
+  StatusOr<std::unique_ptr<DynamicSeOracle>> dyn_built =
+      DynamicSeOracle::Create(*ds->mesh, dyn_base, dyn_solver, dyn_options);
+  TSO_CHECK(dyn_built.ok());
+  DynamicSeOracle& dyn = **dyn_built;
+
+  const size_t dyn_ops = Scaled(400);
+  Rng drng(seed + 9);
+  std::vector<SurfacePoint> dyn_pool =
+      GenerateUniformPois(*ds->mesh, *ds->locator, dyn_ops, drng);
+
+  constexpr uint32_t kDynReaders = 4;
+  const size_t reads_per_thread = Scaled(40000);
+  std::atomic<uint64_t> dyn_bad{0};
+  WallTimer dyn_timer;
+  std::vector<std::thread> dyn_readers;
+  dyn_readers.reserve(kDynReaders);
+  for (uint32_t r = 0; r < kDynReaders; ++r) {
+    dyn_readers.emplace_back([&dyn, &dyn_bad, reads_per_thread, r]() {
+      uint64_t lcg = 0x9e3779b97f4a7c15ull + r;
+      for (size_t i = 0; i < reads_per_thread; ++i) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        DynamicSeOracle::PinnedSource pinned = dyn.Pin();
+        const uint32_t n =
+            static_cast<uint32_t>(pinned.snapshot().num_ids());
+        const uint32_t s = static_cast<uint32_t>((lcg >> 33) % n);
+        const uint32_t t = static_cast<uint32_t>((lcg >> 13) % n);
+        StatusOr<double> d = pinned.source().Distance(s, t);
+        // NotFound is a correct answer for a tombstoned id; anything else
+        // failing is a real error.
+        if (!d.ok() && d.status().code() != StatusCode::kNotFound) {
+          dyn_bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  size_t pool_next = 0;
+  std::deque<uint32_t> dyn_live;
+  for (size_t op = 0; op < dyn_ops; ++op) {
+    if (op % 4 == 3 && !dyn_live.empty()) {
+      TSO_CHECK_OK(dyn.Remove(dyn_live.front()));
+      dyn_live.pop_front();
+    } else {
+      StatusOr<uint32_t> id = dyn.Insert(dyn_pool[pool_next++]);
+      TSO_CHECK(id.ok());
+      dyn_live.push_back(*id);
+    }
+  }
+  for (std::thread& reader : dyn_readers) reader.join();
+  const double dyn_seconds = dyn_timer.ElapsedSeconds();
+  TSO_CHECK(dyn_bad.load() == 0);
+
+  const DynamicStats dyn_stats = dyn.stats();
+  const size_t dyn_reads = kDynReaders * reads_per_thread;
+  const double dyn_qps = dyn_reads / dyn_seconds;
+  std::printf(
+      "dyn_mixed: base n=%u, %zu ops (%llu inserts / %llu removes, "
+      "%llu compactions), %zu reads x%u threads in %.2fs (%.0f qps)\n",
+      dyn_base_n, dyn_ops,
+      static_cast<unsigned long long>(dyn_stats.inserts),
+      static_cast<unsigned long long>(dyn_stats.removes),
+      static_cast<unsigned long long>(dyn_stats.compactions),
+      reads_per_thread, kDynReaders, dyn_seconds, dyn_qps);
+  BenchJson("throughput")
+      .Str("workload", "dyn_mixed")
+      .Int("threads", kDynReaders)
+      .Int("queries", dyn_reads)
+      .Int("ops", dyn_ops)
+      .Int("inserts", dyn_stats.inserts)
+      .Int("removes", dyn_stats.removes)
+      .Int("compactions", dyn_stats.compactions)
+      .Num("seconds", dyn_seconds, 6)
+      .Num("qps", dyn_qps, 1)
+      .Emit();
 }
 
 }  // namespace

@@ -43,7 +43,7 @@ int main() {
               ds->pois[here].pos.z);
 
   // Nearest 5 landmarks by walking distance (geodesic, not straight-line!).
-  StatusOr<std::vector<KnnResult>> nearest = KnnQuery(*oracle, here, 5);
+  StatusOr<std::vector<KnnResult>> nearest = KnnQuery(MakeSource(*oracle), here, 5);
   if (!nearest.ok()) return 1;
   std::printf("\nNearest landmarks by trail distance:\n");
   const double kWalkSpeedMetersPerHour = 3500.0;
@@ -55,7 +55,7 @@ int main() {
   // Everything reachable in a 2-hour hike.
   const double radius = 2.0 * kWalkSpeedMetersPerHour;
   StatusOr<std::vector<uint32_t>> reachable =
-      RangeQuery(*oracle, here, radius);
+      RangeQuery(MakeSource(*oracle), here, radius);
   if (!reachable.ok()) return 1;
   std::printf("\n%zu landmarks within a 2-hour hike (%.0f m)\n",
               reachable->size(), radius);

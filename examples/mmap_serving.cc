@@ -48,7 +48,7 @@ int main() {
     for (uint32_t t = 0; t < view->num_pois(); ++t) {
       sum += *view->Distance(s, t, scratch);
     }
-    StatusOr<std::vector<KnnResult>> knn = KnnQuery(*view, s, 3);
+    StatusOr<std::vector<KnnResult>> knn = KnnQuery(MakeSource(*view), s, 3);
     std::printf("worker %d: sum d(%u, *) = %.3f, nearest POI %u at %.3f\n",
                 id, s, sum, (*knn)[0].poi, (*knn)[0].distance);
   };

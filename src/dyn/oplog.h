@@ -1,0 +1,177 @@
+#ifndef TSO_DYN_OPLOG_H_
+#define TSO_DYN_OPLOG_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "mesh/terrain_mesh.h"
+
+namespace tso {
+
+/// One buffered mutation of the dynamic oracle (dyn/dynamic_oracle.h).
+/// Records are produced by writer threads and consumed by the merge step
+/// that folds them into the next published snapshot.
+struct OpRecord {
+  enum class Kind : uint8_t { kInsert, kRemove };
+  Kind kind = Kind::kInsert;
+  /// Stable id of the POI (allocated once, never reused).
+  uint32_t id = 0;
+  /// Insert only: the POI's surface position.
+  SurfacePoint poi;
+  /// Insert only: exact distances from `poi` indexed by stable id, covering
+  /// every id live in the snapshot the inserting thread pinned (kInfDist
+  /// elsewhere — the merge extends the row to ids published since).
+  std::shared_ptr<const std::vector<double>> row;
+};
+
+/// A multi-producer operation log built from per-thread single-producer
+/// segments — the BonsaiKV oplog shape. Each writer thread appends to its
+/// own chunked segment with no locks and no shared-cacheline RMW beyond its
+/// private `appended` counter, so appends never contend with each other or
+/// with the merge. The merge side (one drainer at a time, serialized by the
+/// caller's publish lock) consumes every record published before the drain
+/// and frees fully-consumed chunks.
+///
+/// Memory ordering: a producer writes the record into its tail chunk and
+/// then release-increments `appended`; the drainer acquire-loads `appended`
+/// before touching records, so every consumed record (and every chunk link)
+/// is fully visible. Chunks other than the producer's current tail are
+/// never touched by the producer again, which makes freeing them from the
+/// drainer safe once their records are consumed.
+///
+/// Thread safety: Append() may be called concurrently from any number of
+/// threads. Drain() calls must be externally serialized (the dynamic
+/// oracle's merge mutex). ApproxDepth() is safe anywhere. Destruction
+/// requires that no thread is appending.
+class OpLog {
+ public:
+  OpLog() : log_id_(next_log_id().fetch_add(1, std::memory_order_relaxed)) {}
+  ~OpLog() {
+    for (ThreadLog* log : logs_) delete log;
+  }
+  OpLog(const OpLog&) = delete;
+  OpLog& operator=(const OpLog&) = delete;
+
+  /// Appends a record to this thread's segment. Lock-free after the first
+  /// call per (thread, log); never blocks readers or other writers.
+  void Append(OpRecord rec) {
+    ThreadLog* log = LogForThisThread();
+    if (log->tail_used == kChunkSize) {
+      Chunk* fresh = new Chunk();
+      log->tail->next.store(fresh, std::memory_order_release);
+      log->tail = fresh;
+      log->tail_used = 0;
+    }
+    log->tail->records[log->tail_used++] = std::move(rec);
+    log->appended.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Moves every record appended before the call into `out` (appended-order
+  /// within each thread; threads interleave arbitrarily — the merge sorts).
+  /// Caller must serialize Drain() calls externally.
+  void Drain(std::vector<OpRecord>* out) {
+    std::vector<ThreadLog*> logs;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      logs = logs_;
+    }
+    for (ThreadLog* log : logs) {
+      const uint64_t appended = log->appended.load(std::memory_order_acquire);
+      while (log->consumed < appended) {
+        if (log->head_used == kChunkSize) {
+          // appended > consumed implies the producer linked a next chunk
+          // (with release, before publishing any record in it) and will
+          // never touch this one again.
+          Chunk* next = log->head->next.load(std::memory_order_acquire);
+          delete log->head;
+          log->head = next;
+          log->head_used = 0;
+        }
+        out->push_back(std::move(log->head->records[log->head_used]));
+        log->head->records[log->head_used] = OpRecord();  // drop the row ref
+        ++log->head_used;
+        ++log->consumed;
+      }
+      log->consumed_pub.store(log->consumed, std::memory_order_relaxed);
+    }
+  }
+
+  /// Records appended but not yet drained (approximate under concurrency).
+  size_t ApproxDepth() const {
+    size_t depth = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const ThreadLog* log : logs_) {
+      depth += log->appended.load(std::memory_order_relaxed) -
+               log->consumed_pub.load(std::memory_order_relaxed);
+    }
+    return depth;
+  }
+
+ private:
+  static constexpr size_t kChunkSize = 32;
+
+  struct Chunk {
+    std::array<OpRecord, kChunkSize> records;
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  struct ThreadLog {
+    // Drainer-owned cursor (guarded by the caller's external drain lock).
+    Chunk* head;
+    size_t head_used = 0;
+    uint64_t consumed = 0;
+    std::atomic<uint64_t> consumed_pub{0};
+    // Producer-owned cursor (single appending thread).
+    alignas(64) Chunk* tail;
+    size_t tail_used = 0;
+    std::atomic<uint64_t> appended{0};
+
+    ThreadLog() { head = tail = new Chunk(); }
+    ~ThreadLog() {
+      for (Chunk* c = head; c != nullptr;) {
+        Chunk* next = c->next.load(std::memory_order_relaxed);
+        delete c;
+        c = next;
+      }
+    }
+  };
+
+  /// Logs are identified by a process-unique serial (the EpochDomain slot
+  /// idiom): a thread-local entry cached for a destroyed log can never be
+  /// mistaken for a segment of a new log at the same address.
+  static std::atomic<uint64_t>& next_log_id() {
+    static std::atomic<uint64_t> id{1};
+    return id;
+  }
+
+  ThreadLog* LogForThisThread() {
+    struct CachedLog {
+      uint64_t log_id;
+      ThreadLog* log;
+    };
+    thread_local std::vector<CachedLog> cache;
+    for (const CachedLog& c : cache) {
+      if (c.log_id == log_id_) return c.log;
+    }
+    ThreadLog* log = new ThreadLog();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      logs_.push_back(log);
+    }
+    cache.push_back({log_id_, log});
+    return log;
+  }
+
+  const uint64_t log_id_;
+  mutable std::mutex mu_;
+  std::vector<ThreadLog*> logs_;  // owned; stable addresses
+};
+
+}  // namespace tso
+
+#endif  // TSO_DYN_OPLOG_H_

@@ -92,6 +92,9 @@ StatusOr<std::vector<KnnResult>> KnnQueryParallel(const DistanceSource& source,
   if (query >= source.num_pois()) {
     return Status::InvalidArgument("query POI out of range");
   }
+  if (!source.IsLive(query)) {
+    return Status::NotFound("query POI id is not live");
+  }
   if (k == 0) return std::vector<KnnResult>{};
   const size_t n = source.num_pois();
   const uint32_t threads = EffectiveThreads(num_threads, n);
@@ -106,7 +109,7 @@ StatusOr<std::vector<KnnResult>> KnnQueryParallel(const DistanceSource& source,
     QueryScratch scratch;
     std::vector<KnnResult>& best = shard_best[t];
     for (uint32_t p = static_cast<uint32_t>(begin); p < end; ++p) {
-      if (p == query) continue;
+      if (p == query || !source.IsLive(p)) continue;
       StatusOr<double> d = source.Distance(query, p, scratch);
       if (!d.ok()) return d.status();
       PushBoundedTopK(best, {p, *d}, k);
@@ -133,6 +136,9 @@ StatusOr<std::vector<uint32_t>> RangeQueryParallel(
     return Status::InvalidArgument("query POI out of range");
   }
   if (radius < 0.0) return Status::InvalidArgument("radius must be >= 0");
+  if (!source.IsLive(query)) {
+    return Status::NotFound("query POI id is not live");
+  }
   const size_t n = source.num_pois();
   const uint32_t threads = EffectiveThreads(num_threads, n);
   if (threads <= 1) return RangeQuery(source, query, radius);
@@ -143,7 +149,7 @@ StatusOr<std::vector<uint32_t>> RangeQueryParallel(
     const size_t end = n * (t + 1) / threads;
     QueryScratch scratch;
     for (uint32_t p = static_cast<uint32_t>(begin); p < end; ++p) {
-      if (p == query) continue;
+      if (p == query || !source.IsLive(p)) continue;
       StatusOr<double> d = source.Distance(query, p, scratch);
       if (!d.ok()) return d.status();
       if (*d <= radius) shard_hits[t].emplace_back(*d, p);

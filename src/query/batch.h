@@ -17,8 +17,7 @@ namespace tso {
 /// bitwise identical to the serial paths regardless of thread count.
 ///
 /// Written once against DistanceSource (query/engine.h) — for a mapped
-/// oracle or pack the workers read shared read-only pages. The deprecated
-/// representation-templated shims at the bottom forward via MakeSource.
+/// oracle or pack the workers read shared read-only pages.
 ///
 /// Everywhere below, `num_threads == 0` means hardware concurrency and
 /// `num_threads == 1` (or a workload too small to shard) runs serially on
@@ -46,29 +45,6 @@ StatusOr<std::vector<KnnResult>> KnnQueryParallel(const DistanceSource& source,
 StatusOr<std::vector<uint32_t>> RangeQueryParallel(
     const DistanceSource& source, uint32_t query, double radius,
     uint32_t num_threads = 0);
-
-/// Deprecated representation-templated entry points: thin shims kept for
-/// pre-DistanceSource call sites; prefer the overloads above in new code.
-template <typename Oracle>
-StatusOr<std::vector<double>> DistanceBatch(
-    const Oracle& oracle,
-    std::span<const std::pair<uint32_t, uint32_t>> queries,
-    uint32_t num_threads = 0) {
-  return DistanceBatch(MakeSource(oracle), queries, num_threads);
-}
-template <typename Oracle>
-StatusOr<std::vector<KnnResult>> KnnQueryParallel(const Oracle& oracle,
-                                                  uint32_t query, size_t k,
-                                                  uint32_t num_threads = 0) {
-  return KnnQueryParallel(MakeSource(oracle), query, k, num_threads);
-}
-template <typename Oracle>
-StatusOr<std::vector<uint32_t>> RangeQueryParallel(const Oracle& oracle,
-                                                   uint32_t query,
-                                                   double radius,
-                                                   uint32_t num_threads = 0) {
-  return RangeQueryParallel(MakeSource(oracle), query, radius, num_threads);
-}
 
 }  // namespace tso
 

@@ -10,12 +10,15 @@ StatusOr<std::vector<KnnResult>> KnnQuery(const DistanceSource& source,
   if (query >= source.num_pois()) {
     return Status::InvalidArgument("query POI out of range");
   }
+  if (!source.IsLive(query)) {
+    return Status::NotFound("query POI id is not live");
+  }
   if (k == 0) return std::vector<KnnResult>{};
   QueryScratch scratch;
   std::vector<KnnResult> all;
   all.reserve(source.num_pois() - 1);
   for (uint32_t p = 0; p < source.num_pois(); ++p) {
-    if (p == query) continue;
+    if (p == query || !source.IsLive(p)) continue;
     StatusOr<double> d = source.Distance(query, p, scratch);
     if (!d.ok()) return d.status();
     all.push_back({p, *d});
@@ -31,6 +34,11 @@ StatusOr<std::vector<KnnResult>> KnnQueryPruned(const DistanceSource& source,
   if (query >= source.num_pois()) {
     return Status::InvalidArgument("query POI out of range");
   }
+  // The partition tree indexes the frozen base representation, not the
+  // overlay's stable-id space — node centers would be probed as the wrong
+  // ids and tombstoned POIs would be returned. Fall back to the linear scan
+  // (which skips dead candidates) for overlay sources.
+  if (source.has_overlay()) return KnnQuery(source, query, k);
   // Guard before the search: with k == 0 the "full heap" tests below would
   // call best.front() on an empty vector.
   if (k == 0) return std::vector<KnnResult>{};

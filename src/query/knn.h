@@ -37,10 +37,11 @@ inline void PushBoundedTopK(std::vector<KnnResult>& best,
 }
 
 // Every query engine below is written once against DistanceSource, the
-// unified oracle interface of query/engine.h; SeOracle, OracleView, and
-// PackView all flatten to it via MakeSource. The representation-templated
-// entry points of earlier revisions survive as thin forwarding shims at the
-// bottom of this header — new code should pass a DistanceSource.
+// unified oracle interface of query/engine.h; SeOracle, OracleView,
+// PackView, and the dynamic oracle's pinned snapshots all flatten to it via
+// MakeSource. Call sites pass MakeSource(repr) (or a DistanceSource
+// directly); the representation-templated shims of earlier revisions are
+// gone.
 
 /// k nearest POIs to POI `query` under the oracle's ε-approximate geodesic
 /// metric — the proximity-query workload the paper motivates (§1.1, §1.2):
@@ -58,21 +59,6 @@ StatusOr<std::vector<KnnResult>> KnnQuery(const DistanceSource& source,
 /// equivalence property). `k == 0` returns an empty result.
 StatusOr<std::vector<KnnResult>> KnnQueryPruned(const DistanceSource& source,
                                                 uint32_t query, size_t k);
-
-/// Deprecated representation-templated entry points: thin shims that
-/// normalize through MakeSource. Kept so pre-DistanceSource call sites
-/// (tests, benchmarks, downstream users) compile unchanged; prefer the
-/// DistanceSource overloads above in new code.
-template <typename Oracle>
-StatusOr<std::vector<KnnResult>> KnnQuery(const Oracle& oracle, uint32_t query,
-                                          size_t k) {
-  return KnnQuery(MakeSource(oracle), query, k);
-}
-template <typename Oracle>
-StatusOr<std::vector<KnnResult>> KnnQueryPruned(const Oracle& oracle,
-                                                uint32_t query, size_t k) {
-  return KnnQueryPruned(MakeSource(oracle), query, k);
-}
 
 }  // namespace tso
 

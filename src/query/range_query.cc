@@ -10,10 +10,13 @@ StatusOr<std::vector<uint32_t>> RangeQuery(const DistanceSource& source,
     return Status::InvalidArgument("query POI out of range");
   }
   if (radius < 0.0) return Status::InvalidArgument("radius must be >= 0");
+  if (!source.IsLive(query)) {
+    return Status::NotFound("query POI id is not live");
+  }
   QueryScratch scratch;
   std::vector<std::pair<double, uint32_t>> hits;
   for (uint32_t p = 0; p < source.num_pois(); ++p) {
-    if (p == query) continue;
+    if (p == query || !source.IsLive(p)) continue;
     StatusOr<double> d = source.Distance(query, p, scratch);
     if (!d.ok()) return d.status();
     if (*d <= radius) hits.emplace_back(*d, p);

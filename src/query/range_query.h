@@ -17,14 +17,6 @@ namespace tso {
 StatusOr<std::vector<uint32_t>> RangeQuery(const DistanceSource& source,
                                            uint32_t query, double radius);
 
-/// Deprecated representation-templated entry point: thin shim kept for
-/// pre-DistanceSource call sites; prefer the overload above in new code.
-template <typename Oracle>
-StatusOr<std::vector<uint32_t>> RangeQuery(const Oracle& oracle,
-                                           uint32_t query, double radius) {
-  return RangeQuery(MakeSource(oracle), query, radius);
-}
-
 }  // namespace tso
 
 #endif  // TSO_QUERY_RANGE_QUERY_H_

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "dyn/dynamic_oracle.h"
 #include "oracle/pack_format.h"
 
 namespace tso {
@@ -10,9 +11,15 @@ namespace tso {
 /// turn borrows from the views (for a pack, its PairSource spans the
 /// PackView's shard vector). The struct is never moved after construction,
 /// so those internal borrows stay valid for its whole lifetime.
+///
+/// A mutable generation sets `dyn` instead: `source` is left empty (the
+/// dynamic oracle pins a fresh snapshot per query — a State-lifetime source
+/// would go stale at the first merge) and queries forward to the oracle's
+/// own query surface.
 struct ServeEngine::State {
   std::optional<PackView> pack;
   std::optional<OracleView> flat;
+  std::shared_ptr<DynamicSeOracle> dyn;
   DistanceSource source;
   uint32_t num_shards = 0;
   size_t mapped_bytes = 0;
@@ -67,11 +74,29 @@ Status ServeEngine::Load(const std::string& path) {
   return Status::Ok();
 }
 
+Status ServeEngine::Host(std::shared_ptr<DynamicSeOracle> dyn) {
+  if (dyn == nullptr) {
+    return Status::InvalidArgument("cannot host a null dynamic oracle");
+  }
+  auto fresh = std::make_unique<State>();
+  fresh->num_shards = 1;
+  fresh->mapped_bytes = dyn->SizeBytes();
+  fresh->dyn = std::move(dyn);
+
+  std::lock_guard<std::mutex> lock(load_mu_);
+  State* old = state_.exchange(fresh.release(), std::memory_order_seq_cst);
+  if (old != nullptr) epoch_.Retire([old]() { delete old; });
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  epoch_.Reclaim();
+  return Status::Ok();
+}
+
 StatusOr<double> ServeEngine::Distance(uint32_t s, uint32_t t) const {
   queries_.fetch_add(1, std::memory_order_relaxed);
   EpochDomain::Guard guard = epoch_.Enter();
   const State* state = Pinned();
   if (state == nullptr) return Status::FailedPrecondition("no oracle loaded");
+  if (state->dyn != nullptr) return state->dyn->Distance(s, t);
   return state->source.Distance(s, t);
 }
 
@@ -85,6 +110,7 @@ StatusOr<std::vector<double>> ServeEngine::Batch(
   EpochDomain::Guard guard = epoch_.Enter();
   const State* state = Pinned();
   if (state == nullptr) return Status::FailedPrecondition("no oracle loaded");
+  if (state->dyn != nullptr) return state->dyn->Batch(queries, num_threads);
   return DistanceBatch(state->source, queries, num_threads);
 }
 
@@ -94,6 +120,7 @@ StatusOr<std::vector<KnnResult>> ServeEngine::Knn(uint32_t query, size_t k,
   EpochDomain::Guard guard = epoch_.Enter();
   const State* state = Pinned();
   if (state == nullptr) return Status::FailedPrecondition("no oracle loaded");
+  if (state->dyn != nullptr) return state->dyn->Knn(query, k, num_threads);
   if (num_threads == 1) return KnnQuery(state->source, query, k);
   return KnnQueryParallel(state->source, query, k, num_threads);
 }
@@ -104,6 +131,9 @@ StatusOr<std::vector<uint32_t>> ServeEngine::Range(
   EpochDomain::Guard guard = epoch_.Enter();
   const State* state = Pinned();
   if (state == nullptr) return Status::FailedPrecondition("no oracle loaded");
+  if (state->dyn != nullptr) {
+    return state->dyn->Range(query, radius, num_threads);
+  }
   if (num_threads == 1) return RangeQuery(state->source, query, radius);
   return RangeQueryParallel(state->source, query, radius, num_threads);
 }
@@ -117,8 +147,13 @@ ServeEngine::Stats ServeEngine::stats() const {
   const State* state = Pinned();
   if (state != nullptr) {
     s.num_shards = state->num_shards;
-    s.num_pois = state->source.num_pois();
     s.mapped_bytes = state->mapped_bytes;
+    if (state->dyn != nullptr) {
+      s.dynamic = true;
+      s.num_pois = state->dyn->num_live();
+    } else {
+      s.num_pois = state->source.num_pois();
+    }
   }
   return s;
 }

@@ -16,11 +16,14 @@
 
 namespace tso {
 
+class DynamicSeOracle;
+
 /// The serving tier: a long-lived engine that owns the currently published
-/// oracle — a multi-shard pack (TSOPACK) or a single flat oracle (TSOFLAT),
-/// memory-mapped either way — and answers the full query surface through
-/// the unified DistanceSource interface while allowing the mapping to be
-/// republished at any time.
+/// oracle — a multi-shard pack (TSOPACK), a single flat oracle (TSOFLAT),
+/// memory-mapped either way, or a hosted mutable generation (a
+/// DynamicSeOracle absorbing POI churn) — and answers the full query
+/// surface through the unified DistanceSource interface while allowing the
+/// generation to be republished at any time.
 ///
 /// Hot reload, the point of this class: Load() may be called while any
 /// number of threads are mid-query. The swap is one atomic pointer
@@ -49,6 +52,15 @@ class ServeEngine {
   /// down. Also the initial load.
   Status Load(const std::string& path);
 
+  /// Publishes a mutable generation: queries route to the dynamic oracle
+  /// (which applies its own snapshot pinning), so the engine serves
+  /// consistent answers while writer threads insert/remove POIs and
+  /// compactions republish the base underneath. Shares ownership with the
+  /// caller's writers. A later Load()/Host() retires the generation like
+  /// any other; the dynamic oracle itself outlives retirement as long as
+  /// the caller holds its shared_ptr.
+  Status Host(std::shared_ptr<DynamicSeOracle> dyn);
+
   /// True once a Load() has succeeded.
   bool loaded() const {
     return state_.load(std::memory_order_acquire) != nullptr;
@@ -74,11 +86,12 @@ class ServeEngine {
                                         uint32_t num_threads = 1) const;
 
   struct Stats {
-    uint64_t reloads = 0;       // successful Load() calls
+    uint64_t reloads = 0;       // successful Load()/Host() calls
     uint64_t queries = 0;       // query-surface calls served
     uint32_t num_shards = 0;    // 0 before the first load; 1 for flat files
-    uint64_t num_pois = 0;
-    size_t mapped_bytes = 0;    // current published mapping
+    uint64_t num_pois = 0;      // live POIs for a dynamic generation
+    size_t mapped_bytes = 0;    // current published mapping / resident bytes
+    bool dynamic = false;       // current generation is a DynamicSeOracle
     EpochDomain::Stats epoch;   // grace-period bookkeeping
   };
   Stats stats() const;

@@ -9,9 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include "dyn/dynamic_oracle.h"
 #include "geodesic/dijkstra_solver.h"
 #include "geodesic/mmp_solver.h"
-#include "oracle/dynamic_oracle.h"
 #include "oracle/se_oracle.h"
 #include "query/batch.h"
 #include "terrain/dataset.h"
@@ -129,10 +129,10 @@ TEST(Concurrency, DistanceBatchMatchesSerial) {
         static_cast<uint32_t>(rng.Uniform(fx.oracle->num_pois())),
         static_cast<uint32_t>(rng.Uniform(fx.oracle->num_pois())));
   }
-  StatusOr<std::vector<double>> serial = DistanceBatch(*fx.oracle, pairs, 1);
+  StatusOr<std::vector<double>> serial = DistanceBatch(MakeSource(*fx.oracle), pairs, 1);
   ASSERT_TRUE(serial.ok());
   StatusOr<std::vector<double>> parallel =
-      DistanceBatch(*fx.oracle, pairs, kThreads);
+      DistanceBatch(MakeSource(*fx.oracle), pairs, kThreads);
   ASSERT_TRUE(parallel.ok());
   ASSERT_EQ(parallel->size(), pairs.size());
   for (size_t i = 0; i < pairs.size(); ++i) {
@@ -144,13 +144,13 @@ TEST(Concurrency, DistanceBatchRejectsBadIds) {
   const SharedOracle& fx = Fx();
   std::vector<std::pair<uint32_t, uint32_t>> pairs(500, {0u, 1u});
   pairs[250] = {0u, 9999u};
-  EXPECT_FALSE(DistanceBatch(*fx.oracle, pairs, kThreads).ok());
-  EXPECT_FALSE(DistanceBatch(*fx.oracle, pairs, 1).ok());
+  EXPECT_FALSE(DistanceBatch(MakeSource(*fx.oracle), pairs, kThreads).ok());
+  EXPECT_FALSE(DistanceBatch(MakeSource(*fx.oracle), pairs, 1).ok());
 }
 
 TEST(Concurrency, DistanceBatchEmpty) {
   const SharedOracle& fx = Fx();
-  StatusOr<std::vector<double>> out = DistanceBatch(*fx.oracle, {}, kThreads);
+  StatusOr<std::vector<double>> out = DistanceBatch(MakeSource(*fx.oracle), {}, kThreads);
   ASSERT_TRUE(out.ok());
   EXPECT_TRUE(out->empty());
 }
@@ -160,9 +160,9 @@ TEST(Concurrency, ParallelKnnMatchesSerial) {
   const size_t n = fx.oracle->num_pois();
   for (uint32_t q : {0u, 7u, 21u}) {
     for (size_t k : {size_t{0}, size_t{1}, size_t{5}, n - 1, n + 10}) {
-      StatusOr<std::vector<KnnResult>> serial = KnnQuery(*fx.oracle, q, k);
+      StatusOr<std::vector<KnnResult>> serial = KnnQuery(MakeSource(*fx.oracle), q, k);
       StatusOr<std::vector<KnnResult>> parallel =
-          KnnQueryParallel(*fx.oracle, q, k, kThreads);
+          KnnQueryParallel(MakeSource(*fx.oracle), q, k, kThreads);
       ASSERT_TRUE(serial.ok() && parallel.ok());
       ASSERT_EQ(parallel->size(), serial->size()) << "q=" << q << " k=" << k;
       for (size_t i = 0; i < serial->size(); ++i) {
@@ -171,21 +171,21 @@ TEST(Concurrency, ParallelKnnMatchesSerial) {
       }
     }
   }
-  EXPECT_FALSE(KnnQueryParallel(*fx.oracle, 9999, 3, kThreads).ok());
+  EXPECT_FALSE(KnnQueryParallel(MakeSource(*fx.oracle), 9999, 3, kThreads).ok());
 }
 
 TEST(Concurrency, ParallelRangeMatchesSerial) {
   const SharedOracle& fx = Fx();
   for (double radius : {0.0, 300.0, 1000.0, 1e12}) {
     StatusOr<std::vector<uint32_t>> serial =
-        RangeQuery(*fx.oracle, 3, radius);
+        RangeQuery(MakeSource(*fx.oracle), 3, radius);
     StatusOr<std::vector<uint32_t>> parallel =
-        RangeQueryParallel(*fx.oracle, 3, radius, kThreads);
+        RangeQueryParallel(MakeSource(*fx.oracle), 3, radius, kThreads);
     ASSERT_TRUE(serial.ok() && parallel.ok());
     EXPECT_EQ(*parallel, *serial) << "radius=" << radius;
   }
-  EXPECT_FALSE(RangeQueryParallel(*fx.oracle, 0, -1.0, kThreads).ok());
-  EXPECT_FALSE(RangeQueryParallel(*fx.oracle, 9999, 1.0, kThreads).ok());
+  EXPECT_FALSE(RangeQueryParallel(MakeSource(*fx.oracle), 0, -1.0, kThreads).ok());
+  EXPECT_FALSE(RangeQueryParallel(MakeSource(*fx.oracle), 9999, 1.0, kThreads).ok());
 }
 
 // kNN and range queries issue many oracle probes internally; running them
@@ -195,9 +195,9 @@ TEST(Concurrency, MixedWorkloadHammer) {
   const SharedOracle& fx = Fx();
   const size_t n = fx.oracle->num_pois();
   const std::vector<KnnResult> knn_truth =
-      KnnQueryPruned(*fx.oracle, 3, 5).value();
+      KnnQueryPruned(MakeSource(*fx.oracle), 3, 5).value();
   const std::vector<uint32_t> range_truth =
-      RangeQuery(*fx.oracle, 3, 800.0).value();
+      RangeQuery(MakeSource(*fx.oracle), 3, 800.0).value();
   const double d_truth = fx.oracle->Distance(1, n - 1).value();
 
   std::atomic<size_t> failures{0};
@@ -208,7 +208,7 @@ TEST(Concurrency, MixedWorkloadHammer) {
         switch ((t + round) % 3) {
           case 0: {
             StatusOr<std::vector<KnnResult>> knn =
-                KnnQueryPruned(*fx.oracle, 3, 5);
+                KnnQueryPruned(MakeSource(*fx.oracle), 3, 5);
             if (!knn.ok() || knn->size() != knn_truth.size() ||
                 (*knn)[0].poi != knn_truth[0].poi) {
               ++failures;
@@ -217,7 +217,7 @@ TEST(Concurrency, MixedWorkloadHammer) {
           }
           case 1: {
             StatusOr<std::vector<uint32_t>> hits =
-                RangeQuery(*fx.oracle, 3, 800.0);
+                RangeQuery(MakeSource(*fx.oracle), 3, 800.0);
             if (!hits.ok() || *hits != range_truth) ++failures;
             break;
           }
@@ -234,9 +234,9 @@ TEST(Concurrency, MixedWorkloadHammer) {
   EXPECT_EQ(failures.load(), 0u);
 }
 
-// DynamicSeOracle's single-writer/many-reader contract: concurrent
-// Distance() calls (base-to-base and delta paths) are safe once mutation has
-// quiesced.
+// DynamicSeOracle many-reader consistency: after mutation quiesces, every
+// thread sees bitwise-identical answers on both the base and delta paths
+// (the heavier read/write/compact hammer lives in dyn_hammer_test.cc).
 TEST(Concurrency, DynamicOracleConcurrentReads) {
   const SharedOracle& fx = Fx();
   std::vector<SurfacePoint> base(fx.ds->pois.begin(),
@@ -244,11 +244,11 @@ TEST(Concurrency, DynamicOracleConcurrentReads) {
   DynamicOracleOptions options;
   options.base.epsilon = 0.1;
   options.max_delta = 1024;
-  options.compaction_ratio = 1.0;  // keep the inserts in the delta buffer
-  StatusOr<DynamicSeOracle> built =
-      DynamicSeOracle::Build(*fx.ds->mesh, base, *fx.solver, options);
+  options.compaction_ratio = 1.0;  // keep the inserts in the delta
+  StatusOr<std::unique_ptr<DynamicSeOracle>> built =
+      DynamicSeOracle::Create(*fx.ds->mesh, base, *fx.solver, options);
   ASSERT_TRUE(built.ok());
-  DynamicSeOracle dyn = std::move(*built);
+  DynamicSeOracle& dyn = **built;
   for (size_t i = 20; i < 23; ++i) {
     ASSERT_TRUE(dyn.Insert(fx.ds->pois[i]).ok());
   }

@@ -1,0 +1,168 @@
+// The dynamic-oracle hammer (the TSan CI target for the mutable stack):
+// 6 reader threads sweep random stable-id pairs through pinned snapshots
+// while 2 writer threads churn inserts/removes hard enough to force
+// hundreds of log merges and >100 background compactions. Readers must
+// never observe a failed or torn answer; after the writers quiesce, a final
+// compaction must leave the oracle bit-identical to a from-scratch static
+// build over the surviving POI set.
+
+#include <atomic>
+#include <cmath>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dyn/dynamic_oracle.h"
+#include "geodesic/dijkstra_solver.h"
+#include "terrain/dataset.h"
+#include "terrain/poi_generator.h"
+
+namespace tso {
+namespace {
+
+constexpr uint32_t kReaders = 6;
+constexpr uint32_t kWriters = 2;
+constexpr size_t kInsertsPerWriter = 500;
+constexpr size_t kLivePerWriter = 6;  // sliding window of own inserts
+
+TEST(DynHammer, ReadWriteCompactHammer) {
+  StatusOr<Dataset> ds =
+      MakePaperDataset(PaperDataset::kSanFranciscoSmall, 300, 24, 37);
+  ASSERT_TRUE(ds.ok());
+  const TerrainMesh& mesh = *ds->mesh;
+  DijkstraSolver solver(mesh);
+
+  DynamicOracleOptions options;
+  options.base.epsilon = 0.2;
+  options.max_delta = 4;  // compact roughly every 5 inserts
+  options.solver_factory = [&mesh]() {
+    return std::unique_ptr<GeodesicSolver>(new DijkstraSolver(mesh));
+  };
+  StatusOr<std::unique_ptr<DynamicSeOracle>> built =
+      DynamicSeOracle::Create(mesh, ds->pois, solver, options);
+  ASSERT_TRUE(built.ok());
+  DynamicSeOracle& dyn = **built;
+
+  // Pre-generate each writer's insert pool so worker threads never touch
+  // the (non-thread-safe) point locator.
+  std::vector<std::vector<SurfacePoint>> pools(kWriters);
+  for (uint32_t w = 0; w < kWriters; ++w) {
+    Rng rng(100 + w);
+    pools[w] =
+        GenerateUniformPois(mesh, *ds->locator, kInsertsPerWriter, rng);
+  }
+
+  std::atomic<uint32_t> writers_running{kWriters};
+  std::atomic<size_t> write_failures{0};
+  std::atomic<size_t> read_failures{0};
+  std::atomic<size_t> wrong_answers{0};
+  std::atomic<size_t> reads_done{0};
+
+  std::vector<std::thread> threads;
+  for (uint32_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w]() {
+      std::deque<uint32_t> own;
+      size_t ops = 0;
+      for (const SurfacePoint& p : pools[w]) {
+        StatusOr<uint32_t> id = dyn.Insert(p);
+        if (!id.ok()) {
+          ++write_failures;
+          continue;
+        }
+        own.push_back(*id);
+        if (own.size() > kLivePerWriter) {
+          if (!dyn.Remove(own.front()).ok()) ++write_failures;
+          own.pop_front();
+        }
+        // Force a blocking compaction every 5th insert so the hammer always
+        // crosses the >=100 compaction bar, however the automatic
+        // (try-lock, best-effort) trigger is scheduled.
+        if (++ops % 5 == 0 && !dyn.Compact().ok()) ++write_failures;
+      }
+      writers_running.fetch_sub(1);
+    });
+  }
+
+  for (uint32_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r]() {
+      uint64_t lcg = 0x9e3779b97f4a7c15ull + r;
+      auto next = [&lcg]() {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return lcg >> 33;
+      };
+      while (writers_running.load(std::memory_order_acquire) > 0) {
+        // The strong consistency probe: everything below runs against ONE
+        // pinned immutable snapshot, so liveness seen through the pin must
+        // agree exactly with the answer from the pin's source.
+        DynamicSeOracle::PinnedSource pinned = dyn.Pin();
+        const DynamicSnapshot& snap = pinned.snapshot();
+        const uint32_t n = static_cast<uint32_t>(snap.num_ids());
+        const uint32_t s = static_cast<uint32_t>(next() % n);
+        const uint32_t t = static_cast<uint32_t>(next() % n);
+        StatusOr<double> d = pinned.source().Distance(s, t);
+        if (snap.IsLive(s) && snap.IsLive(t)) {
+          if (!d.ok()) {
+            ++read_failures;
+          } else if (!(std::isfinite(*d) && *d >= 0.0)) {
+            ++wrong_answers;
+          }
+        } else if (d.ok() || d.status().code() != StatusCode::kNotFound) {
+          ++wrong_answers;  // dead id must answer NotFound, nothing else
+        }
+        // Base POIs are never removed by the writers: kNN from one must
+        // always succeed, whatever generation is current.
+        if (reads_done.fetch_add(1, std::memory_order_relaxed) % 64 == 0) {
+          StatusOr<std::vector<KnnResult>> knn =
+              KnnQuery(pinned.source(), 3, 5);
+          if (!knn.ok() || knn->size() != 5u) ++read_failures;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(write_failures.load(), 0u);
+  EXPECT_EQ(read_failures.load(), 0u);
+  EXPECT_EQ(wrong_answers.load(), 0u);
+  EXPECT_GT(reads_done.load(), 0u);
+
+  DynamicStats mid = dyn.stats();
+  EXPECT_GE(mid.compactions, 100u) << "churn did not exercise compaction";
+  EXPECT_EQ(mid.inserts, kWriters * kInsertsPerWriter);
+  EXPECT_EQ(mid.oplog_depth, 0u);
+
+  // Quiesce + final compaction, then the bit-identical sweep: the dynamic
+  // oracle must answer exactly like a from-scratch static build over the
+  // survivors (ascending stable id — the canonical order Compact uses).
+  ASSERT_TRUE(dyn.Compact().ok());
+  std::vector<uint32_t> live;
+  std::vector<SurfacePoint> survivors;
+  for (uint32_t id = 0; id < dyn.num_ids(); ++id) {
+    if (!dyn.IsLive(id)) continue;
+    live.push_back(id);
+    survivors.push_back(dyn.poi(id));
+  }
+  EXPECT_EQ(live.size(), ds->n() + kWriters * kLivePerWriter);
+  DijkstraSolver fresh_solver(mesh);
+  StatusOr<SeOracle> fresh =
+      SeOracle::Build(mesh, survivors, fresh_solver, options.base);
+  ASSERT_TRUE(fresh.ok());
+  for (uint32_t i = 0; i < live.size(); ++i) {
+    for (uint32_t j = 0; j < live.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(*dyn.Distance(live[i], live[j]), *fresh->Distance(i, j))
+          << live[i] << "," << live[j];
+    }
+  }
+
+  // Every retired generation is accounted for: nothing leaks, nothing is
+  // reclaimed twice.
+  DynamicStats fin = dyn.stats();
+  EXPECT_EQ(fin.epoch.retired, fin.epoch.reclaimed + fin.epoch.pending);
+  EXPECT_EQ(fin.live_pois, live.size());
+}
+
+}  // namespace
+}  // namespace tso

@@ -147,6 +147,79 @@ TEST(EpochDomainTest, ConcurrentSwapHammer) {
   delete shared.load();
 }
 
+// The shutdown race the dynamic oracle's destructor depends on: destroying
+// a domain while a reader still holds a Guard. ~EpochDomain runs Quiesce(),
+// which must wait for the guard to release before running the pending
+// reclaimers — never reclaim under the reader, never return early.
+TEST(EpochDomainTest, DestructorQuiesceRacesGuardRelease) {
+  auto* domain = new EpochDomain();
+  std::atomic<bool> reader_pinned{false};
+  std::atomic<bool> release_reader{false};
+  std::atomic<bool> freed{false};
+  std::atomic<bool> destroyed{false};
+
+  std::thread reader([&]() {
+    EpochDomain::Guard guard = domain->Enter();
+    reader_pinned.store(true, std::memory_order_release);
+    while (!release_reader.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    // The guard pinned the retire epoch the whole time: the reclaimer must
+    // not have run while we could still dereference the retired object.
+    EXPECT_FALSE(freed.load(std::memory_order_acquire));
+  });
+  while (!reader_pinned.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  domain->Retire(
+      [&freed]() { freed.store(true, std::memory_order_release); });
+
+  std::thread destroyer([&]() {
+    delete domain;  // blocks in Quiesce() until the reader exits
+    destroyed.store(true, std::memory_order_release);
+  });
+  // Give the destructor a window to (incorrectly) finish early.
+  for (int i = 0; i < 1000 && !destroyed.load(std::memory_order_acquire);
+       ++i) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(destroyed.load(std::memory_order_acquire));
+  EXPECT_FALSE(freed.load(std::memory_order_acquire));
+
+  release_reader.store(true, std::memory_order_release);
+  reader.join();
+  destroyer.join();
+  EXPECT_TRUE(destroyed.load(std::memory_order_acquire));
+  EXPECT_TRUE(freed.load(std::memory_order_acquire));
+}
+
+// Concurrent Retire() storm from many threads racing Reclaim(), then a
+// destructor quiesce: every reclaimer runs exactly once.
+TEST(EpochDomainTest, ConcurrentRetireStormThenDestructorQuiesce) {
+  constexpr int kThreads = 8;
+  constexpr int kRetiresPerThread = 500;
+  std::atomic<uint64_t> reclaimed{0};
+  {
+    EpochDomain domain;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&]() {
+        for (int i = 0; i < kRetiresPerThread; ++i) {
+          domain.Retire([&reclaimed]() {
+            reclaimed.fetch_add(1, std::memory_order_relaxed);
+          });
+          if (i % 16 == 0) domain.Reclaim();
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    // Destructor quiesces whatever Reclaim() calls have not freed yet.
+  }
+  EXPECT_EQ(reclaimed.load(),
+            static_cast<uint64_t>(kThreads) * kRetiresPerThread);
+}
+
 // Two domains used from the same thread must not alias each other's slots.
 TEST(EpochDomainTest, IndependentDomains) {
   EpochDomain a;

@@ -92,23 +92,23 @@ TEST(FlatFormat, QueryEnginesMatchAcrossRepresentations) {
   for (uint32_t q : {0u, 3u, n - 1}) {
     // kNN: linear, pruned, and sharded variants.
     for (size_t k : {size_t{1}, size_t{5}, size_t{n}}) {
-      StatusOr<std::vector<KnnResult>> a = KnnQuery(*fx.oracle, q, k);
-      StatusOr<std::vector<KnnResult>> b = KnnQuery(*view, q, k);
+      StatusOr<std::vector<KnnResult>> a = KnnQuery(MakeSource(*fx.oracle), q, k);
+      StatusOr<std::vector<KnnResult>> b = KnnQuery(MakeSource(*view), q, k);
       ASSERT_TRUE(a.ok() && b.ok());
       ASSERT_EQ(a->size(), b->size());
       for (size_t i = 0; i < a->size(); ++i) {
         EXPECT_EQ((*a)[i].poi, (*b)[i].poi);
         EXPECT_EQ((*a)[i].distance, (*b)[i].distance);
       }
-      StatusOr<std::vector<KnnResult>> ap = KnnQueryPruned(*fx.oracle, q, k);
-      StatusOr<std::vector<KnnResult>> bp = KnnQueryPruned(*view, q, k);
+      StatusOr<std::vector<KnnResult>> ap = KnnQueryPruned(MakeSource(*fx.oracle), q, k);
+      StatusOr<std::vector<KnnResult>> bp = KnnQueryPruned(MakeSource(*view), q, k);
       ASSERT_TRUE(ap.ok() && bp.ok());
       ASSERT_EQ(ap->size(), bp->size());
       for (size_t i = 0; i < ap->size(); ++i) {
         EXPECT_EQ((*ap)[i].poi, (*bp)[i].poi);
         EXPECT_EQ((*ap)[i].distance, (*bp)[i].distance);
       }
-      StatusOr<std::vector<KnnResult>> bs = KnnQueryParallel(*view, q, k, 4);
+      StatusOr<std::vector<KnnResult>> bs = KnnQueryParallel(MakeSource(*view), q, k, 4);
       ASSERT_TRUE(bs.ok());
       ASSERT_EQ(a->size(), bs->size());
       for (size_t i = 0; i < a->size(); ++i) {
@@ -118,10 +118,10 @@ TEST(FlatFormat, QueryEnginesMatchAcrossRepresentations) {
     }
     // Range.
     for (double radius : {0.0, 500.0, 1e9}) {
-      StatusOr<std::vector<uint32_t>> a = RangeQuery(*fx.oracle, q, radius);
-      StatusOr<std::vector<uint32_t>> b = RangeQuery(*view, q, radius);
+      StatusOr<std::vector<uint32_t>> a = RangeQuery(MakeSource(*fx.oracle), q, radius);
+      StatusOr<std::vector<uint32_t>> b = RangeQuery(MakeSource(*view), q, radius);
       StatusOr<std::vector<uint32_t>> bs =
-          RangeQueryParallel(*view, q, radius, 4);
+          RangeQueryParallel(MakeSource(*view), q, radius, 4);
       ASSERT_TRUE(a.ok() && b.ok() && bs.ok());
       EXPECT_EQ(*a, *b);
       EXPECT_EQ(*a, *bs);
@@ -133,9 +133,9 @@ TEST(FlatFormat, QueryEnginesMatchAcrossRepresentations) {
   for (uint32_t s = 0; s < n; ++s) {
     for (uint32_t t = 0; t < n; ++t) queries.emplace_back(s, t);
   }
-  StatusOr<std::vector<double>> a = DistanceBatch(*fx.oracle, queries, 1);
-  StatusOr<std::vector<double>> b = DistanceBatch(*view, queries, 1);
-  StatusOr<std::vector<double>> bp = DistanceBatch(*view, queries, 4);
+  StatusOr<std::vector<double>> a = DistanceBatch(MakeSource(*fx.oracle), queries, 1);
+  StatusOr<std::vector<double>> b = DistanceBatch(MakeSource(*view), queries, 1);
+  StatusOr<std::vector<double>> bp = DistanceBatch(MakeSource(*view), queries, 4);
   ASSERT_TRUE(a.ok() && b.ok() && bp.ok());
   EXPECT_EQ(*a, *b);
   EXPECT_EQ(*a, *bp);

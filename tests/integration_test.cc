@@ -105,7 +105,7 @@ TEST(Integration, HikersWorkflow) {
       SeOracle::Build(*ds->mesh, ds->pois, solver, options, nullptr);
   ASSERT_TRUE(oracle.ok());
   for (uint32_t q = 0; q < 5; ++q) {
-    StatusOr<std::vector<KnnResult>> knn = KnnQuery(*oracle, q, 3);
+    StatusOr<std::vector<KnnResult>> knn = KnnQuery(MakeSource(*oracle), q, 3);
     ASSERT_TRUE(knn.ok());
     ASSERT_EQ(knn->size(), 3u);
     // kNN under the ε metric must be near-optimal under the exact metric.

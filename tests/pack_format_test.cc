@@ -133,8 +133,8 @@ TEST(PackFormat, KnnRangeBatchBitIdenticalToMonolithic) {
   const uint32_t n = static_cast<uint32_t>(oracle.num_pois());
 
   for (uint32_t q = 0; q < n; ++q) {
-    StatusOr<std::vector<KnnResult>> mono = KnnQuery(oracle, q, 5);
-    StatusOr<std::vector<KnnResult>> sharded = KnnQuery(*pack, q, 5);
+    StatusOr<std::vector<KnnResult>> mono = KnnQuery(MakeSource(oracle), q, 5);
+    StatusOr<std::vector<KnnResult>> sharded = KnnQuery(MakeSource(*pack), q, 5);
     ASSERT_TRUE(mono.ok());
     ASSERT_TRUE(sharded.ok());
     ASSERT_EQ(mono->size(), sharded->size());
@@ -143,9 +143,9 @@ TEST(PackFormat, KnnRangeBatchBitIdenticalToMonolithic) {
       EXPECT_EQ((*mono)[i].distance, (*sharded)[i].distance);
     }
 
-    StatusOr<std::vector<KnnResult>> pruned_mono = KnnQueryPruned(oracle, q, 5);
+    StatusOr<std::vector<KnnResult>> pruned_mono = KnnQueryPruned(MakeSource(oracle), q, 5);
     StatusOr<std::vector<KnnResult>> pruned_sharded =
-        KnnQueryPruned(*pack, q, 5);
+        KnnQueryPruned(MakeSource(*pack), q, 5);
     ASSERT_TRUE(pruned_mono.ok());
     ASSERT_TRUE(pruned_sharded.ok());
     ASSERT_EQ(pruned_mono->size(), pruned_sharded->size());
@@ -157,9 +157,9 @@ TEST(PackFormat, KnnRangeBatchBitIdenticalToMonolithic) {
     StatusOr<double> probe = oracle.Distance(q, (q + 1) % n);
     ASSERT_TRUE(probe.ok());
     const double radius = *probe * 1.5;
-    StatusOr<std::vector<uint32_t>> range_mono = RangeQuery(oracle, q, radius);
+    StatusOr<std::vector<uint32_t>> range_mono = RangeQuery(MakeSource(oracle), q, radius);
     StatusOr<std::vector<uint32_t>> range_sharded =
-        RangeQuery(*pack, q, radius);
+        RangeQuery(MakeSource(*pack), q, radius);
     ASSERT_TRUE(range_mono.ok());
     ASSERT_TRUE(range_sharded.ok());
     EXPECT_EQ(*range_mono, *range_sharded);
@@ -169,9 +169,9 @@ TEST(PackFormat, KnnRangeBatchBitIdenticalToMonolithic) {
   for (uint32_t i = 0; i < n; ++i) {
     queries.emplace_back(i, (i * 7 + 3) % n);
   }
-  StatusOr<std::vector<double>> batch_mono = DistanceBatch(oracle, queries, 4);
+  StatusOr<std::vector<double>> batch_mono = DistanceBatch(MakeSource(oracle), queries, 4);
   StatusOr<std::vector<double>> batch_sharded =
-      DistanceBatch(*pack, queries, 4);
+      DistanceBatch(MakeSource(*pack), queries, 4);
   ASSERT_TRUE(batch_mono.ok());
   ASSERT_TRUE(batch_sharded.ok());
   EXPECT_EQ(*batch_mono, *batch_sharded);

@@ -32,7 +32,7 @@ struct QueryFixture {
 TEST(Knn, MatchesBruteForceOverOracleMetric) {
   QueryFixture fx;
   const uint32_t q = 3;
-  StatusOr<std::vector<KnnResult>> knn = KnnQuery(*fx.oracle, q, 5);
+  StatusOr<std::vector<KnnResult>> knn = KnnQuery(MakeSource(*fx.oracle), q, 5);
   ASSERT_TRUE(knn.ok());
   ASSERT_EQ(knn->size(), 5u);
   // Brute force over the same oracle distances.
@@ -59,9 +59,9 @@ TEST(Knn, PrunedMatchesLinearScan) {
   QueryFixture fx;
   for (uint32_t q : {0u, 5u, 11u, 20u}) {
     for (size_t k : {1ul, 3ul, 8ul}) {
-      StatusOr<std::vector<KnnResult>> linear = KnnQuery(*fx.oracle, q, k);
+      StatusOr<std::vector<KnnResult>> linear = KnnQuery(MakeSource(*fx.oracle), q, k);
       StatusOr<std::vector<KnnResult>> pruned =
-          KnnQueryPruned(*fx.oracle, q, k);
+          KnnQueryPruned(MakeSource(*fx.oracle), q, k);
       ASSERT_TRUE(linear.ok() && pruned.ok());
       ASSERT_EQ(pruned->size(), linear->size());
       for (size_t i = 0; i < linear->size(); ++i) {
@@ -75,41 +75,41 @@ TEST(Knn, PrunedMatchesLinearScan) {
 
 TEST(Knn, PrunedHandlesKLargerThanN) {
   QueryFixture fx;
-  StatusOr<std::vector<KnnResult>> pruned = KnnQueryPruned(*fx.oracle, 0, 999);
+  StatusOr<std::vector<KnnResult>> pruned = KnnQueryPruned(MakeSource(*fx.oracle), 0, 999);
   ASSERT_TRUE(pruned.ok());
   EXPECT_EQ(pruned->size(), fx.oracle->num_pois() - 1);
 }
 
 TEST(Knn, PrunedInvalidQueryRejected) {
   QueryFixture fx;
-  EXPECT_FALSE(KnnQueryPruned(*fx.oracle, 999, 3).ok());
+  EXPECT_FALSE(KnnQueryPruned(MakeSource(*fx.oracle), 999, 3).ok());
 }
 
 TEST(Knn, KLargerThanNReturnsAll) {
   QueryFixture fx;
-  StatusOr<std::vector<KnnResult>> knn = KnnQuery(*fx.oracle, 0, 999);
+  StatusOr<std::vector<KnnResult>> knn = KnnQuery(MakeSource(*fx.oracle), 0, 999);
   ASSERT_TRUE(knn.ok());
   EXPECT_EQ(knn->size(), fx.oracle->num_pois() - 1);
 }
 
 TEST(Knn, InvalidQueryRejected) {
   QueryFixture fx;
-  EXPECT_FALSE(KnnQuery(*fx.oracle, 999, 3).ok());
+  EXPECT_FALSE(KnnQuery(MakeSource(*fx.oracle), 999, 3).ok());
 }
 
 TEST(Knn, KZeroReturnsEmptyInBothVariants) {
   QueryFixture fx;
-  StatusOr<std::vector<KnnResult>> linear = KnnQuery(*fx.oracle, 3, 0);
+  StatusOr<std::vector<KnnResult>> linear = KnnQuery(MakeSource(*fx.oracle), 3, 0);
   ASSERT_TRUE(linear.ok());
   EXPECT_TRUE(linear->empty());
   // Regression: the pruned variant used to call best.front() on an empty
   // candidate heap when k == 0.
-  StatusOr<std::vector<KnnResult>> pruned = KnnQueryPruned(*fx.oracle, 3, 0);
+  StatusOr<std::vector<KnnResult>> pruned = KnnQueryPruned(MakeSource(*fx.oracle), 3, 0);
   ASSERT_TRUE(pruned.ok());
   EXPECT_TRUE(pruned->empty());
   // Out-of-range query ids are rejected even for k == 0.
-  EXPECT_FALSE(KnnQuery(*fx.oracle, 999, 0).ok());
-  EXPECT_FALSE(KnnQueryPruned(*fx.oracle, 999, 0).ok());
+  EXPECT_FALSE(KnnQuery(MakeSource(*fx.oracle), 999, 0).ok());
+  EXPECT_FALSE(KnnQueryPruned(MakeSource(*fx.oracle), 999, 0).ok());
 }
 
 TEST(Knn, DistanceTiesBrokenIdenticallyInBothVariants) {
@@ -134,9 +134,9 @@ TEST(Knn, DistanceTiesBrokenIdenticallyInBothVariants) {
                          "coarsen epsilon to restore the tie coverage";
   for (uint32_t q = 0; q < n; ++q) {
     for (size_t k = 1; k < n; ++k) {
-      StatusOr<std::vector<KnnResult>> linear = KnnQuery(*fx.oracle, q, k);
+      StatusOr<std::vector<KnnResult>> linear = KnnQuery(MakeSource(*fx.oracle), q, k);
       StatusOr<std::vector<KnnResult>> pruned =
-          KnnQueryPruned(*fx.oracle, q, k);
+          KnnQueryPruned(MakeSource(*fx.oracle), q, k);
       ASSERT_TRUE(linear.ok() && pruned.ok());
       ASSERT_EQ(pruned->size(), linear->size());
       for (size_t i = 0; i < linear->size(); ++i) {
@@ -152,7 +152,7 @@ TEST(Range, MatchesPredicate) {
   QueryFixture fx;
   const uint32_t q = 7;
   const double radius = 500.0;
-  StatusOr<std::vector<uint32_t>> hits = RangeQuery(*fx.oracle, q, radius);
+  StatusOr<std::vector<uint32_t>> hits = RangeQuery(MakeSource(*fx.oracle), q, radius);
   ASSERT_TRUE(hits.ok());
   std::set<uint32_t> hit_set(hits->begin(), hits->end());
   for (uint32_t p = 0; p < fx.oracle->num_pois(); ++p) {
@@ -164,19 +164,19 @@ TEST(Range, MatchesPredicate) {
 
 TEST(Range, ZeroRadiusEmpty) {
   QueryFixture fx;
-  StatusOr<std::vector<uint32_t>> hits = RangeQuery(*fx.oracle, 0, 0.0);
+  StatusOr<std::vector<uint32_t>> hits = RangeQuery(MakeSource(*fx.oracle), 0, 0.0);
   ASSERT_TRUE(hits.ok());
   EXPECT_TRUE(hits->empty());
 }
 
 TEST(Range, NegativeRadiusRejected) {
   QueryFixture fx;
-  EXPECT_FALSE(RangeQuery(*fx.oracle, 0, -1.0).ok());
+  EXPECT_FALSE(RangeQuery(MakeSource(*fx.oracle), 0, -1.0).ok());
 }
 
 TEST(Range, HugeRadiusReturnsAll) {
   QueryFixture fx;
-  StatusOr<std::vector<uint32_t>> hits = RangeQuery(*fx.oracle, 0, 1e12);
+  StatusOr<std::vector<uint32_t>> hits = RangeQuery(MakeSource(*fx.oracle), 0, 1e12);
   ASSERT_TRUE(hits.ok());
   EXPECT_EQ(hits->size(), fx.oracle->num_pois() - 1);
 }

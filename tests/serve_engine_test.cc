@@ -17,11 +17,13 @@
 
 #include <gtest/gtest.h>
 
+#include "dyn/dynamic_oracle.h"
 #include "geodesic/dijkstra_solver.h"
 #include "oracle/oracle_serde.h"
 #include "oracle/pack_view.h"
 #include "serve/engine.h"
 #include "terrain/dataset.h"
+#include "terrain/poi_generator.h"
 
 namespace tso {
 namespace {
@@ -104,7 +106,7 @@ TEST(ServeEngine, ServesPackAcrossFullQuerySurface) {
   const uint32_t n = static_cast<uint32_t>(oracle.num_pois());
 
   for (uint32_t q = 0; q < n; q += 5) {
-    StatusOr<std::vector<KnnResult>> mono = KnnQuery(oracle, q, 5);
+    StatusOr<std::vector<KnnResult>> mono = KnnQuery(MakeSource(oracle), q, 5);
     StatusOr<std::vector<KnnResult>> served = engine.Knn(q, 5);
     ASSERT_TRUE(served.ok()) << served.status().ToString();
     ASSERT_EQ(mono->size(), served->size());
@@ -116,7 +118,7 @@ TEST(ServeEngine, ServesPackAcrossFullQuerySurface) {
     const double radius = *oracle.Distance(q, (q + 1) % n) * 1.5;
     StatusOr<std::vector<uint32_t>> range = engine.Range(q, radius);
     ASSERT_TRUE(range.ok());
-    EXPECT_EQ(*RangeQuery(oracle, q, radius), *range);
+    EXPECT_EQ(*RangeQuery(MakeSource(oracle), q, radius), *range);
   }
 
   std::vector<std::pair<uint32_t, uint32_t>> queries;
@@ -125,7 +127,7 @@ TEST(ServeEngine, ServesPackAcrossFullQuerySurface) {
   }
   StatusOr<std::vector<double>> served = engine.Batch(queries, 4);
   ASSERT_TRUE(served.ok());
-  EXPECT_EQ(*DistanceBatch(oracle, queries, 4), *served);
+  EXPECT_EQ(*DistanceBatch(MakeSource(oracle), queries, 4), *served);
 }
 
 TEST(ServeEngine, FailedLoadKeepsPreviousGenerationServing) {
@@ -261,6 +263,126 @@ TEST(ServeEngine, HotReloadHammerZeroFailedQueries) {
   // Every retired generation either has been reclaimed already or is
   // pending (bounded garbage), never leaked silently.
   EXPECT_EQ(stats.epoch.retired, stats.epoch.reclaimed + stats.epoch.pending);
+}
+
+// A hosted mutable generation serves the full query surface and reports
+// dynamic stats; a later Load() of a mapped file replaces it.
+TEST(ServeEngine, HostsDynamicGeneration) {
+  ServeFixture& fx = Fixture();
+  const TerrainMesh& mesh = *fx.ds->mesh;
+  DijkstraSolver solver(mesh);
+  DynamicOracleOptions options;
+  options.base.epsilon = 0.25;
+  StatusOr<std::unique_ptr<DynamicSeOracle>> built =
+      DynamicSeOracle::Create(mesh, fx.ds->pois, solver, options);
+  ASSERT_TRUE(built.ok());
+  std::shared_ptr<DynamicSeOracle> dyn = std::move(*built);
+
+  ServeEngine engine;
+  EXPECT_EQ(engine.Host(nullptr).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(engine.Host(dyn).ok());
+  EXPECT_TRUE(engine.loaded());
+  EXPECT_EQ(*engine.Distance(1, 2), *fx.oracle->Distance(1, 2));
+  ASSERT_TRUE(engine.Knn(3, 5).ok());
+  ASSERT_TRUE(engine.Range(3, *fx.oracle->Distance(3, 4) * 1.5).ok());
+
+  const ServeEngine::Stats stats = engine.stats();
+  EXPECT_TRUE(stats.dynamic);
+  EXPECT_EQ(stats.num_pois, fx.ds->n());
+  EXPECT_EQ(stats.num_shards, 1u);
+  EXPECT_EQ(stats.reloads, 1u);
+
+  // A mutation through the owner is visible through the engine.
+  Rng rng(11);
+  std::vector<SurfacePoint> extra =
+      GenerateUniformPois(mesh, *fx.ds->locator, 1, rng);
+  StatusOr<uint32_t> id = dyn->Insert(extra[0]);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(engine.Distance(0, *id).ok());
+  EXPECT_EQ(engine.stats().num_pois, fx.ds->n() + 1);
+
+  // Swapping back to a mapped generation retires the hosted one; the owner's
+  // handle keeps working.
+  ASSERT_TRUE(engine.Load(fx.flat_path).ok());
+  EXPECT_FALSE(engine.stats().dynamic);
+  EXPECT_FALSE(engine.Distance(0, *id).ok());  // static gen: id out of range
+  EXPECT_TRUE(dyn->Distance(0, *id).ok());
+}
+
+// The satellite criterion: Load() failures while a writer thread is actively
+// mutating the hosted dynamic generation. Every failed load must leave the
+// dynamic generation serving (and mutating) undisturbed; a successful load
+// must swap it out without tripping the writer.
+TEST(ServeEngine, LoadFailureWhileWriterActive) {
+  ServeFixture& fx = Fixture();
+  const TerrainMesh& mesh = *fx.ds->mesh;
+  DijkstraSolver solver(mesh);
+  DynamicOracleOptions options;
+  options.base.epsilon = 0.25;
+  options.max_delta = 4;
+  options.solver_factory = [&mesh]() {
+    return std::unique_ptr<GeodesicSolver>(new DijkstraSolver(mesh));
+  };
+  StatusOr<std::unique_ptr<DynamicSeOracle>> built =
+      DynamicSeOracle::Create(mesh, fx.ds->pois, solver, options);
+  ASSERT_TRUE(built.ok());
+  std::shared_ptr<DynamicSeOracle> dyn = std::move(*built);
+
+  ServeEngine engine;
+  ASSERT_TRUE(engine.Host(dyn).ok());
+
+  constexpr size_t kChurn = 60;
+  Rng rng(23);
+  std::vector<SurfacePoint> pool =
+      GenerateUniformPois(mesh, *fx.ds->locator, kChurn, rng);
+  std::atomic<bool> writer_done{false};
+  std::atomic<size_t> writer_failures{0};
+  std::thread writer([&]() {
+    std::vector<uint32_t> own;
+    for (const SurfacePoint& p : pool) {
+      StatusOr<uint32_t> id = dyn->Insert(p);
+      if (!id.ok()) {
+        ++writer_failures;
+        continue;
+      }
+      own.push_back(*id);
+      if (own.size() > 4) {
+        if (!dyn->Remove(own.front()).ok()) ++writer_failures;
+        own.erase(own.begin());
+      }
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  const std::string garbage_path = ::testing::TempDir() + "/serve_dyn_garbage";
+  std::ofstream(garbage_path) << "not an oracle";
+  size_t failed_loads = 0;
+  while (!writer_done.load(std::memory_order_acquire)) {
+    // Both failure shapes: missing file and header-rejected garbage.
+    EXPECT_FALSE(engine.Load(::testing::TempDir() + "/does_not_exist").ok());
+    EXPECT_FALSE(engine.Load(garbage_path).ok());
+    failed_loads += 2;
+    // The dynamic generation still serves between failed swap attempts.
+    ASSERT_TRUE(engine.Distance(1, 2).ok());
+    EXPECT_TRUE(engine.stats().dynamic);
+  }
+  writer.join();
+  std::remove(garbage_path.c_str());
+
+  EXPECT_EQ(writer_failures.load(), 0u);
+  EXPECT_GE(failed_loads, 2u);
+  EXPECT_EQ(engine.stats().reloads, 1u);  // failed loads don't count
+
+  // A successful load after the churn swaps the writer's generation out
+  // cleanly; the owner handle still answers with the churned POI set.
+  ASSERT_TRUE(engine.Load(fx.flat_path).ok());
+  EXPECT_FALSE(engine.stats().dynamic);
+  EXPECT_EQ(engine.stats().reloads, 2u);
+  EXPECT_EQ(*engine.Distance(1, 2), *fx.oracle->Distance(1, 2));
+  DynamicStats ds = dyn->stats();
+  EXPECT_EQ(ds.inserts, kChurn);
+  EXPECT_EQ(ds.live_pois, fx.ds->n() + 4);
+  EXPECT_TRUE(dyn->Compact().ok());
 }
 
 }  // namespace

@@ -29,6 +29,7 @@
 
 #include "base/crc32.h"
 #include "base/mmap_file.h"
+#include "dyn/dynamic_oracle.h"
 #include "base/rng.h"
 #include "base/timer.h"
 #include "base/version.h"
@@ -66,6 +67,8 @@ struct Args {
   uint32_t shards = 4;                // pack: shard count
   std::string policy = "poi-range";   // pack: poi-range | geo
   size_t reloads = 0;                 // serve-bench: hot reloads under load
+  size_t churn = 0;        // --dynamic: seeded removes applied after mount
+  bool dynamic = false;    // query/inspect: mount the dynamic layer
   bool out_set = false;               // --out given (pack defaults differ)
   bool check = false;
 };
@@ -169,7 +172,13 @@ query options:
                                 is auto-detected by magic)
   --pair S,T                    POI id pair; repeatable
   --random N                    additionally run N random pairs
-  --seed S                      seed for --random
+  --seed S                      seed for --random (and for --churn)
+  --dynamic                     mount the log-structured dynamic layer on the
+                                mapped file and answer through it (remove-only:
+                                inserts need a mesh+solver); tombstoned ids
+                                print as such instead of failing
+  --churn N                     with --dynamic: tombstone N random live POIs
+                                before answering (seeded by --seed)
 
 serve-bench options:
   --oracle PATH                 oracle or pack file to serve (required)
@@ -183,6 +192,11 @@ serve-bench options:
 
 inspect options:
   --oracle PATH                 saved oracle or pack file (required)
+  --dynamic                     additionally mount the dynamic layer and
+                                report its stats (delta, oplog, epoch)
+  --churn N                     with --dynamic: tombstone N random live POIs
+                                first, so the reported delta/epoch state is
+                                non-trivial (seeded by --seed)
 
 bench options: same generation options as build-oracle, plus
   --queries N                   number of timed queries (default 1000)
@@ -268,6 +282,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--queries") {
       if (!(v = next())) return false;
       if (!ParseSizeFlag(flag, v, &args->bench_queries)) return false;
+    } else if (flag == "--dynamic") {
+      args->dynamic = true;
+    } else if (flag == "--churn") {
+      if (!(v = next())) return false;
+      if (!ParseSizeFlag(flag, v, &args->churn)) return false;
     } else if (flag == "--check") {
       args->check = true;
     } else if (flag == "--pair") {
@@ -449,6 +468,147 @@ StatusOr<FileKind> SniffFileKind(const std::string& path) {
   return FileKind::kOther;
 }
 
+/// The dynamic layer mounted over a saved file plus whatever backing
+/// representation must stay alive for it (FromSource does not own its base).
+/// File mounts carry no mesh or geodesic solver, so they are remove-only:
+/// tombstones and compact-free queries work, inserts do not.
+struct DynamicMount {
+  std::optional<PackView> pack;   // keep-alive: FromSource(pack)
+  std::optional<SeOracle> legacy; // keep-alive: FromSource(legacy)
+  std::unique_ptr<DynamicSeOracle> dyn;
+  const char* base_kind = "";
+};
+
+StatusOr<DynamicMount> MountDynamic(const std::string& path) {
+  StatusOr<FileKind> kind = SniffFileKind(path);
+  if (!kind.ok()) return kind.status();
+  DynamicMount mount;
+  DynamicOracleOptions options;
+  if (*kind == FileKind::kFlat) {
+    StatusOr<OracleView> view = OracleView::Open(path);
+    if (view.ok()) {
+      StatusOr<std::unique_ptr<DynamicSeOracle>> dyn = DynamicSeOracle::
+          FromView(*std::move(view), nullptr, nullptr, options);
+      if (!dyn.ok()) return dyn.status();
+      mount.dyn = std::move(*dyn);
+      mount.base_kind = "mapped flat oracle";
+      return mount;
+    }
+    if (view.status().code() != StatusCode::kUnimplemented) {
+      return view.status();
+    }
+    // No mmap on this platform: fall through to the in-memory loader.
+  } else if (*kind == FileKind::kPack) {
+    StatusOr<PackView> pack = PackView::Open(path);
+    if (!pack.ok()) return pack.status();
+    mount.pack.emplace(*std::move(pack));
+    StatusOr<std::unique_ptr<DynamicSeOracle>> dyn = DynamicSeOracle::
+        FromSource(MakeSource(*mount.pack), nullptr, nullptr, options);
+    if (!dyn.ok()) return dyn.status();
+    mount.dyn = std::move(*dyn);
+    mount.base_kind = "mapped oracle pack";
+    return mount;
+  }
+  StatusOr<SeOracle> oracle = LoadSeOracle(path);
+  if (!oracle.ok()) return oracle.status();
+  mount.legacy.emplace(*std::move(oracle));
+  StatusOr<std::unique_ptr<DynamicSeOracle>> dyn = DynamicSeOracle::
+      FromSource(MakeSource(*mount.legacy), nullptr, nullptr, options);
+  if (!dyn.ok()) return dyn.status();
+  mount.dyn = std::move(*dyn);
+  mount.base_kind = "deserialized oracle";
+  return mount;
+}
+
+/// Tombstones `n` random live POIs (seeded), so --churn demos/inspections
+/// exercise the delta + epoch machinery on top of a freshly mounted file.
+Status ApplyChurn(DynamicSeOracle& dyn, size_t n, uint64_t seed) {
+  Rng rng(seed ^ 0x853c49e6748fea9bULL);
+  for (size_t i = 0; i < n; ++i) {
+    if (dyn.num_live() == 0) break;
+    // Rejection-sample a live id; ids are dense at mount so this is cheap.
+    uint32_t id = 0;
+    do {
+      id = static_cast<uint32_t>(rng.Uniform(dyn.num_ids()));
+    } while (!dyn.IsLive(id));
+    TSO_RETURN_IF_ERROR(dyn.Remove(id));
+  }
+  return Status::Ok();
+}
+
+void PrintDynamicStats(const DynamicSeOracle& dyn) {
+  const DynamicStats s = dyn.stats();
+  std::printf(
+      "  dynamic: %zu live POIs / %zu stable ids, delta %zu rows, "
+      "oplog %zu pending, eps=%.3g\n",
+      s.live_pois, s.num_ids, s.delta_size, s.oplog_depth, dyn.epsilon());
+  std::printf(
+      "  writes:  %llu inserts, %llu removes, %llu compactions, "
+      "%llu publishes\n",
+      static_cast<unsigned long long>(s.inserts),
+      static_cast<unsigned long long>(s.removes),
+      static_cast<unsigned long long>(s.compactions),
+      static_cast<unsigned long long>(s.publishes));
+  std::printf(
+      "  epoch:   %llu retired = %llu reclaimed + %llu pending "
+      "(%zu reader slots)\n",
+      static_cast<unsigned long long>(s.epoch.retired),
+      static_cast<unsigned long long>(s.epoch.reclaimed),
+      static_cast<unsigned long long>(s.epoch.pending),
+      s.epoch.reader_slots);
+}
+
+/// `tso query --dynamic`: answers through the mounted dynamic layer, where
+/// a tombstoned endpoint is an expected NotFound (printed, not fatal).
+int CmdQueryDynamic(const Args& args) {
+  StatusOr<DynamicMount> mount = MountDynamic(args.oracle_path);
+  if (!mount.ok()) {
+    std::fprintf(stderr, "tso: mount: %s\n",
+                 mount.status().ToString().c_str());
+    return 1;
+  }
+  DynamicSeOracle& dyn = *mount->dyn;
+  std::printf(
+      "dynamic layer over %s: n=%zu POIs eps=%.3g (remove-only: no mesh)\n",
+      mount->base_kind, dyn.num_live(), dyn.epsilon());
+  if (args.churn > 0) {
+    Status churned = ApplyChurn(dyn, args.churn, args.seed);
+    if (!churned.ok()) {
+      std::fprintf(stderr, "tso: churn: %s\n", churned.ToString().c_str());
+      return 1;
+    }
+    std::printf("churn: tombstoned %zu POIs (%zu live)\n", args.churn,
+                dyn.num_live());
+  }
+
+  std::vector<std::pair<uint32_t, uint32_t>> pairs = args.pairs;
+  if (args.random_queries > 0) {
+    Rng rng(args.seed);
+    for (size_t i = 0; i < args.random_queries; ++i) {
+      pairs.emplace_back(static_cast<uint32_t>(rng.Uniform(dyn.num_ids())),
+                         static_cast<uint32_t>(rng.Uniform(dyn.num_ids())));
+    }
+  }
+  if (pairs.empty() && args.churn == 0) {
+    std::fprintf(stderr, "tso: nothing to do (use --pair S,T or --random N)\n");
+    return 1;
+  }
+  for (const auto& [s, t] : pairs) {
+    StatusOr<double> d = dyn.Distance(s, t);
+    if (d.ok()) {
+      std::printf("d(%u, %u) = %.6f\n", s, t, *d);
+    } else if (d.status().code() == StatusCode::kNotFound) {
+      std::printf("d(%u, %u) = tombstoned\n", s, t);
+    } else {
+      std::fprintf(stderr, "tso: query %u,%u: %s\n", s, t,
+                   d.status().ToString().c_str());
+      return 1;
+    }
+  }
+  PrintDynamicStats(dyn);
+  return 0;
+}
+
 /// Answers the query list against either representation (SeOracle or
 /// OracleView expose the same surface).
 template <typename Oracle>
@@ -483,6 +643,7 @@ int CmdQuery(const Args& args) {
     std::fprintf(stderr, "tso: query requires --oracle PATH\n");
     return 1;
   }
+  if (args.dynamic) return CmdQueryDynamic(args);
   StatusOr<FileKind> kind = SniffFileKind(args.oracle_path);
   if (!kind.ok()) {
     std::fprintf(stderr, "tso: %s\n", kind.status().ToString().c_str());
@@ -750,11 +911,7 @@ int InspectPack(const std::string& path, const std::string& bytes) {
   return 0;
 }
 
-int CmdInspect(const Args& args) {
-  if (args.oracle_path.empty()) {
-    std::fprintf(stderr, "tso: inspect requires --oracle PATH\n");
-    return 1;
-  }
+int InspectFile(const Args& args) {
   // Inspection reads the bytes through the portable buffered path (works on
   // platforms without mmap); serving uses OracleView::Open instead.
   std::ifstream in(args.oracle_path, std::ios::binary);
@@ -823,6 +980,37 @@ int CmdInspect(const Args& args) {
   return 0;
 }
 
+int CmdInspect(const Args& args) {
+  if (args.oracle_path.empty()) {
+    std::fprintf(stderr, "tso: inspect requires --oracle PATH\n");
+    return 1;
+  }
+  const int rc = InspectFile(args);
+  if (rc != 0 || !args.dynamic) return rc;
+
+  // --dynamic: mount the log-structured layer on the (now validated) file
+  // and report its delta/oplog/epoch state, optionally after seeded churn.
+  StatusOr<DynamicMount> mount = MountDynamic(args.oracle_path);
+  if (!mount.ok()) {
+    std::fprintf(stderr, "tso: mount: %s\n",
+                 mount.status().ToString().c_str());
+    return 1;
+  }
+  DynamicSeOracle& dyn = *mount->dyn;
+  std::printf("dynamic layer over %s (remove-only: no mesh):\n",
+              mount->base_kind);
+  if (args.churn > 0) {
+    Status churned = ApplyChurn(dyn, args.churn, args.seed);
+    if (!churned.ok()) {
+      std::fprintf(stderr, "tso: churn: %s\n", churned.ToString().c_str());
+      return 1;
+    }
+    std::printf("  churn: tombstoned %zu POIs\n", args.churn);
+  }
+  PrintDynamicStats(dyn);
+  return 0;
+}
+
 int CmdBench(const Args& args) {
   if (args.bench_queries == 0) {
     std::fprintf(stderr, "tso: --queries must be > 0\n");
@@ -885,7 +1073,7 @@ int CmdBench(const Args& args) {
     auto measure = [&](uint32_t threads) -> StatusOr<double> {
       WallTimer t;
       StatusOr<std::vector<double>> answers =
-          DistanceBatch(*oracle, tiled, threads);
+          DistanceBatch(MakeSource(*oracle), tiled, threads);
       if (!answers.ok()) return answers.status();
       return tiled.size() / t.ElapsedSeconds();
     };
