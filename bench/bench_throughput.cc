@@ -10,14 +10,19 @@
 //   BENCH {"bench":"throughput","workload":...,"threads":...,"qps":...}
 
 #include <atomic>
+#include <chrono>
 #include <deque>
+#include <filesystem>
 #include <thread>
 
+#include "base/atomic_file.h"
+#include "base/failpoint.h"
 #include "bench/bench_common.h"
 #include "dyn/dynamic_oracle.h"
 #include "geodesic/dijkstra_solver.h"
 #include "oracle/pack_view.h"
 #include "query/batch.h"
+#include "serve/engine.h"
 #include "terrain/poi_generator.h"
 
 namespace tso::bench {
@@ -256,6 +261,74 @@ void Run() {
       .Num("seconds", dyn_seconds, 6)
       .Num("qps", dyn_qps, 1)
       .Emit();
+
+  // --- Workload 5: overload shedding and deadline enforcement ---
+  // Failpoint-driven, so the counters are exact rather than timing-derived:
+  // a paused query wedges a max_inflight=1 engine and every concurrent query
+  // sheds; a delay(1) injection blows a 100us per-query deadline every time.
+  // Deterministic regardless of machine speed — the CI gate pins all three
+  // counters with zero tolerance. Fixed-size (not Scaled): the workload is
+  // admission arithmetic, not data-plane work.
+  const std::string serve_path =
+      (std::filesystem::temp_directory_path() / "tso_bench_overload.tsop")
+          .string();
+  TSO_CHECK_OK(WriteFileAtomic(serve_path, *pack_bytes));
+
+  ServeOptions shed_options;
+  shed_options.max_inflight = 1;
+  ServeEngine shed_engine(shed_options);
+  TSO_CHECK_OK(shed_engine.Load(serve_path));
+  TSO_CHECK_OK(failpoint::Arm("serve.query", "pause"));
+  std::thread blocker([&shed_engine]() {
+    // Holds the single admission slot, paused at the failpoint until the
+    // main thread disarms it.
+    TSO_CHECK_OK(shed_engine.Distance(0, 1).status());
+  });
+  while (shed_engine.stats().inflight == 0) std::this_thread::yield();
+  constexpr uint64_t kShedQueries = 1000;
+  for (uint64_t i = 0; i < kShedQueries; ++i) {
+    const Status s = shed_engine.Distance(0, 1).status();
+    TSO_CHECK(s.code() == StatusCode::kUnavailable);
+  }
+  failpoint::Disarm("serve.query");
+  blocker.join();
+
+  ServeEngine deadline_engine;
+  TSO_CHECK_OK(deadline_engine.Load(serve_path));
+  TSO_CHECK_OK(failpoint::Arm("serve.query", "delay(1)"));
+  constexpr uint64_t kDeadlineQueries = 200;
+  QueryOptions tight;
+  tight.deadline = std::chrono::microseconds(100);
+  for (uint64_t i = 0; i < kDeadlineQueries; ++i) {
+    const Status s = deadline_engine.Distance(0, 1, tight).status();
+    TSO_CHECK(s.code() == StatusCode::kDeadlineExceeded);
+  }
+  failpoint::Disarm("serve.query");
+  constexpr uint64_t kRecoveryQueries = 100;
+  for (uint64_t i = 0; i < kRecoveryQueries; ++i) {
+    TSO_CHECK_OK(deadline_engine.Distance(0, 1).status());
+  }
+
+  const ServeEngine::Stats shed_stats = shed_engine.stats();
+  const ServeEngine::Stats deadline_stats = deadline_engine.stats();
+  TSO_CHECK(shed_stats.shed == kShedQueries);
+  TSO_CHECK(deadline_stats.deadline_exceeded == kDeadlineQueries);
+  TSO_CHECK(deadline_stats.health == ServeHealth::kServing);
+  std::printf(
+      "overload: %llu shed at max_inflight=1, %llu deadline-exceeded at "
+      "100us budget, %llu served after recovery (health %s)\n",
+      static_cast<unsigned long long>(shed_stats.shed),
+      static_cast<unsigned long long>(deadline_stats.deadline_exceeded),
+      static_cast<unsigned long long>(kRecoveryQueries),
+      ServeHealthName(deadline_stats.health));
+  BenchJson("throughput")
+      .Str("workload", "overload")
+      .Int("shed", shed_stats.shed)
+      .Int("deadline_exceeded", deadline_stats.deadline_exceeded)
+      .Int("recovered", kRecoveryQueries)
+      .Str("health", ServeHealthName(deadline_stats.health))
+      .Emit();
+  std::filesystem::remove(serve_path);
 }
 
 }  // namespace

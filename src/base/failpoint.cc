@@ -1,0 +1,281 @@
+#include "base/failpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace tso {
+namespace failpoint {
+
+namespace internal {
+std::atomic<int> g_armed{0};
+}  // namespace internal
+
+namespace {
+
+enum class Action { kOff, kError, kDelay, kPause, kCrash };
+
+struct Entry {
+  Action action = Action::kOff;
+  std::string spec;
+  std::string message;    // error payload ("" = default message)
+  uint32_t delay_ms = 0;
+  int64_t remaining = -1;  // triggers left under an N* limit; -1 = unlimited
+  uint64_t hits = 0;
+  uint64_t triggered = 0;
+};
+
+Status ParseSpec(const std::string& name, const std::string& spec,
+                 Entry* out) {
+  std::string body = spec;
+  out->remaining = -1;
+  const size_t star = body.find('*');
+  if (star != std::string::npos) {
+    const std::string count = body.substr(0, star);
+    body = body.substr(star + 1);
+    char* end = nullptr;
+    const long long n = std::strtoll(count.c_str(), &end, 10);
+    if (count.empty() || *end != '\0' || n < 0) {
+      return Status::InvalidArgument("failpoint " + name +
+                                     ": bad count in spec '" + spec + "'");
+    }
+    out->remaining = n;
+  }
+  std::string arg;
+  const size_t paren = body.find('(');
+  if (paren != std::string::npos) {
+    if (body.back() != ')') {
+      return Status::InvalidArgument("failpoint " + name +
+                                     ": unclosed '(' in spec '" + spec + "'");
+    }
+    arg = body.substr(paren + 1, body.size() - paren - 2);
+    body = body.substr(0, paren);
+  }
+  out->spec = spec;
+  out->message.clear();
+  out->delay_ms = 0;
+  if (body == "off") {
+    out->action = Action::kOff;
+  } else if (body == "error") {
+    out->action = Action::kError;
+    out->message = arg;
+  } else if (body == "delay") {
+    out->action = Action::kDelay;
+    char* end = nullptr;
+    const long long ms = std::strtoll(arg.c_str(), &end, 10);
+    if (arg.empty() || *end != '\0' || ms < 0) {
+      return Status::InvalidArgument("failpoint " + name +
+                                     ": delay needs a millisecond count, got "
+                                     "spec '" + spec + "'");
+    }
+    out->delay_ms = static_cast<uint32_t>(ms);
+  } else if (body == "pause") {
+    out->action = Action::kPause;
+  } else if (body == "crash") {
+    out->action = Action::kCrash;
+  } else {
+    return Status::InvalidArgument("failpoint " + name + ": unknown action '" +
+                                   body + "' in spec '" + spec + "'");
+  }
+  return Status::Ok();
+}
+
+struct Registry {
+  std::mutex mu;
+  // Ordered so List() is deterministic.
+  std::map<std::string, Entry> points;
+
+  Registry() {
+    const char* env = std::getenv("TSO_FAILPOINTS");
+    if (env == nullptr || env[0] == '\0') return;
+    const Status s = ArmListLocked(env);
+    if (!s.ok()) {
+      std::fprintf(stderr, "FATAL: TSO_FAILPOINTS: %s\n",
+                   s.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status ArmOneLocked(const std::string& name, const std::string& spec) {
+    if (name.empty()) {
+      return Status::InvalidArgument("failpoint name is empty");
+    }
+    Entry parsed;
+    TSO_RETURN_IF_ERROR(ParseSpec(name, spec, &parsed));
+    Entry& e = points[name];
+    const bool was_armed = e.action != Action::kOff;
+    parsed.hits = e.hits;
+    parsed.triggered = e.triggered;
+    e = std::move(parsed);
+    const bool is_armed = e.action != Action::kOff;
+    if (is_armed && !was_armed) {
+      internal::g_armed.fetch_add(1, std::memory_order_relaxed);
+    } else if (!is_armed && was_armed) {
+      internal::g_armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return Status::Ok();
+  }
+
+  Status ArmListLocked(const std::string& list) {
+    size_t start = 0;
+    while (start <= list.size()) {
+      size_t end = list.find(';', start);
+      if (end == std::string::npos) end = list.size();
+      const std::string item = list.substr(start, end - start);
+      start = end + 1;
+      if (item.empty()) continue;
+      const size_t eq = item.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("failpoint spec '" + item +
+                                       "' is missing '='");
+      }
+      TSO_RETURN_IF_ERROR(ArmOneLocked(item.substr(0, eq),
+                                       item.substr(eq + 1)));
+    }
+    return Status::Ok();
+  }
+};
+
+Registry& R() {
+  // Leaked intentionally: failpoints may be evaluated during static
+  // destruction of library objects.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// The registry is otherwise constructed lazily on the first Arm()/Eval() —
+// but Eval() is gated behind g_armed, which only the registry constructor
+// can raise from the environment. Without this eager bootstrap a process
+// that never programmatically arms a failpoint would silently ignore
+// TSO_FAILPOINTS.
+[[maybe_unused]] const bool g_env_bootstrapped = [] {
+  const char* env = std::getenv("TSO_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') R();
+  return true;
+}();
+
+/// True while `name` is armed with a live pause action.
+bool PauseStillArmed(Registry& r, const char* name) {
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it != r.points.end() && it->second.action == Action::kPause;
+}
+
+}  // namespace
+
+namespace internal {
+
+Status Eval(const char* name) {
+  Registry& r = R();
+  Action action;
+  std::string message;
+  uint32_t delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(name);
+    if (it == r.points.end() || it->second.action == Action::kOff) {
+      return Status::Ok();
+    }
+    Entry& e = it->second;
+    ++e.hits;
+    if (e.remaining == 0) return Status::Ok();  // N* limit exhausted
+    if (e.remaining > 0) --e.remaining;
+    ++e.triggered;
+    action = e.action;
+    message = e.message;
+    delay_ms = e.delay_ms;
+  }
+  switch (action) {
+    case Action::kOff:
+      return Status::Ok();
+    case Action::kError:
+      if (message.empty()) {
+        message = std::string("failpoint ") + name + ": injected error";
+      }
+      return Status::IoError(std::move(message));
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return Status::Ok();
+    case Action::kPause: {
+      // Poll until disarmed; capped so a leaked arming cannot hang a suite.
+      for (int i = 0; i < 60000 && PauseStillArmed(r, name); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return Status::Ok();
+    }
+    case Action::kCrash:
+      std::fprintf(stderr, "TSO_FAILPOINT %s: crash\n", name);
+      std::fflush(nullptr);
+      std::abort();
+  }
+  return Status::Ok();
+}
+
+}  // namespace internal
+
+Status Arm(const std::string& name, const std::string& spec) {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.ArmOneLocked(name, spec);
+}
+
+Status ArmList(const std::string& list) {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.ArmListLocked(list);
+}
+
+void Disarm(const std::string& name) {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  if (it == r.points.end()) return;
+  if (it->second.action != Action::kOff) {
+    it->second.action = Action::kOff;
+    it->second.spec = "off";
+    internal::g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, e] : r.points) {
+    if (e.action != Action::kOff) {
+      internal::g_armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  r.points.clear();
+}
+
+uint64_t Hits(const std::string& name) {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+uint64_t Triggered(const std::string& name) {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.triggered;
+}
+
+std::vector<Info> List() {
+  Registry& r = R();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<Info> out;
+  out.reserve(r.points.size());
+  for (const auto& [name, e] : r.points) {
+    out.push_back(Info{name, e.spec, e.hits, e.triggered});
+  }
+  return out;
+}
+
+}  // namespace failpoint
+}  // namespace tso

@@ -1,0 +1,97 @@
+#ifndef TSO_BASE_FAILPOINT_H_
+#define TSO_BASE_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace tso {
+namespace failpoint {
+
+/// Deterministic fault injection for the artifact pipeline and the serving
+/// tier. Library code marks a seam with TSO_FAILPOINT("name"); tests (or an
+/// operator, via the TSO_FAILPOINTS environment variable) arm a named point
+/// with an action spec, and every evaluation of that seam then fires the
+/// action. The full catalog of wired seams lives in docs/robustness.md.
+///
+/// Spec grammar (one failpoint):   [N*]action[(arg)]
+///   off            disarm (counters are kept)
+///   error          return an injected kIoError mentioning the point's name
+///   error(msg)     same, with a custom message
+///   delay(ms)      sleep `ms` milliseconds, then succeed
+///   pause          block until the point is disarmed (60 s safety cap),
+///                  then succeed — holds whatever the seam holds (e.g. an
+///                  admission slot) for as long as the test wants
+///   crash          write the point's name to stderr and abort() — pairs
+///                  with the fork-kill-recover crash harness
+/// An `N*` prefix fires the action on the first N evaluations only; later
+/// evaluations succeed (e.g. "2*error" makes exactly two attempts fail).
+///
+/// The environment form arms a semicolon-separated list at first use:
+///   TSO_FAILPOINTS="atomicfile.rename=crash;serve.load=2*error"
+/// A malformed env spec aborts the process: a typo that silently disarmed a
+/// fault-injection run would make the run vacuously green.
+///
+/// Cost when nothing is armed: the TSO_FAILPOINT macro is a single relaxed
+/// atomic load and a never-taken branch — safe on the query hot path.
+/// Arming/evaluating armed points takes a mutex; fault injection is not a
+/// throughput scenario.
+///
+/// Thread safety: all functions are safe to call concurrently.
+
+namespace internal {
+/// Count of currently armed points (off/exhausted entries keep their slot
+/// until Disarm, which is fine: the fast path only needs "maybe armed").
+extern std::atomic<int> g_armed;
+/// Slow path behind the macro: looks `name` up and runs its action.
+Status Eval(const char* name);
+}  // namespace internal
+
+/// Arms `name` with `spec` (grammar above). Replaces any previous arming of
+/// the same point; counters are preserved.
+Status Arm(const std::string& name, const std::string& spec);
+
+/// Arms a semicolon-separated "name=spec;name=spec" list — the same parser
+/// the TSO_FAILPOINTS environment variable goes through.
+Status ArmList(const std::string& list);
+
+/// Disarms `name` (no-op if unknown). Counters are kept until DisarmAll.
+void Disarm(const std::string& name);
+
+/// Disarms every point and drops all counters.
+void DisarmAll();
+
+/// Evaluations of `name` while armed (including ones past an N* limit).
+uint64_t Hits(const std::string& name);
+
+/// Evaluations of `name` that actually fired the action.
+uint64_t Triggered(const std::string& name);
+
+struct Info {
+  std::string name;
+  std::string spec;
+  uint64_t hits = 0;
+  uint64_t triggered = 0;
+};
+/// Every point ever armed since the last DisarmAll, sorted by name.
+std::vector<Info> List();
+
+}  // namespace failpoint
+}  // namespace tso
+
+/// Marks a fault-injection seam. In a function returning Status or
+/// StatusOr<T>: when `name` is armed with an error action the injected
+/// Status is returned from the enclosing function; delay/pause block and
+/// then fall through; crash aborts. Disarmed cost: one relaxed atomic load.
+#define TSO_FAILPOINT(name)                                                  \
+  do {                                                                       \
+    if (::tso::failpoint::internal::g_armed.load(std::memory_order_relaxed) > \
+        0) {                                                                 \
+      TSO_RETURN_IF_ERROR(::tso::failpoint::internal::Eval(name));           \
+    }                                                                        \
+  } while (false)
+
+#endif  // TSO_BASE_FAILPOINT_H_

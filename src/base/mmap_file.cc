@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "base/failpoint.h"
+
 #ifdef _WIN32
 // The serving stack targets POSIX; on Windows the mmap path degrades to an
 // Unimplemented error and callers fall back to the legacy loader.
@@ -32,6 +34,7 @@ void MmapFile::Close() {}
 #else
 
 StatusOr<MmapFile> MmapFile::Open(const std::string& path) {
+  TSO_FAILPOINT("mmap.open");
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::IoError("cannot open " + path + ": " +

@@ -17,6 +17,8 @@ enum class StatusCode {
   kIoError,
   kUnimplemented,
   kInternal,
+  kUnavailable,        // transient: shard down, engine overloaded — retryable
+  kDeadlineExceeded,   // the caller's per-query time budget ran out
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -57,6 +59,20 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  /// Prefixes `context` onto an error's message, keeping the code. The
+  /// standard way to attach the file path (or other call-site context) to an
+  /// error bubbling up from a layer that does not know it.
+  static Status Annotate(const Status& status, const std::string& context) {
+    if (status.ok()) return status;
+    return Status(status.code_, context + ": " + status.message_);
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <optional>
 
+#include "base/failpoint.h"
+
 namespace tso {
 
 namespace {
@@ -219,6 +221,10 @@ Status DynamicSeOracle::Remove(uint32_t id) {
 }
 
 Status DynamicSeOracle::MergeLocked(const OpRecord* extra) {
+  // Injected failures land BEFORE the drain: nothing is consumed, every
+  // appended record stays in the oplog, and a later merge folds it — so a
+  // failed merge can delay publication but never lose another writer's op.
+  TSO_FAILPOINT("dyn.merge");
   std::vector<OpRecord> ops;
   oplog_.Drain(&ops);
   if (extra != nullptr) ops.push_back(*extra);
@@ -359,6 +365,11 @@ Status DynamicSeOracle::CompactLocked() {
   gen->owned = std::make_unique<SeOracle>(std::move(*built));
   gen->source = MakeSource(*gen->owned);
   gen->size_bytes = gen->owned->SizeBytes();
+
+  // Injected failures land after the aside rebuild but before the publish
+  // swap: the rebuilt base is simply discarded, the delta (and every
+  // reader-visible snapshot) is untouched, and a later compaction retries.
+  TSO_FAILPOINT("dyn.compact.publish");
 
   // Publish: fold writes that landed during the rebuild, then swap the base
   // under the same epoch protocol as every other publish.

@@ -4,11 +4,12 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/atomic_file.h"
+
 namespace tso {
 
 Status WriteOff(const TerrainMesh& mesh, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  std::ostringstream out;
   out << "OFF\n"
       << mesh.num_vertices() << " " << mesh.num_faces() << " 0\n";
   out.precision(17);
@@ -18,8 +19,7 @@ Status WriteOff(const TerrainMesh& mesh, const std::string& path) {
   for (const auto& f : mesh.faces()) {
     out << "3 " << f[0] << " " << f[1] << " " << f[2] << "\n";
   }
-  if (!out) return Status::IoError("write to " + path + " failed");
-  return Status::Ok();
+  return WriteFileAtomic(path, out.str());
 }
 
 StatusOr<TerrainMesh> ReadOff(const std::string& path) {
@@ -49,8 +49,7 @@ StatusOr<TerrainMesh> ReadOff(const std::string& path) {
 }
 
 Status WriteObj(const TerrainMesh& mesh, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  std::ostringstream out;
   out.precision(17);
   for (const Vec3& v : mesh.vertices()) {
     out << "v " << v.x << " " << v.y << " " << v.z << "\n";
@@ -58,8 +57,7 @@ Status WriteObj(const TerrainMesh& mesh, const std::string& path) {
   for (const auto& f : mesh.faces()) {
     out << "f " << f[0] + 1 << " " << f[1] + 1 << " " << f[2] + 1 << "\n";
   }
-  if (!out) return Status::IoError("write to " + path + " failed");
-  return Status::Ok();
+  return WriteFileAtomic(path, out.str());
 }
 
 StatusOr<TerrainMesh> ReadObj(const std::string& path) {

@@ -1,6 +1,46 @@
 #include "oracle/distance_query.h"
 
 namespace tso {
+namespace {
+
+/// Degraded-pack error path, reached only when the main scan found no pair
+/// (never on the hot path). A miss on a probe whose owning shard is dead is
+/// not a real miss — the pair may have been in the dead shard. Two outs:
+/// every pair is stored in both orientations (pack_format.h), so the
+/// reverse probe (b, a) — owned by the other endpoint's shard — can still
+/// answer with the same pair's reverse-orientation record (the two
+/// orientations' distances are computed from opposite SSAD sources, so a
+/// rescued answer carries the same ε guarantee but may differ from the
+/// forward record in final ulps); if both orientations route to dead
+/// shards, the query is honestly kUnavailable rather than silently wrong.
+/// `Probe(a, b)` returns true with *d set when the reverse orientation
+/// rescued the pair.
+class DegradedProber {
+ public:
+  explicit DegradedProber(const PairSource& pairs) : pairs_(pairs) {}
+
+  bool Probe(uint32_t a, uint32_t b, double* d) {
+    if (pairs_.Available(a)) return false;  // the main scan's miss was real
+    if (pairs_.Available(b) && pairs_.Lookup(b, a, d)) return true;
+    unavailable_ = true;
+    return false;
+  }
+
+  Status Verdict() const {
+    if (unavailable_) {
+      return Status::Unavailable(
+          "distance probe routed to an unavailable shard (degraded pack)");
+    }
+    return Status::Internal(
+        "unique node pair match property violated: no pair found");
+  }
+
+ private:
+  const PairSource& pairs_;
+  bool unavailable_ = false;
+};
+
+}  // namespace
 
 StatusOr<double> OracleDistance(const CompressedTreeView& tree,
                                 const PairSource& pairs, uint32_t s,
@@ -44,8 +84,40 @@ StatusOr<double> OracleDistance(const CompressedTreeView& tree,
       if (at[k] != kInvalidId && pairs.Lookup(os, at[k], &d)) return d;
     }
   }
-  return Status::Internal(
-      "unique node pair match property violated: no pair found");
+  if (!pairs.degraded()) {
+    return Status::Internal(
+        "unique node pair match property violated: no pair found");
+  }
+  // Re-walk the same probe sequence through the degraded prober: rescue the
+  // match via its reverse orientation, or report the dead shard.
+  DegradedProber prober(pairs);
+  for (int i = 0; i <= h; ++i) {
+    if (as[i] != kInvalidId && at[i] != kInvalidId &&
+        prober.Probe(as[i], at[i], &d)) {
+      return d;
+    }
+  }
+  for (int i = 1; i <= h; ++i) {
+    const uint32_t ot = at[i];
+    if (ot == kInvalidId) continue;
+    const uint32_t parent = tree.node(ot).parent;
+    if (parent == kInvalidId) continue;
+    const int j = tree.node(parent).layer;
+    for (int k = j; k < i; ++k) {
+      if (as[k] != kInvalidId && prober.Probe(as[k], ot, &d)) return d;
+    }
+  }
+  for (int i = 1; i <= h; ++i) {
+    const uint32_t os = as[i];
+    if (os == kInvalidId) continue;
+    const uint32_t parent = tree.node(os).parent;
+    if (parent == kInvalidId) continue;
+    const int j = tree.node(parent).layer;
+    for (int k = j; k < i; ++k) {
+      if (at[k] != kInvalidId && prober.Probe(os, at[k], &d)) return d;
+    }
+  }
+  return prober.Verdict();
 }
 
 StatusOr<double> OracleDistanceNaive(const CompressedTreeView& tree,
@@ -64,8 +136,18 @@ StatusOr<double> OracleDistanceNaive(const CompressedTreeView& tree,
       if (at[j] != kInvalidId && pairs.Lookup(as[i], at[j], &d)) return d;
     }
   }
-  return Status::Internal(
-      "unique node pair match property violated: no pair found");
+  if (!pairs.degraded()) {
+    return Status::Internal(
+        "unique node pair match property violated: no pair found");
+  }
+  DegradedProber prober(pairs);
+  for (int i = 0; i <= h; ++i) {
+    if (as[i] == kInvalidId) continue;
+    for (int j = 0; j <= h; ++j) {
+      if (at[j] != kInvalidId && prober.Probe(as[i], at[j], &d)) return d;
+    }
+  }
+  return prober.Verdict();
 }
 
 }  // namespace tso

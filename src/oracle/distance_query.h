@@ -40,11 +40,19 @@ class PairSource {
   PairSource(NodePairSetView single)  // NOLINT(google-explicit-constructor)
       : single_(single) {}
   /// Sharded: a probe for (a, b) goes to shards[shard_of_node[a]].
+  /// `shard_ok` is the degraded-open availability bitmap (one byte per
+  /// shard, 1 = live); pass an empty span — the healthy fast path — when
+  /// every shard opened. A dead shard's entry in `shards` must be an empty
+  /// NodePairSetView so its probes miss safely; Available() is what turns
+  /// those misses into kUnavailable instead of a wrong answer (see
+  /// OracleDistance).
   static PairSource Sharded(std::span<const NodePairSetView> shards,
-                            std::span<const uint32_t> shard_of_node) {
+                            std::span<const uint32_t> shard_of_node,
+                            std::span<const uint8_t> shard_ok = {}) {
     PairSource s;
     s.shards_ = shards;
     s.shard_of_node_ = shard_of_node;
+    s.shard_ok_ = shard_ok;
     return s;
   }
 
@@ -59,13 +67,25 @@ class PairSource {
     return shards_[shard].Lookup(a, b, distance);
   }
 
+  /// True iff the shard that owns probes keyed by node `a` is available.
+  /// Always true for monolithic sources and healthy packs (empty bitmap).
+  bool Available(uint32_t a) const {
+    if (shard_ok_.empty()) return true;
+    if (a >= shard_of_node_.size()) return true;  // misses anyway
+    const uint32_t shard = shard_of_node_[a];
+    return shard >= shard_ok_.size() || shard_ok_[shard] != 0;
+  }
+
   bool sharded() const { return !shards_.empty(); }
   size_t num_shards() const { return shards_.size(); }
+  /// True when this source was opened degraded (some shard unavailable).
+  bool degraded() const { return !shard_ok_.empty(); }
 
  private:
   NodePairSetView single_;
   std::span<const NodePairSetView> shards_;
   std::span<const uint32_t> shard_of_node_;
+  std::span<const uint8_t> shard_ok_;
 };
 
 /// The efficient O(h) POI-to-POI query of §3.4 (same-layer scan +

@@ -3,7 +3,9 @@
 #include <cstring>
 #include <fstream>
 
+#include "base/atomic_file.h"
 #include "base/crc32.h"
+#include "base/failpoint.h"
 #include "base/serde.h"
 #include "oracle/flat_format.h"
 
@@ -45,11 +47,9 @@ Status ReadFileToString(const std::string& path, std::string* out) {
 }
 
 Status WriteStringToFile(const std::string& blob, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  // Crash-safe publication: a killed builder never leaves a torn artifact
+  // visible at `path` (see base/atomic_file.h).
+  return WriteFileAtomic(path, blob);
 }
 
 /// Full structural validation of deserialized perfect-hash tables: Lookup
@@ -393,10 +393,12 @@ StatusOr<SeOracle> MaterializeSeOracle(std::string_view flat_blob) {
 }
 
 Status SaveSeOracle(const SeOracle& oracle, const std::string& path) {
+  TSO_FAILPOINT("legacy.write");
   return WriteStringToFile(SerializeSeOracle(oracle), path);
 }
 
 Status SaveSeOracleFlat(const SeOracle& oracle, const std::string& path) {
+  TSO_FAILPOINT("flat.write.section");
   return WriteStringToFile(SerializeSeOracleFlat(oracle), path);
 }
 

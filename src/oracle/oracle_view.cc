@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "base/crc32.h"
+#include "base/failpoint.h"
 #include "base/serde.h"
 
 namespace tso {
@@ -46,6 +47,7 @@ Status ViewSection(const FlatReader& reader, const FlatFileInfo& info,
 
 Status VerifySectionChecksums(const FlatReader& reader,
                               const FlatFileInfo& info) {
+  TSO_FAILPOINT("flat.verify.crc");
   for (const FlatSectionEntry& e : info.sections) {
     std::string_view bytes;
     TSO_RETURN_IF_ERROR(reader.ViewBytes(e.offset, e.size, &bytes));
@@ -305,7 +307,11 @@ StatusOr<OracleView> OracleView::Open(const std::string& path,
   if (!file.ok()) return file.status();
   auto shared = std::make_shared<MmapFile>(std::move(*file));
   StatusOr<OracleView> view = FromBuffer(shared->view(), options);
-  if (!view.ok()) return view.status();
+  if (!view.ok()) {
+    // FromBuffer only sees bytes; re-attach the path so a failed open (or a
+    // failed reload loop built on it) is diagnosable from the message alone.
+    return Status::Annotate(view.status(), path);
+  }
   view->file_ = std::move(shared);
   return view;
 }

@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <fstream>
 #include <numeric>
 #include <utility>
 
+#include "base/atomic_file.h"
 #include "base/crc32.h"
+#include "base/failpoint.h"
 #include "base/serde.h"
 #include "oracle/oracle_serde.h"
 
@@ -115,6 +116,7 @@ StatusOr<std::string> SerializeOraclePack(const SeOracle& oracle,
   std::vector<std::string> shard_blobs;
   shard_blobs.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
+    TSO_FAILPOINT("pack.write.section");
     std::vector<std::pair<uint64_t, uint64_t>> entries;
     entries.reserve(shard_pairs[s].size());
     for (size_t i = 0; i < shard_pairs[s].size(); ++i) {
@@ -198,11 +200,9 @@ Status SaveOraclePack(const SeOracle& oracle, const PackBuildOptions& options,
                       const std::string& path) {
   StatusOr<std::string> blob = SerializeOraclePack(oracle, options);
   if (!blob.ok()) return blob.status();
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out.write(blob->data(), static_cast<std::streamsize>(blob->size()));
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  // Crash-safe publication: a killed pack build never leaves a torn pack
+  // visible at `path` (see base/atomic_file.h).
+  return WriteFileAtomic(path, *blob);
 }
 
 StatusOr<PackFileInfo> ReadPackFileInfo(std::string_view buffer) {
@@ -283,13 +283,24 @@ StatusOr<PackView> PackView::FromBuffer(std::string_view buffer,
   StatusOr<PackFileInfo> info = ReadPackFileInfo(buffer);
   if (!info.ok()) return info.status();
   FlatReader reader(buffer);
+  const uint32_t num_shards = info->meta.num_shards;
+  // 1 = the shard has passed every check so far. A degraded open flips a
+  // shard to 0 instead of rejecting the pack; the frame and routing
+  // sections always stay load-bearing (a bad routing table would misroute
+  // every probe, not just one shard's).
+  std::vector<uint8_t> shard_ok(num_shards, 1);
   if (options.verify_checksums) {
-    for (const FlatSectionEntry& e : info->sections) {
+    TSO_FAILPOINT("pack.verify.crc");
+    for (uint32_t i = 0; i < info->sections.size(); ++i) {
+      const FlatSectionEntry& e = info->sections[i];
       std::string_view bytes;
       TSO_RETURN_IF_ERROR(reader.ViewBytes(e.offset, e.size, &bytes));
-      if (Crc32(bytes.data(), bytes.size()) != e.crc32) {
-        return PackSectionError(e.id, "checksum mismatch (corrupt file)");
+      if (Crc32(bytes.data(), bytes.size()) == e.crc32) continue;
+      if (options.allow_degraded && i >= kPackFixedSectionCount) {
+        shard_ok[i - kPackFixedSectionCount] = 0;
+        continue;
       }
+      return PackSectionError(e.id, "checksum mismatch (corrupt file)");
     }
   }
 
@@ -314,41 +325,68 @@ StatusOr<PackView> PackView::FromBuffer(std::string_view buffer,
 
   // Open every shard as a standalone flat oracle (full structural
   // validation per shard), then cross-check it against the pack meta so a
-  // pack spliced from mismatched oracles is rejected.
+  // pack spliced from mismatched oracles is rejected. Under allow_degraded
+  // a failing shard is quarantined (dead slot + empty pair view — its
+  // probes then surface kUnavailable through PairSource::Available) and the
+  // intact shards keep serving.
   OracleView::Options shard_options;
   shard_options.verify_checksums = options.verify_checksums;
-  view.shards_.reserve(info->meta.num_shards);
-  view.pair_shards_.reserve(info->meta.num_shards);
+  view.shards_.reserve(num_shards);
+  view.pair_shards_.reserve(num_shards);
   uint64_t pairs_total = 0;
-  for (uint32_t s = 0; s < info->meta.num_shards; ++s) {
+  for (uint32_t s = 0; s < num_shards; ++s) {
     const FlatSectionEntry& e = info->sections[kPackFixedSectionCount + s];
-    StatusOr<OracleView> shard = OracleView::FromBuffer(
-        buffer.substr(e.offset, e.size), shard_options);
-    if (!shard.ok()) {
-      return Status::InvalidArgument("oracle pack: shard " +
-                                     std::to_string(s) + ": " +
-                                     shard.status().message());
+    Status bad = Status::Ok();
+    if (shard_ok[s] != 0) {
+      StatusOr<OracleView> shard = OracleView::FromBuffer(
+          buffer.substr(e.offset, e.size), shard_options);
+      if (!shard.ok()) {
+        bad = Status::InvalidArgument("oracle pack: shard " +
+                                      std::to_string(s) + ": " +
+                                      shard.status().message());
+      } else if (shard->epsilon() != info->meta.epsilon ||
+                 shard->num_pois() != info->meta.num_pois ||
+                 shard->tree().num_nodes() != info->meta.num_tree_nodes) {
+        bad = Status::InvalidArgument(
+            "oracle pack: shard " + std::to_string(s) +
+            " disagrees with the pack meta (mismatched oracles?)");
+      } else {
+        pairs_total += shard->pair_set().size();
+        view.pair_shards_.push_back(shard->pair_set());
+        view.shards_.push_back(std::move(*shard));
+        continue;
+      }
     }
-    if (shard->epsilon() != info->meta.epsilon ||
-        shard->num_pois() != info->meta.num_pois ||
-        shard->tree().num_nodes() != info->meta.num_tree_nodes) {
-      return Status::InvalidArgument(
-          "oracle pack: shard " + std::to_string(s) +
-          " disagrees with the pack meta (mismatched oracles?)");
-    }
-    pairs_total += shard->pair_set().size();
-    view.shards_.push_back(std::move(*shard));
+    if (!options.allow_degraded && !bad.ok()) return bad;
+    shard_ok[s] = 0;
+    view.shards_.emplace_back(std::nullopt);
+    view.pair_shards_.emplace_back();  // empty: probes miss safely
   }
-  if (pairs_total != info->meta.num_pairs_total) {
+  view.num_available_ = static_cast<uint32_t>(
+      std::count(shard_ok.begin(), shard_ok.end(), uint8_t{1}));
+  if (view.num_available_ == 0) {
     return Status::InvalidArgument(
-        "oracle pack: shard pair counts disagree with the pack meta");
+        "oracle pack: every shard failed validation");
   }
-  for (const OracleView& shard : view.shards_) {
-    view.pair_shards_.push_back(shard.pair_set());
+  if (view.num_available_ == num_shards) {
+    // Healthy pack: the pair-count cross-check applies, and the empty
+    // bitmap keeps PairSource::Available on its zero-cost fast path.
+    if (pairs_total != info->meta.num_pairs_total) {
+      return Status::InvalidArgument(
+          "oracle pack: shard pair counts disagree with the pack meta");
+    }
+  } else {
+    view.shard_ok_ = std::move(shard_ok);
   }
 
-  view.pois_ = view.shards_.front().pois();
-  view.tree_ = view.shards_.front().tree();
+  // Every shard replicates the POI and tree sections; any live shard's
+  // replica serves routing and tree walks for the whole pack.
+  for (const std::optional<OracleView>& shard : view.shards_) {
+    if (!shard.has_value()) continue;
+    view.pois_ = shard->pois();
+    view.tree_ = shard->tree();
+    break;
+  }
 
   // Routing-table validation: every entry names a real shard, and the node
   // table is consistent with the POI table through the tree (the invariant
@@ -378,7 +416,10 @@ StatusOr<PackView> PackView::Open(const std::string& path,
   if (!file.ok()) return file.status();
   auto shared = std::make_shared<MmapFile>(std::move(*file));
   StatusOr<PackView> view = FromBuffer(shared->view(), options);
-  if (!view.ok()) return view.status();
+  if (!view.ok()) {
+    // FromBuffer only sees bytes; re-attach the path for diagnosability.
+    return Status::Annotate(view.status(), path);
+  }
   view->file_ = std::move(shared);
   return view;
 }

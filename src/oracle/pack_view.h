@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -65,6 +66,13 @@ class PackView {
     /// shard blobs) at open. Same trade-off as OracleView::Options: off by
     /// default, structural validation always runs.
     bool verify_checksums = false;
+    /// Degraded open: a shard that fails validation (or its pack-level
+    /// checksum, when verify_checksums is set) is marked unavailable
+    /// instead of failing the whole open — the intact shards keep serving
+    /// and queries whose probes need a dead shard return kUnavailable (see
+    /// PairSource::Available and docs/robustness.md). The open still fails
+    /// if the pack frame, the routing tables, or every shard is bad.
+    bool allow_degraded = false;
   };
 
   /// Opens a pack over caller-owned bytes (`buffer` must outlive the view).
@@ -106,9 +114,18 @@ class PackView {
   PackPolicy policy() const { return static_cast<PackPolicy>(meta_.policy); }
   const PackMeta& meta() const { return meta_; }
 
+  /// False for a shard marked dead by a degraded open (always true for a
+  /// strict open, which rejects the pack instead).
+  bool shard_available(uint32_t i) const {
+    return shard_ok_.empty() || shard_ok_[i] != 0;
+  }
+  /// Shards that opened successfully (== num_shards() for a strict open).
+  uint32_t num_available() const { return num_available_; }
+
   /// Shard i as a standalone oracle view (its pair subset only — distances
   /// through it are partial; route through the PackView for full answers).
-  const OracleView& shard(uint32_t i) const { return shards_[i]; }
+  /// Requires shard_available(i).
+  const OracleView& shard(uint32_t i) const { return *shards_[i]; }
   /// The per-shard pair sets, indexed by shard id.
   std::span<const NodePairSetView> pair_shards() const { return pair_shards_; }
   std::span<const uint32_t> shard_of_poi() const { return shard_of_poi_; }
@@ -117,8 +134,10 @@ class PackView {
   /// The sharded probe source (query/engine.h consumes this through
   /// MakeSource). Borrows from this view: the PackView must stay alive and
   /// in place while the source (or a DistanceSource made from it) is used.
+  /// After a degraded open the source carries the availability bitmap, so
+  /// probes routed to a dead shard surface kUnavailable instead of a miss.
   PairSource pair_source() const {
-    return PairSource::Sharded(pair_shards_, shard_of_node_);
+    return PairSource::Sharded(pair_shards_, shard_of_node_, shard_ok_);
   }
 
   /// Size of the backing buffer.
@@ -133,10 +152,12 @@ class PackView {
   PackMeta meta_{};
   std::span<const uint32_t> shard_of_poi_;
   std::span<const uint32_t> shard_of_node_;
-  std::vector<OracleView> shards_;
-  std::vector<NodePairSetView> pair_shards_;  // shards_[i].pair_set()
-  std::span<const SurfacePoint> pois_;        // shard 0's replica
-  CompressedTreeView tree_;                   // shard 0's replica
+  std::vector<std::optional<OracleView>> shards_;  // nullopt: dead shard
+  std::vector<NodePairSetView> pair_shards_;  // per shard; empty if dead
+  std::vector<uint8_t> shard_ok_;  // empty unless a degraded open; 1 = live
+  uint32_t num_available_ = 0;
+  std::span<const SurfacePoint> pois_;  // first live shard's replica
+  CompressedTreeView tree_;             // first live shard's replica
 };
 
 }  // namespace tso

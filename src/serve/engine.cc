@@ -1,11 +1,82 @@
 #include "serve/engine.h"
 
 #include <optional>
+#include <thread>
 
+#include "base/failpoint.h"
 #include "dyn/dynamic_oracle.h"
 #include "oracle/pack_format.h"
 
 namespace tso {
+namespace {
+
+/// Releases the admission slot taken by Admit() when the query returns.
+class InflightSlot {
+ public:
+  explicit InflightSlot(std::atomic<uint64_t>* inflight)
+      : inflight_(inflight) {}
+  ~InflightSlot() { inflight_->fetch_sub(1, std::memory_order_relaxed); }
+  InflightSlot(const InflightSlot&) = delete;
+  InflightSlot& operator=(const InflightSlot&) = delete;
+
+ private:
+  std::atomic<uint64_t>* inflight_;
+};
+
+/// Per-query budget clock, armed at admission. Disabled (never exceeded)
+/// when neither the query nor the engine sets a deadline, which keeps the
+/// default path free of clock reads beyond the one `count() > 0` check.
+class DeadlineTimer {
+ public:
+  DeadlineTimer(std::chrono::microseconds query_deadline,
+                std::chrono::microseconds default_deadline) {
+    const std::chrono::microseconds budget =
+        query_deadline.count() > 0 ? query_deadline : default_deadline;
+    if (budget.count() > 0) {
+      enabled_ = true;
+      deadline_ = std::chrono::steady_clock::now() + budget;
+    }
+  }
+  bool enabled() const { return enabled_; }
+  bool Exceeded() const {
+    return enabled_ && std::chrono::steady_clock::now() > deadline_;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+Status DeadlineError(std::atomic<uint64_t>* counter) {
+  counter->fetch_add(1, std::memory_order_relaxed);
+  return Status::DeadlineExceeded("query exceeded its deadline budget");
+}
+
+/// Transient load failures are worth retrying (a reload racing the
+/// publisher's rename, a shed admission upstream); validation failures are
+/// permanent — the bytes will not get better.
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kUnavailable;
+}
+
+/// Queries batched under a deadline run in chunks of this many pairs, with
+/// a budget check between chunks.
+constexpr size_t kDeadlineChunk = 4096;
+
+}  // namespace
+
+const char* ServeHealthName(ServeHealth health) {
+  switch (health) {
+    case ServeHealth::kServing:
+      return "serving";
+    case ServeHealth::kDegraded:
+      return "degraded";
+    case ServeHealth::kLameDuck:
+      return "lame-duck";
+  }
+  return "unknown";
+}
 
 /// The views borrow from the mapped file owned by pack/flat; `source` in
 /// turn borrows from the views (for a pack, its PairSource spans the
@@ -22,6 +93,7 @@ struct ServeEngine::State {
   std::shared_ptr<DynamicSeOracle> dyn;
   DistanceSource source;
   uint32_t num_shards = 0;
+  uint32_t degraded_shards = 0;
   size_t mapped_bytes = 0;
 };
 
@@ -32,7 +104,34 @@ ServeEngine::~ServeEngine() {
   // before the engine's storage is.
 }
 
-Status ServeEngine::Load(const std::string& path) {
+Status ServeEngine::Admit() const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (lame_duck_.load(std::memory_order_acquire)) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("lame duck: engine is draining");
+  }
+  const uint64_t was = inflight_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.max_inflight > 0 && was >= options_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("admission control: too many queries in flight");
+  }
+  // Fires while the slot is held: a pause-armed "serve.query" occupies one
+  // admission slot for as long as it stays armed, which is how the overload
+  // tests and the bench saturate admission deterministically. An
+  // error-armed one must give the slot back before rejecting.
+  if (failpoint::internal::g_armed.load(std::memory_order_relaxed) > 0) {
+    Status injected = failpoint::internal::Eval("serve.query");
+    if (!injected.ok()) {
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      return injected;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ServeEngine::LoadOnce(const std::string& path) {
+  TSO_FAILPOINT("serve.load");
   // Build and validate the replacement completely before touching the
   // published pointer: a failed open leaves the old generation serving.
   auto fresh = std::make_unique<State>();
@@ -41,10 +140,27 @@ Status ServeEngine::Load(const std::string& path) {
     // oracles share the open-and-validate shape, only the view type
     // differs.
     StatusOr<PackView> pack = PackView::Open(path);
+    if (!pack.ok() && options_.allow_degraded_packs) {
+      // A pack with (say) one corrupt shard fails the strict open; retry
+      // degraded — checksums on, so quarantine decisions rest on verified
+      // bytes — before giving up. Only meaningful if the file is a pack at
+      // all, which the retry itself determines (frame validation still
+      // runs, and a non-pack fails exactly as before).
+      StatusOr<MmapFile> sniff = MmapFile::Open(path);
+      if (sniff.ok() && LooksLikeOraclePack(sniff->view())) {
+        PackView::Options degraded;
+        degraded.verify_checksums = true;
+        degraded.allow_degraded = true;
+        StatusOr<PackView> retry = PackView::Open(path, degraded);
+        if (retry.ok()) pack = std::move(retry);
+      }
+    }
     if (pack.ok()) {
       fresh->pack.emplace(std::move(*pack));
       fresh->source = MakeSource(*fresh->pack);
       fresh->num_shards = fresh->pack->num_shards();
+      fresh->degraded_shards =
+          fresh->pack->num_shards() - fresh->pack->num_available();
       fresh->mapped_bytes = fresh->pack->SizeBytes();
     } else {
       StatusOr<OracleView> flat = OracleView::Open(path);
@@ -74,6 +190,24 @@ Status ServeEngine::Load(const std::string& path) {
   return Status::Ok();
 }
 
+Status ServeEngine::Load(const std::string& path) {
+  Status status = LoadOnce(path);
+  std::chrono::milliseconds backoff = options_.load_backoff;
+  for (uint32_t attempt = 0;
+       attempt < options_.load_retries && !status.ok() && IsTransient(status);
+       ++attempt) {
+    load_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    backoff *= 2;
+    status = LoadOnce(path);
+  }
+  if (!status.ok()) {
+    load_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Annotate(status, "ServeEngine::Load(" + path + ")");
+  }
+  return status;
+}
+
 Status ServeEngine::Host(std::shared_ptr<DynamicSeOracle> dyn) {
   if (dyn == nullptr) {
     return Status::InvalidArgument("cannot host a null dynamic oracle");
@@ -91,62 +225,121 @@ Status ServeEngine::Host(std::shared_ptr<DynamicSeOracle> dyn) {
   return Status::Ok();
 }
 
-StatusOr<double> ServeEngine::Distance(uint32_t s, uint32_t t) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+StatusOr<double> ServeEngine::Distance(uint32_t s, uint32_t t,
+                                       const QueryOptions& options) const {
+  // The budget clock starts before admission, so time spent stalled at the
+  // admission seam counts against the caller's deadline.
+  const DeadlineTimer timer(options.deadline, options_.default_deadline);
+  TSO_RETURN_IF_ERROR(Admit());
+  InflightSlot slot(&inflight_);
+  if (timer.Exceeded()) return DeadlineError(&deadline_exceeded_);
   EpochDomain::Guard guard = epoch_.Enter();
   const State* state = Pinned();
   if (state == nullptr) return Status::FailedPrecondition("no oracle loaded");
-  if (state->dyn != nullptr) return state->dyn->Distance(s, t);
-  return state->source.Distance(s, t);
+  StatusOr<double> result = state->dyn != nullptr
+                                ? state->dyn->Distance(s, t)
+                                : state->source.Distance(s, t);
+  if (result.ok() && timer.Exceeded()) {
+    return DeadlineError(&deadline_exceeded_);
+  }
+  return result;
 }
 
 StatusOr<std::vector<double>> ServeEngine::Batch(
     std::span<const std::pair<uint32_t, uint32_t>> queries,
-    uint32_t num_threads) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+    uint32_t num_threads, const QueryOptions& options) const {
+  const DeadlineTimer timer(options.deadline, options_.default_deadline);
+  TSO_RETURN_IF_ERROR(Admit());
+  InflightSlot slot(&inflight_);
   // The calling thread's guard covers the worker threads too: they are
   // joined before DistanceBatch returns, which happens before the guard is
   // released.
   EpochDomain::Guard guard = epoch_.Enter();
   const State* state = Pinned();
   if (state == nullptr) return Status::FailedPrecondition("no oracle loaded");
-  if (state->dyn != nullptr) return state->dyn->Batch(queries, num_threads);
-  return DistanceBatch(state->source, queries, num_threads);
+  if (!timer.enabled()) {
+    if (state->dyn != nullptr) return state->dyn->Batch(queries, num_threads);
+    return DistanceBatch(state->source, queries, num_threads);
+  }
+  // Deadline mode: chunk so a huge batch can stop near the budget instead
+  // of overrunning it by the whole remaining batch.
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (size_t off = 0; off < queries.size(); off += kDeadlineChunk) {
+    if (timer.Exceeded()) return DeadlineError(&deadline_exceeded_);
+    const size_t n = std::min(kDeadlineChunk, queries.size() - off);
+    StatusOr<std::vector<double>> part =
+        state->dyn != nullptr
+            ? state->dyn->Batch(queries.subspan(off, n), num_threads)
+            : DistanceBatch(state->source, queries.subspan(off, n),
+                            num_threads);
+    if (!part.ok()) return part.status();
+    out.insert(out.end(), part->begin(), part->end());
+  }
+  if (timer.Exceeded()) return DeadlineError(&deadline_exceeded_);
+  return out;
 }
 
-StatusOr<std::vector<KnnResult>> ServeEngine::Knn(uint32_t query, size_t k,
-                                                  uint32_t num_threads) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+StatusOr<std::vector<KnnResult>> ServeEngine::Knn(
+    uint32_t query, size_t k, uint32_t num_threads,
+    const QueryOptions& options) const {
+  const DeadlineTimer timer(options.deadline, options_.default_deadline);
+  TSO_RETURN_IF_ERROR(Admit());
+  InflightSlot slot(&inflight_);
+  if (timer.Exceeded()) return DeadlineError(&deadline_exceeded_);
   EpochDomain::Guard guard = epoch_.Enter();
   const State* state = Pinned();
   if (state == nullptr) return Status::FailedPrecondition("no oracle loaded");
-  if (state->dyn != nullptr) return state->dyn->Knn(query, k, num_threads);
-  if (num_threads == 1) return KnnQuery(state->source, query, k);
-  return KnnQueryParallel(state->source, query, k, num_threads);
+  StatusOr<std::vector<KnnResult>> result =
+      state->dyn != nullptr
+          ? state->dyn->Knn(query, k, num_threads)
+          : (num_threads == 1
+                 ? KnnQuery(state->source, query, k)
+                 : KnnQueryParallel(state->source, query, k, num_threads));
+  if (result.ok() && timer.Exceeded()) {
+    return DeadlineError(&deadline_exceeded_);
+  }
+  return result;
 }
 
 StatusOr<std::vector<uint32_t>> ServeEngine::Range(
-    uint32_t query, double radius, uint32_t num_threads) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+    uint32_t query, double radius, uint32_t num_threads,
+    const QueryOptions& options) const {
+  const DeadlineTimer timer(options.deadline, options_.default_deadline);
+  TSO_RETURN_IF_ERROR(Admit());
+  InflightSlot slot(&inflight_);
+  if (timer.Exceeded()) return DeadlineError(&deadline_exceeded_);
   EpochDomain::Guard guard = epoch_.Enter();
   const State* state = Pinned();
   if (state == nullptr) return Status::FailedPrecondition("no oracle loaded");
-  if (state->dyn != nullptr) {
-    return state->dyn->Range(query, radius, num_threads);
+  StatusOr<std::vector<uint32_t>> result =
+      state->dyn != nullptr
+          ? state->dyn->Range(query, radius, num_threads)
+          : (num_threads == 1
+                 ? RangeQuery(state->source, query, radius)
+                 : RangeQueryParallel(state->source, query, radius,
+                                      num_threads));
+  if (result.ok() && timer.Exceeded()) {
+    return DeadlineError(&deadline_exceeded_);
   }
-  if (num_threads == 1) return RangeQuery(state->source, query, radius);
-  return RangeQueryParallel(state->source, query, radius, num_threads);
+  return result;
 }
 
 ServeEngine::Stats ServeEngine::stats() const {
   Stats s;
   s.reloads = reloads_.load(std::memory_order_relaxed);
   s.queries = queries_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.load_failures = load_failures_.load(std::memory_order_relaxed);
+  s.load_retries = load_retries_.load(std::memory_order_relaxed);
+  s.inflight = inflight_.load(std::memory_order_relaxed);
   s.epoch = epoch_.stats();
   EpochDomain::Guard guard = epoch_.Enter();
   const State* state = Pinned();
   if (state != nullptr) {
     s.num_shards = state->num_shards;
+    s.degraded_shards = state->degraded_shards;
     s.mapped_bytes = state->mapped_bytes;
     if (state->dyn != nullptr) {
       s.dynamic = true;
@@ -154,6 +347,11 @@ ServeEngine::Stats ServeEngine::stats() const {
     } else {
       s.num_pois = state->source.num_pois();
     }
+  }
+  if (lame_duck_.load(std::memory_order_acquire)) {
+    s.health = ServeHealth::kLameDuck;
+  } else if (s.degraded_shards > 0) {
+    s.health = ServeHealth::kDegraded;
   }
   return s;
 }

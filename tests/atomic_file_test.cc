@@ -1,0 +1,111 @@
+// Crash-safe artifact publication: WriteFileAtomic must leave either the
+// complete old file or the complete new file at the destination, for every
+// failure stage of its write protocol. Failures are injected at each of the
+// protocol's failpoint seams; the fork-and-abort variants live in
+// crash_harness_test.cc.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "base/atomic_file.h"
+#include "base/failpoint.h"
+
+namespace tso {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool Exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::DisarmAll();
+    path_ = ::testing::TempDir() + "/atomic_file_test.bin";
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  void TearDown() override {
+    failpoint::DisarmAll();
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(AtomicFileTest, WritesFreshFile) {
+  ASSERT_TRUE(WriteFileAtomic(path_, "hello atomic world").ok());
+  EXPECT_EQ(ReadAll(path_), "hello atomic world");
+  EXPECT_FALSE(Exists(path_ + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, OverwritesExistingFile) {
+  ASSERT_TRUE(WriteFileAtomic(path_, "version one").ok());
+  ASSERT_TRUE(WriteFileAtomic(path_, "version two, longer than one").ok());
+  EXPECT_EQ(ReadAll(path_), "version two, longer than one");
+  ASSERT_TRUE(WriteFileAtomic(path_, "v3").ok());  // shrink too
+  EXPECT_EQ(ReadAll(path_), "v3");
+}
+
+TEST_F(AtomicFileTest, WritesEmptyPayload) {
+  ASSERT_TRUE(WriteFileAtomic(path_, "").ok());
+  EXPECT_TRUE(Exists(path_));
+  EXPECT_EQ(ReadAll(path_), "");
+}
+
+TEST_F(AtomicFileTest, RelativePathWithoutDirectoryComponent) {
+  // Exercises the "." parent-directory fsync branch.
+  const std::string name = "atomic_file_test_cwd.bin";
+  ASSERT_TRUE(WriteFileAtomic(name, "cwd bytes").ok());
+  EXPECT_EQ(ReadAll(name), "cwd bytes");
+  std::remove(name.c_str());
+}
+
+// The core contract: a failure at any stage before the rename leaves the
+// old file byte-identical and cleans up the temp file.
+TEST_F(AtomicFileTest, FailureBeforeRenamePreservesOldFile) {
+  const std::string old_bytes = "the previous, durable artifact";
+  ASSERT_TRUE(WriteFileAtomic(path_, old_bytes).ok());
+
+  for (const char* stage : {"atomicfile.open", "atomicfile.write",
+                            "atomicfile.fsync", "atomicfile.rename"}) {
+    SCOPED_TRACE(stage);
+    ASSERT_TRUE(failpoint::Arm(stage, "error").ok());
+    const Status failed = WriteFileAtomic(path_, "half-written replacement");
+    EXPECT_EQ(failed.code(), StatusCode::kIoError);
+    EXPECT_NE(failed.message().find(stage), std::string::npos);
+    EXPECT_EQ(ReadAll(path_), old_bytes);
+    EXPECT_FALSE(Exists(path_ + ".tmp"));  // no litter
+    failpoint::Disarm(stage);
+  }
+
+  // Disarmed again, the same write goes through.
+  ASSERT_TRUE(WriteFileAtomic(path_, "replacement lands").ok());
+  EXPECT_EQ(ReadAll(path_), "replacement lands");
+}
+
+// The documented exception: a failure syncing the parent directory happens
+// after the rename, so the new file is already visible — the error tells
+// the caller durability is not yet guaranteed, not that the write was lost.
+TEST_F(AtomicFileTest, DirSyncFailureLeavesNewFileVisible) {
+  ASSERT_TRUE(WriteFileAtomic(path_, "old").ok());
+  ASSERT_TRUE(failpoint::Arm("atomicfile.dirsync", "error").ok());
+  const Status failed = WriteFileAtomic(path_, "new");
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_EQ(ReadAll(path_), "new");
+  failpoint::Disarm("atomicfile.dirsync");
+}
+
+}  // namespace
+}  // namespace tso

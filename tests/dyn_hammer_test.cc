@@ -7,6 +7,7 @@
 // build over the surviving POI set.
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <thread>
@@ -14,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/failpoint.h"
 #include "dyn/dynamic_oracle.h"
 #include "geodesic/dijkstra_solver.h"
 #include "terrain/dataset.h"
@@ -162,6 +164,166 @@ TEST(DynHammer, ReadWriteCompactHammer) {
   DynamicStats fin = dyn.stats();
   EXPECT_EQ(fin.epoch.retired, fin.epoch.reclaimed + fin.epoch.pending);
   EXPECT_EQ(fin.live_pois, live.size());
+}
+
+// The fault-injection variant: while readers run the same pinned-snapshot
+// consistency probe, error failpoints are pulsed on the oplog merge and the
+// compaction publish paths. An injected failure may fail a WRITE (the
+// writer sees the error and treats that op's outcome as indeterminate —
+// merge-after-append means a "failed" insert can still fold later), but it
+// must never fail a READ, tear a snapshot, or leave a successfully removed
+// stable id answering: the failed merge consumes nothing and the failed
+// compaction discards only its aside-built base.
+TEST(DynHammer, InjectedMergeAndCompactFailuresAreInvisibleToReaders) {
+  failpoint::DisarmAll();
+  StatusOr<Dataset> ds =
+      MakePaperDataset(PaperDataset::kSanFranciscoSmall, 300, 20, 53);
+  ASSERT_TRUE(ds.ok());
+  const TerrainMesh& mesh = *ds->mesh;
+  DijkstraSolver solver(mesh);
+
+  DynamicOracleOptions options;
+  options.base.epsilon = 0.25;
+  options.max_delta = 4;
+  options.solver_factory = [&mesh]() {
+    return std::unique_ptr<GeodesicSolver>(new DijkstraSolver(mesh));
+  };
+  StatusOr<std::unique_ptr<DynamicSeOracle>> built =
+      DynamicSeOracle::Create(mesh, ds->pois, solver, options);
+  ASSERT_TRUE(built.ok());
+  DynamicSeOracle& dyn = **built;
+
+  constexpr size_t kInserts = 240;
+  Rng rng(77);
+  std::vector<SurfacePoint> pool =
+      GenerateUniformPois(mesh, *ds->locator, kInserts, rng);
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<size_t> injected_write_errors{0};
+  std::atomic<size_t> unexpected_write_errors{0};
+  std::atomic<size_t> stale_after_remove{0};
+  std::atomic<size_t> read_failures{0};
+  std::atomic<size_t> wrong_answers{0};
+  std::vector<uint32_t> expect_live;  // writer-owned; read after join
+  std::vector<uint32_t> expect_dead;
+
+  auto injected = [](const Status& status) {
+    return status.message().find("failpoint") != std::string::npos;
+  };
+
+  std::thread writer([&]() {
+    std::deque<uint32_t> window;
+    size_t ops = 0;
+    for (const SurfacePoint& p : pool) {
+      StatusOr<uint32_t> id = dyn.Insert(p);
+      if (!id.ok()) {
+        // Indeterminate: the record is appended before the merge, so an
+        // injected merge failure can surface as an Insert error whose op
+        // still folds later. Only unexpected (non-injected) errors count
+        // against the test.
+        if (!injected(id.status())) ++unexpected_write_errors;
+        continue;
+      }
+      window.push_back(*id);
+      if (window.size() > 5) {
+        const uint32_t victim = window.front();
+        window.pop_front();
+        const Status removed = dyn.Remove(victim);
+        if (removed.ok()) {
+          expect_dead.push_back(victim);
+          // The stale-id probe: a successful Remove must be immediately
+          // visible — the id answers NotFound from this moment on.
+          StatusOr<double> gone = dyn.Distance(victim, 0);
+          if (gone.ok() || gone.status().code() != StatusCode::kNotFound) {
+            ++stale_after_remove;
+          }
+        } else if (!injected(removed)) {
+          ++unexpected_write_errors;
+        }
+        // Injected-failure removes are indeterminate: skip the id.
+      }
+      if (++ops % 7 == 0) {
+        const Status compacted = dyn.Compact();
+        if (!compacted.ok()) {
+          if (injected(compacted)) {
+            injected_write_errors.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            ++unexpected_write_errors;
+          }
+        }
+      }
+    }
+    expect_live.assign(window.begin(), window.end());
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (uint32_t r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r]() {
+      uint64_t lcg = 0x9e3779b97f4a7c15ull + r;
+      auto next = [&lcg]() {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return lcg >> 33;
+      };
+      while (!writer_done.load(std::memory_order_acquire)) {
+        DynamicSeOracle::PinnedSource pinned = dyn.Pin();
+        const DynamicSnapshot& snap = pinned.snapshot();
+        const uint32_t n = static_cast<uint32_t>(snap.num_ids());
+        const uint32_t s = static_cast<uint32_t>(next() % n);
+        const uint32_t t = static_cast<uint32_t>(next() % n);
+        StatusOr<double> d = pinned.source().Distance(s, t);
+        if (snap.IsLive(s) && snap.IsLive(t)) {
+          if (!d.ok()) {
+            ++read_failures;  // reads must never see an injected failure
+          } else if (!(std::isfinite(*d) && *d >= 0.0)) {
+            ++wrong_answers;
+          }
+        } else if (d.ok() || d.status().code() != StatusCode::kNotFound) {
+          ++wrong_answers;
+        }
+      }
+    });
+  }
+
+  // Pulse the two write-path seams with single-shot errors while the churn
+  // runs. Each pulse fails exactly one merge or one compaction publish.
+  size_t pulses = 0;
+  while (!writer_done.load(std::memory_order_acquire)) {
+    ASSERT_TRUE(failpoint::Arm("dyn.merge", "1*error").ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_TRUE(failpoint::Arm("dyn.compact.publish", "1*error").ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ++pulses;
+  }
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+  const uint64_t merge_faults = failpoint::Triggered("dyn.merge");
+  const uint64_t compact_faults = failpoint::Triggered("dyn.compact.publish");
+  failpoint::DisarmAll();
+
+  EXPECT_EQ(read_failures.load(), 0u);
+  EXPECT_EQ(wrong_answers.load(), 0u);
+  EXPECT_EQ(stale_after_remove.load(), 0u);
+  EXPECT_EQ(unexpected_write_errors.load(), 0u);
+  EXPECT_GT(pulses, 0u);
+  EXPECT_GT(merge_faults + compact_faults, 0u)
+      << "the pulses never landed: the run was vacuous";
+
+  // With the seams disarmed the oracle heals completely: the log drains,
+  // determinate ops are all visible, and removed ids stay dead.
+  ASSERT_TRUE(dyn.Compact().ok());
+  EXPECT_EQ(dyn.stats().oplog_depth, 0u);
+  for (const uint32_t id : expect_live) {
+    EXPECT_TRUE(dyn.IsLive(id)) << id;
+    EXPECT_TRUE(dyn.Distance(id, 0).ok()) << id;
+  }
+  for (const uint32_t id : expect_dead) {
+    EXPECT_FALSE(dyn.IsLive(id)) << id;
+    EXPECT_EQ(dyn.Distance(id, 0).status().code(), StatusCode::kNotFound)
+        << id;
+  }
+  DynamicStats fin = dyn.stats();
+  EXPECT_EQ(fin.epoch.retired, fin.epoch.reclaimed + fin.epoch.pending);
 }
 
 }  // namespace

@@ -1,0 +1,154 @@
+// The failpoint framework itself: spec parsing, arming/disarming, hit and
+// trigger accounting, the N*-limited and delay/pause actions, and the
+// macro's behaviour inside Status-returning functions — plus a seam check
+// proving a real library entry point (MmapFile::Open) honors an armed
+// point and recovers when it is disarmed.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "base/failpoint.h"
+#include "base/mmap_file.h"
+
+namespace tso {
+namespace {
+
+/// A Status-returning function with a seam, as library code would have.
+Status GuardedOperation() {
+  TSO_FAILPOINT("test.guarded");
+  return Status::Ok();
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  // Each test starts and ends with a clean registry so suites can run in
+  // any order (and so a failed EXPECT cannot leak an armed point into the
+  // next test).
+  void SetUp() override { failpoint::DisarmAll(); }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedSeamIsANoOp) {
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(failpoint::Hits("test.guarded"), 0u);
+  EXPECT_TRUE(failpoint::List().empty());
+}
+
+TEST_F(FailpointTest, ErrorActionInjectsIoErrorNamingThePoint) {
+  ASSERT_TRUE(failpoint::Arm("test.guarded", "error").ok());
+  const Status injected = GuardedOperation();
+  EXPECT_EQ(injected.code(), StatusCode::kIoError);
+  EXPECT_NE(injected.message().find("test.guarded"), std::string::npos);
+  EXPECT_EQ(failpoint::Hits("test.guarded"), 1u);
+  EXPECT_EQ(failpoint::Triggered("test.guarded"), 1u);
+
+  failpoint::Disarm("test.guarded");
+  EXPECT_TRUE(GuardedOperation().ok());
+  // Counters survive Disarm (the evaluation of a disarmed point counts as
+  // neither a hit nor a trigger).
+  EXPECT_EQ(failpoint::Hits("test.guarded"), 1u);
+  EXPECT_EQ(failpoint::Triggered("test.guarded"), 1u);
+}
+
+TEST_F(FailpointTest, CustomErrorMessage) {
+  ASSERT_TRUE(failpoint::Arm("test.guarded", "error(disk on fire)").ok());
+  const Status injected = GuardedOperation();
+  EXPECT_EQ(injected.code(), StatusCode::kIoError);
+  EXPECT_NE(injected.message().find("disk on fire"), std::string::npos);
+}
+
+TEST_F(FailpointTest, CountLimitedErrorFiresExactlyNTimes) {
+  ASSERT_TRUE(failpoint::Arm("test.guarded", "2*error").ok());
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_TRUE(GuardedOperation().ok());  // limit exhausted
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(failpoint::Hits("test.guarded"), 4u);
+  EXPECT_EQ(failpoint::Triggered("test.guarded"), 2u);
+}
+
+TEST_F(FailpointTest, DelayActionSleepsThenSucceeds) {
+  ASSERT_TRUE(failpoint::Arm("test.guarded", "delay(20)").ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(GuardedOperation().ok());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            20);
+  EXPECT_EQ(failpoint::Triggered("test.guarded"), 1u);
+}
+
+TEST_F(FailpointTest, PauseBlocksUntilDisarmed) {
+  ASSERT_TRUE(failpoint::Arm("test.guarded", "pause").ok());
+  std::atomic<bool> done{false};
+  std::thread blocked([&]() {
+    EXPECT_TRUE(GuardedOperation().ok());  // pause, then fall through
+    done.store(true, std::memory_order_release);
+  });
+  while (failpoint::Hits("test.guarded") == 0) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(done.load(std::memory_order_acquire));  // still paused
+  failpoint::Disarm("test.guarded");
+  blocked.join();
+  EXPECT_TRUE(done.load(std::memory_order_acquire));
+}
+
+TEST_F(FailpointTest, ArmListArmsEveryEntry) {
+  ASSERT_TRUE(
+      failpoint::ArmList("test.alpha=error;test.beta=3*error(boom)").ok());
+  const std::vector<failpoint::Info> points = failpoint::List();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].name, "test.alpha");
+  EXPECT_EQ(points[0].spec, "error");
+  EXPECT_EQ(points[1].name, "test.beta");
+  EXPECT_EQ(points[1].spec, "3*error(boom)");
+  failpoint::DisarmAll();
+  EXPECT_TRUE(failpoint::List().empty());
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejected) {
+  EXPECT_FALSE(failpoint::Arm("test.x", "explode").ok());
+  EXPECT_FALSE(failpoint::Arm("test.x", "banana*error").ok());
+  EXPECT_FALSE(failpoint::Arm("test.x", "-3*error").ok());
+  EXPECT_FALSE(failpoint::Arm("test.x", "delay(soon)").ok());
+  EXPECT_FALSE(failpoint::Arm("test.x", "error(unclosed").ok());
+  EXPECT_FALSE(failpoint::Arm("test.x", "").ok());
+  EXPECT_FALSE(failpoint::ArmList("test.x").ok());  // missing '='
+  // A rejected spec must not arm the point.
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, OffSpecDisarms) {
+  ASSERT_TRUE(failpoint::Arm("test.guarded", "error").ok());
+  EXPECT_FALSE(GuardedOperation().ok());
+  ASSERT_TRUE(failpoint::Arm("test.guarded", "off").ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+// Seam check: the deepest artifact-pipeline entry point honors the
+// framework, fails with the injected status, and recovers on disarm.
+TEST_F(FailpointTest, MmapOpenSeam) {
+  const std::string path = ::testing::TempDir() + "/failpoint_mmap_seam";
+  std::ofstream(path, std::ios::binary) << "0123456789abcdef";
+
+  ASSERT_TRUE(failpoint::Arm("mmap.open", "error").ok());
+  StatusOr<MmapFile> injected = MmapFile::Open(path);
+  ASSERT_FALSE(injected.ok());
+  EXPECT_EQ(injected.status().code(), StatusCode::kIoError);
+  EXPECT_NE(injected.status().message().find("mmap.open"), std::string::npos);
+
+  failpoint::Disarm("mmap.open");
+  StatusOr<MmapFile> real = MmapFile::Open(path);
+  ASSERT_TRUE(real.ok());
+  EXPECT_EQ(real->view(), "0123456789abcdef");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tso

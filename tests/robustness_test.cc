@@ -2,13 +2,17 @@
 // blobs must fail cleanly, loggers must honor levels, and degenerate inputs
 // must be rejected rather than crash.
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "base/logging.h"
 #include "base/rng.h"
 #include "base/timer.h"
+#include "geodesic/dijkstra_solver.h"
 #include "geodesic/mmp_solver.h"
 #include "oracle/oracle_serde.h"
+#include "oracle/pack_view.h"
 #include "oracle/se_oracle.h"
 #include "terrain/dataset.h"
 
@@ -62,6 +66,183 @@ TEST(SerdeFuzz, RandomTruncationsNeverCrash) {
   for (int trial = 0; trial < 100; ++trial) {
     const size_t cut = rng.Uniform(blob.size());
     EXPECT_FALSE(DeserializeSeOracle(blob.substr(0, cut)).ok());
+  }
+}
+
+/// Shared corpus for the mapped-format fuzz suites: one oracle, its flat
+/// serialization, and a 4-shard pack of it.
+struct FuzzCorpus {
+  std::unique_ptr<SeOracle> oracle;
+  std::string flat;
+  std::string pack;
+
+  FuzzCorpus() {
+    StatusOr<Dataset> ds =
+        MakePaperDataset(PaperDataset::kSanFranciscoSmall, 300, 16, 4);
+    TSO_CHECK(ds.ok());
+    DijkstraSolver solver(*ds->mesh);
+    SeOracleOptions options;
+    options.epsilon = 0.25;
+    StatusOr<SeOracle> built =
+        SeOracle::Build(*ds->mesh, ds->pois, solver, options, nullptr);
+    TSO_CHECK(built.ok());
+    oracle = std::make_unique<SeOracle>(std::move(*built));
+    flat = SerializeSeOracleFlat(*oracle);
+    PackBuildOptions pack_options;
+    pack_options.num_shards = 4;
+    StatusOr<std::string> packed = SerializeOraclePack(*oracle, pack_options);
+    TSO_CHECK(packed.ok());
+    pack = *packed;
+  }
+};
+
+FuzzCorpus& Corpus() {
+  static FuzzCorpus* corpus = new FuzzCorpus();
+  return *corpus;
+}
+
+TEST(FlatFuzz, RandomByteFlipsNeverCrash) {
+  const std::string& blob = Corpus().flat;
+  OracleView::Options verify;
+  verify.verify_checksums = true;
+  Rng rng(17);
+  int accepted = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupt = blob;
+    corrupt[rng.Uniform(corrupt.size())] ^=
+        static_cast<char>(1 + rng.Uniform(255));
+    StatusOr<OracleView> view = OracleView::FromBuffer(corrupt, verify);
+    if (view.ok()) {
+      // With checksums on, an accepted flip landed in unprotected padding:
+      // queries must be exact, and must not crash.
+      ++accepted;
+      EXPECT_EQ(*view->Distance(0, 1), *Corpus().oracle->Distance(0, 1));
+    }
+  }
+  // Almost the whole file is covered by a section or table CRC.
+  EXPECT_LT(accepted, 300);
+}
+
+TEST(FlatFuzz, SectionTableFlipsAreAlwaysRejected) {
+  const std::string& blob = Corpus().flat;
+  StatusOr<FlatFileInfo> info = ReadFlatFileInfo(blob);
+  ASSERT_TRUE(info.ok());
+  const size_t table_begin = sizeof(FlatHeader);
+  const size_t table_end =
+      table_begin + info->sections.size() * sizeof(FlatSectionEntry);
+  // Every single-byte flip inside the section table must be caught by the
+  // header's table CRC — even without the checksum option (it guards the
+  // structural metadata every open depends on).
+  for (size_t pos = table_begin; pos < table_end; pos += 3) {
+    std::string corrupt = blob;
+    corrupt[pos] ^= 0x01;
+    EXPECT_FALSE(OracleView::FromBuffer(corrupt).ok()) << "offset " << pos;
+  }
+}
+
+TEST(FlatFuzz, RandomTruncationsNeverCrash) {
+  const std::string& blob = Corpus().flat;
+  Rng rng(29);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t cut = rng.Uniform(blob.size());
+    EXPECT_FALSE(OracleView::FromBuffer(blob.substr(0, cut)).ok());
+  }
+}
+
+TEST(PackFuzz, RandomByteFlipsNeverCrash) {
+  const std::string& blob = Corpus().pack;
+  PackView::Options verify;
+  verify.verify_checksums = true;
+  Rng rng(31);
+  int accepted = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupt = blob;
+    corrupt[rng.Uniform(corrupt.size())] ^=
+        static_cast<char>(1 + rng.Uniform(255));
+    StatusOr<PackView> view = PackView::FromBuffer(corrupt, verify);
+    if (view.ok()) {
+      ++accepted;
+      EXPECT_EQ(*view->Distance(0, 1), *Corpus().oracle->Distance(0, 1));
+    }
+  }
+  EXPECT_LT(accepted, 300);
+}
+
+TEST(PackFuzz, DegradedOpenNeverCrashesAndNeverLies) {
+  const std::string& blob = Corpus().pack;
+  const SeOracle& oracle = *Corpus().oracle;
+  PackView::Options degraded;
+  degraded.verify_checksums = true;
+  degraded.allow_degraded = true;
+  Rng rng(37);
+  const uint32_t n = static_cast<uint32_t>(oracle.num_pois());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string corrupt = blob;
+    corrupt[rng.Uniform(corrupt.size())] ^=
+        static_cast<char>(1 + rng.Uniform(255));
+    StatusOr<PackView> view = PackView::FromBuffer(corrupt, degraded);
+    if (!view.ok()) continue;  // frame/routing damage: clean rejection
+    // An accepted degraded open must answer every query either bit-exactly
+    // or with an honest kUnavailable — a wrong answer is the one forbidden
+    // outcome.
+    for (uint32_t q = 0; q < 8; ++q) {
+      const uint32_t s = (q * 5) % n;
+      const uint32_t t = (q * 11 + 3) % n;
+      StatusOr<double> got = view->Distance(s, t);
+      if (got.ok()) {
+        // Rescued probes answer from the reverse-orientation record, which
+        // may differ in final ulps (opposite SSAD sources).
+        const double truth = *oracle.Distance(s, t);
+        EXPECT_NEAR(*got, truth, 1e-9 * (1.0 + truth)) << s << "," << t;
+      } else {
+        EXPECT_EQ(got.status().code(), StatusCode::kUnavailable)
+            << got.status().ToString();
+      }
+    }
+  }
+}
+
+TEST(PackFuzz, RoutingSectionFlipsAreSafe) {
+  const std::string& blob = Corpus().pack;
+  const SeOracle& oracle = *Corpus().oracle;
+  StatusOr<PackFileInfo> info = ReadPackFileInfo(blob);
+  ASSERT_TRUE(info.ok());
+  // Find the node-routing section; flips inside it are the nastiest case —
+  // they redirect probes rather than corrupt payloads.
+  const FlatSectionEntry* routing = nullptr;
+  for (const FlatSectionEntry& section : info->sections) {
+    if (section.id == kPackShardOfNode) routing = &section;
+  }
+  ASSERT_NE(routing, nullptr);
+  Rng rng(41);
+  const uint32_t n = static_cast<uint32_t>(oracle.num_pois());
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string corrupt = blob;
+    corrupt[routing->offset + rng.Uniform(routing->size)] ^=
+        static_cast<char>(1 + rng.Uniform(255));
+    // Opened without checksums, so the flip reaches the query path: a
+    // misrouted probe may miss (shards are disjoint — it can never hit a
+    // wrong record), so the answer is exact or an error, never silently
+    // wrong.
+    StatusOr<PackView> view = PackView::FromBuffer(corrupt);
+    if (!view.ok()) continue;  // structural routing validation caught it
+    for (uint32_t q = 0; q < 8; ++q) {
+      const uint32_t s = (q * 7) % n;
+      const uint32_t t = (q * 3 + 1) % n;
+      StatusOr<double> got = view->Distance(s, t);
+      if (got.ok()) {
+        EXPECT_EQ(*got, *oracle.Distance(s, t)) << s << "," << t;
+      }
+    }
+  }
+}
+
+TEST(PackFuzz, RandomTruncationsNeverCrash) {
+  const std::string& blob = Corpus().pack;
+  Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t cut = rng.Uniform(blob.size());
+    EXPECT_FALSE(PackView::FromBuffer(blob.substr(0, cut)).ok());
   }
 }
 

@@ -162,6 +162,56 @@ TEST(ServeEngine, FailedLoadKeepsPreviousGenerationServing) {
   std::remove(truncated_path.c_str());
 }
 
+// A failed load must tell the operator WHICH file failed and WHY — a bare
+// "checksum mismatch" from a fleet reloading dozens of shards is
+// undebuggable.
+TEST(ServeEngine, LoadErrorsCarryPathAndRootCause) {
+  ServeEngine engine;
+
+  const std::string missing = ::testing::TempDir() + "/serve_path_missing";
+  Status status = engine.Load(missing);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(missing), std::string::npos)
+      << status.ToString();
+
+  // A corrupt flat file: path plus the structural root cause.
+  std::ifstream in(Fixture().flat_path, std::ios::binary);
+  std::string flat_bytes((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  flat_bytes[sizeof(uint64_t)] ^= 0x7f;  // clobber the endian tag
+  const std::string bad_flat = ::testing::TempDir() + "/serve_path_badflat";
+  std::ofstream(bad_flat, std::ios::binary) << flat_bytes;
+  status = engine.Load(bad_flat);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(bad_flat), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("flat oracle"), std::string::npos)
+      << status.ToString();
+
+  // A truncated pack: the pack-format error, again with the path.
+  std::ifstream pin(Fixture().pack2_path, std::ios::binary);
+  std::string pack_bytes((std::istreambuf_iterator<char>(pin)),
+                         std::istreambuf_iterator<char>());
+  const std::string bad_pack = ::testing::TempDir() + "/serve_path_badpack";
+  std::ofstream(bad_pack, std::ios::binary)
+      << pack_bytes.substr(0, pack_bytes.size() - 64);
+  status = engine.Load(bad_pack);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(bad_pack), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("pack"), std::string::npos)
+      << status.ToString();
+
+  // The direct view opens annotate identically (the engine only forwards).
+  EXPECT_NE(OracleView::Open(bad_flat).status().message().find(bad_flat),
+            std::string::npos);
+  EXPECT_NE(PackView::Open(bad_pack).status().message().find(bad_pack),
+            std::string::npos);
+
+  std::remove(bad_flat.c_str());
+  std::remove(bad_pack.c_str());
+}
+
 TEST(ServeEngine, ReloadSwitchesGenerations) {
   const SeOracle& oracle = *Fixture().oracle;
   ServeEngine engine;

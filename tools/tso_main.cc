@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -68,6 +69,10 @@ struct Args {
   std::string policy = "poi-range";   // pack: poi-range | geo
   size_t reloads = 0;                 // serve-bench: hot reloads under load
   size_t churn = 0;        // --dynamic: seeded removes applied after mount
+  uint64_t max_inflight = 0;   // serve-bench: admission cap (0 = unlimited)
+  uint64_t deadline_us = 0;    // serve-bench: per-query budget (0 = none)
+  uint32_t load_retries = 0;   // serve-bench: transient Load retries
+  bool deep = false;       // inspect: per-section report for every shard
   bool dynamic = false;    // query/inspect: mount the dynamic layer
   bool out_set = false;               // --out given (pack defaults differ)
   bool check = false;
@@ -188,10 +193,21 @@ serve-bench options:
   --reloads M                   hot-reload the file M times while the query
                                 hammer runs; reports failed queries (must
                                 be 0) and reload latency
+  --max-inflight N              admission cap: shed queries beyond N in
+                                flight with kUnavailable (0 = unlimited)
+  --deadline-us U               per-query deadline budget in microseconds
+                                (0 = none); exceeded queries report
+                                kDeadlineExceeded and are counted
+  --load-retries R              retry transient Load failures up to R times
+                                with doubling backoff (default 0)
   --seed S                      seed for the query workload
 
 inspect options:
   --oracle PATH                 saved oracle or pack file (required)
+  --deep                        for packs: print and verify the full inner
+                                section table of every shard (default
+                                prints one summary line per shard; both
+                                modes verify every checksum)
   --dynamic                     additionally mount the dynamic layer and
                                 report its stats (delta, oplog, epoch)
   --churn N                     with --dynamic: tombstone N random live POIs
@@ -244,6 +260,17 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--reloads") {
       if (!(v = next())) return false;
       if (!ParseSizeFlag(flag, v, &args->reloads)) return false;
+    } else if (flag == "--max-inflight") {
+      if (!(v = next())) return false;
+      if (!ParseU64Flag(flag, v, &args->max_inflight)) return false;
+    } else if (flag == "--deadline-us") {
+      if (!(v = next())) return false;
+      if (!ParseU64Flag(flag, v, &args->deadline_us)) return false;
+    } else if (flag == "--load-retries") {
+      if (!(v = next())) return false;
+      if (!ParseU32Flag(flag, v, &args->load_retries)) return false;
+    } else if (flag == "--deep") {
+      args->deep = true;
     } else if (flag == "--solver") {
       if (!(v = next())) return false;
       args->solver = v;
@@ -702,7 +729,11 @@ int CmdServeBench(const Args& args) {
     std::fprintf(stderr, "tso: --queries must be > 0\n");
     return 2;
   }
-  ServeEngine engine;
+  ServeOptions serve_options;
+  serve_options.max_inflight = args.max_inflight;
+  serve_options.default_deadline = std::chrono::microseconds(args.deadline_us);
+  serve_options.load_retries = args.load_retries;
+  ServeEngine engine(serve_options);
   WallTimer open_timer;
   Status loaded = engine.Load(args.oracle_path);
   if (!loaded.ok()) {
@@ -713,11 +744,13 @@ int CmdServeBench(const Args& args) {
   const ServeEngine::Stats opened = engine.stats();
   std::printf(
       "serving %s: %u shard%s, n=%llu POIs, %.1f KiB mapped, opened in "
-      "%.3f ms\n",
+      "%.3f ms (health %s%s)\n",
       args.oracle_path.c_str(), opened.num_shards,
       opened.num_shards == 1 ? "" : "s",
       static_cast<unsigned long long>(opened.num_pois),
-      opened.mapped_bytes / 1024.0, open_ms);
+      opened.mapped_bytes / 1024.0, open_ms, ServeHealthName(opened.health),
+      opened.degraded_shards > 0 ? ", degraded shards served as unavailable"
+                                 : "");
 
   const size_t n = static_cast<size_t>(opened.num_pois);
   Rng rng(args.seed ^ 0x9e3779b97f4a7c15ULL);
@@ -728,18 +761,29 @@ int CmdServeBench(const Args& args) {
                        static_cast<uint32_t>(rng.Uniform(n)));
   }
 
+  // Under --deadline-us / --max-inflight / a degraded pack, kDeadlineExceeded
+  // and kUnavailable are expected load-management outcomes, not errors: they
+  // are counted (and reported below) instead of aborting the bench.
+  uint64_t serial_rejected = 0;
   WallTimer timer;
   for (const auto& [s, t] : pairs) {
     StatusOr<double> d = engine.Distance(s, t);
     if (!d.ok()) {
+      const StatusCode code = d.status().code();
+      if (code == StatusCode::kDeadlineExceeded ||
+          code == StatusCode::kUnavailable) {
+        ++serial_rejected;
+        continue;
+      }
       std::fprintf(stderr, "tso: query %u,%u: %s\n", s, t,
                    d.status().ToString().c_str());
       return 1;
     }
   }
   const double secs = timer.ElapsedSeconds();
-  std::printf("serial: %zu queries in %.3fs (%.2f us/query)\n", pairs.size(),
-              secs, secs / pairs.size() * 1e6);
+  std::printf("serial: %zu queries in %.3fs (%.2f us/query, %llu rejected)\n",
+              pairs.size(), secs, secs / pairs.size() * 1e6,
+              static_cast<unsigned long long>(serial_rejected));
 
   if (args.query_threads > 0) {
     // Same tiling discipline as `tso bench`: stretch the workload so thread
@@ -778,6 +822,7 @@ int CmdServeBench(const Args& args) {
     std::atomic<bool> stop{false};
     std::atomic<uint32_t> started{0};
     std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> rejected{0};
     std::atomic<uint64_t> failed{0};
     std::vector<std::thread> hammer;
     hammer.reserve(readers);
@@ -788,8 +833,14 @@ int CmdServeBench(const Args& args) {
         while (!stop.load(std::memory_order_relaxed)) {
           const auto& [s, t] = pairs[i % pairs.size()];
           ++i;
-          if (engine.Distance(s, t).ok()) {
+          const Status status = engine.Distance(s, t).status();
+          if (status.ok()) {
             served.fetch_add(1, std::memory_order_relaxed);
+          } else if (status.code() == StatusCode::kDeadlineExceeded ||
+                     status.code() == StatusCode::kUnavailable) {
+            // Load management doing its job (--deadline-us/--max-inflight),
+            // not a reload-safety violation.
+            rejected.fetch_add(1, std::memory_order_relaxed);
           } else {
             failed.fetch_add(1, std::memory_order_relaxed);
           }
@@ -825,9 +876,10 @@ int CmdServeBench(const Args& args) {
     for (std::thread& th : hammer) th.join();
     std::printf(
         "hot reload: %zu reloads under %u reader threads | mean %.3f ms, "
-        "max %.3f ms | %llu queries served, %llu failed\n",
+        "max %.3f ms | %llu queries served, %llu rejected, %llu failed\n",
         args.reloads, readers, total_ms / args.reloads, max_ms,
         static_cast<unsigned long long>(served.load()),
+        static_cast<unsigned long long>(rejected.load()),
         static_cast<unsigned long long>(failed.load()));
     if (failed.load() != 0) {
       std::fprintf(stderr, "tso: hot reload FAILED: queries failed during "
@@ -835,13 +887,27 @@ int CmdServeBench(const Args& args) {
       return 1;
     }
   }
+  const ServeEngine::Stats final_stats = engine.stats();
+  std::printf(
+      "counters: queries=%llu shed=%llu deadline_exceeded=%llu reloads=%llu "
+      "load_failures=%llu load_retries=%llu degraded_shards=%u health=%s\n",
+      static_cast<unsigned long long>(final_stats.queries),
+      static_cast<unsigned long long>(final_stats.shed),
+      static_cast<unsigned long long>(final_stats.deadline_exceeded),
+      static_cast<unsigned long long>(final_stats.reloads),
+      static_cast<unsigned long long>(final_stats.load_failures),
+      static_cast<unsigned long long>(final_stats.load_retries),
+      final_stats.degraded_shards, ServeHealthName(final_stats.health));
   return 0;
 }
 
 /// Pack inspection: verify the pack frame (header, section CRCs), then
 /// recurse into each shard's own flat section table. Any corruption at
-/// either level exits non-zero.
-int InspectPack(const std::string& path, const std::string& bytes) {
+/// either level exits non-zero. `deep` expands each shard's inner section
+/// table into the same per-section report the flat path prints (the
+/// checksums are verified either way; --deep only changes the reporting).
+int InspectPack(const std::string& path, const std::string& bytes,
+                bool deep) {
   StatusOr<PackFileInfo> info = ReadPackFileInfo(bytes);
   if (!info.ok()) {
     std::fprintf(stderr, "tso: %s\n", info.status().ToString().c_str());
@@ -882,18 +948,41 @@ int InspectPack(const std::string& path, const std::string& bytes) {
       return 1;
     }
     size_t pairs = 0;
+    if (deep) {
+      std::printf("  shard %u (%llu bytes, flat oracle v%u):\n", s,
+                  static_cast<unsigned long long>(e.size),
+                  shard->header.version);
+      std::printf("    %-20s %10s %12s %10s %10s  %s\n", "section", "offset",
+                  "bytes", "count", "crc32", "status");
+    }
     for (const FlatSectionEntry& se : shard->sections) {
-      if (Crc32(shard_bytes.data() + se.offset, se.size) != se.crc32) {
+      const uint32_t actual = Crc32(shard_bytes.data() + se.offset, se.size);
+      const bool ok = actual == se.crc32;
+      if (deep) {
+        std::printf("    %-20s %10llu %12llu %10llu   %08x  %s\n",
+                    FlatSectionName(se.id),
+                    static_cast<unsigned long long>(se.offset),
+                    static_cast<unsigned long long>(se.size),
+                    static_cast<unsigned long long>(se.count), se.crc32,
+                    ok ? "ok" : "CORRUPT");
+      }
+      if (!ok) {
         std::fprintf(stderr, "tso: shard %u section %s: checksum FAILED\n", s,
                      FlatSectionName(se.id));
         return 1;
       }
       if (se.id == kFlatPairs) pairs = se.count;
     }
-    std::printf("  shard %-3u %12llu bytes, %u sections, %zu node pairs "
-                "(checksums ok)\n",
-                s, static_cast<unsigned long long>(e.size),
-                shard->header.section_count, pairs);
+    if (deep) {
+      std::printf("    shard %u: %u sections, %zu node pairs "
+                  "(checksums ok)\n",
+                  s, shard->header.section_count, pairs);
+    } else {
+      std::printf("  shard %-3u %12llu bytes, %u sections, %zu node pairs "
+                  "(checksums ok)\n",
+                  s, static_cast<unsigned long long>(e.size),
+                  shard->header.section_count, pairs);
+    }
   }
   PackView::Options verify;
   verify.verify_checksums = true;
@@ -922,7 +1011,9 @@ int InspectFile(const Args& args) {
   std::ostringstream ss;
   ss << in.rdbuf();
   const std::string bytes = ss.str();
-  if (LooksLikeOraclePack(bytes)) return InspectPack(args.oracle_path, bytes);
+  if (LooksLikeOraclePack(bytes)) {
+    return InspectPack(args.oracle_path, bytes, args.deep);
+  }
   if (!LooksLikeFlatOracle(bytes)) {
     StatusOr<SeOracle> oracle = DeserializeSeOracle(bytes);
     if (!oracle.ok()) {
