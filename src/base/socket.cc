@@ -1,0 +1,189 @@
+#include "base/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "base/failpoint.h"
+
+namespace tso {
+namespace {
+
+std::string ErrnoText(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Status::IoError(ErrnoText("setsockopt(TCP_NODELAY)"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+StatusOr<Socket> ListenTcpLoopback(uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(ErrnoText("socket"));
+  Socket sock(fd);
+
+  int one = 1;
+  if (setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    return Status::IoError(ErrnoText("setsockopt(SO_REUSEADDR)"));
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::IoError(ErrnoText("bind") + " (port " +
+                           std::to_string(port) + ")");
+  }
+  if (::listen(fd, backlog) != 0) {
+    return Status::IoError(ErrnoText("listen"));
+  }
+  return sock;
+}
+
+StatusOr<uint16_t> BoundPort(const Socket& socket) {
+  if (!socket.valid()) {
+    return Status::InvalidArgument("BoundPort: invalid socket");
+  }
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Status::IoError(ErrnoText("getsockname"));
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+StatusOr<Socket> AcceptTcp(const Socket& listener) {
+  for (;;) {
+    int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoText("accept"));
+    }
+    Socket sock(fd);
+    TSO_RETURN_IF_ERROR(SetNoDelay(fd));
+    return sock;
+  }
+}
+
+StatusOr<Socket> ConnectTcp(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string port_str = std::to_string(port);
+  int rc = getaddrinfo(host.c_str(), port_str.c_str(), &hints, &result);
+  if (rc != 0) {
+    return Status::IoError("getaddrinfo(" + host + "): " + gai_strerror(rc));
+  }
+
+  Status last = Status::IoError("connect: no addresses for " + host);
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::IoError(ErrnoText("socket"));
+      continue;
+    }
+    Socket sock(fd);
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      last = Status::IoError(ErrnoText("connect") + " (" + host + ":" +
+                             port_str + ")");
+      continue;
+    }
+    freeaddrinfo(result);
+    TSO_RETURN_IF_ERROR(SetNoDelay(fd));
+    return sock;
+  }
+  freeaddrinfo(result);
+  return last;
+}
+
+Status ReadFull(const Socket& socket, void* buf, size_t size) {
+  TSO_FAILPOINT("net.read");
+  char* p = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::recv(socket.fd(), p + done, size - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoText("recv"));
+    }
+    if (n == 0) {
+      if (done == 0) return Status::Unavailable("connection closed");
+      return Status::IoError("connection closed mid-frame (got " +
+                             std::to_string(done) + " of " +
+                             std::to_string(size) + " bytes)");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+StatusOr<size_t> ReadSome(const Socket& socket, void* buf, size_t size) {
+  TSO_FAILPOINT("net.read");
+  for (;;) {
+    ssize_t n = ::recv(socket.fd(), buf, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoText("recv"));
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+Status WriteFull(const Socket& socket, const void* buf, size_t size) {
+  TSO_FAILPOINT("net.write");
+  const char* p = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::send(socket.fd(), p + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoText("send"));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace tso

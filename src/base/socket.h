@@ -1,0 +1,75 @@
+#ifndef TSO_BASE_SOCKET_H_
+#define TSO_BASE_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+
+namespace tso {
+
+/// A connected or listening TCP socket file descriptor with RAII close —
+/// the base-layer IO primitive under the tsod wire protocol (src/net/).
+/// Move-only, like MmapFile; a default-constructed or moved-from Socket is
+/// invalid (fd() < 0) and Close() on it is a no-op.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Closes the descriptor now instead of at destruction. Idempotent.
+  void Close();
+
+  /// Half-closes the read side: a peer (or our own connection loop) blocked
+  /// in read() observes EOF. Used by graceful drain. No-op when invalid.
+  void ShutdownRead();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a listening TCP socket bound to 127.0.0.1:`port` (SO_REUSEADDR;
+/// `port` == 0 binds an ephemeral port — read it back with BoundPort).
+/// The serving tier is loopback/LAN infrastructure behind a load balancer,
+/// so the listener deliberately binds the loopback interface only.
+StatusOr<Socket> ListenTcpLoopback(uint16_t port, int backlog);
+
+/// The port a listening socket is actually bound to (resolves port 0).
+StatusOr<uint16_t> BoundPort(const Socket& socket);
+
+/// Accepts one connection from `listener` (blocking). TCP_NODELAY is set on
+/// the accepted socket: the wire protocol writes whole frames, so Nagle
+/// only adds latency.
+StatusOr<Socket> AcceptTcp(const Socket& listener);
+
+/// Connects to `host`:`port` (blocking; numeric or resolvable host) and
+/// sets TCP_NODELAY.
+StatusOr<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Reads exactly `size` bytes (retrying short reads and EINTR). A clean EOF
+/// before the first byte returns kUnavailable("connection closed"); EOF
+/// mid-buffer returns kIoError (a truncated frame). Failpoint seam:
+/// "net.read".
+Status ReadFull(const Socket& socket, void* buf, size_t size);
+
+/// Reads at most `size` bytes, returning the count; 0 means clean EOF.
+/// Retries EINTR only. Failpoint seam: "net.read".
+StatusOr<size_t> ReadSome(const Socket& socket, void* buf, size_t size);
+
+/// Writes exactly `size` bytes (retrying short writes and EINTR). SIGPIPE
+/// is suppressed (MSG_NOSIGNAL): a peer that vanished mid-response is a
+/// Status, not a process kill. Failpoint seam: "net.write".
+Status WriteFull(const Socket& socket, const void* buf, size_t size);
+
+}  // namespace tso
+
+#endif  // TSO_BASE_SOCKET_H_

@@ -1,0 +1,208 @@
+#include "net/client.h"
+
+namespace tso {
+
+Status TsodClient::Connect(const std::string& host, uint16_t port) {
+  auto sock = ConnectTcp(host, port);
+  TSO_RETURN_IF_ERROR(sock.status());
+  socket_ = std::move(sock.value());
+  next_id_ = 1;
+  pending_.clear();
+  pending_head_ = 0;
+  return Status::Ok();
+}
+
+StatusOr<WireResponse> TsodClient::ReadResponse() {
+  if (!socket_.valid()) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  WireHeader header;
+  Status read = ReadFull(socket_, &header, sizeof(header));
+  if (!read.ok()) {
+    socket_.Close();
+    return read;
+  }
+  frame_buf_.assign(reinterpret_cast<const char*>(&header), sizeof(header));
+
+  // Re-run the shared decoder on the header so the client applies exactly
+  // the server's structural validation (magic, version, kind, size cap).
+  WireFrame frame;
+  size_t needed = 0;
+  Status error;
+  DecodeResult result =
+      DecodeFrame(frame_buf_, &frame, &needed, &error);
+  if (result == DecodeResult::kError) {
+    socket_.Close();
+    return error;
+  }
+  frame_buf_.resize(sizeof(header) + header.payload_size);
+  if (header.payload_size > 0) {
+    read = ReadFull(socket_, frame_buf_.data() + sizeof(header),
+                    header.payload_size);
+    if (!read.ok()) {
+      socket_.Close();
+      return read;
+    }
+  }
+  result = DecodeFrame(frame_buf_, &frame, &needed, &error);
+  if (result != DecodeResult::kFrame) {
+    socket_.Close();
+    return result == DecodeResult::kError
+               ? error
+               : Status::Internal("wire: frame decode did not converge");
+  }
+  auto response = ParseResponse(frame);
+  if (!response.ok()) socket_.Close();
+  return response;
+}
+
+StatusOr<WireResponse> TsodClient::ReadMatchingResponse(uint32_t request_id,
+                                                        uint8_t kind) {
+  auto response = ReadResponse();
+  TSO_RETURN_IF_ERROR(response.status());
+  if (response.value().request_id != request_id ||
+      response.value().kind != kind) {
+    socket_.Close();
+    return Status::Internal(
+        "wire: response mismatch (got id " +
+        std::to_string(response.value().request_id) + " kind " +
+        std::to_string(response.value().kind) + ", want id " +
+        std::to_string(request_id) + " kind " + std::to_string(kind) + ")");
+  }
+  return response;
+}
+
+StatusOr<double> TsodClient::Distance(uint32_t s, uint32_t t,
+                                      uint64_t deadline_us) {
+  TSO_RETURN_IF_ERROR(SendDistance(s, t, deadline_us));
+  return RecvDistance();
+}
+
+Status TsodClient::SendDistance(uint32_t s, uint32_t t,
+                                uint64_t deadline_us) {
+  if (!socket_.valid()) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  const uint32_t id = next_id_++;
+  std::string out;
+  AppendDistanceRequest(&out, id, s, t, deadline_us);
+  Status write = WriteFull(socket_, out.data(), out.size());
+  if (!write.ok()) {
+    socket_.Close();
+    return write;
+  }
+  pending_.push_back(id);
+  return Status::Ok();
+}
+
+StatusOr<double> TsodClient::RecvDistance() {
+  if (pending_head_ >= pending_.size()) {
+    return Status::FailedPrecondition("no pipelined request outstanding");
+  }
+  const uint32_t id = pending_[pending_head_++];
+  if (pending_head_ == pending_.size()) {
+    pending_.clear();
+    pending_head_ = 0;
+  }
+  auto response = ReadMatchingResponse(id, kWireKindDistance);
+  TSO_RETURN_IF_ERROR(response.status());
+  TSO_RETURN_IF_ERROR(response.value().status);
+  return response.value().distance;
+}
+
+StatusOr<std::vector<double>> TsodClient::Batch(
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+    uint64_t deadline_us) {
+  if (!socket_.valid()) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  const uint32_t id = next_id_++;
+  std::string out;
+  AppendBatchRequest(&out, id, pairs, deadline_us);
+  Status write = WriteFull(socket_, out.data(), out.size());
+  if (!write.ok()) {
+    socket_.Close();
+    return write;
+  }
+  auto response = ReadMatchingResponse(id, kWireKindBatch);
+  TSO_RETURN_IF_ERROR(response.status());
+  TSO_RETURN_IF_ERROR(response.value().status);
+  return std::move(response.value().distances);
+}
+
+StatusOr<std::vector<KnnResult>> TsodClient::Knn(uint32_t query, uint64_t k,
+                                                 uint64_t deadline_us) {
+  if (!socket_.valid()) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  const uint32_t id = next_id_++;
+  std::string out;
+  AppendKnnRequest(&out, id, query, k, deadline_us);
+  Status write = WriteFull(socket_, out.data(), out.size());
+  if (!write.ok()) {
+    socket_.Close();
+    return write;
+  }
+  auto response = ReadMatchingResponse(id, kWireKindKnn);
+  TSO_RETURN_IF_ERROR(response.status());
+  TSO_RETURN_IF_ERROR(response.value().status);
+  return std::move(response.value().neighbors);
+}
+
+StatusOr<std::vector<uint32_t>> TsodClient::Range(uint32_t query,
+                                                  double radius,
+                                                  uint64_t deadline_us) {
+  if (!socket_.valid()) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  const uint32_t id = next_id_++;
+  std::string out;
+  AppendRangeRequest(&out, id, query, radius, deadline_us);
+  Status write = WriteFull(socket_, out.data(), out.size());
+  if (!write.ok()) {
+    socket_.Close();
+    return write;
+  }
+  auto response = ReadMatchingResponse(id, kWireKindRange);
+  TSO_RETURN_IF_ERROR(response.status());
+  TSO_RETURN_IF_ERROR(response.value().status);
+  return std::move(response.value().members);
+}
+
+StatusOr<WireServeStats> TsodClient::Stats() {
+  if (!socket_.valid()) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  const uint32_t id = next_id_++;
+  std::string out;
+  AppendStatsRequest(&out, id);
+  Status write = WriteFull(socket_, out.data(), out.size());
+  if (!write.ok()) {
+    socket_.Close();
+    return write;
+  }
+  auto response = ReadMatchingResponse(id, kWireKindStats);
+  TSO_RETURN_IF_ERROR(response.status());
+  TSO_RETURN_IF_ERROR(response.value().status);
+  return response.value().stats;
+}
+
+StatusOr<uint8_t> TsodClient::Health() {
+  if (!socket_.valid()) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  const uint32_t id = next_id_++;
+  std::string out;
+  AppendHealthRequest(&out, id);
+  Status write = WriteFull(socket_, out.data(), out.size());
+  if (!write.ok()) {
+    socket_.Close();
+    return write;
+  }
+  auto response = ReadMatchingResponse(id, kWireKindHealth);
+  TSO_RETURN_IF_ERROR(response.status());
+  TSO_RETURN_IF_ERROR(response.value().status);
+  return response.value().health;
+}
+
+}  // namespace tso

@@ -1,0 +1,76 @@
+#ifndef TSO_NET_CLIENT_H_
+#define TSO_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/socket.h"
+#include "base/status.h"
+#include "net/wire.h"
+
+namespace tso {
+
+/// A blocking client for the tsod wire protocol: one TCP connection, RPCs
+/// issued either synchronously (Distance/Batch/Knn/Range/Stats/Health —
+/// send, then block for the matching response) or pipelined
+/// (SendDistance + RecvDistance, any number outstanding; responses arrive
+/// in request order and are matched by request id).
+///
+/// Application failures come back as the Status the engine produced
+/// (kUnavailable shed, kDeadlineExceeded, kInvalidArgument for a bad POI
+/// id, ...) — the connection stays usable. IO and protocol failures
+/// (kIoError / kInternal) mean the connection is dead; Connect a new one.
+///
+/// Thread safety: none. One TsodClient per thread.
+class TsodClient {
+ public:
+  TsodClient() = default;
+  TsodClient(const TsodClient&) = delete;
+  TsodClient& operator=(const TsodClient&) = delete;
+
+  /// `deadline_us`, everywhere below: per-request deadline forwarded to
+  /// the engine; 0 means the server default.
+  Status Connect(const std::string& host, uint16_t port);
+  bool connected() const { return socket_.valid(); }
+  void Close() { socket_.Close(); }
+
+  StatusOr<double> Distance(uint32_t s, uint32_t t, uint64_t deadline_us = 0);
+  StatusOr<std::vector<double>> Batch(
+      const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+      uint64_t deadline_us = 0);
+  StatusOr<std::vector<KnnResult>> Knn(uint32_t query, uint64_t k,
+                                       uint64_t deadline_us = 0);
+  StatusOr<std::vector<uint32_t>> Range(uint32_t query, double radius,
+                                        uint64_t deadline_us = 0);
+  StatusOr<WireServeStats> Stats();
+  StatusOr<uint8_t> Health();  // a ServeHealth value
+
+  /// Pipelined distance RPCs: SendDistance writes the request without
+  /// waiting; RecvDistance blocks for the oldest outstanding response and
+  /// returns its answer (the server answers in order; ids are verified).
+  /// Keep the outstanding window bounded (the server writes responses
+  /// inline, so an unread response backlog can deadlock both ends once the
+  /// socket buffers fill — ~128 outstanding is safe and saturating).
+  Status SendDistance(uint32_t s, uint32_t t, uint64_t deadline_us = 0);
+  StatusOr<double> RecvDistance();
+
+ private:
+  /// Reads one complete frame (header + payload into frame_buf_) and
+  /// parses it as a response.
+  StatusOr<WireResponse> ReadResponse();
+  /// Reads the response to `request_id`, checking id and kind.
+  StatusOr<WireResponse> ReadMatchingResponse(uint32_t request_id,
+                                              uint8_t kind);
+
+  Socket socket_;
+  uint32_t next_id_ = 1;
+  std::vector<uint32_t> pending_;  // outstanding pipelined request ids
+  size_t pending_head_ = 0;
+  std::string frame_buf_;
+};
+
+}  // namespace tso
+
+#endif  // TSO_NET_CLIENT_H_

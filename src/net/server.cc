@@ -1,0 +1,366 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace tso {
+namespace {
+
+/// Poll timeout: a belt under the self-pipe wakeup so a lost wakeup can
+/// only delay shutdown, never hang it.
+constexpr int kPollTimeoutMs = 500;
+
+bool Readable(const pollfd& pfd) {
+  return (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+QueryOptions DeadlineOptions(uint64_t deadline_us) {
+  QueryOptions options;
+  options.deadline = std::chrono::microseconds(deadline_us);
+  return options;
+}
+
+/// A batch-level failure that applies to the run as a whole (shed at
+/// admission, deadline overrun, nothing loaded) fans out to every request
+/// in it; any other failure (e.g. one bad POI id fails the whole batch) is
+/// retried per-request so one bad apple doesn't poison its neighbors.
+bool BatchErrorAppliesToAll(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kFailedPrecondition;
+}
+
+}  // namespace
+
+TsodServer::TsodServer(ServeEngine* engine, const TsodServerOptions& options)
+    : engine_(engine), options_(options) {}
+
+TsodServer::~TsodServer() {
+  Shutdown();
+  for (int fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+Status TsodServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  auto listener = ListenTcpLoopback(options_.port, /*backlog=*/128);
+  TSO_RETURN_IF_ERROR(listener.status());
+  listener_ = std::move(listener.value());
+  auto port = BoundPort(listener_);
+  TSO_RETURN_IF_ERROR(port.status());
+  port_ = port.value();
+  if (::pipe(wake_pipe_) != 0) {
+    listener_.Close();
+    return Status::IoError("pipe: " + std::string(std::strerror(errno)));
+  }
+  started_ = true;
+  accept_thread_ = std::thread(&TsodServer::AcceptLoop, this);
+  return Status::Ok();
+}
+
+void TsodServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (!started_) return;
+  if (!stopping_.exchange(true, std::memory_order_acq_rel)) {
+    // First Shutdown(): wake every poller (the byte is never read, so the
+    // POLLIN stays level-triggered for all of them).
+    char byte = 0;
+    ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+    (void)ignored;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  JoinConnections(/*all=*/true);
+}
+
+TsodServer::Stats TsodServer::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.accepted = accepted_;
+    s.shed_connections = shed_connections_;
+    for (const auto& conn : connections_) {
+      if (!conn->done.load(std::memory_order_acquire)) ++s.active;
+    }
+  }
+  s.frames = frames_.load(std::memory_order_relaxed);
+  s.coalesced_batches = coalesced_batches_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void TsodServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listener_.fd(), POLLIN, 0},
+                     {wake_pipe_[0], POLLIN, 0}};
+    int rc = ::poll(fds, 2, kPollTimeoutMs);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    JoinConnections(/*all=*/false);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (!Readable(fds[0])) continue;
+    auto accepted = AcceptTcp(listener_);
+    if (!accepted.ok()) continue;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++accepted_;
+    uint64_t active = 0;
+    for (const auto& conn : connections_) {
+      if (!conn->done.load(std::memory_order_acquire)) ++active;
+    }
+    if (active >= options_.max_connections) {
+      ++shed_connections_;
+      std::string out;
+      AppendErrorResponse(&out, 0, kWireKindHealth,
+                          Status::Unavailable("connection limit reached"));
+      (void)WriteFull(accepted.value(), out.data(), out.size());
+      continue;  // Socket destructor closes it
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->socket = std::move(accepted.value());
+    Connection* raw = conn.get();
+    connections_.push_back(std::move(conn));
+    raw->thread = std::thread(&TsodServer::ConnectionLoop, this, raw);
+  }
+}
+
+void TsodServer::ConnectionLoop(Connection* conn) {
+  std::string buffer;
+  bool alive = true;
+  while (alive && !stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{conn->socket.fd(), POLLIN, 0},
+                     {wake_pipe_[0], POLLIN, 0}};
+    int rc = ::poll(fds, 2, kPollTimeoutMs);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      alive = false;
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (!Readable(fds[0])) continue;
+    char chunk[65536];
+    auto n = ReadSome(conn->socket, chunk, sizeof(chunk));
+    if (!n.ok() || n.value() == 0) {
+      alive = false;  // peer closed (or injected IO fault): done
+      break;
+    }
+    buffer.append(chunk, n.value());
+    alive = ProcessBuffer(conn, &buffer);
+  }
+
+  // Graceful drain: answer everything the client already sent. Bytes a
+  // client wrote before shutdown may still be in flight through the
+  // loopback stack, so keep reading until the connection has been quiet
+  // for one short window — capped so a client that keeps streaming cannot
+  // hold shutdown hostage.
+  if (alive && stopping_.load(std::memory_order_acquire)) {
+    constexpr int kDrainQuietMs = 20;
+    constexpr int kDrainCapRounds = 25;  // <= ~500 ms of active streaming
+    for (int round = 0; round < kDrainCapRounds; ++round) {
+      pollfd pfd{conn->socket.fd(), POLLIN, 0};
+      int rc = ::poll(&pfd, 1, kDrainQuietMs);
+      if (rc <= 0 || !Readable(pfd)) break;
+      char chunk[65536];
+      auto n = ReadSome(conn->socket, chunk, sizeof(chunk));
+      if (!n.ok() || n.value() == 0) break;
+      buffer.append(chunk, n.value());
+    }
+    ProcessBuffer(conn, &buffer);
+  }
+  conn->socket.Close();
+  conn->done.store(true, std::memory_order_release);
+}
+
+bool TsodServer::ProcessBuffer(Connection* conn, std::string* buffer) {
+  std::vector<WireFrame> frames;
+  size_t offset = 0;
+  Status decode_error;
+  bool protocol_error = false;
+  for (;;) {
+    WireFrame frame;
+    size_t needed = 0;
+    DecodeResult result =
+        DecodeFrame(std::string_view(*buffer).substr(offset), &frame,
+                    &needed, &decode_error);
+    if (result == DecodeResult::kFrame) {
+      frames.push_back(frame);
+      offset += frame.size();
+      continue;
+    }
+    if (result == DecodeResult::kNeedMore) break;
+    protocol_error = true;
+    break;
+  }
+
+  std::string out;
+  Status serve = ServeFrames(frames, &out);
+  if (protocol_error) {
+    // The stream is unframed garbage from here on: report once and close.
+    AppendErrorResponse(&out, 0, kWireKindHealth, decode_error);
+  }
+  bool write_ok = true;
+  if (!out.empty()) {
+    write_ok = WriteFull(conn->socket, out.data(), out.size()).ok();
+  }
+  if (protocol_error || !serve.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  buffer->erase(0, offset);
+  return write_ok;
+}
+
+Status TsodServer::ServeFrames(const std::vector<WireFrame>& frames,
+                               std::string* out) {
+  std::vector<WireRequest> requests;
+  requests.reserve(frames.size());
+  for (const WireFrame& frame : frames) {
+    auto parsed = ParseRequest(frame);
+    if (!parsed.ok()) {
+      const uint8_t kind =
+          static_cast<uint8_t>(frame.header.kind & ~kWireResponseBit);
+      AppendErrorResponse(out, frame.header.request_id, kind,
+                          parsed.status());
+      return parsed.status();
+    }
+    requests.push_back(std::move(parsed.value()));
+  }
+
+  size_t i = 0;
+  while (i < requests.size()) {
+    if (requests[i].kind == kWireKindDistance) {
+      size_t j = i + 1;
+      while (j < requests.size() &&
+             requests[j].kind == kWireKindDistance &&
+             requests[j].deadline_us == requests[i].deadline_us) {
+        ++j;
+      }
+      if (j - i >= 2) {
+        // Coalesce the run into one engine batch: one admission slot, one
+        // epoch guard, and the batch path's bit-identical answers.
+        std::vector<std::pair<uint32_t, uint32_t>> pairs;
+        pairs.reserve(j - i);
+        for (size_t k = i; k < j; ++k) {
+          pairs.emplace_back(requests[k].s, requests[k].t);
+        }
+        const QueryOptions options =
+            DeadlineOptions(requests[i].deadline_us);
+        auto batch =
+            engine_->Batch(pairs, options_.batch_threads, options);
+        coalesced_batches_.fetch_add(1, std::memory_order_relaxed);
+        if (batch.ok()) {
+          for (size_t k = i; k < j; ++k) {
+            AppendDistanceResponse(out, requests[k].request_id,
+                                   batch.value()[k - i]);
+          }
+        } else if (BatchErrorAppliesToAll(batch.status().code())) {
+          for (size_t k = i; k < j; ++k) {
+            AppendErrorResponse(out, requests[k].request_id,
+                                kWireKindDistance, batch.status());
+          }
+        } else {
+          for (size_t k = i; k < j; ++k) {
+            auto d = engine_->Distance(requests[k].s, requests[k].t,
+                                       options);
+            if (d.ok()) {
+              AppendDistanceResponse(out, requests[k].request_id,
+                                     d.value());
+            } else {
+              AppendErrorResponse(out, requests[k].request_id,
+                                  kWireKindDistance, d.status());
+            }
+          }
+        }
+        frames_.fetch_add(j - i, std::memory_order_relaxed);
+        i = j;
+        continue;
+      }
+    }
+    ServeOne(requests[i], out);
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    ++i;
+  }
+  return Status::Ok();
+}
+
+void TsodServer::ServeOne(const WireRequest& req, std::string* out) {
+  const QueryOptions options = DeadlineOptions(req.deadline_us);
+  switch (req.kind) {
+    case kWireKindDistance: {
+      auto d = engine_->Distance(req.s, req.t, options);
+      if (d.ok()) {
+        AppendDistanceResponse(out, req.request_id, d.value());
+      } else {
+        AppendErrorResponse(out, req.request_id, kWireKindDistance,
+                            d.status());
+      }
+      break;
+    }
+    case kWireKindBatch: {
+      auto b = engine_->Batch(req.pairs, options_.batch_threads, options);
+      if (b.ok()) {
+        AppendBatchResponse(out, req.request_id, b.value());
+      } else {
+        AppendErrorResponse(out, req.request_id, kWireKindBatch,
+                            b.status());
+      }
+      break;
+    }
+    case kWireKindKnn: {
+      auto k = engine_->Knn(req.query, req.k, options_.batch_threads,
+                            options);
+      if (k.ok()) {
+        AppendKnnResponse(out, req.request_id, k.value());
+      } else {
+        AppendErrorResponse(out, req.request_id, kWireKindKnn, k.status());
+      }
+      break;
+    }
+    case kWireKindRange: {
+      auto r = engine_->Range(req.query, req.radius, options_.batch_threads,
+                              options);
+      if (r.ok()) {
+        AppendRangeResponse(out, req.request_id, r.value());
+      } else {
+        AppendErrorResponse(out, req.request_id, kWireKindRange,
+                            r.status());
+      }
+      break;
+    }
+    case kWireKindStats:
+      AppendStatsResponse(out, req.request_id,
+                          ToWireStats(engine_->stats()));
+      break;
+    case kWireKindHealth:
+      AppendHealthResponse(out, req.request_id,
+                           static_cast<uint8_t>(engine_->stats().health));
+      break;
+    default:
+      AppendErrorResponse(out, req.request_id, kWireKindHealth,
+                          Status::Internal("unreachable request kind"));
+      break;
+  }
+}
+
+void TsodServer::JoinConnections(bool all) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    Connection* conn = it->get();
+    if (all || conn->done.load(std::memory_order_acquire)) {
+      if (conn->thread.joinable()) conn->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace tso

@@ -1,0 +1,133 @@
+#ifndef TSO_NET_SERVER_H_
+#define TSO_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/socket.h"
+#include "base/status.h"
+#include "net/wire.h"
+#include "serve/engine.h"
+
+namespace tso {
+
+struct TsodServerOptions {
+  /// TCP port to listen on (loopback). 0 binds an ephemeral port — read it
+  /// back with port().
+  uint16_t port = 0;
+  /// Accepted connections beyond this are answered with one kUnavailable
+  /// error frame and closed (shed at the door, like admission control).
+  uint32_t max_connections = 64;
+  /// Threads handed to ServeEngine::Batch for coalesced distance batches
+  /// and multi-threaded kNN/range. 1 keeps request handling serial.
+  uint32_t batch_threads = 1;
+};
+
+/// The tsod network front end: accepts loopback TCP connections speaking
+/// the wire protocol (net/wire.h) and multiplexes them onto a ServeEngine.
+///
+/// Threading: one accept thread plus one thread per live connection
+/// (loopback/LAN fan-in behind a balancer — tens of connections, each
+/// pipelining heavily, so thread-per-connection is the simple shape that
+/// saturates the engine).
+///
+/// Pipelining and coalescing: a client may write any number of request
+/// frames without waiting. The connection loop drains everything readable,
+/// then answers every decoded frame in arrival order. Consecutive Distance
+/// requests with the same deadline are coalesced into one
+/// ServeEngine::Batch call — one admission slot, one epoch guard, the
+/// bit-identical batch path — and fanned back out to per-request
+/// responses.
+///
+/// Errors: application failures (shed, deadline, bad POI id) become
+/// status-coded responses and the connection lives on. Protocol violations
+/// (bad magic/version/kind, oversized frame, malformed payload) get one
+/// error frame and the connection is closed.
+///
+/// Shutdown() is a graceful drain: the listener closes, connection loops
+/// finish answering every request already buffered or in flight, flush,
+/// and exit. It does NOT put the engine in lame duck — buffered requests
+/// are answered normally, which is what "drain" promises.
+class TsodServer {
+ public:
+  TsodServer(ServeEngine* engine, const TsodServerOptions& options);
+  ~TsodServer();
+  TsodServer(const TsodServer&) = delete;
+  TsodServer& operator=(const TsodServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. Call once.
+  Status Start();
+
+  /// The bound port (valid after Start(); resolves port 0).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain; idempotent, also run by the destructor. Returns after
+  /// every connection thread has exited.
+  void Shutdown();
+
+  struct Stats {
+    uint64_t accepted = 0;         // connections accepted (incl. shed)
+    uint64_t shed_connections = 0; // closed at the connection cap
+    uint64_t active = 0;           // connection threads currently live
+    uint64_t frames = 0;           // request frames answered
+    uint64_t coalesced_batches = 0;  // engine.Batch calls from coalescing
+    uint64_t protocol_errors = 0;  // connections killed by bad frames
+  };
+  Stats stats() const;
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(Connection* conn);
+  /// Decodes and answers every complete frame at the front of `buffer`,
+  /// writing responses. Returns false when the connection must close
+  /// (protocol violation or write failure).
+  bool ProcessBuffer(Connection* conn, std::string* buffer);
+  /// Answers `frames` in order, coalescing consecutive Distance requests,
+  /// appending response frames to `out`. Non-OK on a malformed payload
+  /// (protocol error — the offending frame got an error response).
+  Status ServeFrames(const std::vector<WireFrame>& frames, std::string* out);
+  void ServeOne(const WireRequest& req, std::string* out);
+  /// Reaps finished connection threads; with `all` set, joins every one
+  /// (drain path).
+  void JoinConnections(bool all);
+
+  ServeEngine* engine_;
+  TsodServerOptions options_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  /// Self-pipe shutdown wakeup: Shutdown() writes one byte that is never
+  /// read, so every poll()er (accept loop + all connection loops) sees a
+  /// level-triggered POLLIN and re-checks stopping_.
+  int wake_pipe_[2] = {-1, -1};
+  std::mutex shutdown_mu_;  // serializes concurrent Shutdown() calls
+
+  /// Guards connections_ and the accept-side counters. Connection threads
+  /// never take it (their counters are atomics) — JoinConnections joins
+  /// them while holding it.
+  mutable std::mutex mu_;
+  std::list<std::unique_ptr<Connection>> connections_;
+  uint64_t accepted_ = 0;
+  uint64_t shed_connections_ = 0;
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> frames_{0};
+  std::atomic<uint64_t> coalesced_batches_{0};
+};
+
+}  // namespace tso
+
+#endif  // TSO_NET_SERVER_H_

@@ -1,0 +1,379 @@
+#include "net/wire.h"
+
+#include "base/serde.h"
+
+namespace tso {
+namespace {
+
+constexpr uint16_t kMaxStatusCode =
+    static_cast<uint16_t>(StatusCode::kDeadlineExceeded);
+
+void AppendFrame(std::string* out, uint8_t kind, uint16_t status,
+                 uint32_t request_id, std::string payload) {
+  WireHeader header{};
+  std::memcpy(header.magic, kWireMagic, sizeof(kWireMagic));
+  header.version = kWireVersion;
+  header.kind = kind;
+  header.status = status;
+  header.request_id = request_id;
+  header.payload_size = static_cast<uint32_t>(payload.size());
+  out->append(reinterpret_cast<const char*>(&header), sizeof(header));
+  out->append(payload);
+}
+
+void AppendRequestFrame(std::string* out, uint8_t kind, uint32_t request_id,
+                        std::string payload) {
+  AppendFrame(out, kind, 0, request_id, std::move(payload));
+}
+
+void AppendOkResponseFrame(std::string* out, uint8_t kind,
+                           uint32_t request_id, std::string payload) {
+  AppendFrame(out, kind | kWireResponseBit, 0, request_id,
+              std::move(payload));
+}
+
+}  // namespace
+
+DecodeResult DecodeFrame(std::string_view buf, WireFrame* frame,
+                         size_t* needed, Status* error) {
+  if (buf.size() < sizeof(WireHeader)) {
+    *needed = sizeof(WireHeader);
+    return DecodeResult::kNeedMore;
+  }
+  WireHeader header;
+  std::memcpy(&header, buf.data(), sizeof(header));
+  if (std::memcmp(header.magic, kWireMagic, sizeof(kWireMagic)) != 0) {
+    *error = Status::InvalidArgument("wire: bad frame magic");
+    return DecodeResult::kError;
+  }
+  if (header.version != kWireVersion) {
+    *error = Status::InvalidArgument(
+        "wire: unsupported protocol version " +
+        std::to_string(header.version) + " (this build speaks " +
+        std::to_string(kWireVersion) + ")");
+    return DecodeResult::kError;
+  }
+  const uint8_t base_kind =
+      static_cast<uint8_t>(header.kind & ~kWireResponseBit);
+  if (base_kind < kWireKindDistance || base_kind > kWireKindMax) {
+    *error = Status::InvalidArgument("wire: unknown frame kind " +
+                                     std::to_string(header.kind));
+    return DecodeResult::kError;
+  }
+  if (header.status > kMaxStatusCode) {
+    *error = Status::InvalidArgument("wire: invalid status code " +
+                                     std::to_string(header.status));
+    return DecodeResult::kError;
+  }
+  if (header.payload_size > kWireMaxPayload) {
+    *error = Status::InvalidArgument(
+        "wire: payload size " + std::to_string(header.payload_size) +
+        " exceeds the " + std::to_string(kWireMaxPayload) + "-byte ceiling");
+    return DecodeResult::kError;
+  }
+  const size_t total = sizeof(WireHeader) + header.payload_size;
+  if (buf.size() < total) {
+    *needed = total;
+    return DecodeResult::kNeedMore;
+  }
+  frame->header = header;
+  frame->payload = buf.substr(sizeof(WireHeader), header.payload_size);
+  return DecodeResult::kFrame;
+}
+
+StatusOr<WireRequest> ParseRequest(const WireFrame& frame) {
+  const WireHeader& header = frame.header;
+  if ((header.kind & kWireResponseBit) != 0) {
+    return Status::InvalidArgument("wire: response frame sent as a request");
+  }
+  if (header.status != 0) {
+    return Status::InvalidArgument("wire: non-zero status in a request");
+  }
+  WireRequest req;
+  req.kind = header.kind;
+  req.request_id = header.request_id;
+  BinaryReader reader(frame.payload);
+  switch (header.kind) {
+    case kWireKindDistance:
+      TSO_RETURN_IF_ERROR(reader.GetVarint64(&req.deadline_us));
+      TSO_RETURN_IF_ERROR(reader.GetU32(&req.s));
+      TSO_RETURN_IF_ERROR(reader.GetU32(&req.t));
+      break;
+    case kWireKindBatch: {
+      TSO_RETURN_IF_ERROR(reader.GetVarint64(&req.deadline_us));
+      uint64_t count = 0;
+      TSO_RETURN_IF_ERROR(reader.GetVarint64(&count));
+      if (count > reader.remaining() / (2 * sizeof(uint32_t))) {
+        return Status::InvalidArgument(
+            "wire: batch count exceeds payload bytes");
+      }
+      req.pairs.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        uint32_t s = 0, t = 0;
+        TSO_RETURN_IF_ERROR(reader.GetU32(&s));
+        TSO_RETURN_IF_ERROR(reader.GetU32(&t));
+        req.pairs.emplace_back(s, t);
+      }
+      break;
+    }
+    case kWireKindKnn:
+      TSO_RETURN_IF_ERROR(reader.GetVarint64(&req.deadline_us));
+      TSO_RETURN_IF_ERROR(reader.GetU32(&req.query));
+      TSO_RETURN_IF_ERROR(reader.GetVarint64(&req.k));
+      break;
+    case kWireKindRange:
+      TSO_RETURN_IF_ERROR(reader.GetVarint64(&req.deadline_us));
+      TSO_RETURN_IF_ERROR(reader.GetU32(&req.query));
+      TSO_RETURN_IF_ERROR(reader.GetDouble(&req.radius));
+      break;
+    case kWireKindStats:
+    case kWireKindHealth:
+      break;
+    default:
+      return Status::InvalidArgument("wire: unknown request kind");
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("wire: trailing bytes in request payload");
+  }
+  return req;
+}
+
+StatusOr<WireResponse> ParseResponse(const WireFrame& frame) {
+  const WireHeader& header = frame.header;
+  if ((header.kind & kWireResponseBit) == 0) {
+    return Status::InvalidArgument("wire: request frame sent as a response");
+  }
+  WireResponse resp;
+  resp.kind = static_cast<uint8_t>(header.kind & ~kWireResponseBit);
+  resp.request_id = header.request_id;
+  BinaryReader reader(frame.payload);
+  if (header.status != 0) {
+    std::string message;
+    TSO_RETURN_IF_ERROR(reader.GetString(&message));
+    if (!reader.AtEnd()) {
+      return Status::InvalidArgument(
+          "wire: trailing bytes in error response");
+    }
+    resp.status = StatusFromWire(header.status, std::move(message));
+    return resp;
+  }
+  switch (resp.kind) {
+    case kWireKindDistance:
+      TSO_RETURN_IF_ERROR(reader.GetDouble(&resp.distance));
+      break;
+    case kWireKindBatch:
+      TSO_RETURN_IF_ERROR(reader.GetPodVector(&resp.distances));
+      break;
+    case kWireKindKnn: {
+      uint64_t count = 0;
+      TSO_RETURN_IF_ERROR(reader.GetVarint64(&count));
+      if (count > reader.remaining() / (sizeof(uint32_t) + sizeof(double))) {
+        return Status::InvalidArgument(
+            "wire: knn count exceeds payload bytes");
+      }
+      resp.neighbors.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        KnnResult r;
+        TSO_RETURN_IF_ERROR(reader.GetU32(&r.poi));
+        TSO_RETURN_IF_ERROR(reader.GetDouble(&r.distance));
+        resp.neighbors.push_back(r);
+      }
+      break;
+    }
+    case kWireKindRange:
+      TSO_RETURN_IF_ERROR(reader.GetPodVector(&resp.members));
+      break;
+    case kWireKindStats: {
+      WireServeStats& s = resp.stats;
+      TSO_RETURN_IF_ERROR(reader.GetVarint64(&s.reloads));
+      TSO_RETURN_IF_ERROR(reader.GetVarint64(&s.queries));
+      TSO_RETURN_IF_ERROR(reader.GetVarint64(&s.shed));
+      TSO_RETURN_IF_ERROR(reader.GetVarint64(&s.deadline_exceeded));
+      TSO_RETURN_IF_ERROR(reader.GetVarint64(&s.load_failures));
+      TSO_RETURN_IF_ERROR(reader.GetVarint64(&s.load_retries));
+      TSO_RETURN_IF_ERROR(reader.GetVarint64(&s.inflight));
+      TSO_RETURN_IF_ERROR(reader.GetU32(&s.num_shards));
+      TSO_RETURN_IF_ERROR(reader.GetU32(&s.degraded_shards));
+      TSO_RETURN_IF_ERROR(reader.GetVarint64(&s.num_pois));
+      TSO_RETURN_IF_ERROR(reader.GetVarint64(&s.mapped_bytes));
+      uint8_t dynamic = 0;
+      TSO_RETURN_IF_ERROR(reader.GetU8(&dynamic));
+      s.dynamic = dynamic != 0;
+      TSO_RETURN_IF_ERROR(reader.GetU8(&s.health));
+      break;
+    }
+    case kWireKindHealth:
+      TSO_RETURN_IF_ERROR(reader.GetU8(&resp.health));
+      break;
+    default:
+      return Status::InvalidArgument("wire: unknown response kind");
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(
+        "wire: trailing bytes in response payload");
+  }
+  return resp;
+}
+
+void AppendDistanceRequest(std::string* out, uint32_t request_id, uint32_t s,
+                           uint32_t t, uint64_t deadline_us) {
+  BinaryWriter writer;
+  writer.PutVarint64(deadline_us);
+  writer.PutU32(s);
+  writer.PutU32(t);
+  AppendRequestFrame(out, kWireKindDistance, request_id, writer.Release());
+}
+
+void AppendBatchRequest(
+    std::string* out, uint32_t request_id,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+    uint64_t deadline_us) {
+  BinaryWriter writer;
+  writer.PutVarint64(deadline_us);
+  writer.PutVarint64(pairs.size());
+  for (const auto& [s, t] : pairs) {
+    writer.PutU32(s);
+    writer.PutU32(t);
+  }
+  AppendRequestFrame(out, kWireKindBatch, request_id, writer.Release());
+}
+
+void AppendKnnRequest(std::string* out, uint32_t request_id, uint32_t query,
+                      uint64_t k, uint64_t deadline_us) {
+  BinaryWriter writer;
+  writer.PutVarint64(deadline_us);
+  writer.PutU32(query);
+  writer.PutVarint64(k);
+  AppendRequestFrame(out, kWireKindKnn, request_id, writer.Release());
+}
+
+void AppendRangeRequest(std::string* out, uint32_t request_id, uint32_t query,
+                        double radius, uint64_t deadline_us) {
+  BinaryWriter writer;
+  writer.PutVarint64(deadline_us);
+  writer.PutU32(query);
+  writer.PutDouble(radius);
+  AppendRequestFrame(out, kWireKindRange, request_id, writer.Release());
+}
+
+void AppendStatsRequest(std::string* out, uint32_t request_id) {
+  AppendRequestFrame(out, kWireKindStats, request_id, std::string());
+}
+
+void AppendHealthRequest(std::string* out, uint32_t request_id) {
+  AppendRequestFrame(out, kWireKindHealth, request_id, std::string());
+}
+
+void AppendDistanceResponse(std::string* out, uint32_t request_id,
+                            double distance) {
+  BinaryWriter writer;
+  writer.PutDouble(distance);
+  AppendOkResponseFrame(out, kWireKindDistance, request_id, writer.Release());
+}
+
+void AppendBatchResponse(std::string* out, uint32_t request_id,
+                         const std::vector<double>& distances) {
+  BinaryWriter writer;
+  writer.PutPodVector(distances);
+  AppendOkResponseFrame(out, kWireKindBatch, request_id, writer.Release());
+}
+
+void AppendKnnResponse(std::string* out, uint32_t request_id,
+                       const std::vector<KnnResult>& neighbors) {
+  BinaryWriter writer;
+  writer.PutVarint64(neighbors.size());
+  for (const KnnResult& r : neighbors) {
+    writer.PutU32(r.poi);
+    writer.PutDouble(r.distance);
+  }
+  AppendOkResponseFrame(out, kWireKindKnn, request_id, writer.Release());
+}
+
+void AppendRangeResponse(std::string* out, uint32_t request_id,
+                         const std::vector<uint32_t>& members) {
+  BinaryWriter writer;
+  writer.PutPodVector(members);
+  AppendOkResponseFrame(out, kWireKindRange, request_id, writer.Release());
+}
+
+void AppendStatsResponse(std::string* out, uint32_t request_id,
+                         const WireServeStats& stats) {
+  BinaryWriter writer;
+  writer.PutVarint64(stats.reloads);
+  writer.PutVarint64(stats.queries);
+  writer.PutVarint64(stats.shed);
+  writer.PutVarint64(stats.deadline_exceeded);
+  writer.PutVarint64(stats.load_failures);
+  writer.PutVarint64(stats.load_retries);
+  writer.PutVarint64(stats.inflight);
+  writer.PutU32(stats.num_shards);
+  writer.PutU32(stats.degraded_shards);
+  writer.PutVarint64(stats.num_pois);
+  writer.PutVarint64(stats.mapped_bytes);
+  writer.PutU8(stats.dynamic ? 1 : 0);
+  writer.PutU8(stats.health);
+  AppendOkResponseFrame(out, kWireKindStats, request_id, writer.Release());
+}
+
+void AppendHealthResponse(std::string* out, uint32_t request_id,
+                          uint8_t health) {
+  BinaryWriter writer;
+  writer.PutU8(health);
+  AppendOkResponseFrame(out, kWireKindHealth, request_id, writer.Release());
+}
+
+void AppendErrorResponse(std::string* out, uint32_t request_id, uint8_t kind,
+                         const Status& status) {
+  BinaryWriter writer;
+  writer.PutString(status.message());
+  AppendFrame(out, kind | kWireResponseBit,
+              static_cast<uint16_t>(status.code()), request_id,
+              writer.Release());
+}
+
+WireServeStats ToWireStats(const ServeEngine::Stats& stats) {
+  WireServeStats w;
+  w.reloads = stats.reloads;
+  w.queries = stats.queries;
+  w.shed = stats.shed;
+  w.deadline_exceeded = stats.deadline_exceeded;
+  w.load_failures = stats.load_failures;
+  w.load_retries = stats.load_retries;
+  w.inflight = stats.inflight;
+  w.num_shards = stats.num_shards;
+  w.degraded_shards = stats.degraded_shards;
+  w.num_pois = stats.num_pois;
+  w.mapped_bytes = stats.mapped_bytes;
+  w.dynamic = stats.dynamic;
+  w.health = static_cast<uint8_t>(stats.health);
+  return w;
+}
+
+Status StatusFromWire(uint16_t code, std::string message) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      return Status::Ok();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kIoError:
+      return Status::IoError(std::move(message));
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(message));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+  }
+  return Status::Internal("wire: unmapped status code " +
+                          std::to_string(code));
+}
+
+}  // namespace tso

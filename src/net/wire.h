@@ -1,0 +1,180 @@
+#ifndef TSO_NET_WIRE_H_
+#define TSO_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "query/knn.h"
+#include "serve/engine.h"
+
+namespace tso {
+
+/// The tsod wire protocol: length-prefixed binary frames over TCP.
+///
+/// Every message — request or response, either direction — is one frame: a
+/// fixed 16-byte little-endian header followed by `payload_size` bytes of
+/// payload. The header layout is frozen (docs/serving.md documents the
+/// versioning policy); payloads use the serde.h primitives (fixed-width
+/// little-endian + LEB128 varints), so both ends share one encoder/decoder
+/// and a response byte stream is exactly reproducible.
+///
+/// Requests carry `kind` in 1..6 and status == 0. Responses set bit 0x80 on
+/// the request's kind and echo its `request_id`; `status` is the
+/// StatusCode of the answer. A non-OK response carries the error message as
+/// its payload — application errors (shed, deadline, bad POI id) travel as
+/// status-coded responses on a healthy connection; only *protocol* errors
+/// (bad magic, unknown kind, oversized frame) terminate it.
+
+/// Frame kinds (the request set; responses are `kind | kWireResponseBit`).
+enum : uint8_t {
+  kWireKindDistance = 1,
+  kWireKindBatch = 2,
+  kWireKindKnn = 3,
+  kWireKindRange = 4,
+  kWireKindStats = 5,
+  kWireKindHealth = 6,
+};
+inline constexpr uint8_t kWireKindMax = kWireKindHealth;
+inline constexpr uint8_t kWireResponseBit = 0x80;
+
+inline constexpr char kWireMagic[4] = {'T', 'S', 'O', 'W'};
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Ceiling on a single frame's payload. Large enough for a ~1M-pair batch,
+/// small enough that a hostile length prefix cannot balloon memory.
+inline constexpr uint32_t kWireMaxPayload = 16u << 20;
+
+/// The frozen 16-byte frame header. POD, written/read by memcpy — the
+/// struct layout *is* the wire layout (little-endian hosts only, matching
+/// the flat-oracle format's contract).
+struct WireHeader {
+  char magic[4];         // "TSOW"
+  uint8_t version;       // kWireVersion
+  uint8_t kind;          // request kind, responses OR kWireResponseBit
+  uint16_t status;       // StatusCode; 0 in requests
+  uint32_t request_id;   // echoed verbatim in the response
+  uint32_t payload_size; // bytes following the header
+};
+static_assert(sizeof(WireHeader) == 16, "wire header layout is frozen");
+
+/// One decoded frame. `payload` aliases the caller's buffer — valid only
+/// until the buffer is mutated.
+struct WireFrame {
+  WireHeader header;
+  std::string_view payload;
+  /// Total bytes this frame occupies in the stream.
+  size_t size() const { return sizeof(WireHeader) + payload.size(); }
+};
+
+enum class DecodeResult {
+  kFrame,     // *frame holds one complete, structurally valid frame
+  kNeedMore,  // incomplete; *needed = total bytes required from stream start
+  kError,     // protocol violation; *error says what — close the connection
+};
+
+/// Incremental frame decoder: examines the front of `buf` (a prefix of the
+/// byte stream). Validates structure only (magic, version, known kind,
+/// payload ceiling, status range); payload contents are validated by
+/// ParseRequest/ParseResponse. Never reads past `buf`, never crashes on
+/// arbitrary bytes — fuzzed in robustness_test.
+DecodeResult DecodeFrame(std::string_view buf, WireFrame* frame,
+                         size_t* needed, Status* error);
+
+/// A parsed request, tagged by `kind`. `deadline_us` == 0 means no
+/// per-request deadline (the engine default applies).
+struct WireRequest {
+  uint8_t kind = 0;
+  uint32_t request_id = 0;
+  uint64_t deadline_us = 0;
+  uint32_t s = 0, t = 0;                             // kDistance
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;  // kBatch
+  uint32_t query = 0;                                // kKnn / kRange
+  uint64_t k = 0;                                    // kKnn
+  double radius = 0;                                 // kRange
+};
+
+/// Engine stats as exported over the wire (ServeEngine::Stats minus the
+/// process-local epoch bookkeeping).
+struct WireServeStats {
+  uint64_t reloads = 0;
+  uint64_t queries = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t load_failures = 0;
+  uint64_t load_retries = 0;
+  uint64_t inflight = 0;
+  uint32_t num_shards = 0;
+  uint32_t degraded_shards = 0;
+  uint64_t num_pois = 0;
+  uint64_t mapped_bytes = 0;
+  bool dynamic = false;
+  uint8_t health = 0;  // ServeHealth
+};
+
+/// A parsed response. `status` carries the application outcome; the value
+/// member matching the base kind is populated only when status.ok().
+struct WireResponse {
+  uint8_t kind = 0;  // base kind (response bit stripped)
+  uint32_t request_id = 0;
+  Status status;
+  double distance = 0;                 // kDistance
+  std::vector<double> distances;      // kBatch
+  std::vector<KnnResult> neighbors;   // kKnn
+  std::vector<uint32_t> members;      // kRange
+  WireServeStats stats;               // kStats
+  uint8_t health = 0;                 // kHealth (ServeHealth)
+};
+
+/// Payload validation for a structurally valid frame. Errors (short
+/// payload, trailing garbage, count overflow, response bit on a request)
+/// are protocol errors: the peer is broken, close the connection.
+StatusOr<WireRequest> ParseRequest(const WireFrame& frame);
+StatusOr<WireResponse> ParseResponse(const WireFrame& frame);
+
+/// Encoders append one complete frame to `out`.
+void AppendDistanceRequest(std::string* out, uint32_t request_id, uint32_t s,
+                           uint32_t t, uint64_t deadline_us);
+void AppendBatchRequest(std::string* out, uint32_t request_id,
+                        const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+                        uint64_t deadline_us);
+void AppendKnnRequest(std::string* out, uint32_t request_id, uint32_t query,
+                      uint64_t k, uint64_t deadline_us);
+void AppendRangeRequest(std::string* out, uint32_t request_id, uint32_t query,
+                        double radius, uint64_t deadline_us);
+void AppendStatsRequest(std::string* out, uint32_t request_id);
+void AppendHealthRequest(std::string* out, uint32_t request_id);
+
+void AppendDistanceResponse(std::string* out, uint32_t request_id,
+                            double distance);
+void AppendBatchResponse(std::string* out, uint32_t request_id,
+                         const std::vector<double>& distances);
+void AppendKnnResponse(std::string* out, uint32_t request_id,
+                       const std::vector<KnnResult>& neighbors);
+void AppendRangeResponse(std::string* out, uint32_t request_id,
+                         const std::vector<uint32_t>& members);
+void AppendStatsResponse(std::string* out, uint32_t request_id,
+                         const WireServeStats& stats);
+void AppendHealthResponse(std::string* out, uint32_t request_id,
+                          uint8_t health);
+
+/// A non-OK outcome for request `kind` (base kind, no response bit): the
+/// frame's status field carries the code, the payload the message.
+void AppendErrorResponse(std::string* out, uint32_t request_id, uint8_t kind,
+                         const Status& status);
+
+/// Converts ServeEngine stats to the wire mirror.
+WireServeStats ToWireStats(const ServeEngine::Stats& stats);
+
+/// Reconstructs a Status from a wire (code, message) pair. `code` must be
+/// a valid StatusCode (DecodeFrame enforces the range).
+Status StatusFromWire(uint16_t code, std::string message);
+
+}  // namespace tso
+
+#endif  // TSO_NET_WIRE_H_

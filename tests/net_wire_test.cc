@@ -1,0 +1,326 @@
+// The tsod wire protocol: every request/response kind must round-trip
+// bit-identically through the shared encoder/decoder; the incremental
+// frame decoder must report kNeedMore with an exact byte requirement on
+// every prefix; and structural violations (magic, version, kind, status
+// range, payload ceiling, trailing payload bytes) must be clean protocol
+// errors, never crashes. robustness_test fuzzes the same decoder with
+// arbitrary bytes; this file pins the exact semantics.
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/wire.h"
+
+namespace tso {
+namespace {
+
+// Decodes the single complete frame expected at the front of `bytes`.
+WireFrame MustDecode(const std::string& bytes) {
+  WireFrame frame;
+  size_t needed = 0;
+  Status error;
+  DecodeResult result = DecodeFrame(bytes, &frame, &needed, &error);
+  EXPECT_EQ(result, DecodeResult::kFrame) << error.ToString();
+  EXPECT_EQ(frame.size(), bytes.size());
+  return frame;
+}
+
+TEST(WireCodec, DistanceRequestRoundTrip) {
+  std::string bytes;
+  AppendDistanceRequest(&bytes, 7, 3, 12, 2500);
+  WireFrame frame = MustDecode(bytes);
+  EXPECT_EQ(frame.header.kind, kWireKindDistance);
+  EXPECT_EQ(frame.header.request_id, 7u);
+  EXPECT_EQ(frame.header.status, 0u);
+  StatusOr<WireRequest> req = ParseRequest(frame);
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->kind, kWireKindDistance);
+  EXPECT_EQ(req->request_id, 7u);
+  EXPECT_EQ(req->deadline_us, 2500u);
+  EXPECT_EQ(req->s, 3u);
+  EXPECT_EQ(req->t, 12u);
+}
+
+TEST(WireCodec, BatchRequestRoundTrip) {
+  const std::vector<std::pair<uint32_t, uint32_t>> pairs = {
+      {0, 1}, {4294967295u, 0}, {17, 17}};
+  std::string bytes;
+  AppendBatchRequest(&bytes, 99, pairs, 0);
+  StatusOr<WireRequest> req = ParseRequest(MustDecode(bytes));
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->kind, kWireKindBatch);
+  EXPECT_EQ(req->deadline_us, 0u);
+  EXPECT_EQ(req->pairs, pairs);
+}
+
+TEST(WireCodec, KnnAndRangeRequestRoundTrip) {
+  std::string bytes;
+  AppendKnnRequest(&bytes, 2, 5, 1000000, 77);
+  StatusOr<WireRequest> knn = ParseRequest(MustDecode(bytes));
+  ASSERT_TRUE(knn.ok());
+  EXPECT_EQ(knn->kind, kWireKindKnn);
+  EXPECT_EQ(knn->query, 5u);
+  EXPECT_EQ(knn->k, 1000000u);
+  EXPECT_EQ(knn->deadline_us, 77u);
+
+  bytes.clear();
+  AppendRangeRequest(&bytes, 3, 9, 123.456, 0);
+  StatusOr<WireRequest> range = ParseRequest(MustDecode(bytes));
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->kind, kWireKindRange);
+  EXPECT_EQ(range->query, 9u);
+  EXPECT_EQ(range->radius, 123.456);
+}
+
+TEST(WireCodec, StatsAndHealthRequestsAreEmpty) {
+  std::string bytes;
+  AppendStatsRequest(&bytes, 1);
+  WireFrame frame = MustDecode(bytes);
+  EXPECT_EQ(frame.header.payload_size, 0u);
+  EXPECT_TRUE(ParseRequest(frame).ok());
+
+  bytes.clear();
+  AppendHealthRequest(&bytes, 2);
+  frame = MustDecode(bytes);
+  EXPECT_EQ(frame.header.payload_size, 0u);
+  EXPECT_TRUE(ParseRequest(frame).ok());
+}
+
+TEST(WireCodec, ResponseRoundTripsEveryKind) {
+  std::string bytes;
+  AppendDistanceResponse(&bytes, 4, 2.718281828459045);
+  StatusOr<WireResponse> distance = ParseResponse(MustDecode(bytes));
+  ASSERT_TRUE(distance.ok());
+  EXPECT_EQ(distance->kind, kWireKindDistance);
+  EXPECT_EQ(distance->request_id, 4u);
+  EXPECT_TRUE(distance->status.ok());
+  EXPECT_EQ(distance->distance, 2.718281828459045);
+
+  const std::vector<double> distances = {0.0, 1.5, -3.25};
+  bytes.clear();
+  AppendBatchResponse(&bytes, 5, distances);
+  StatusOr<WireResponse> batch = ParseResponse(MustDecode(bytes));
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->distances, distances);
+
+  const std::vector<KnnResult> neighbors = {{3, 1.25}, {9, 2.5}};
+  bytes.clear();
+  AppendKnnResponse(&bytes, 6, neighbors);
+  StatusOr<WireResponse> knn = ParseResponse(MustDecode(bytes));
+  ASSERT_TRUE(knn.ok());
+  ASSERT_EQ(knn->neighbors.size(), 2u);
+  EXPECT_EQ(knn->neighbors[0].poi, 3u);
+  EXPECT_EQ(knn->neighbors[0].distance, 1.25);
+  EXPECT_EQ(knn->neighbors[1].poi, 9u);
+  EXPECT_EQ(knn->neighbors[1].distance, 2.5);
+
+  const std::vector<uint32_t> members = {1, 4, 1000000};
+  bytes.clear();
+  AppendRangeResponse(&bytes, 7, members);
+  StatusOr<WireResponse> range = ParseResponse(MustDecode(bytes));
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->members, members);
+
+  WireServeStats stats;
+  stats.reloads = 3;
+  stats.queries = 12345678901234ull;
+  stats.shed = 17;
+  stats.deadline_exceeded = 5;
+  stats.load_failures = 1;
+  stats.load_retries = 2;
+  stats.inflight = 4;
+  stats.num_shards = 8;
+  stats.degraded_shards = 1;
+  stats.num_pois = 5000;
+  stats.mapped_bytes = 1u << 30;
+  stats.dynamic = true;
+  stats.health = 2;
+  bytes.clear();
+  AppendStatsResponse(&bytes, 8, stats);
+  StatusOr<WireResponse> parsed = ParseResponse(MustDecode(bytes));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->stats.reloads, stats.reloads);
+  EXPECT_EQ(parsed->stats.queries, stats.queries);
+  EXPECT_EQ(parsed->stats.shed, stats.shed);
+  EXPECT_EQ(parsed->stats.deadline_exceeded, stats.deadline_exceeded);
+  EXPECT_EQ(parsed->stats.load_failures, stats.load_failures);
+  EXPECT_EQ(parsed->stats.load_retries, stats.load_retries);
+  EXPECT_EQ(parsed->stats.inflight, stats.inflight);
+  EXPECT_EQ(parsed->stats.num_shards, stats.num_shards);
+  EXPECT_EQ(parsed->stats.degraded_shards, stats.degraded_shards);
+  EXPECT_EQ(parsed->stats.num_pois, stats.num_pois);
+  EXPECT_EQ(parsed->stats.mapped_bytes, stats.mapped_bytes);
+  EXPECT_EQ(parsed->stats.dynamic, stats.dynamic);
+  EXPECT_EQ(parsed->stats.health, stats.health);
+
+  bytes.clear();
+  AppendHealthResponse(&bytes, 9, 1);
+  StatusOr<WireResponse> health = ParseResponse(MustDecode(bytes));
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->health, 1u);
+}
+
+TEST(WireCodec, ErrorResponseCarriesCodeAndMessage) {
+  std::string bytes;
+  AppendErrorResponse(&bytes, 42, kWireKindKnn,
+                      Status::DeadlineExceeded("query budget exhausted"));
+  WireFrame frame = MustDecode(bytes);
+  EXPECT_EQ(frame.header.kind, kWireKindKnn | kWireResponseBit);
+  EXPECT_EQ(frame.header.status,
+            static_cast<uint16_t>(StatusCode::kDeadlineExceeded));
+  StatusOr<WireResponse> response = ParseResponse(frame);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->kind, kWireKindKnn);
+  EXPECT_EQ(response->request_id, 42u);
+  EXPECT_EQ(response->status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(response->status.message(), "query budget exhausted");
+}
+
+// Feed a valid frame one byte at a time: every strict prefix must come
+// back kNeedMore, and once the header is visible `needed` must name the
+// exact total frame size so a reader can size its next read.
+TEST(WireCodec, IncrementalDecodeReportsExactNeed) {
+  std::string bytes;
+  AppendBatchRequest(&bytes, 11, {{1, 2}, {3, 4}}, 99);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WireFrame frame;
+    size_t needed = 0;
+    Status error;
+    DecodeResult result =
+        DecodeFrame(std::string_view(bytes).substr(0, len), &frame, &needed,
+                    &error);
+    ASSERT_EQ(result, DecodeResult::kNeedMore) << "prefix length " << len;
+    if (len < sizeof(WireHeader)) {
+      EXPECT_EQ(needed, sizeof(WireHeader));
+    } else {
+      EXPECT_EQ(needed, bytes.size());
+    }
+  }
+  MustDecode(bytes);
+}
+
+TEST(WireCodec, DecodesBackToBackFramesInOrder) {
+  std::string stream;
+  AppendDistanceRequest(&stream, 1, 0, 1, 0);
+  AppendStatsRequest(&stream, 2);
+  AppendKnnRequest(&stream, 3, 4, 5, 0);
+
+  std::string_view rest = stream;
+  std::vector<uint32_t> ids;
+  while (!rest.empty()) {
+    WireFrame frame;
+    size_t needed = 0;
+    Status error;
+    ASSERT_EQ(DecodeFrame(rest, &frame, &needed, &error),
+              DecodeResult::kFrame);
+    ids.push_back(frame.header.request_id);
+    rest.remove_prefix(frame.size());
+  }
+  EXPECT_EQ(ids, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+// Structural rejections: each mutation of a valid header must produce
+// kError with a descriptive Status (the connection-killing path).
+TEST(WireCodec, RejectsStructurallyInvalidHeaders) {
+  std::string valid;
+  AppendDistanceRequest(&valid, 1, 2, 3, 0);
+
+  auto expect_error = [](std::string bytes, const char* what) {
+    WireFrame frame;
+    size_t needed = 0;
+    Status error;
+    EXPECT_EQ(DecodeFrame(bytes, &frame, &needed, &error),
+              DecodeResult::kError)
+        << what;
+    EXPECT_FALSE(error.ok()) << what;
+    EXPECT_FALSE(error.message().empty()) << what;
+  };
+
+  std::string bad_magic = valid;
+  bad_magic[0] = 'X';
+  expect_error(bad_magic, "magic");
+
+  std::string bad_version = valid;
+  bad_version[4] = static_cast<char>(kWireVersion + 1);
+  expect_error(bad_version, "version");
+
+  std::string zero_kind = valid;
+  zero_kind[5] = 0;
+  expect_error(zero_kind, "kind 0");
+
+  std::string big_kind = valid;
+  big_kind[5] = static_cast<char>(kWireKindMax + 1);
+  expect_error(big_kind, "kind out of range");
+
+  std::string garbage_kind = valid;
+  garbage_kind[5] = static_cast<char>(0x7f);
+  expect_error(garbage_kind, "garbage kind");
+
+  std::string bad_status = valid;
+  {
+    const uint16_t status = 1000;
+    std::memcpy(bad_status.data() + 6, &status, sizeof(status));
+  }
+  expect_error(bad_status, "status out of range");
+
+  std::string oversized = valid;
+  {
+    const uint32_t payload_size = kWireMaxPayload + 1;
+    std::memcpy(oversized.data() + 12, &payload_size, sizeof(payload_size));
+  }
+  expect_error(oversized, "payload over ceiling");
+}
+
+// Payload-level rejections: structurally valid frames whose payloads are
+// malformed are protocol errors from ParseRequest/ParseResponse.
+TEST(WireCodec, RejectsMalformedPayloads) {
+  // Trailing garbage after a complete distance payload.
+  std::string bytes;
+  AppendDistanceRequest(&bytes, 1, 2, 3, 0);
+  bytes.push_back('\0');
+  const uint32_t padded =
+      static_cast<uint32_t>(bytes.size() - sizeof(WireHeader));
+  std::memcpy(bytes.data() + 12, &padded, sizeof(padded));
+  EXPECT_FALSE(ParseRequest(MustDecode(bytes)).ok());
+
+  // Truncated payload: batch that claims more pairs than bytes present.
+  bytes.clear();
+  AppendBatchRequest(&bytes, 2, {{1, 2}, {3, 4}}, 0);
+  bytes.resize(bytes.size() - 4);
+  const uint32_t shrunk =
+      static_cast<uint32_t>(bytes.size() - sizeof(WireHeader));
+  std::memcpy(bytes.data() + 12, &shrunk, sizeof(shrunk));
+  EXPECT_FALSE(ParseRequest(MustDecode(bytes)).ok());
+
+  // A request with the response bit set must not parse as a request, and
+  // vice versa.
+  bytes.clear();
+  AppendDistanceRequest(&bytes, 3, 0, 1, 0);
+  EXPECT_FALSE(ParseResponse(MustDecode(bytes)).ok());
+  bytes.clear();
+  AppendDistanceResponse(&bytes, 4, 1.0);
+  EXPECT_FALSE(ParseRequest(MustDecode(bytes)).ok());
+
+  // A request carrying a non-zero status is malformed.
+  bytes.clear();
+  AppendDistanceRequest(&bytes, 5, 0, 1, 0);
+  const uint16_t status = static_cast<uint16_t>(StatusCode::kInternal);
+  std::memcpy(bytes.data() + 6, &status, sizeof(status));
+  EXPECT_FALSE(ParseRequest(MustDecode(bytes)).ok());
+}
+
+TEST(WireCodec, StatusFromWireRebuildsNamedCodes) {
+  Status s = StatusFromWire(
+      static_cast<uint16_t>(StatusCode::kUnavailable), "shed");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.message(), "shed");
+  EXPECT_TRUE(
+      StatusFromWire(static_cast<uint16_t>(StatusCode::kOk), "").ok());
+}
+
+}  // namespace
+}  // namespace tso

@@ -3,7 +3,10 @@
 //   tso build-oracle  — synthesize/load a terrain, build + save the oracle
 //   tso pack          — reshard a saved oracle into a multi-shard oracle pack
 //   tso query         — load a saved oracle/pack, answer POI-to-POI queries
+//   tso serve         — tsod: serve an oracle over loopback TCP (wire proto)
+//   tso client        — query a running tsod server over TCP
 //   tso serve-bench   — ServeEngine throughput + hot-reload benchmark
+//                       (--net adds a loopback client/server measurement)
 //   tso inspect       — print layout/checksums of an oracle or pack file
 //   tso bench         — end-to-end build + query micro-benchmark
 //
@@ -16,19 +19,23 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "base/atomic_file.h"
 #include "base/crc32.h"
+#include "base/failpoint.h"
 #include "base/mmap_file.h"
 #include "dyn/dynamic_oracle.h"
 #include "base/rng.h"
@@ -36,6 +43,8 @@
 #include "base/version.h"
 #include "geodesic/solver_factory.h"
 #include "mesh/mesh_io.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "oracle/oracle_serde.h"
 #include "oracle/oracle_view.h"
 #include "oracle/pack_format.h"
@@ -72,6 +81,21 @@ struct Args {
   uint64_t max_inflight = 0;   // serve-bench: admission cap (0 = unlimited)
   uint64_t deadline_us = 0;    // serve-bench: per-query budget (0 = none)
   uint32_t load_retries = 0;   // serve-bench: transient Load retries
+  std::string host = "127.0.0.1";  // client: server address
+  std::string port_file;       // serve: write bound port; client: read it
+  std::string check_against;   // client: in-process engine to compare with
+  uint32_t port = 0;           // serve: listen port (0 = ephemeral)
+  uint32_t max_connections = 64;  // serve: connection cap
+  uint32_t knn_query = 0;      // client: --knn Q,K
+  uint64_t knn_k = 0;
+  uint32_t range_query = 0;    // client: --range Q,R
+  double range_radius = 0;
+  bool knn_set = false;
+  bool range_set = false;
+  bool net = false;        // serve-bench: loopback client/server measurement
+  bool batch = false;      // client: one Batch RPC instead of per-pair
+  bool stats = false;      // client: print server stats
+  bool health = false;     // client: print server health
   bool deep = false;       // inspect: per-section report for every shard
   bool dynamic = false;    // query/inspect: mount the dynamic layer
   bool out_set = false;               // --out given (pack defaults differ)
@@ -137,8 +161,12 @@ commands:
   pack           reshard a saved oracle into a multi-shard oracle pack
   query          answer distance queries against a saved oracle or pack
                  (flat oracles and packs are memory-mapped, served zero-copy)
+  serve          tsod: serve an oracle over loopback TCP speaking the tsod
+                 wire protocol (docs/serving.md); SIGTERM drains gracefully
+  client         query a running tsod server over TCP
   serve-bench    ServeEngine throughput benchmark, optionally with hot
-                 reloads republishing the mapping under load
+                 reloads republishing the mapping under load; --net adds a
+                 loopback client/server measurement with BENCH JSON output
   inspect        print the layout of a saved oracle or pack file (header,
                  sections, checksums; non-zero exit on any corruption)
   bench          build + query micro-benchmark (one line per phase)
@@ -185,8 +213,37 @@ query options:
   --churn N                     with --dynamic: tombstone N random live POIs
                                 before answering (seeded by --seed)
 
+serve options:
+  --oracle PATH                 oracle or pack file to serve (required)
+  --port N                      TCP port on 127.0.0.1 (default 0: pick an
+                                ephemeral port and print it)
+  --port-file PATH              write the bound port to PATH (atomically),
+                                so scripts can wait for readiness
+  --max-connections N           connection cap: excess connections get one
+                                kUnavailable frame and are closed (def. 64)
+  --query-threads T             threads for coalesced batches and kNN/range
+                                (default 1)
+  --max-inflight / --deadline-us / --load-retries
+                                engine hardening knobs, as in serve-bench
+
+client options:
+  --host H --port N             server address (default 127.0.0.1)
+  --port-file PATH              read the port from PATH (written by serve)
+  --pair S,T / --random N       distance queries (as in query); --batch
+                                sends them as one Batch RPC
+  --knn Q,K                     k nearest POIs of Q
+  --range Q,R                   POIs within geodesic radius R of Q
+  --stats / --health            print server counters / health
+  --deadline-us U               per-request deadline forwarded to the server
+  --check-against PATH          also open PATH in-process and exit non-zero
+                                unless every answer is bit-identical
+  --seed S                      seed for --random
+
 serve-bench options:
   --oracle PATH                 oracle or pack file to serve (required)
+  --net                         also serve over loopback TCP and measure
+                                pipelined/batch QPS and failpoint-driven
+                                overload counters (BENCH JSON lines)
   --queries N                   timed queries per measurement (default 1000)
   --query-threads T             concurrent throughput threads (0 = off,
                                 serial measurement only)
@@ -269,6 +326,54 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--load-retries") {
       if (!(v = next())) return false;
       if (!ParseU32Flag(flag, v, &args->load_retries)) return false;
+    } else if (flag == "--port") {
+      if (!(v = next())) return false;
+      if (!ParseU32Flag(flag, v, &args->port)) return false;
+      if (args->port > 65535) {
+        std::fprintf(stderr, "tso: --port %s out of range (0-65535)\n", v);
+        return false;
+      }
+    } else if (flag == "--host") {
+      if (!(v = next())) return false;
+      args->host = v;
+    } else if (flag == "--port-file") {
+      if (!(v = next())) return false;
+      args->port_file = v;
+    } else if (flag == "--check-against") {
+      if (!(v = next())) return false;
+      args->check_against = v;
+    } else if (flag == "--max-connections") {
+      if (!(v = next())) return false;
+      if (!ParseU32Flag(flag, v, &args->max_connections)) return false;
+    } else if (flag == "--knn") {
+      if (!(v = next())) return false;
+      unsigned long long k = 0;
+      int consumed = 0;
+      if (std::sscanf(v, "%u,%llu%n", &args->knn_query, &k, &consumed) != 2 ||
+          v[consumed] != '\0') {
+        std::fprintf(stderr, "tso: bad --knn '%s' (expected Q,K)\n", v);
+        return false;
+      }
+      args->knn_k = k;
+      args->knn_set = true;
+    } else if (flag == "--range") {
+      if (!(v = next())) return false;
+      int consumed = 0;
+      if (std::sscanf(v, "%u,%lf%n", &args->range_query,
+                      &args->range_radius, &consumed) != 2 ||
+          v[consumed] != '\0') {
+        std::fprintf(stderr, "tso: bad --range '%s' (expected Q,R)\n", v);
+        return false;
+      }
+      args->range_set = true;
+    } else if (flag == "--net") {
+      args->net = true;
+    } else if (flag == "--batch") {
+      args->batch = true;
+    } else if (flag == "--stats") {
+      args->stats = true;
+    } else if (flag == "--health") {
+      args->health = true;
     } else if (flag == "--deep") {
       args->deep = true;
     } else if (flag == "--solver") {
@@ -720,6 +825,520 @@ int CmdQuery(const Args& args) {
   return RunQueryPairs(args, *oracle);
 }
 
+void PrintEngineCounters(const ServeEngine::Stats& stats) {
+  std::printf(
+      "counters: queries=%llu shed=%llu deadline_exceeded=%llu reloads=%llu "
+      "load_failures=%llu load_retries=%llu degraded_shards=%u health=%s\n",
+      static_cast<unsigned long long>(stats.queries),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.deadline_exceeded),
+      static_cast<unsigned long long>(stats.reloads),
+      static_cast<unsigned long long>(stats.load_failures),
+      static_cast<unsigned long long>(stats.load_retries),
+      stats.degraded_shards, ServeHealthName(stats.health));
+}
+
+/// SIGTERM/SIGINT → graceful drain. Plain flag store: everything else
+/// happens on the main thread after its poll loop observes the signal.
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+void HandleShutdownSignal(int sig) { g_shutdown_signal = sig; }
+
+/// `tso serve`: the tsod daemon. Loads the oracle, serves the wire
+/// protocol on loopback TCP until SIGTERM/SIGINT, then drains: in-flight
+/// and already-pipelined requests are answered before the process exits 0.
+int CmdServe(const Args& args) {
+  if (args.oracle_path.empty()) {
+    std::fprintf(stderr, "tso: serve requires --oracle PATH\n");
+    return 1;
+  }
+  ServeOptions serve_options;
+  serve_options.max_inflight = args.max_inflight;
+  serve_options.default_deadline = std::chrono::microseconds(args.deadline_us);
+  serve_options.load_retries = args.load_retries;
+  ServeEngine engine(serve_options);
+  Status loaded = engine.Load(args.oracle_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "tso: load: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  const ServeEngine::Stats opened = engine.stats();
+
+  TsodServerOptions net_options;
+  net_options.port = static_cast<uint16_t>(args.port);
+  net_options.max_connections = args.max_connections;
+  net_options.batch_threads =
+      args.query_threads == 0 ? 1 : args.query_threads;
+  TsodServer server(&engine, net_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "tso: listen: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "tsod: serving %s on 127.0.0.1:%u (%u shard%s, %llu POIs, health %s)\n",
+      args.oracle_path.c_str(), server.port(), opened.num_shards,
+      opened.num_shards == 1 ? "" : "s",
+      static_cast<unsigned long long>(opened.num_pois),
+      ServeHealthName(opened.health));
+  std::fflush(stdout);
+  if (!args.port_file.empty()) {
+    // Atomic write: a reader polling for the file never sees a torn port.
+    Status wrote = WriteFileAtomic(args.port_file,
+                                   std::to_string(server.port()) + "\n");
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "tso: port-file: %s\n", wrote.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+  while (g_shutdown_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("tsod: signal %d received, draining connections\n",
+              static_cast<int>(g_shutdown_signal));
+  std::fflush(stdout);
+  server.Shutdown();
+  const TsodServer::Stats net_stats = server.stats();
+  std::printf(
+      "tsod: drained (connections=%llu frames=%llu coalesced_batches=%llu "
+      "shed_connections=%llu protocol_errors=%llu)\n",
+      static_cast<unsigned long long>(net_stats.accepted),
+      static_cast<unsigned long long>(net_stats.frames),
+      static_cast<unsigned long long>(net_stats.coalesced_batches),
+      static_cast<unsigned long long>(net_stats.shed_connections),
+      static_cast<unsigned long long>(net_stats.protocol_errors));
+  PrintEngineCounters(engine.stats());
+  return 0;
+}
+
+bool BitsEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// `tso client`: blocking RPCs against a running tsod server. With
+/// --check-against PATH the same queries also run on an in-process
+/// ServeEngine over PATH and every answer must be bit-identical (this is
+/// the tsod-e2e CI job's correctness oracle).
+int CmdClient(const Args& args) {
+  uint32_t port = args.port;
+  if (!args.port_file.empty()) {
+    std::ifstream in(args.port_file);
+    if (!(in >> port)) {
+      std::fprintf(stderr, "tso: cannot read port from %s\n",
+                   args.port_file.c_str());
+      return 1;
+    }
+  }
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "tso: client requires --port N or --port-file\n");
+    return 2;
+  }
+  TsodClient client;
+  Status connected = client.Connect(args.host, static_cast<uint16_t>(port));
+  if (!connected.ok()) {
+    std::fprintf(stderr, "tso: connect: %s\n",
+                 connected.ToString().c_str());
+    return 1;
+  }
+
+  std::optional<ServeEngine> check;
+  if (!args.check_against.empty()) {
+    check.emplace();
+    Status loaded = check->Load(args.check_against);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "tso: check-against: %s\n",
+                   loaded.ToString().c_str());
+      return 1;
+    }
+  }
+  uint64_t mismatches = 0;
+
+  std::vector<std::pair<uint32_t, uint32_t>> pairs = args.pairs;
+  if (args.random_queries > 0) {
+    uint64_t n = 0;
+    if (check.has_value()) {
+      n = check->stats().num_pois;
+    } else {
+      StatusOr<WireServeStats> remote = client.Stats();
+      if (!remote.ok()) {
+        std::fprintf(stderr, "tso: stats: %s\n",
+                     remote.status().ToString().c_str());
+        return 1;
+      }
+      n = remote->num_pois;
+    }
+    if (n == 0) {
+      std::fprintf(stderr, "tso: --random: server reports 0 POIs\n");
+      return 1;
+    }
+    Rng rng(args.seed);
+    for (size_t i = 0; i < args.random_queries; ++i) {
+      pairs.emplace_back(static_cast<uint32_t>(rng.Uniform(n)),
+                         static_cast<uint32_t>(rng.Uniform(n)));
+    }
+  }
+
+  if (args.batch && !pairs.empty()) {
+    StatusOr<std::vector<double>> got =
+        client.Batch(pairs, args.deadline_us);
+    if (!got.ok()) {
+      std::fprintf(stderr, "tso: batch: %s\n",
+                   got.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      std::printf("d(%u, %u) = %.6f\n", pairs[i].first, pairs[i].second,
+                  (*got)[i]);
+    }
+    if (check.has_value()) {
+      StatusOr<std::vector<double>> want = check->Batch(pairs, 1);
+      if (!want.ok() || want->size() != got->size()) {
+        ++mismatches;
+      } else {
+        for (size_t i = 0; i < got->size(); ++i) {
+          if (!BitsEqual((*got)[i], (*want)[i])) ++mismatches;
+        }
+      }
+    }
+  } else {
+    for (const auto& [s, t] : pairs) {
+      StatusOr<double> d = client.Distance(s, t, args.deadline_us);
+      if (d.ok()) {
+        std::printf("d(%u, %u) = %.6f\n", s, t, *d);
+      } else {
+        std::printf("d(%u, %u) = error: %s\n", s, t,
+                    d.status().ToString().c_str());
+      }
+      if (check.has_value()) {
+        StatusOr<double> want = check->Distance(s, t);
+        const bool match =
+            (d.ok() && want.ok() && BitsEqual(*d, *want)) ||
+            (!d.ok() && !want.ok() &&
+             d.status().code() == want.status().code());
+        if (!match) ++mismatches;
+      } else if (!d.ok()) {
+        return 1;
+      }
+    }
+  }
+
+  if (args.knn_set) {
+    StatusOr<std::vector<KnnResult>> got =
+        client.Knn(args.knn_query, args.knn_k, args.deadline_us);
+    if (!got.ok()) {
+      std::fprintf(stderr, "tso: knn: %s\n",
+                   got.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("knn(%u, %llu):", args.knn_query,
+                static_cast<unsigned long long>(args.knn_k));
+    for (const KnnResult& r : *got) {
+      std::printf(" %u=%.6f", r.poi, r.distance);
+    }
+    std::printf("\n");
+    if (check.has_value()) {
+      StatusOr<std::vector<KnnResult>> want =
+          check->Knn(args.knn_query, args.knn_k, 1);
+      if (!want.ok() || want->size() != got->size()) {
+        ++mismatches;
+      } else {
+        for (size_t i = 0; i < got->size(); ++i) {
+          if ((*got)[i].poi != (*want)[i].poi ||
+              !BitsEqual((*got)[i].distance, (*want)[i].distance)) {
+            ++mismatches;
+          }
+        }
+      }
+    }
+  }
+
+  if (args.range_set) {
+    StatusOr<std::vector<uint32_t>> got =
+        client.Range(args.range_query, args.range_radius, args.deadline_us);
+    if (!got.ok()) {
+      std::fprintf(stderr, "tso: range: %s\n",
+                   got.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("range(%u, %.6f): %zu POIs\n", args.range_query,
+                args.range_radius, got->size());
+    if (check.has_value()) {
+      StatusOr<std::vector<uint32_t>> want =
+          check->Range(args.range_query, args.range_radius, 1);
+      if (!want.ok() || *want != *got) ++mismatches;
+    }
+  }
+
+  if (args.stats) {
+    StatusOr<WireServeStats> s = client.Stats();
+    if (!s.ok()) {
+      std::fprintf(stderr, "tso: stats: %s\n",
+                   s.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "stats: queries=%llu shed=%llu deadline_exceeded=%llu reloads=%llu "
+        "load_failures=%llu shards=%u degraded_shards=%u pois=%llu "
+        "mapped_bytes=%llu dynamic=%d health=%s\n",
+        static_cast<unsigned long long>(s->queries),
+        static_cast<unsigned long long>(s->shed),
+        static_cast<unsigned long long>(s->deadline_exceeded),
+        static_cast<unsigned long long>(s->reloads),
+        static_cast<unsigned long long>(s->load_failures), s->num_shards,
+        s->degraded_shards, static_cast<unsigned long long>(s->num_pois),
+        static_cast<unsigned long long>(s->mapped_bytes),
+        s->dynamic ? 1 : 0,
+        ServeHealthName(static_cast<ServeHealth>(s->health)));
+  }
+
+  if (args.health) {
+    StatusOr<uint8_t> h = client.Health();
+    if (!h.ok()) {
+      std::fprintf(stderr, "tso: health: %s\n",
+                   h.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("health=%s\n",
+                ServeHealthName(static_cast<ServeHealth>(*h)));
+  }
+
+  if (check.has_value()) {
+    if (mismatches > 0) {
+      std::fprintf(stderr,
+                   "tso: client check FAILED: %llu answers differ from the "
+                   "in-process engine over %s\n",
+                   static_cast<unsigned long long>(mismatches),
+                   args.check_against.c_str());
+      return 1;
+    }
+    std::printf("check: all answers bit-identical to in-process engine\n");
+  }
+  return 0;
+}
+
+/// `tso serve-bench --net`: loopback client/server measurement. Three
+/// BENCH JSON workloads, mirroring the in-process bench gate shapes:
+/// net_p2p (pipelined singles, server-coalesced), net_batch (one Batch
+/// RPC), and net_overload (failpoint-driven exact shed / deadline /
+/// recovery counters over the wire).
+int CmdServeBenchNet(const Args& args, ServeEngine& engine) {
+  const size_t n = static_cast<size_t>(engine.stats().num_pois);
+  TsodServerOptions net_options;
+  net_options.batch_threads = 1;
+  TsodServer server(&engine, net_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "tso: listen: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("net: serving on 127.0.0.1:%u\n", server.port());
+
+  Rng rng(args.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  pairs.reserve(args.bench_queries);
+  for (size_t i = 0; i < args.bench_queries; ++i) {
+    pairs.emplace_back(static_cast<uint32_t>(rng.Uniform(n)),
+                       static_cast<uint32_t>(rng.Uniform(n)));
+  }
+  StatusOr<std::vector<double>> expected = engine.Batch(pairs, 1);
+  if (!expected.ok()) {
+    std::fprintf(stderr, "tso: expected answers: %s\n",
+                 expected.status().ToString().c_str());
+    return 1;
+  }
+
+  TsodClient client;
+  Status connected = client.Connect("127.0.0.1", server.port());
+  if (!connected.ok()) {
+    std::fprintf(stderr, "tso: connect: %s\n",
+                 connected.ToString().c_str());
+    return 1;
+  }
+
+  // net_p2p: pipelined single-distance RPCs with a bounded outstanding
+  // window. The server coalesces each pipelined run into one engine batch.
+  constexpr size_t kWindow = 128;
+  uint64_t p2p_mismatches = 0;
+  WallTimer p2p_timer;
+  size_t sent = 0, received = 0;
+  while (received < pairs.size()) {
+    while (sent < pairs.size() && sent - received < kWindow) {
+      Status queued = client.SendDistance(pairs[sent].first,
+                                          pairs[sent].second);
+      if (!queued.ok()) {
+        std::fprintf(stderr, "tso: send: %s\n", queued.ToString().c_str());
+        return 1;
+      }
+      ++sent;
+    }
+    StatusOr<double> d = client.RecvDistance();
+    if (!d.ok()) {
+      std::fprintf(stderr, "tso: recv: %s\n",
+                   d.status().ToString().c_str());
+      return 1;
+    }
+    if (!BitsEqual(*d, (*expected)[received])) ++p2p_mismatches;
+    ++received;
+  }
+  const double p2p_secs = p2p_timer.ElapsedSeconds();
+  const double p2p_qps = pairs.size() / p2p_secs;
+  std::printf(
+      "net_p2p: %zu pipelined queries in %.3fs (%.0f qps, window %zu, "
+      "%llu mismatches)\n",
+      pairs.size(), p2p_secs, p2p_qps, kWindow,
+      static_cast<unsigned long long>(p2p_mismatches));
+  std::printf(
+      "BENCH {\"bench\":\"serve\",\"workload\":\"net_p2p\","
+      "\"queries\":%zu,\"qps\":%.1f,\"mismatches\":%llu}\n",
+      pairs.size(), p2p_qps,
+      static_cast<unsigned long long>(p2p_mismatches));
+
+  // net_batch: the same pairs as one Batch RPC — one frame each way.
+  uint64_t batch_mismatches = 0;
+  WallTimer batch_timer;
+  StatusOr<std::vector<double>> got = client.Batch(pairs);
+  const double batch_secs = batch_timer.ElapsedSeconds();
+  if (!got.ok()) {
+    std::fprintf(stderr, "tso: batch: %s\n",
+                 got.status().ToString().c_str());
+    return 1;
+  }
+  if (got->size() != expected->size()) {
+    batch_mismatches = pairs.size();
+  } else {
+    for (size_t i = 0; i < got->size(); ++i) {
+      if (!BitsEqual((*got)[i], (*expected)[i])) ++batch_mismatches;
+    }
+  }
+  const double batch_qps = pairs.size() / batch_secs;
+  std::printf(
+      "net_batch: %zu queries in one RPC in %.3fs (%.0f qps, "
+      "%llu mismatches)\n",
+      pairs.size(), batch_secs, batch_qps,
+      static_cast<unsigned long long>(batch_mismatches));
+  std::printf(
+      "BENCH {\"bench\":\"serve\",\"workload\":\"net_batch\","
+      "\"queries\":%zu,\"qps\":%.1f,\"mismatches\":%llu}\n",
+      pairs.size(), batch_qps,
+      static_cast<unsigned long long>(batch_mismatches));
+  client.Close();
+  server.Shutdown();
+
+  // net_overload: failpoint-driven exact counters over the wire, the
+  // networked mirror of bench_throughput's overload workload. A paused
+  // query wedges a max_inflight=1 engine through its own connection; 1000
+  // blocking (non-pipelined, so never coalesced) requests on a second
+  // connection must each shed with kUnavailable.
+  ServeOptions shed_options;
+  shed_options.max_inflight = 1;
+  ServeEngine shed_engine(shed_options);
+  Status loaded = shed_engine.Load(args.oracle_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "tso: load: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  TsodServer shed_server(&shed_engine, net_options);
+  if (Status s = shed_server.Start(); !s.ok()) {
+    std::fprintf(stderr, "tso: listen: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = failpoint::Arm("serve.query", "pause"); !s.ok()) {
+    std::fprintf(stderr, "tso: failpoint: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::thread blocker([&shed_server]() {
+    // Holds the single admission slot, paused at the failpoint until the
+    // main thread disarms it; the response must still arrive.
+    TsodClient bc;
+    if (!bc.Connect("127.0.0.1", shed_server.port()).ok()) return;
+    bc.Distance(0, 1);
+  });
+  while (shed_engine.stats().inflight == 0) std::this_thread::yield();
+  constexpr uint64_t kShedQueries = 1000;
+  uint64_t shed_seen = 0;
+  {
+    TsodClient sc;
+    if (!sc.Connect("127.0.0.1", shed_server.port()).ok()) {
+      std::fprintf(stderr, "tso: connect failed\n");
+      failpoint::Disarm("serve.query");
+      blocker.join();
+      return 1;
+    }
+    for (uint64_t i = 0; i < kShedQueries; ++i) {
+      if (sc.Distance(0, 1).status().code() == StatusCode::kUnavailable) {
+        ++shed_seen;
+      }
+    }
+  }
+  failpoint::Disarm("serve.query");
+  blocker.join();
+  const uint64_t shed_count = shed_engine.stats().shed;
+  shed_server.Shutdown();
+
+  // Deadline phase: delay(1ms) injection against a 100us per-request wire
+  // deadline, then full recovery once disarmed — all on one connection.
+  ServeEngine deadline_engine;
+  if (Status s = deadline_engine.Load(args.oracle_path); !s.ok()) {
+    std::fprintf(stderr, "tso: load: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  TsodServer deadline_server(&deadline_engine, net_options);
+  if (Status s = deadline_server.Start(); !s.ok()) {
+    std::fprintf(stderr, "tso: listen: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = failpoint::Arm("serve.query", "delay(1)"); !s.ok()) {
+    std::fprintf(stderr, "tso: failpoint: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  TsodClient dc;
+  if (!dc.Connect("127.0.0.1", deadline_server.port()).ok()) {
+    std::fprintf(stderr, "tso: connect failed\n");
+    failpoint::Disarm("serve.query");
+    return 1;
+  }
+  constexpr uint64_t kDeadlineQueries = 200;
+  for (uint64_t i = 0; i < kDeadlineQueries; ++i) {
+    dc.Distance(0, 1, /*deadline_us=*/100);
+  }
+  failpoint::Disarm("serve.query");
+  constexpr uint64_t kRecoveryQueries = 100;
+  uint64_t recovered = 0;
+  for (uint64_t i = 0; i < kRecoveryQueries; ++i) {
+    if (dc.Distance(0, 1).ok()) ++recovered;
+  }
+  const uint64_t deadline_count = deadline_engine.stats().deadline_exceeded;
+  const char* health =
+      ServeHealthName(deadline_engine.stats().health);
+  dc.Close();
+  deadline_server.Shutdown();
+
+  std::printf(
+      "net_overload: %llu shed at max_inflight=1 (%llu seen over the wire), "
+      "%llu deadline-exceeded at 100us budget, %llu recovered (health %s)\n",
+      static_cast<unsigned long long>(shed_count),
+      static_cast<unsigned long long>(shed_seen),
+      static_cast<unsigned long long>(deadline_count),
+      static_cast<unsigned long long>(recovered), health);
+  std::printf(
+      "BENCH {\"bench\":\"serve\",\"workload\":\"net_overload\","
+      "\"shed\":%llu,\"deadline_exceeded\":%llu,\"recovered\":%llu,"
+      "\"health\":\"%s\"}\n",
+      static_cast<unsigned long long>(shed_count),
+      static_cast<unsigned long long>(deadline_count),
+      static_cast<unsigned long long>(recovered), health);
+
+  if (p2p_mismatches != 0 || batch_mismatches != 0) {
+    std::fprintf(stderr,
+                 "tso: net bench FAILED: answers over the wire differ from "
+                 "the in-process engine\n");
+    return 1;
+  }
+  return 0;
+}
+
 int CmdServeBench(const Args& args) {
   if (args.oracle_path.empty()) {
     std::fprintf(stderr, "tso: serve-bench requires --oracle PATH\n");
@@ -751,6 +1370,8 @@ int CmdServeBench(const Args& args) {
       opened.mapped_bytes / 1024.0, open_ms, ServeHealthName(opened.health),
       opened.degraded_shards > 0 ? ", degraded shards served as unavailable"
                                  : "");
+
+  if (args.net) return CmdServeBenchNet(args, engine);
 
   const size_t n = static_cast<size_t>(opened.num_pois);
   Rng rng(args.seed ^ 0x9e3779b97f4a7c15ULL);
@@ -1233,6 +1854,8 @@ int Main(int argc, char** argv) {
   if (cmd == "build-oracle") return CmdBuildOracle(args);
   if (cmd == "pack") return CmdPack(args);
   if (cmd == "query") return CmdQuery(args);
+  if (cmd == "serve") return CmdServe(args);
+  if (cmd == "client") return CmdClient(args);
   if (cmd == "serve-bench") return CmdServeBench(args);
   if (cmd == "inspect") return CmdInspect(args);
   if (cmd == "bench") return CmdBench(args);
