@@ -17,6 +17,9 @@
 
 #include "base/atomic_file.h"
 #include "base/failpoint.h"
+#include "base/histogram.h"
+#include "base/probe_stats.h"
+#include "base/simd.h"
 #include "bench/bench_common.h"
 #include "dyn/dynamic_oracle.h"
 #include "geodesic/dijkstra_solver.h"
@@ -89,6 +92,81 @@ void Run() {
     EmitJson("p2p", threads, pairs.size(), seconds, qps, speedup);
   }
   p2p.Print();
+
+  // --- Workload 1b: serial per-query latency distribution ---
+  // One query at a time through a reused QueryScratch, each timed into the
+  // HDR-style histogram (base/histogram.h, ~3% relative error). Aggregate
+  // QPS hides the tail; the gated number here is the p99 ceiling.
+  {
+    const size_t lat_queries = std::min<size_t>(pairs.size(), Scaled(20000));
+    const DistanceSource lat_source = MakeSource(*oracle);
+    QueryScratch lat_scratch;
+    LatencyHistogram hist;
+    for (size_t i = 0; i < lat_queries; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      StatusOr<double> d =
+          lat_source.Distance(pairs[i].first, pairs[i].second, lat_scratch);
+      const auto stop = std::chrono::steady_clock::now();
+      TSO_CHECK(d.ok());
+      hist.Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+              .count()));
+    }
+    std::printf(
+        "p2p_latency: %zu serial queries, p50=%llu p95=%llu p99=%llu "
+        "max=%llu ns\n",
+        lat_queries, static_cast<unsigned long long>(hist.Percentile(50.0)),
+        static_cast<unsigned long long>(hist.Percentile(95.0)),
+        static_cast<unsigned long long>(hist.Percentile(99.0)),
+        static_cast<unsigned long long>(hist.max()));
+    BenchJson("throughput")
+        .Str("workload", "p2p_latency")
+        .Int("queries", lat_queries)
+        .Int("p50_ns", hist.Percentile(50.0))
+        .Int("p95_ns", hist.Percentile(95.0))
+        .Int("p99_ns", hist.Percentile(99.0))
+        .Int("max_ns", hist.max())
+        .Emit();
+  }
+
+  // --- Workload 1c: deterministic probe pipeline counters ---
+  // The same serial sweep under a ProbeCounterScope. The counters describe
+  // the probe pipeline's shape (batches are always kProbeBatchWidth-lane
+  // regardless of dispatch), so every value is machine- and SIMD-level-
+  // independent — the CI gate pins them with zero tolerance. The dispatched
+  // level is emitted for the log only, not gated.
+  {
+    const size_t pc_queries = std::min<size_t>(pairs.size(), Scaled(20000));
+    ProbeCounters counters;
+    {
+      ProbeCounterScope scope(&counters);
+      const DistanceSource pc_source = MakeSource(*oracle);
+      QueryScratch pc_scratch;
+      for (size_t i = 0; i < pc_queries; ++i) {
+        TSO_CHECK(
+            pc_source.Distance(pairs[i].first, pairs[i].second, pc_scratch)
+                .ok());
+      }
+    }
+    std::printf(
+        "probe_counters: %zu queries, %llu probes (%llu hits), %llu batches "
+        "x%zu lanes max, %llu prefetches [simd=%s]\n",
+        pc_queries, static_cast<unsigned long long>(counters.probes),
+        static_cast<unsigned long long>(counters.hits),
+        static_cast<unsigned long long>(counters.batches), kProbeBatchWidth,
+        static_cast<unsigned long long>(counters.prefetches),
+        SimdLevelName(ActiveSimdLevel()));
+    BenchJson("throughput")
+        .Str("workload", "probe_counters")
+        .Int("queries", pc_queries)
+        .Int("probes", counters.probes)
+        .Int("hits", counters.hits)
+        .Int("batches", counters.batches)
+        .Int("lanes", counters.lanes)
+        .Int("prefetches", counters.prefetches)
+        .Str("simd", SimdLevelName(ActiveSimdLevel()))
+        .Emit();
+  }
 
   // --- Workload 2: kNN with the candidate scan sharded over POIs ---
   // Every POI queries its 10 nearest neighbours; repeated so each timed run

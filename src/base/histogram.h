@@ -1,0 +1,93 @@
+#ifndef TSO_BASE_HISTOGRAM_H_
+#define TSO_BASE_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace tso {
+
+/// HDR-style log-bucketed histogram for latency samples. Values are binned
+/// into octaves of 2^kSubBucketBits linear sub-buckets each, which bounds
+/// the relative quantization error of any reported percentile at
+/// 2^-(kSubBucketBits-1) (~3.1%) while keeping Record() allocation-free and
+/// O(1). Units are caller-defined (the benches record nanoseconds or
+/// microseconds); the histogram only assumes non-negative integers.
+///
+/// Record/Percentile/Merge are deterministic: the same sample multiset
+/// always produces the same percentile values, so BENCH lines built from
+/// them can be gated with fixed ceilings.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 6;
+  static constexpr uint64_t kSubBucketCount = 1ull << kSubBucketBits;
+  static constexpr size_t kNumBuckets =
+      static_cast<size_t>(64 - kSubBucketBits + 1) * kSubBucketCount;
+
+  LatencyHistogram() { buckets_.fill(0); }
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)]++;
+    count_++;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+
+  /// Value at percentile p (0 < p <= 100): an upper bound of the bucket
+  /// holding the sample of that rank, clamped to the recorded extrema so
+  /// Percentile(100) == max(). Returns 0 on an empty histogram.
+  uint64_t Percentile(double p) const {
+    if (count_ == 0) return 0;
+    const double want = p * static_cast<double>(count_) / 100.0;
+    uint64_t rank = static_cast<uint64_t>(want);
+    if (static_cast<double>(rank) < want) rank++;  // ceil
+    rank = std::clamp<uint64_t>(rank, 1, count_);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) {
+        return std::clamp(BucketUpperBound(i), min_, max_);
+      }
+    }
+    return max_;
+  }
+
+  /// Bucket index for a value: identity below kSubBucketCount, then
+  /// log-bucketed with kSubBucketCount linear sub-buckets per octave.
+  static size_t BucketIndex(uint64_t value) {
+    if (value < kSubBucketCount) return static_cast<size_t>(value);
+    const int shift = std::bit_width(value) - kSubBucketBits;
+    return static_cast<size_t>(shift) * kSubBucketCount +
+           static_cast<size_t>((value >> shift) & (kSubBucketCount - 1));
+  }
+
+  /// Largest value mapping to bucket `index`.
+  static uint64_t BucketUpperBound(size_t index) {
+    if (index < kSubBucketCount) return index;
+    const int shift = static_cast<int>(index / kSubBucketCount);
+    const uint64_t sub = index % kSubBucketCount;
+    return ((sub + 1) << shift) - 1;
+  }
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_;
+  uint64_t count_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace tso
+
+#endif  // TSO_BASE_HISTOGRAM_H_

@@ -6,10 +6,17 @@
 #include <utility>
 #include <vector>
 
+#include "base/probe_stats.h"
 #include "base/rng.h"
 #include "base/status.h"
 
 namespace tso {
+
+/// Lane count of the batched probe pipeline (PerfectHashView::LookupBatch).
+/// Fixed at 8 regardless of the dispatched SimdLevel so batch structure —
+/// and therefore the deterministic probe counters — never depend on the
+/// instruction set.
+inline constexpr size_t kProbeBatchWidth = 8;
 
 /// Non-owning FKS lookup over pointer+count table views: the single
 /// implementation of the two-level probe, shared by the owning PerfectHash
@@ -43,17 +50,24 @@ class PerfectHashView {
   /// taken (perfectly predicted), which keeps the mapped open path free of
   /// any O(table) validation scan.
   bool Lookup(uint64_t key, uint64_t* value) const {
-    if (num_keys_ == 0) return false;
-    const uint32_t b = static_cast<uint32_t>(Mix(key, mul1_) % num_buckets_);
-    const uint64_t base = bucket_offset_[b];
-    const uint64_t next = bucket_offset_[b + 1];
-    if (next <= base) return false;  // empty (or corrupt non-monotone) bucket
-    const uint64_t slot = base + Mix(key, bucket_mul_[b]) % (next - base);
-    if (slot >= slot_used_.size()) return false;  // corrupt offset table
-    if (!slot_used_[slot] || slot_key_[slot] != key) return false;
-    *value = slot_value_[slot];
-    return true;
+    const bool found = LookupImpl(key, value);
+    if (ProbeCounters* pc = ProbeCounterScope::Active(); pc != nullptr) {
+      pc->probes++;
+      if (found) pc->hits++;
+    }
+    return found;
   }
+
+  /// Batched form of Lookup over n <= kProbeBatchWidth keys: hashes all
+  /// lanes in lock step (SSE2/AVX2 when available, scalar otherwise — the
+  /// dispatch only changes the arithmetic, never the staging), prefetches
+  /// every candidate bucket line before the first offset read and every
+  /// candidate slot line before the first compare, so the lanes' cache
+  /// misses overlap instead of serializing. found[i] != 0 iff keys[i] is
+  /// present, in which case values[i] is its value. Bit-identical to n
+  /// scalar Lookup calls at every SimdLevel.
+  void LookupBatch(const uint64_t* keys, size_t n, uint64_t* values,
+                   uint8_t* found) const;
 
   size_t size() const { return num_keys_; }
 
@@ -66,7 +80,26 @@ class PerfectHashView {
     return h;
   }
 
+  /// out[i] = Mix(keys[i], muls[i]) for i < n, dispatched to the active
+  /// SimdLevel. Exposed for the equivalence tests; exact at every level
+  /// (the vector kernels implement the identical mod-2^64 arithmetic).
+  static void MixBatch(const uint64_t* keys, const uint64_t* muls, size_t n,
+                       uint64_t* out);
+
  private:
+  bool LookupImpl(uint64_t key, uint64_t* value) const {
+    if (num_keys_ == 0) return false;
+    const uint32_t b = static_cast<uint32_t>(Mix(key, mul1_) % num_buckets_);
+    const uint64_t base = bucket_offset_[b];
+    const uint64_t next = bucket_offset_[b + 1];
+    if (next <= base) return false;  // empty (or corrupt non-monotone) bucket
+    const uint64_t slot = base + Mix(key, bucket_mul_[b]) % (next - base);
+    if (slot >= slot_used_.size()) return false;  // corrupt offset table
+    if (!slot_used_[slot] || slot_key_[slot] != key) return false;
+    *value = slot_value_[slot];
+    return true;
+  }
+
   uint64_t mul1_ = 0;
   uint32_t num_buckets_ = 0;
   uint64_t num_keys_ = 0;

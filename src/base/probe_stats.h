@@ -1,0 +1,60 @@
+#ifndef TSO_BASE_PROBE_STATS_H_
+#define TSO_BASE_PROBE_STATS_H_
+
+#include <cstdint>
+
+namespace tso {
+
+/// Deterministic counters for the probe pipeline. Every count is defined at
+/// the *pipeline* level, not the instruction level: a key pushed through the
+/// batched probe counts one probe, one lane, and the same number of
+/// prefetches at every SimdLevel (the scalar fallback walks the identical
+/// staged pipeline with scalar arithmetic). That invariance is what lets
+/// bench/baselines/ci-tiny.json gate these values with tolerance 0 across
+/// machines and TSO_NO_SIMD configurations.
+struct ProbeCounters {
+  uint64_t probes = 0;      ///< keys probed against a perfect-hash table
+  uint64_t hits = 0;        ///< probes that found their key
+  uint64_t batches = 0;     ///< batched probe dispatches (<= 8 lanes each)
+  uint64_t lanes = 0;       ///< lane slots filled across batched dispatches
+  uint64_t prefetches = 0;  ///< software prefetches issued by probes + walks
+
+  void Add(const ProbeCounters& o) {
+    probes += o.probes;
+    hits += o.hits;
+    batches += o.batches;
+    lanes += o.lanes;
+    prefetches += o.prefetches;
+  }
+};
+
+/// RAII scope that routes this thread's probe counters into `sink`. Scopes
+/// nest (the previous sink is restored on destruction). When no scope is
+/// active the hot path pays one thread-local load and a predicted branch.
+class ProbeCounterScope {
+ public:
+  explicit ProbeCounterScope(ProbeCounters* sink) : prev_(Slot()) {
+    Slot() = sink;
+  }
+  ~ProbeCounterScope() { Slot() = prev_; }
+
+  ProbeCounterScope(const ProbeCounterScope&) = delete;
+  ProbeCounterScope& operator=(const ProbeCounterScope&) = delete;
+
+  /// The sink for the calling thread, or nullptr when counting is off.
+  static ProbeCounters* Active() { return Slot(); }
+
+ private:
+  // Function-local rather than a static member: constant-initialized, so no
+  // TLS init wrapper is involved (the out-of-line member form miscompiles
+  // under gcc UBSan, which flags the wrapper's address as null).
+  static ProbeCounters*& Slot() {
+    static thread_local ProbeCounters* active = nullptr;
+    return active;
+  }
+  ProbeCounters* prev_;
+};
+
+}  // namespace tso
+
+#endif  // TSO_BASE_PROBE_STATS_H_

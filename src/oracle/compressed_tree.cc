@@ -1,6 +1,8 @@
 #include "oracle/compressed_tree.h"
 
 #include "base/logging.h"
+#include "base/probe_stats.h"
+#include "base/simd.h"
 
 namespace tso {
 namespace {
@@ -84,11 +86,23 @@ Status ValidateTreeChildLists(std::span<const CompressedTreeNode> nodes) {
 
 void CompressedTreeView::AncestorArray(uint32_t leaf,
                                        std::vector<uint32_t>* out) const {
-  out->assign(height_ + 1, kInvalidId);
+  out->assign(static_cast<size_t>(height_) + 1, kInvalidId);
+  uint32_t* slots = out->data();
+  const Node* nodes = nodes_.data();
+  uint64_t issued_prefetches = 0;
   uint32_t cur = leaf;
   while (cur != kInvalidId) {
-    (*out)[nodes_[cur].layer] = cur;
-    cur = nodes_[cur].parent;
+    const Node& node = nodes[cur];
+    const uint32_t parent = node.parent;
+    // Prefetch the next node on the path (self at the root — harmless, and
+    // it keeps the body branch-free) before the dependent store retires.
+    PrefetchRead(&nodes[parent != kInvalidId ? parent : cur]);
+    issued_prefetches++;
+    slots[node.layer] = cur;
+    cur = parent;
+  }
+  if (ProbeCounters* pc = ProbeCounterScope::Active(); pc != nullptr) {
+    pc->prefetches += issued_prefetches;
   }
 }
 

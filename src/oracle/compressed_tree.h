@@ -56,8 +56,37 @@ class CompressedTreeView {
 
   /// Fills `out` (resized to height()+1) with the node of each layer on the
   /// path from `leaf` to the root; layers with no node on the path get
-  /// kInvalidId. This is the A_s / A_t array of §3.4.
+  /// kInvalidId. This is the A_s / A_t array of §3.4. The walk is
+  /// branch-free (unconditional layer-indexed stores, cmov'd parent step)
+  /// and prefetches each parent node ahead of its dependent load; it reuses
+  /// `out`'s capacity, so a recycled scratch vector makes it
+  /// allocation-free.
   void AncestorArray(uint32_t leaf, std::vector<uint32_t>* out) const;
+
+  /// The A_s array for a POI: a zero-copy span of the precomputed
+  /// cache-line-aligned row when the view carries an ancestor table (flat
+  /// minor >= 1), otherwise an AncestorArray walk into `*scratch` (the
+  /// returned span then aliases it).
+  std::span<const uint32_t> AncestorsOfPoi(uint32_t poi,
+                                           std::vector<uint32_t>* scratch)
+      const {
+    if (ancestor_stride_ != 0) {
+      return ancestors_.subspan(static_cast<size_t>(poi) * ancestor_stride_,
+                                static_cast<size_t>(height_) + 1);
+    }
+    AncestorArray(leaf_of_poi_[poi], scratch);
+    return {scratch->data(), scratch->size()};
+  }
+
+  /// Attaches the precomputed per-POI ancestor table (the kFlatAncestors
+  /// section): `table` holds num_pois rows of `stride` uint32s, each row an
+  /// AncestorArray result padded with kInvalidId. Rows must have been
+  /// validated against the walk (OracleView does this at open).
+  void SetAncestorTable(std::span<const uint32_t> table, uint32_t stride) {
+    ancestors_ = table;
+    ancestor_stride_ = stride;
+  }
+  bool has_ancestor_table() const { return ancestor_stride_ != 0; }
 
   /// Invariant check: no non-root single-child nodes, leaf radii zero,
   /// layers strictly increase downward, O(n) node count. For tests and
@@ -67,6 +96,8 @@ class CompressedTreeView {
  private:
   std::span<const Node> nodes_;
   std::span<const uint32_t> leaf_of_poi_;
+  std::span<const uint32_t> ancestors_;
+  uint32_t ancestor_stride_ = 0;
   uint32_t root_ = 0;
   int height_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "oracle/distance_query.h"
 
+#include <algorithm>
+
 namespace tso {
 namespace {
 
@@ -42,22 +44,54 @@ class DegradedProber {
 
 }  // namespace
 
+bool PairSource::LookupFirst(std::span<const uint32_t> a,
+                             std::span<const uint32_t> b,
+                             double* distance) const {
+  const size_t n = a.size();
+  if (shards_.empty()) {
+    double dist[kProbeBatchWidth];
+    uint8_t found[kProbeBatchWidth];
+    for (size_t i = 0; i < n; i += kProbeBatchWidth) {
+      const size_t m = std::min(kProbeBatchWidth, n - i);
+      single_.LookupBatch(a.data() + i, b.data() + i, m, dist, found);
+      for (size_t j = 0; j < m; ++j) {
+        if (found[j]) {
+          *distance = dist[j];
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (Lookup(a[i], b[i], distance)) return true;
+  }
+  return false;
+}
+
 StatusOr<double> OracleDistance(const CompressedTreeView& tree,
                                 const PairSource& pairs, uint32_t s,
                                 uint32_t t, QueryScratch& scratch) {
   if (s == t) return 0.0;
   const int h = tree.height();
-  std::vector<uint32_t>& as = scratch.a;
-  std::vector<uint32_t>& at = scratch.b;
-  tree.AncestorArray(tree.leaf_of_poi(s), &as);
-  tree.AncestorArray(tree.leaf_of_poi(t), &at);
+  const std::span<const uint32_t> as = tree.AncestorsOfPoi(s, &scratch.a);
+  const std::span<const uint32_t> at = tree.AncestorsOfPoi(t, &scratch.b);
 
-  double d;
+  // Collect the full §3.4 probe sequence up front, then push it through the
+  // batched probe: candidate generation touches only the (prefetched,
+  // usually cached) ancestor arrays and tree nodes, while the hash probes —
+  // where the cache misses live — overlap kProbeBatchWidth at a time.
+  // Probes are pure, so taking the earliest hit of the sequence is
+  // bit-identical to the original probe-as-you-go loops.
+  std::vector<uint32_t>& ca = scratch.cand_a;
+  std::vector<uint32_t>& cb = scratch.cand_b;
+  ca.clear();
+  cb.clear();
   // Pass 1: same-layer pairs.
   for (int i = 0; i <= h; ++i) {
-    if (as[i] != kInvalidId && at[i] != kInvalidId &&
-        pairs.Lookup(as[i], at[i], &d)) {
-      return d;
+    if (as[i] != kInvalidId && at[i] != kInvalidId) {
+      ca.push_back(as[i]);
+      cb.push_back(at[i]);
     }
   }
   // Pass 2: first-higher-layer pairs <O, O'> with Layer(O) < Layer(O'),
@@ -70,7 +104,10 @@ StatusOr<double> OracleDistance(const CompressedTreeView& tree,
     if (parent == kInvalidId) continue;
     const int j = tree.node(parent).layer;
     for (int k = j; k < i; ++k) {
-      if (as[k] != kInvalidId && pairs.Lookup(as[k], ot, &d)) return d;
+      if (as[k] != kInvalidId) {
+        ca.push_back(as[k]);
+        cb.push_back(ot);
+      }
     }
   }
   // Pass 3: first-lower-layer pairs (symmetric).
@@ -81,9 +118,14 @@ StatusOr<double> OracleDistance(const CompressedTreeView& tree,
     if (parent == kInvalidId) continue;
     const int j = tree.node(parent).layer;
     for (int k = j; k < i; ++k) {
-      if (at[k] != kInvalidId && pairs.Lookup(os, at[k], &d)) return d;
+      if (at[k] != kInvalidId) {
+        ca.push_back(os);
+        cb.push_back(at[k]);
+      }
     }
   }
+  double d;
+  if (pairs.LookupFirst(ca, cb, &d)) return d;
   if (!pairs.degraded()) {
     return Status::Internal(
         "unique node pair match property violated: no pair found");
@@ -91,31 +133,8 @@ StatusOr<double> OracleDistance(const CompressedTreeView& tree,
   // Re-walk the same probe sequence through the degraded prober: rescue the
   // match via its reverse orientation, or report the dead shard.
   DegradedProber prober(pairs);
-  for (int i = 0; i <= h; ++i) {
-    if (as[i] != kInvalidId && at[i] != kInvalidId &&
-        prober.Probe(as[i], at[i], &d)) {
-      return d;
-    }
-  }
-  for (int i = 1; i <= h; ++i) {
-    const uint32_t ot = at[i];
-    if (ot == kInvalidId) continue;
-    const uint32_t parent = tree.node(ot).parent;
-    if (parent == kInvalidId) continue;
-    const int j = tree.node(parent).layer;
-    for (int k = j; k < i; ++k) {
-      if (as[k] != kInvalidId && prober.Probe(as[k], ot, &d)) return d;
-    }
-  }
-  for (int i = 1; i <= h; ++i) {
-    const uint32_t os = as[i];
-    if (os == kInvalidId) continue;
-    const uint32_t parent = tree.node(os).parent;
-    if (parent == kInvalidId) continue;
-    const int j = tree.node(parent).layer;
-    for (int k = j; k < i; ++k) {
-      if (at[k] != kInvalidId && prober.Probe(os, at[k], &d)) return d;
-    }
+  for (size_t i = 0; i < ca.size(); ++i) {
+    if (prober.Probe(ca[i], cb[i], &d)) return d;
   }
   return prober.Verdict();
 }

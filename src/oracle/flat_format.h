@@ -29,6 +29,13 @@ static_assert(std::endian::native == std::endian::little,
 inline constexpr char kFlatMagic[8] = {'T', 'S', 'O', 'F',
                                        'L', 'A', 'T', '\n'};
 inline constexpr uint32_t kFlatFormatVersion = 1;
+/// Backward-compatible layout revision within kFlatFormatVersion. Minor 0
+/// files have exactly the 10 original sections; minor 1 adds the optional
+/// kFlatAncestors acceleration section (and records its row stride in
+/// FlatMeta::ancestor_stride). Readers accept any minor <= the build's
+/// kFlatFormatMinorVersion; writers always emit the newest minor. See
+/// docs/perf.md for the versioning policy.
+inline constexpr uint32_t kFlatFormatMinorVersion = 1;
 /// Written verbatim as 4 bytes; a big-endian producer would store the
 /// reversed byte pattern, so the loader detects foreign-arch files cleanly.
 inline constexpr uint32_t kFlatEndianTag = 0x01020304u;
@@ -49,8 +56,27 @@ enum FlatSectionId : uint32_t {
   kFlatHashSlotKey = 8,     // uint64 × total_slots
   kFlatHashSlotValue = 9,   // uint64 × total_slots
   kFlatHashSlotUsed = 10,   // uint8 × total_slots
+  // Minor version 1 (kFlatAncestors last, so minor-0 files are a prefix of
+  // the minor-1 section order):
+  kFlatAncestors = 11,  // uint32 × (num_pois × ancestor_stride)
 };
+/// Section count of a minor-0 file (and the number of sections every minor
+/// must provide: later minors only append).
 inline constexpr uint32_t kFlatSectionCount = 10;
+/// Section count of a minor-1 file.
+inline constexpr uint32_t kFlatSectionCountMinor1 = 11;
+
+/// Row stride, in uint32 elements, of the kFlatAncestors section for a tree
+/// of the given height: one row per POI holding its leaf-to-root ancestor
+/// array by layer (height + 1 entries, kInvalidId-padded), rounded up so
+/// every row starts on its own cache line within the 64-byte-aligned
+/// section.
+inline constexpr uint32_t FlatAncestorStride(int32_t tree_height) {
+  const uint32_t entries = static_cast<uint32_t>(tree_height) + 1;
+  const uint32_t per_line =
+      static_cast<uint32_t>(kFlatSectionAlign / sizeof(uint32_t));
+  return (entries + per_line - 1) / per_line * per_line;
+}
 
 const char* FlatSectionName(uint32_t id);
 
@@ -60,9 +86,12 @@ struct FlatHeader {
   uint32_t endian_tag;  // kFlatEndianTag, as written by the producer
   uint32_t version;     // kFlatFormatVersion
   uint64_t file_size;   // total bytes: cheap truncation detection
-  uint32_t section_count;      // kFlatSectionCount
+  uint32_t section_count;      // kFlatSectionCount(+1 per later minor)
   uint32_t section_table_crc;  // CRC32 of the section-table bytes
-  uint64_t reserved0;
+  // Carved out of the original reserved0 (minor-0 writers zeroed it, which
+  // reads back as minor_version == 0 — exactly right).
+  uint32_t minor_version;  // kFlatFormatMinorVersion at write time
+  uint32_t reserved0;
   uint64_t reserved1;
   uint64_t reserved2;
   uint64_t reserved3;
@@ -98,7 +127,10 @@ struct FlatMeta {
   uint64_t hash_mul1;
   uint64_t hash_num_keys;
   uint32_t hash_num_buckets;
-  uint32_t reserved0;
+  // Repurposed reserved field (minor-0 writers zeroed it): row stride, in
+  // uint32 elements, of the kFlatAncestors section. 0 when the section is
+  // absent (minor 0); FlatAncestorStride(tree_height) otherwise.
+  uint32_t ancestor_stride;
 };
 static_assert(sizeof(FlatMeta) == 64 && alignof(FlatMeta) == 8,
               "FlatMeta layout is frozen");

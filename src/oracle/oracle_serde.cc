@@ -1,5 +1,6 @@
 #include "oracle/oracle_serde.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 
@@ -277,8 +278,23 @@ std::string SerializeSeOracleFlat(double epsilon,
   meta.hash_mul1 = raw.mul1;
   meta.hash_num_keys = raw.num_keys;
   meta.hash_num_buckets = raw.num_buckets;
+  meta.ancestor_stride = FlatAncestorStride(tree.height());
 
-  const SectionDesc sections[kFlatSectionCount] = {
+  // kFlatAncestors payload (minor 1): one AncestorArray row per POI, padded
+  // with kInvalidId to a cache-line multiple so each row is line-aligned
+  // within the 64-byte-aligned section. Deterministic: a pure integer walk
+  // over the tree section.
+  std::vector<uint32_t> ancestors(pois.size() *
+                                      static_cast<size_t>(meta.ancestor_stride),
+                                  kInvalidId);
+  std::vector<uint32_t> row;
+  for (size_t p = 0; p < pois.size(); ++p) {
+    tree.AncestorArray(tree.leaf_of_poi(static_cast<uint32_t>(p)), &row);
+    std::copy(row.begin(), row.end(),
+              ancestors.begin() + p * meta.ancestor_stride);
+  }
+
+  const SectionDesc sections[kFlatSectionCountMinor1] = {
       {kFlatMeta, &meta, sizeof(meta), 1},
       PodSection(kFlatPois, pois),
       PodSection(kFlatTreeNodes, tree.nodes()),
@@ -289,13 +305,14 @@ std::string SerializeSeOracleFlat(double epsilon,
       PodSection(kFlatHashSlotKey, raw.slot_key),
       PodSection(kFlatHashSlotValue, raw.slot_value),
       PodSection(kFlatHashSlotUsed, raw.slot_used),
+      PodSection(kFlatAncestors, ancestors),
   };
 
   // Lay out: header, section table, then 64-byte-aligned sections.
-  FlatSectionEntry table[kFlatSectionCount] = {};
+  FlatSectionEntry table[kFlatSectionCountMinor1] = {};
   uint64_t cursor =
-      sizeof(FlatHeader) + kFlatSectionCount * sizeof(FlatSectionEntry);
-  for (uint32_t i = 0; i < kFlatSectionCount; ++i) {
+      sizeof(FlatHeader) + kFlatSectionCountMinor1 * sizeof(FlatSectionEntry);
+  for (uint32_t i = 0; i < kFlatSectionCountMinor1; ++i) {
     const SectionDesc& s = sections[i];
     table[i].id = s.id;
     table[i].offset = AlignUp(cursor, kFlatSectionAlign);
@@ -310,15 +327,16 @@ std::string SerializeSeOracleFlat(double epsilon,
   std::memcpy(header.magic, kFlatMagic, sizeof(kFlatMagic));
   header.endian_tag = kFlatEndianTag;
   header.version = kFlatFormatVersion;
+  header.minor_version = kFlatFormatMinorVersion;
   header.file_size = file_size;
-  header.section_count = kFlatSectionCount;
+  header.section_count = kFlatSectionCountMinor1;
   header.section_table_crc = Crc32(table, sizeof(table));
 
   std::string out;
   out.reserve(file_size);
   out.append(reinterpret_cast<const char*>(&header), sizeof(header));
   out.append(reinterpret_cast<const char*>(table), sizeof(table));
-  for (uint32_t i = 0; i < kFlatSectionCount; ++i) {
+  for (uint32_t i = 0; i < kFlatSectionCountMinor1; ++i) {
     out.append(table[i].offset - out.size(), '\0');  // alignment padding
     out.append(static_cast<const char*>(sections[i].data),
                sections[i].size);

@@ -1,8 +1,10 @@
 #include "oracle/oracle_view.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 #include "base/crc32.h"
 #include "base/failpoint.h"
@@ -11,12 +13,15 @@
 namespace tso {
 namespace {
 
-/// The fixed section order of format version 1 (see flat_format.h).
-constexpr FlatSectionId kSectionOrder[kFlatSectionCount] = {
+/// The fixed section order of format version 1 (see flat_format.h). A
+/// minor-0 file carries exactly the first kFlatSectionCount entries; later
+/// minors only append, so every minor's order is a prefix of this array.
+constexpr FlatSectionId kSectionOrder[kFlatSectionCountMinor1] = {
     kFlatMeta,          kFlatPois,          kFlatTreeNodes,
     kFlatLeafOfPoi,     kFlatPairs,         kFlatHashBucketMul,
     kFlatHashBucketOffset,
-    kFlatHashSlotKey,   kFlatHashSlotValue, kFlatHashSlotUsed};
+    kFlatHashSlotKey,   kFlatHashSlotValue, kFlatHashSlotUsed,
+    kFlatAncestors};
 
 Status SectionError(uint32_t id, const char* what) {
   return Status::InvalidArgument(std::string("flat oracle: section ") +
@@ -145,6 +150,32 @@ Status ValidateStructure(const FlatMeta& meta,
   return Status::Ok();
 }
 
+/// The precomputed ancestor table (flat minor >= 1) is read unguarded on
+/// the hot path — its rows feed tree.node() in the candidate passes — so
+/// every row must equal the leaf-to-root walk it caches, and the padding
+/// must be kInvalidId (i.e. never a dereferenceable id). O(n·h), the same
+/// budget as the other tree scans above.
+Status ValidateAncestorRows(const CompressedTreeView& tree,
+                            std::span<const uint32_t> rows, uint32_t stride) {
+  std::vector<uint32_t> walk;
+  const size_t entries = static_cast<size_t>(tree.height()) + 1;
+  for (size_t p = 0; p < tree.num_pois(); ++p) {
+    const auto row = rows.subspan(p * stride, stride);
+    tree.AncestorArray(tree.leaf_of_poi(static_cast<uint32_t>(p)), &walk);
+    if (!std::equal(walk.begin(), walk.end(), row.begin())) {
+      return Status::InvalidArgument(
+          "flat oracle: ancestor table row disagrees with the tree walk");
+    }
+    for (size_t i = entries; i < stride; ++i) {
+      if (row[i] != kInvalidId) {
+        return Status::InvalidArgument(
+            "flat oracle: ancestor table padding not kInvalidId");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 const char* FlatSectionName(uint32_t id) {
@@ -169,6 +200,8 @@ const char* FlatSectionName(uint32_t id) {
       return "hash-slot-value";
     case kFlatHashSlotUsed:
       return "hash-slot-used";
+    case kFlatAncestors:
+      return "ancestors";
     default:
       return "unknown";
   }
@@ -195,10 +228,17 @@ StatusOr<FlatFileInfo> ReadFlatFileInfo(std::string_view buffer) {
   if (h.version != kFlatFormatVersion) {
     return Status::InvalidArgument("flat oracle: unsupported format version");
   }
+  if (h.minor_version > kFlatFormatMinorVersion) {
+    return Status::InvalidArgument(
+        "flat oracle: unsupported minor version (file written by a newer "
+        "tso)");
+  }
   if (h.file_size != buffer.size()) {
     return Status::OutOfRange("flat oracle: truncated (file size mismatch)");
   }
-  if (h.section_count != kFlatSectionCount) {
+  const uint32_t expected_sections =
+      h.minor_version >= 1 ? kFlatSectionCountMinor1 : kFlatSectionCount;
+  if (h.section_count != expected_sections) {
     return Status::InvalidArgument("flat oracle: wrong section count");
   }
   std::string_view table_bytes;
@@ -293,6 +333,23 @@ StatusOr<OracleView> OracleView::FromBuffer(std::string_view buffer,
 
   view.tree_ = CompressedTreeView(nodes, leaf_of_poi, meta.tree_root,
                                   meta.tree_height);
+  if (info->header.minor_version >= 1) {
+    std::span<const uint32_t> ancestors;
+    TSO_RETURN_IF_ERROR(
+        ViewSection(reader, *info, kFlatAncestors, &ancestors));
+    if (meta.ancestor_stride != FlatAncestorStride(meta.tree_height) ||
+        ancestors.size() !=
+            meta.num_pois * static_cast<uint64_t>(meta.ancestor_stride)) {
+      return Status::InvalidArgument(
+          "flat oracle: ancestor table shape inconsistent with meta");
+    }
+    TSO_RETURN_IF_ERROR(
+        ValidateAncestorRows(view.tree_, ancestors, meta.ancestor_stride));
+    view.tree_.SetAncestorTable(ancestors, meta.ancestor_stride);
+  } else if (meta.ancestor_stride != 0) {
+    return Status::InvalidArgument(
+        "flat oracle: ancestor stride set in a minor-0 file");
+  }
   view.pairs_ = NodePairSetView(
       pairs,
       PerfectHashView(meta.hash_mul1, meta.hash_num_buckets,

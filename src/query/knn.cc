@@ -14,7 +14,9 @@ StatusOr<std::vector<KnnResult>> KnnQuery(const DistanceSource& source,
     return Status::NotFound("query POI id is not live");
   }
   if (k == 0) return std::vector<KnnResult>{};
-  QueryScratch scratch;
+  // thread_local so the candidate scan reuses warmed probe buffers across
+  // calls instead of re-growing a fresh QueryScratch per query.
+  static thread_local QueryScratch scratch;
   std::vector<KnnResult> all;
   all.reserve(source.num_pois() - 1);
   for (uint32_t p = 0; p < source.num_pois(); ++p) {
@@ -44,7 +46,7 @@ StatusOr<std::vector<KnnResult>> KnnQueryPruned(const DistanceSource& source,
   if (k == 0) return std::vector<KnnResult>{};
   const CompressedTreeView& tree = source.tree();
   const double eps = source.epsilon();
-  QueryScratch scratch;
+  static thread_local QueryScratch scratch;
 
   struct Entry {
     double lower_bound;

@@ -13,7 +13,7 @@ StatusOr<std::vector<uint32_t>> RangeQuery(const DistanceSource& source,
   if (!source.IsLive(query)) {
     return Status::NotFound("query POI id is not live");
   }
-  QueryScratch scratch;
+  static thread_local QueryScratch scratch;
   std::vector<std::pair<double, uint32_t>> hits;
   for (uint32_t p = 0; p < source.num_pois(); ++p) {
     if (p == query || !source.IsLive(p)) continue;

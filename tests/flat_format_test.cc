@@ -54,7 +54,8 @@ TEST(FlatFormat, HeaderAndSectionTableWellFormed) {
   ASSERT_TRUE(info.ok()) << info.status().ToString();
   EXPECT_EQ(info->header.version, kFlatFormatVersion);
   EXPECT_EQ(info->header.file_size, fx.blob.size());
-  ASSERT_EQ(info->sections.size(), kFlatSectionCount);
+  EXPECT_EQ(info->header.minor_version, kFlatFormatMinorVersion);
+  ASSERT_EQ(info->sections.size(), kFlatSectionCountMinor1);
   uint64_t prev_end = 0;
   for (const FlatSectionEntry& e : info->sections) {
     EXPECT_EQ(e.offset % kFlatSectionAlign, 0u) << FlatSectionName(e.id);

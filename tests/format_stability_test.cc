@@ -1,12 +1,21 @@
 // Format-stability gate: the on-disk oracle formats are frozen contracts.
-// Golden files (tests/golden/, generated once with
-//   tso build-oracle --dataset sf-small --vertices 150 --pois 12 \
-//     --solver dijkstra --epsilon 0.25 --seed 7 --format flat|legacy)
-// are loaded and re-serialized; any byte difference means the format
-// changed and kFlatFormatVersion (or the legacy version) must be bumped and
-// the goldens regenerated. Loading + re-serializing involves no floating-
-// point computation, so these comparisons are exact on every platform. The
-// CI `format-stability` job runs this suite as a blocking gate.
+// Golden files (tests/golden/) are loaded and re-serialized; any byte
+// difference means the format changed and kFlatFormatVersion /
+// kFlatFormatMinorVersion (or the legacy version) must be bumped and the
+// goldens regenerated. Loading + re-serializing involves no floating-point
+// computation, so these comparisons are exact on every platform. The CI
+// `format-stability` job runs this suite as a blocking gate.
+//
+// Two flat goldens are checked in:
+//   oracle-v1.tsoflat    minor 0 (10 sections, no ancestor table) —
+//     generated once with `tso build-oracle --dataset sf-small
+//     --vertices 150 --pois 12 --solver dijkstra --epsilon 0.25 --seed 7
+//     --format flat`
+//     It is the backward-compatibility gate: current readers must keep
+//     opening and answering from it forever (within major version 1).
+//   oracle-v1.1.tsoflat  minor 1 (11 sections, + ancestors) — the same
+//     oracle re-serialized by the current writer (materialize + serialize,
+//     no FP). It is the byte-identity gate for what the writer emits today.
 
 #include <fstream>
 #include <sstream>
@@ -33,38 +42,71 @@ std::string ReadFile(const std::string& path) {
   return ss.str();
 }
 
-std::string GoldenFlat() {
+std::string GoldenFlatMinor0() {
   return ReadFile(std::string(TSO_GOLDEN_DIR) + "/oracle-v1.tsoflat");
+}
+std::string GoldenFlatMinor1() {
+  return ReadFile(std::string(TSO_GOLDEN_DIR) + "/oracle-v1.1.tsoflat");
 }
 std::string GoldenLegacy() {
   return ReadFile(std::string(TSO_GOLDEN_DIR) + "/oracle-v1.seor");
 }
 
-TEST(FormatStability, GoldenFlatOpensAndValidates) {
-  const std::string blob = GoldenFlat();
-  ASSERT_FALSE(blob.empty());
-  ASSERT_TRUE(LooksLikeFlatOracle(blob));
-  StatusOr<OracleView> view = OracleView::FromBuffer(blob);
-  ASSERT_TRUE(view.ok()) << view.status().ToString();
-  EXPECT_EQ(view->num_pois(), 12u);
-  EXPECT_DOUBLE_EQ(view->epsilon(), 0.25);
-  EXPECT_EQ(view->height(), 3);
-  EXPECT_EQ(view->pair_set().size(), 144u);
-  EXPECT_TRUE(view->tree().CheckInvariants().ok());
+void ExpectGoldenShape(const OracleView& view) {
+  EXPECT_EQ(view.num_pois(), 12u);
+  EXPECT_DOUBLE_EQ(view.epsilon(), 0.25);
+  EXPECT_EQ(view.height(), 3);
+  EXPECT_EQ(view.pair_set().size(), 144u);
+  EXPECT_TRUE(view.tree().CheckInvariants().ok());
 }
 
-TEST(FormatStability, GoldenFlatRoundTripsByteIdentically) {
-  const std::string blob = GoldenFlat();
+TEST(FormatStability, GoldenMinor0StillOpensAndValidates) {
+  // The backward-compat contract: a file written before the ancestor table
+  // existed keeps opening (walk path, no table).
+  const std::string blob = GoldenFlatMinor0();
   ASSERT_FALSE(blob.empty());
-  StatusOr<SeOracle> oracle = MaterializeSeOracle(blob);
-  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
-  const std::string reserialized = SerializeSeOracleFlat(*oracle);
-  ASSERT_EQ(reserialized.size(), blob.size())
-      << "flat format layout drifted — bump kFlatFormatVersion and "
-         "regenerate tests/golden/";
-  EXPECT_EQ(reserialized, blob)
-      << "flat format bytes drifted — bump kFlatFormatVersion and "
-         "regenerate tests/golden/";
+  ASSERT_TRUE(LooksLikeFlatOracle(blob));
+  StatusOr<FlatFileInfo> info = ReadFlatFileInfo(blob);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->header.minor_version, 0u);
+  ASSERT_EQ(info->sections.size(), kFlatSectionCount);
+  StatusOr<OracleView> view = OracleView::FromBuffer(blob);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_FALSE(view->tree().has_ancestor_table());
+  ExpectGoldenShape(*view);
+}
+
+TEST(FormatStability, GoldenMinor1OpensAndValidates) {
+  const std::string blob = GoldenFlatMinor1();
+  ASSERT_FALSE(blob.empty());
+  ASSERT_TRUE(LooksLikeFlatOracle(blob));
+  StatusOr<FlatFileInfo> info = ReadFlatFileInfo(blob);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->header.minor_version, 1u);
+  ASSERT_EQ(info->sections.size(), kFlatSectionCountMinor1);
+  StatusOr<OracleView> view = OracleView::FromBuffer(blob);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_TRUE(view->tree().has_ancestor_table());
+  ExpectGoldenShape(*view);
+}
+
+TEST(FormatStability, CurrentWriterMatchesMinor1GoldenByteForByte) {
+  // Materializing EITHER golden and re-serializing must reproduce the
+  // minor-1 golden exactly: the writer always emits the current minor
+  // version, and materialization drops the (recomputable) ancestor table.
+  const std::string minor1 = GoldenFlatMinor1();
+  ASSERT_FALSE(minor1.empty());
+  for (const std::string& blob : {GoldenFlatMinor0(), minor1}) {
+    StatusOr<SeOracle> oracle = MaterializeSeOracle(blob);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    const std::string reserialized = SerializeSeOracleFlat(*oracle);
+    ASSERT_EQ(reserialized.size(), minor1.size())
+        << "flat format layout drifted — bump kFlatFormatMinorVersion (or "
+           "the major version) and regenerate tests/golden/";
+    EXPECT_EQ(reserialized, minor1)
+        << "flat format bytes drifted — bump kFlatFormatMinorVersion (or "
+           "the major version) and regenerate tests/golden/";
+  }
 }
 
 TEST(FormatStability, GoldenLegacyRoundTripsByteIdentically) {
@@ -78,21 +120,25 @@ TEST(FormatStability, GoldenLegacyRoundTripsByteIdentically) {
 }
 
 TEST(FormatStability, GoldenFormatsAgreeOnEveryQuery) {
-  // The two golden files were built from the same oracle: the mapped flat
-  // view and the deserialized legacy oracle must agree bit-for-bit on every
-  // distance (queries only read stored doubles — no FP arithmetic — so
-  // exact equality is portable).
-  const std::string flat = GoldenFlat();
+  // All three golden files hold the same oracle: both mapped flat minors
+  // (walk path vs ancestor-table path) and the deserialized legacy oracle
+  // must agree bit-for-bit on every distance (queries only read stored
+  // doubles — no FP arithmetic — so exact equality is portable).
+  const std::string minor0 = GoldenFlatMinor0();
+  const std::string minor1 = GoldenFlatMinor1();
   const std::string legacy = GoldenLegacy();
-  StatusOr<OracleView> view = OracleView::FromBuffer(flat);
+  StatusOr<OracleView> v0 = OracleView::FromBuffer(minor0);
+  StatusOr<OracleView> v1 = OracleView::FromBuffer(minor1);
   StatusOr<SeOracle> oracle = DeserializeSeOracle(legacy);
-  ASSERT_TRUE(view.ok() && oracle.ok());
-  ASSERT_EQ(view->num_pois(), oracle->num_pois());
+  ASSERT_TRUE(v0.ok() && v1.ok() && oracle.ok());
+  ASSERT_EQ(v0->num_pois(), oracle->num_pois());
+  ASSERT_EQ(v1->num_pois(), oracle->num_pois());
   const uint32_t n = static_cast<uint32_t>(oracle->num_pois());
   for (uint32_t s = 0; s < n; ++s) {
     for (uint32_t t = 0; t < n; ++t) {
-      EXPECT_EQ(*view->Distance(s, t), *oracle->Distance(s, t))
-          << s << "," << t;
+      const double expected = *oracle->Distance(s, t);
+      EXPECT_EQ(*v0->Distance(s, t), expected) << s << "," << t;
+      EXPECT_EQ(*v1->Distance(s, t), expected) << s << "," << t;
     }
   }
 }
@@ -100,22 +146,25 @@ TEST(FormatStability, GoldenFormatsAgreeOnEveryQuery) {
 TEST(FormatStability, GoldenSpotChecksMatchRecordedValues) {
   // Values recorded at golden-generation time (printed by `tso query`).
   // They are stored doubles read back verbatim; the 1e-6 tolerance only
-  // absorbs the print rounding of the recorded literals.
-  const std::string blob = GoldenFlat();  // must outlive the view
-  StatusOr<OracleView> view = OracleView::FromBuffer(blob);
-  ASSERT_TRUE(view.ok());
-  EXPECT_NEAR(*view->Distance(0, 1), 782.040311, 1e-6);
-  EXPECT_NEAR(*view->Distance(2, 9), 1306.800491, 1e-6);
-  EXPECT_NEAR(*view->Distance(3, 7), 1636.347612, 1e-6);
-  EXPECT_NEAR(*view->Distance(11, 4), 1089.404627, 1e-6);
-  EXPECT_NEAR(*view->Distance(10, 6), 1082.123295, 1e-6);
-  EXPECT_EQ(*view->Distance(5, 5), 0.0);
+  // absorbs the print rounding of the recorded literals. Checked on both
+  // flat minors so the ancestor-table path answers the same recorded
+  // numbers as the walk path.
+  for (const std::string& blob : {GoldenFlatMinor0(), GoldenFlatMinor1()}) {
+    StatusOr<OracleView> view = OracleView::FromBuffer(blob);
+    ASSERT_TRUE(view.ok());
+    EXPECT_NEAR(*view->Distance(0, 1), 782.040311, 1e-6);
+    EXPECT_NEAR(*view->Distance(2, 9), 1306.800491, 1e-6);
+    EXPECT_NEAR(*view->Distance(3, 7), 1636.347612, 1e-6);
+    EXPECT_NEAR(*view->Distance(11, 4), 1089.404627, 1e-6);
+    EXPECT_NEAR(*view->Distance(10, 6), 1082.123295, 1e-6);
+    EXPECT_EQ(*view->Distance(5, 5), 0.0);
+  }
 }
 
 TEST(FormatStability, FreshBuildSaveLoadSaveIsByteStable) {
-  // Independent of the goldens: any oracle serialized, materialized, and
-  // re-serialized must be byte-stable in both formats.
-  const std::string flat = GoldenFlat();
+  // Independent of which golden seeded it: any oracle serialized,
+  // materialized, and re-serialized must be byte-stable in both formats.
+  const std::string flat = GoldenFlatMinor1();
   StatusOr<SeOracle> oracle = MaterializeSeOracle(flat);
   ASSERT_TRUE(oracle.ok());
   const std::string legacy_blob = SerializeSeOracle(*oracle);

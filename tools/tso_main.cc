@@ -14,6 +14,7 @@
 // harness; the paper-figure benches under bench/ remain the source of truth
 // for reproducing figures.
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cerrno>
@@ -36,6 +37,7 @@
 #include "base/atomic_file.h"
 #include "base/crc32.h"
 #include "base/failpoint.h"
+#include "base/histogram.h"
 #include "base/mmap_file.h"
 #include "dyn/dynamic_oracle.h"
 #include "base/rng.h"
@@ -583,6 +585,15 @@ int CmdPack(const Args& args) {
       static_cast<size_t>(pack->meta().num_pairs_total),
       pack->SizeBytes() / 1024.0, timer.ElapsedSeconds());
   return 0;
+}
+
+/// Largest power-of-two divisor of `offset`, capped at 4096 — inspect's
+/// "align" column. Cache-line placement starts mattering at 64 (the format
+/// guarantees kFlatSectionAlign = 64 for every section).
+uint64_t SectionAlignment(uint64_t offset) {
+  if (offset == 0) return 4096;
+  const uint64_t a = offset & (~offset + 1);  // lowest set bit
+  return a > 4096 ? 4096 : a;
 }
 
 /// Sniffs the leading magic so query/serve-bench can report which mapped
@@ -1223,6 +1234,44 @@ int CmdServeBenchNet(const Args& args, ServeEngine& engine) {
       "\"queries\":%zu,\"qps\":%.1f,\"mismatches\":%llu}\n",
       pairs.size(), batch_qps,
       static_cast<unsigned long long>(batch_mismatches));
+
+  // net_latency: blocking request/response round trips, one at a time, each
+  // timed into the HDR-style histogram — end-to-end wire latency including
+  // framing and the kernel loopback, where the pipelined run above measures
+  // only throughput. Capped: round trips dominate, more adds no signal.
+  const size_t lat_queries = std::min<size_t>(pairs.size(), 500);
+  LatencyHistogram net_hist;
+  uint64_t lat_mismatches = 0;
+  for (size_t i = 0; i < lat_queries; ++i) {
+    WallTimer rt;
+    StatusOr<double> d = client.Distance(pairs[i].first, pairs[i].second);
+    const uint64_t us = static_cast<uint64_t>(rt.ElapsedMicros());
+    if (!d.ok()) {
+      std::fprintf(stderr, "tso: latency rpc: %s\n",
+                   d.status().ToString().c_str());
+      return 1;
+    }
+    if (!BitsEqual(*d, (*expected)[i])) ++lat_mismatches;
+    net_hist.Record(us);
+  }
+  std::printf(
+      "net_latency: %zu blocking round trips, p50=%llu p95=%llu p99=%llu "
+      "max=%llu us (%llu mismatches)\n",
+      lat_queries,
+      static_cast<unsigned long long>(net_hist.Percentile(50.0)),
+      static_cast<unsigned long long>(net_hist.Percentile(95.0)),
+      static_cast<unsigned long long>(net_hist.Percentile(99.0)),
+      static_cast<unsigned long long>(net_hist.max()),
+      static_cast<unsigned long long>(lat_mismatches));
+  std::printf(
+      "BENCH {\"bench\":\"serve\",\"workload\":\"net_latency\","
+      "\"queries\":%zu,\"p50_us\":%llu,\"p95_us\":%llu,\"p99_us\":%llu,"
+      "\"mismatches\":%llu}\n",
+      lat_queries,
+      static_cast<unsigned long long>(net_hist.Percentile(50.0)),
+      static_cast<unsigned long long>(net_hist.Percentile(95.0)),
+      static_cast<unsigned long long>(net_hist.Percentile(99.0)),
+      static_cast<unsigned long long>(lat_mismatches));
   client.Close();
   server.Shutdown();
 
@@ -1538,19 +1587,20 @@ int InspectPack(const std::string& path, const std::string& bytes,
               path.c_str(), info->header.version, bytes.size(),
               info->meta.num_shards,
               PackPolicyName(static_cast<PackPolicy>(info->meta.policy)));
-  std::printf("  %-20s %10s %12s %10s %10s  %s\n", "section", "offset",
-              "bytes", "count", "crc32", "status");
+  std::printf("  %-20s %10s %12s %10s %6s %10s  %s\n", "section", "offset",
+              "bytes", "count", "align", "crc32", "status");
   bool all_ok = true;
   for (const FlatSectionEntry& e : info->sections) {
     const uint32_t actual = Crc32(bytes.data() + e.offset, e.size);
     const bool ok = actual == e.crc32;
     all_ok = all_ok && ok;
-    std::printf("  %-20s %10llu %12llu %10llu   %08x  %s\n",
+    std::printf("  %-20s %10llu %12llu %10llu %6llu   %08x  %s\n",
                 PackSectionName(e.id),
                 static_cast<unsigned long long>(e.offset),
                 static_cast<unsigned long long>(e.size),
-                static_cast<unsigned long long>(e.count), e.crc32,
-                ok ? "ok" : "CORRUPT");
+                static_cast<unsigned long long>(e.count),
+                static_cast<unsigned long long>(SectionAlignment(e.offset)),
+                e.crc32, ok ? "ok" : "CORRUPT");
   }
   if (!all_ok) {
     std::fprintf(stderr, "tso: checksum verification FAILED\n");
@@ -1573,19 +1623,21 @@ int InspectPack(const std::string& path, const std::string& bytes,
       std::printf("  shard %u (%llu bytes, flat oracle v%u):\n", s,
                   static_cast<unsigned long long>(e.size),
                   shard->header.version);
-      std::printf("    %-20s %10s %12s %10s %10s  %s\n", "section", "offset",
-                  "bytes", "count", "crc32", "status");
+      std::printf("    %-20s %10s %12s %10s %6s %10s  %s\n", "section",
+                  "offset", "bytes", "count", "align", "crc32", "status");
     }
     for (const FlatSectionEntry& se : shard->sections) {
       const uint32_t actual = Crc32(shard_bytes.data() + se.offset, se.size);
       const bool ok = actual == se.crc32;
       if (deep) {
-        std::printf("    %-20s %10llu %12llu %10llu   %08x  %s\n",
+        std::printf("    %-20s %10llu %12llu %10llu %6llu   %08x  %s\n",
                     FlatSectionName(se.id),
                     static_cast<unsigned long long>(se.offset),
                     static_cast<unsigned long long>(se.size),
-                    static_cast<unsigned long long>(se.count), se.crc32,
-                    ok ? "ok" : "CORRUPT");
+                    static_cast<unsigned long long>(se.count),
+                    static_cast<unsigned long long>(
+                        SectionAlignment(se.offset)),
+                    se.crc32, ok ? "ok" : "CORRUPT");
       }
       if (!ok) {
         std::fprintf(stderr, "tso: shard %u section %s: checksum FAILED\n", s,
@@ -1657,26 +1709,56 @@ int InspectFile(const Args& args) {
     std::fprintf(stderr, "tso: %s\n", info.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s: flat oracle format v%u, %zu bytes, %u sections\n",
-              args.oracle_path.c_str(), info->header.version, bytes.size(),
+  std::printf("%s: flat oracle format v%u.%u, %zu bytes, %u sections\n",
+              args.oracle_path.c_str(), info->header.version,
+              info->header.minor_version, bytes.size(),
               info->header.section_count);
-  std::printf("  %-20s %10s %12s %10s %10s  %s\n", "section", "offset",
-              "bytes", "count", "crc32", "status");
+  std::printf("  %-20s %10s %12s %10s %6s %10s  %s\n", "section", "offset",
+              "bytes", "count", "align", "crc32", "status");
   bool all_ok = true;
   for (const FlatSectionEntry& e : info->sections) {
     const uint32_t actual = Crc32(bytes.data() + e.offset, e.size);
     const bool ok = actual == e.crc32;
     all_ok = all_ok && ok;
-    std::printf("  %-20s %10llu %12llu %10llu   %08x  %s\n",
+    std::printf("  %-20s %10llu %12llu %10llu %6llu   %08x  %s\n",
                 FlatSectionName(e.id),
                 static_cast<unsigned long long>(e.offset),
                 static_cast<unsigned long long>(e.size),
-                static_cast<unsigned long long>(e.count), e.crc32,
-                ok ? "ok" : "CORRUPT");
+                static_cast<unsigned long long>(e.count),
+                static_cast<unsigned long long>(SectionAlignment(e.offset)),
+                e.crc32, ok ? "ok" : "CORRUPT");
   }
   if (!all_ok) {
     std::fprintf(stderr, "tso: checksum verification FAILED\n");
     return 1;
+  }
+  // Hot-structure layout notes: the probe pipeline's working set, with the
+  // element sizes that determine how many land on one 64-byte line.
+  FlatMeta flat_meta{};
+  for (const FlatSectionEntry& e : info->sections) {
+    if (e.id == kFlatMeta && e.size >= sizeof(FlatMeta)) {
+      std::memcpy(&flat_meta, bytes.data() + e.offset, sizeof(FlatMeta));
+    }
+  }
+  for (const FlatSectionEntry& e : info->sections) {
+    if (e.id == kFlatTreeNodes) {
+      std::printf("  layout: tree nodes    %2zu B/node  (%zu per 64B line, "
+                  "section %s-aligned)\n",
+                  sizeof(CompressedTreeNode), 64 / sizeof(CompressedTreeNode),
+                  SectionAlignment(e.offset) >= 64 ? "line" : "NOT line");
+    } else if (e.id == kFlatPairs) {
+      std::printf("  layout: node pairs    %2zu B/pair  (%zu per 64B line, "
+                  "section %s-aligned)\n",
+                  sizeof(NodePair), 64 / sizeof(NodePair),
+                  SectionAlignment(e.offset) >= 64 ? "line" : "NOT line");
+    } else if (e.id == kFlatAncestors) {
+      const uint32_t stride = flat_meta.ancestor_stride;
+      std::printf("  layout: ancestor rows %2u ids/row (%u B, %s 64B lines, "
+                  "section %s-aligned)\n",
+                  stride, stride * 4,
+                  (stride * 4) % 64 == 0 ? "whole" : "partial",
+                  SectionAlignment(e.offset) >= 64 ? "line" : "NOT line");
+    }
   }
   StatusOr<OracleView> view = OracleView::FromBuffer(bytes);
   if (!view.ok()) {
